@@ -1,0 +1,108 @@
+// Engine design-choice ablations (DESIGN.md §4): quantifies the impact of
+//  (1) the exit criterion: absolute Eq.-8 distance vs the scale-free
+//      relative distance the harness deploys,
+//  (2) frontier shrinking: re-deriving the supporting set from the
+//      still-active nodes after each exit round,
+//  (3) mapped propagation vs per-batch induced-submatrix materialization.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/eval/datasets.h"
+#include "src/eval/harness.h"
+#include "src/graph/normalize.h"
+#include "src/tensor/ops.h"
+#include "src/graph/sampler.h"
+
+namespace {
+
+using namespace nai;
+
+void ExitCriterionAblation(core::NaiEngine& engine,
+                           eval::TrainedPipeline& pipeline,
+                           const eval::PreparedDataset& ds) {
+  std::printf("\n-- exit criterion: absolute (Eq. 8) vs relative --\n");
+  const auto settings =
+      eval::MakeDefaultSettings(pipeline, ds, core::NapKind::kDistance);
+  core::InferenceConfig rel = settings[1].config;
+  rel.batch_size = 500;
+  const auto r_rel =
+      eval::RunNai(engine, ds, ds.split.test_nodes, rel, "relative");
+
+  // Match the absolute threshold so both run at (approximately) the same
+  // average depth: scale the relative threshold by the median stationary
+  // norm of the validation nodes.
+  const tensor::Matrix xinf =
+      pipeline.full_stationary->RowsForNodes(ds.split.val_nodes);
+  std::vector<float> norms = tensor::RowL2Norms(xinf);
+  std::nth_element(norms.begin(), norms.begin() + norms.size() / 2,
+                   norms.end());
+  core::InferenceConfig abs = rel;
+  abs.relative_distance = false;
+  abs.threshold = rel.threshold * norms[norms.size() / 2];
+  const auto r_abs =
+      eval::RunNai(engine, ds, ds.split.test_nodes, abs, "absolute");
+
+  std::printf("relative: ACC %.2f%%  avg depth %.2f\n",
+              r_rel.row.accuracy * 100, r_rel.stats.average_depth());
+  std::printf("absolute: ACC %.2f%%  avg depth %.2f\n",
+              r_abs.row.accuracy * 100, r_abs.stats.average_depth());
+}
+
+void ShrinkAblation(core::NaiEngine& engine, eval::TrainedPipeline& pipeline,
+                    const eval::PreparedDataset& ds) {
+  std::printf("\n-- frontier shrinking after early exits --\n");
+  const auto settings =
+      eval::MakeDefaultSettings(pipeline, ds, core::NapKind::kDistance);
+  for (const bool shrink : {true, false}) {
+    core::InferenceConfig cfg = settings[2].config;  // accuracy-first
+    cfg.batch_size = 500;
+    cfg.shrink_active_support = shrink;
+    const auto r = eval::RunNai(engine, ds, ds.split.test_nodes, cfg,
+                                shrink ? "shrink" : "no-shrink");
+    std::printf("%-10s ACC %.2f%%  FP mMACs/node %.3f  FP time %.1f ms\n",
+                shrink ? "shrink" : "no-shrink", r.row.accuracy * 100,
+                r.row.fp_mmacs_per_node, r.row.fp_time_ms);
+  }
+}
+
+void SamplerAblation(const eval::PreparedDataset& ds, float gamma) {
+  std::printf("\n-- supporting-set extraction: mapped vs induced CSR --\n");
+  const graph::Csr adj = graph::NormalizedAdjacency(ds.data.graph, gamma);
+  graph::SupportSampler sampler(adj);
+  std::vector<std::int32_t> batch(ds.split.test_nodes.begin(),
+                                  ds.split.test_nodes.begin() + 500);
+  const int depth = ds.default_depth;
+  constexpr int kReps = 10;
+  eval::Timer t_mapped;
+  for (int i = 0; i < kReps; ++i) {
+    sampler.SampleMapped(batch, depth);
+  }
+  const double mapped_ms = t_mapped.ElapsedMs() / kReps;
+  eval::Timer t_full;
+  for (int i = 0; i < kReps; ++i) {
+    sampler.Sample(batch, depth);
+  }
+  const double full_ms = t_full.ElapsedMs() / kReps;
+  std::printf("mapped (BFS only):       %8.2f ms/batch\n", mapped_ms);
+  std::printf("induced CSR per batch:   %8.2f ms/batch  (%.1fx slower)\n",
+              full_ms, full_ms / mapped_ms);
+}
+
+}  // namespace
+
+int main() {
+  using namespace nai;
+  bench::Banner("Engine design-choice ablations (arxiv-sim)");
+  const eval::PreparedDataset ds =
+      eval::Prepare(eval::ArxivSim(eval::EnvScale()));
+  eval::TrainedPipeline pipeline =
+      eval::TrainPipeline(ds, bench::BenchPipelineConfig());
+  auto engine = eval::MakeEngine(pipeline, ds);
+
+  ExitCriterionAblation(*engine, pipeline, ds);
+  ShrinkAblation(*engine, pipeline, ds);
+  SamplerAblation(ds, pipeline.model_config.gamma);
+  return 0;
+}

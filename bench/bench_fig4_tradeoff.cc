@@ -1,0 +1,62 @@
+// Figure 4: accuracy-vs-inference-time trade-off. For each dataset, prints
+// (time, accuracy) points for vanilla SGC, the four baselines, and the
+// three NAId / NAIg settings — the series plotted in the paper's figure.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/eval/datasets.h"
+#include "src/eval/harness.h"
+
+namespace {
+
+using namespace nai;
+
+void Point(const char* name, double time_ms, float acc) {
+  std::printf("%-12s time_ms=%10.1f  acc=%.2f%%\n", name, time_ms,
+              acc * 100.0f);
+}
+
+void RunDataset(const eval::DatasetSpec& spec) {
+  bench::Banner("Figure 4 — accuracy/latency trade-off on " + spec.name);
+  const eval::PreparedDataset ds = eval::Prepare(spec);
+  eval::TrainedPipeline pipeline =
+      eval::TrainPipeline(ds, bench::BenchPipelineConfig());
+  auto engine = eval::MakeEngine(pipeline, ds);
+  const auto& test = ds.split.test_nodes;
+  const std::size_t batch = 500;
+
+  const auto vanilla = eval::RunVanilla(*engine, ds, test, batch, "SGC");
+  Point("SGC", vanilla.row.time_ms, vanilla.row.accuracy);
+  const auto glnn = eval::RunGlnn(pipeline, ds, test, 4);
+  Point("GLNN", glnn.row.time_ms, glnn.row.accuracy);
+  const auto nosmog = eval::RunNosmog(pipeline, ds, test);
+  Point("NOSMOG", nosmog.row.time_ms, nosmog.row.accuracy);
+  const auto tiny = eval::RunTinyGnn(pipeline, ds, test);
+  Point("TinyGNN", tiny.row.time_ms, tiny.row.accuracy);
+  const auto quant = eval::RunQuantized(pipeline, ds, test, batch);
+  Point("Quantization", quant.row.time_ms, quant.row.accuracy);
+
+  for (const auto nap : {core::NapKind::kDistance, core::NapKind::kGate}) {
+    const char* suffix = nap == core::NapKind::kDistance ? "d" : "g";
+    const auto settings = eval::MakeDefaultSettings(pipeline, ds, nap);
+    for (std::size_t i = 0; i < settings.size(); ++i) {
+      core::InferenceConfig cfg = settings[i].config;
+      cfg.batch_size = batch;
+      const auto r = eval::RunNai(*engine, ds, test, cfg, settings[i].name);
+      char name[32];
+      std::snprintf(name, sizeof(name), "NAI%zu%s", i + 1, suffix);
+      Point(name, r.row.time_ms, r.row.accuracy);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double scale = nai::eval::EnvScale();
+  RunDataset(nai::eval::FlickrSim(scale));
+  RunDataset(nai::eval::ArxivSim(scale));
+  RunDataset(nai::eval::ProductsSim(scale));
+  return 0;
+}

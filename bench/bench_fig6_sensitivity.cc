@@ -1,0 +1,74 @@
+// Figure 6: hyper-parameter sensitivity of Inception Distillation on
+// flickr-sim (base model SGC). Sweeps λ and T for both distillation stages
+// and the ensemble size r, reporting the accuracy of f^(1) — the paper's
+// most distillation-sensitive classifier.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/eval/datasets.h"
+#include "src/eval/harness.h"
+
+namespace {
+
+using namespace nai;
+
+float F1Accuracy(const eval::PreparedDataset& ds,
+                 const eval::PipelineConfig& cfg) {
+  eval::PipelineConfig local = cfg;
+  local.train_gates = false;
+  eval::TrainedPipeline pipeline = eval::TrainPipeline(ds, local);
+  auto engine = eval::MakeEngine(pipeline, ds);
+  core::InferenceConfig icfg;
+  icfg.nap = core::NapKind::kNone;
+  icfg.t_max = 1;
+  icfg.batch_size = 500;
+  return eval::RunNai(*engine, ds, ds.split.test_nodes, icfg, "f1")
+      .row.accuracy;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nai;
+  bench::Banner("Figure 6 — Inception Distillation sensitivity (flickr-sim)");
+  // A reduced-size preset: the sweep trains 17 pipelines.
+  eval::DatasetSpec spec = eval::FlickrSim(0.3 * eval::EnvScale());
+  const eval::PreparedDataset ds = eval::Prepare(spec);
+  eval::PipelineConfig base = bench::BenchPipelineConfig();
+  base.distill.base_epochs = 80;
+  base.distill.single_epochs = 50;
+  base.distill.multi_epochs = 40;
+
+  std::printf("\n-- lambda sweep (single-scale / multi-scale) --\n");
+  for (const float lambda : {0.0f, 0.3f, 0.6f, 0.9f}) {
+    eval::PipelineConfig cfg = base;
+    cfg.distill.lambda_single = lambda;
+    const float acc_s = F1Accuracy(ds, cfg);
+    cfg = base;
+    cfg.distill.lambda_multi = lambda;
+    const float acc_m = F1Accuracy(ds, cfg);
+    std::printf("lambda=%.1f  single-scale ACC %.2f%%   multi-scale ACC %.2f%%\n",
+                lambda, acc_s * 100, acc_m * 100);
+  }
+
+  std::printf("\n-- temperature sweep (single-scale / multi-scale) --\n");
+  for (const float T : {1.0f, 1.4f, 1.8f}) {
+    eval::PipelineConfig cfg = base;
+    cfg.distill.temperature_single = T;
+    const float acc_s = F1Accuracy(ds, cfg);
+    cfg = base;
+    cfg.distill.temperature_multi = T;
+    const float acc_m = F1Accuracy(ds, cfg);
+    std::printf("T=%.1f  single-scale ACC %.2f%%   multi-scale ACC %.2f%%\n",
+                T, acc_s * 100, acc_m * 100);
+  }
+
+  std::printf("\n-- ensemble size r sweep --\n");
+  for (const int r : {1, 3, 5, 7}) {
+    eval::PipelineConfig cfg = base;
+    cfg.distill.ensemble_size = r;
+    std::printf("r=%d  ACC %.2f%%\n", r, F1Accuracy(ds, cfg) * 100);
+  }
+  return 0;
+}

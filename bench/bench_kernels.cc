@@ -1,0 +1,116 @@
+// Kernel micro-benchmarks (google-benchmark): the numerical primitives the
+// inference engine is built from — dense GEMM, sparse SpMM (full / prefix),
+// supporting-node sampling, stationary-state rows, and the Gumbel gate
+// decision. Useful for tracking regressions in the substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/nap_gate.h"
+#include "src/core/stationary.h"
+#include "src/graph/generators.h"
+#include "src/graph/normalize.h"
+#include "src/graph/sampler.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/random.h"
+
+namespace {
+
+using namespace nai;
+
+graph::SyntheticDataset MakeGraph(std::int64_t n) {
+  graph::GeneratorConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_edges = n * 10;
+  cfg.feature_dim = 64;
+  cfg.seed = 7;
+  return graph::GenerateDataset(cfg);
+}
+
+void BM_DenseGemm(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  tensor::Rng rng(1);
+  tensor::Matrix a(n, 64), b(64, 64);
+  tensor::FillGaussian(a, 1.0f, rng);
+  tensor::FillGaussian(b, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 64);
+}
+BENCHMARK(BM_DenseGemm)->Arg(1024)->Arg(8192);
+
+void BM_SpMM(benchmark::State& state) {
+  const auto ds = MakeGraph(state.range(0));
+  const graph::Csr adj = graph::NormalizedAdjacency(ds.graph, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::SpMM(adj, ds.features));
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * 64);
+}
+BENCHMARK(BM_SpMM)->Arg(2000)->Arg(10000);
+
+void BM_SpMMPrefix(benchmark::State& state) {
+  const auto ds = MakeGraph(4000);
+  const graph::Csr adj = graph::NormalizedAdjacency(ds.graph, 0.5f);
+  tensor::Matrix out(adj.rows, 64);
+  const std::int64_t limit = adj.rows * state.range(0) / 100;
+  for (auto _ : state) {
+    graph::SpMMPrefix(adj, ds.features, limit, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * adj.row_ptr[limit] * 64);
+}
+BENCHMARK(BM_SpMMPrefix)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_SupportSampling(benchmark::State& state) {
+  const auto ds = MakeGraph(10000);
+  const graph::Csr adj = graph::NormalizedAdjacency(ds.graph, 0.5f);
+  graph::SupportSampler sampler(adj);
+  std::vector<std::int32_t> batch;
+  for (std::int32_t i = 0; i < 500; ++i) batch.push_back(i * 7 % 10000);
+  std::sort(batch.begin(), batch.end());
+  batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(batch, depth));
+  }
+}
+BENCHMARK(BM_SupportSampling)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_StationaryRows(benchmark::State& state) {
+  const auto ds = MakeGraph(10000);
+  const core::StationaryState stationary(ds.graph, ds.features, 0.5f);
+  std::vector<std::int32_t> batch;
+  for (std::int32_t i = 0; i < state.range(0); ++i) batch.push_back(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stationary.RowsForNodes(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * batch.size() * 64);
+}
+BENCHMARK(BM_StationaryRows)->Arg(500)->Arg(5000);
+
+void BM_GateDecision(benchmark::State& state) {
+  core::GateStack gates(5, 64, 3);
+  tensor::Rng rng(4);
+  tensor::Matrix x(state.range(0), 64), xi(state.range(0), 64);
+  tensor::FillGaussian(x, 1.0f, rng);
+  tensor::FillGaussian(xi, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gates.ShouldExit(1, x, xi));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GateDecision)->Arg(500)->Arg(5000);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  tensor::Rng rng(5);
+  tensor::Matrix m(state.range(0), 64);
+  tensor::FillGaussian(m, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::SoftmaxRows(m));
+  }
+  state.SetItemsProcessed(state.iterations() * m.size());
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(10000);
+
+}  // namespace

@@ -1,0 +1,10 @@
+// Table X: NAI generalization to S2GC (Zhu & Koniusz) on flickr-sim.
+// The paper uses k = 10 for S2GC (Table IV).
+
+#include "bench/generalization_common.h"
+
+int main() {
+  nai::bench::RunGeneralization(nai::models::ModelKind::kS2gc, 10,
+                                "Table X");
+  return 0;
+}

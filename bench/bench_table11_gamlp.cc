@@ -1,0 +1,9 @@
+// Table XI: NAI generalization to GAMLP (Zhang et al.) on flickr-sim.
+
+#include "bench/generalization_common.h"
+
+int main() {
+  nai::bench::RunGeneralization(nai::models::ModelKind::kGamlp, 5,
+                                "Table XI");
+  return 0;
+}

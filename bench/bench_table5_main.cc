@@ -1,0 +1,84 @@
+// Table V: main inference comparison under base model SGC on the three
+// dataset presets — ACC / mMACs/node / FP mMACs/node / Time / FP Time for
+// vanilla SGC, GLNN, NOSMOG, TinyGNN, Quantization, NAId and NAIg
+// (speed-first setting, batch size 500).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/eval/datasets.h"
+#include "src/eval/harness.h"
+
+namespace {
+
+using namespace nai;
+
+void RunDataset(const eval::DatasetSpec& spec) {
+  bench::Banner("Table V — " + spec.name + " (base model SGC)");
+  const eval::PreparedDataset ds = eval::Prepare(spec);
+  std::printf("n=%lld m=%lld f=%zu c=%d | train=%zu labeled=%zu val=%zu test=%zu\n",
+              static_cast<long long>(ds.data.graph.num_nodes()),
+              static_cast<long long>(ds.data.graph.num_edges()),
+              ds.data.features.cols(), ds.data.num_classes,
+              ds.split.train_nodes.size(), ds.split.labeled_nodes.size(),
+              ds.split.val_nodes.size(), ds.split.test_nodes.size());
+
+  eval::TrainedPipeline pipeline =
+      eval::TrainPipeline(ds, bench::BenchPipelineConfig());
+  auto engine = eval::MakeEngine(pipeline, ds);
+  const auto& test = ds.split.test_nodes;
+  const std::size_t batch = 500;
+
+  std::vector<eval::EvalRow> rows;
+  const eval::MethodResult vanilla =
+      eval::RunVanilla(*engine, ds, test, batch, "SGC");
+  rows.push_back(vanilla.row);
+  rows.push_back(eval::RunGlnn(pipeline, ds, test, /*hidden_multiplier=*/4).row);
+  rows.push_back(eval::RunNosmog(pipeline, ds, test).row);
+  rows.push_back(eval::RunTinyGnn(pipeline, ds, test).row);
+  rows.push_back(eval::RunQuantized(pipeline, ds, test, batch).row);
+
+  // Speed-first NAI settings (the paper's Table V rows).
+  const auto napd_settings =
+      eval::MakeDefaultSettings(pipeline, ds, core::NapKind::kDistance);
+  core::InferenceConfig napd = napd_settings[0].config;
+  napd.batch_size = batch;
+  const eval::MethodResult naid =
+      eval::RunNai(*engine, ds, test, napd, "NAId");
+  rows.push_back(naid.row);
+
+  const auto napg_settings =
+      eval::MakeDefaultSettings(pipeline, ds, core::NapKind::kGate);
+  core::InferenceConfig napg = napg_settings[0].config;
+  napg.batch_size = batch;
+  const eval::MethodResult naig =
+      eval::RunNai(*engine, ds, test, napg, "NAIg");
+  rows.push_back(naig.row);
+
+  eval::PrintTable("inference comparison", rows);
+  std::printf(
+      "speedups vs vanilla SGC:  NAId  MACs %.0fx  FP MACs %.0fx  Time %.0fx "
+      " FP Time %.0fx\n",
+      bench::Ratio(rows[0].mmacs_per_node, naid.row.mmacs_per_node),
+      bench::Ratio(rows[0].fp_mmacs_per_node, naid.row.fp_mmacs_per_node),
+      bench::Ratio(rows[0].time_ms, naid.row.time_ms),
+      bench::Ratio(rows[0].fp_time_ms, naid.row.fp_time_ms));
+  std::printf(
+      "                          NAIg  MACs %.0fx  FP MACs %.0fx  Time %.0fx "
+      " FP Time %.0fx\n",
+      bench::Ratio(rows[0].mmacs_per_node, naig.row.mmacs_per_node),
+      bench::Ratio(rows[0].fp_mmacs_per_node, naig.row.fp_mmacs_per_node),
+      bench::Ratio(rows[0].time_ms, naig.row.time_ms),
+      bench::Ratio(rows[0].fp_time_ms, naig.row.fp_time_ms));
+}
+
+}  // namespace
+
+int main() {
+  const double scale = nai::eval::EnvScale();
+  RunDataset(nai::eval::FlickrSim(scale));
+  RunDataset(nai::eval::ArxivSim(scale));
+  RunDataset(nai::eval::ProductsSim(scale));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table VI: node distributions across exit depths for NAId and NAIg under
+// the three canonical settings (speed-first / balanced / accuracy-first) on
+// each dataset. Rows read left (depth 1) to right (depth T_max).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/eval/datasets.h"
+#include "src/eval/harness.h"
+
+namespace {
+
+using namespace nai;
+
+void RunDataset(const eval::DatasetSpec& spec) {
+  bench::Banner("Table VI — node distributions on " + spec.name);
+  const eval::PreparedDataset ds = eval::Prepare(spec);
+  eval::TrainedPipeline pipeline =
+      eval::TrainPipeline(ds, bench::BenchPipelineConfig());
+  auto engine = eval::MakeEngine(pipeline, ds);
+
+  for (const auto nap : {core::NapKind::kDistance, core::NapKind::kGate}) {
+    const char* suffix = nap == core::NapKind::kDistance ? "d" : "g";
+    const auto settings = eval::MakeDefaultSettings(pipeline, ds, nap);
+    for (std::size_t i = 0; i < settings.size(); ++i) {
+      core::InferenceConfig cfg = settings[i].config;
+      cfg.batch_size = 500;
+      const eval::MethodResult r = eval::RunNai(
+          *engine, ds, ds.split.test_nodes, cfg,
+          settings[i].name + suffix);
+      std::printf("NAI%zu%s  ACC %.2f%%  ", i + 1, suffix,
+                  r.row.accuracy * 100.0f);
+      eval::PrintNodeDistribution("", r.stats);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double scale = nai::eval::EnvScale();
+  RunDataset(nai::eval::FlickrSim(scale));
+  RunDataset(nai::eval::ArxivSim(scale));
+  RunDataset(nai::eval::ProductsSim(scale));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Table VII: ablation of Node-Adaptive Propagation. For each T_max in
+// 2..k, compare "NAI w/o NAP" (fixed-depth propagation to T_max) against
+// NAId and NAIg: accuracy, inference time, and the exit-depth distribution.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/eval/datasets.h"
+#include "src/eval/harness.h"
+
+namespace {
+
+using namespace nai;
+
+void RunDataset(const eval::DatasetSpec& spec) {
+  bench::Banner("Table VII — NAP ablation on " + spec.name);
+  const eval::PreparedDataset ds = eval::Prepare(spec);
+  eval::TrainedPipeline pipeline =
+      eval::TrainPipeline(ds, bench::BenchPipelineConfig());
+  auto engine = eval::MakeEngine(pipeline, ds);
+  const int k = pipeline.model_config.depth;
+
+  // A mid-quantile threshold shared across T_max values, as in the paper's
+  // per-T_max sweep.
+  const auto base_setting =
+      eval::MakeDefaultSettings(pipeline, ds, core::NapKind::kDistance)[1];
+
+  std::printf("%-14s %-8s %-10s %-12s %s\n", "Tmax", "method", "ACC(%)",
+              "Time(ms)", "node distribution");
+  for (int t_max = 2; t_max <= k; ++t_max) {
+    {
+      core::InferenceConfig cfg;
+      cfg.nap = core::NapKind::kNone;
+      cfg.t_max = t_max;
+      cfg.batch_size = 500;
+      const auto r = eval::RunNai(*engine, ds, ds.split.test_nodes, cfg,
+                                  "w/o NAP");
+      std::printf("%-14d %-8s %-10.2f %-12.1f", t_max, "w/o NAP",
+                  r.row.accuracy * 100.0f, r.row.time_ms);
+      eval::PrintNodeDistribution("", r.stats);
+    }
+    {
+      core::InferenceConfig cfg = base_setting.config;
+      cfg.t_min = 1;
+      cfg.t_max = t_max;
+      cfg.batch_size = 500;
+      const auto r =
+          eval::RunNai(*engine, ds, ds.split.test_nodes, cfg, "NAId");
+      std::printf("%-14d %-8s %-10.2f %-12.1f", t_max, "NAId",
+                  r.row.accuracy * 100.0f, r.row.time_ms);
+      eval::PrintNodeDistribution("", r.stats);
+    }
+    {
+      core::InferenceConfig cfg;
+      cfg.nap = core::NapKind::kGate;
+      cfg.t_min = 1;
+      cfg.t_max = t_max;
+      cfg.batch_size = 500;
+      const auto r =
+          eval::RunNai(*engine, ds, ds.split.test_nodes, cfg, "NAIg");
+      std::printf("%-14d %-8s %-10.2f %-12.1f", t_max, "NAIg",
+                  r.row.accuracy * 100.0f, r.row.time_ms);
+      eval::PrintNodeDistribution("", r.stats);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double scale = nai::eval::EnvScale();
+  RunDataset(nai::eval::ArxivSim(scale));
+  RunDataset(nai::eval::ProductsSim(scale));
+  return 0;
+}

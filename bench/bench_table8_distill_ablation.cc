@@ -1,0 +1,74 @@
+// Table VIII: ablation of Inception Distillation. Reports the accuracy of
+// the weakest classifier f^(1) (evaluated at fixed depth 1 on the test set)
+// under four training regimes: no distillation ("w/o ID"), single-scale
+// only ("w/o MS"), multi-scale only ("w/o SS"), and the full pipeline.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/eval/datasets.h"
+#include "src/eval/harness.h"
+
+namespace {
+
+using namespace nai;
+
+float F1Accuracy(eval::TrainedPipeline& pipeline,
+                 const eval::PreparedDataset& ds) {
+  auto engine = eval::MakeEngine(pipeline, ds);
+  core::InferenceConfig cfg;
+  cfg.nap = core::NapKind::kNone;
+  cfg.t_max = 1;  // force everything through f^(1)
+  cfg.batch_size = 500;
+  return eval::RunNai(*engine, ds, ds.split.test_nodes, cfg, "f1")
+      .row.accuracy;
+}
+
+void RunDataset(const eval::DatasetSpec& spec, float* out_row) {
+  const eval::PreparedDataset ds = eval::Prepare(spec);
+
+  struct Variant {
+    const char* name;
+    bool single;
+    bool multi;
+  };
+  const Variant variants[] = {
+      {"NAI w/o ID", false, false},
+      {"NAI w/o MS", true, false},
+      {"NAI w/o SS", false, true},
+      {"NAI", true, true},
+  };
+  for (int vi = 0; vi < 4; ++vi) {
+    eval::PipelineConfig cfg = bench::BenchPipelineConfig();
+    cfg.train_gates = false;  // gates irrelevant for f^(1) quality
+    cfg.distill.enable_single = variants[vi].single;
+    cfg.distill.enable_multi = variants[vi].multi;
+    eval::TrainedPipeline pipeline = eval::TrainPipeline(ds, cfg);
+    out_row[vi] = F1Accuracy(pipeline, ds);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace nai;
+  const double scale = eval::EnvScale();
+  bench::Banner("Table VIII — Inception Distillation ablation (ACC of f^(1), %)");
+
+  // Half-scale presets: the ablation trains 12 full pipelines and the
+  // f^(1)-quality comparison is scale-insensitive.
+  const eval::DatasetSpec specs[] = {eval::FlickrSim(0.5 * scale),
+                                     eval::ArxivSim(0.5 * scale),
+                                     eval::ProductsSim(0.5 * scale)};
+  float acc[3][4];
+  for (int d = 0; d < 3; ++d) RunDataset(specs[d], acc[d]);
+
+  const char* names[] = {"NAI w/o ID", "NAI w/o MS", "NAI w/o SS", "NAI"};
+  std::printf("%-12s %12s %12s %14s\n", "", "Flickr-sim", "Arxiv-sim",
+              "Products-sim");
+  for (int v = 0; v < 4; ++v) {
+    std::printf("%-12s %12.2f %12.2f %14.2f\n", names[v], acc[0][v] * 100,
+                acc[1][v] * 100, acc[2][v] * 100);
+  }
+  return 0;
+}

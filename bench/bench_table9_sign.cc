@@ -1,0 +1,9 @@
+// Table IX: NAI generalization to SIGN (Frasca et al.) on flickr-sim.
+
+#include "bench/generalization_common.h"
+
+int main() {
+  nai::bench::RunGeneralization(nai::models::ModelKind::kSign, 5,
+                                "Table IX");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#ifndef NAI_BENCH_BENCH_UTIL_H_
+#define NAI_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/eval/harness.h"
+
+namespace nai::bench {
+
+/// Training budgets used by the bench binaries: smaller than the library
+/// defaults so a full `for b in build/bench/*` sweep stays in minutes, but
+/// large enough for the paper's qualitative results to reproduce.
+inline eval::PipelineConfig BenchPipelineConfig(
+    models::ModelKind kind = models::ModelKind::kSgc) {
+  eval::PipelineConfig cfg;
+  cfg.kind = kind;
+  cfg.hidden_dims = {64};
+  cfg.distill.base_epochs = 120;
+  cfg.distill.single_epochs = 70;
+  cfg.distill.multi_epochs = 50;
+  cfg.distill.learning_rate = 1e-2f;
+  cfg.distill.temperature_single = 1.2f;
+  cfg.distill.lambda_single = 0.5f;
+  cfg.distill.temperature_multi = 1.5f;
+  cfg.distill.lambda_multi = 0.8f;
+  cfg.distill.ensemble_size = 3;
+  cfg.gate.epochs = 80;
+  return cfg;
+}
+
+inline void Banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Speedup annotation like the paper's "(75x)" brackets.
+inline double Ratio(double base, double value) {
+  return value > 0.0 ? base / value : 0.0;
+}
+
+}  // namespace nai::bench
+
+#endif  // NAI_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,71 @@
+#ifndef NAI_BENCH_GENERALIZATION_COMMON_H_
+#define NAI_BENCH_GENERALIZATION_COMMON_H_
+
+// Shared driver for Tables IX / X / XI: the Table-V comparison repeated on
+// flickr-sim with a different Scalable GNN base model (SIGN, S2GC, GAMLP),
+// demonstrating that the NAI framework is model-agnostic.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/eval/datasets.h"
+#include "src/eval/harness.h"
+
+namespace nai::bench {
+
+inline void RunGeneralization(models::ModelKind kind, int depth,
+                              const char* table_name) {
+  Banner(std::string(table_name) + " — base model " +
+         models::ModelKindName(kind) + " on flickr-sim");
+  eval::DatasetSpec spec = eval::FlickrSim(eval::EnvScale());
+  const eval::PreparedDataset ds = eval::Prepare(spec);
+
+  eval::PipelineConfig cfg = BenchPipelineConfig(kind);
+  cfg.depth = depth;
+  // The wider per-depth inputs of SIGN make full-length distillation slow;
+  // the budgets below keep each generalization bench around a minute.
+  cfg.distill.base_epochs = 100;
+  cfg.distill.single_epochs = 50;
+  cfg.distill.multi_epochs = 40;
+  eval::TrainedPipeline pipeline = eval::TrainPipeline(ds, cfg);
+  auto engine = eval::MakeEngine(pipeline, ds);
+  const auto& test = ds.split.test_nodes;
+  const std::size_t batch = 500;
+
+  std::vector<eval::EvalRow> rows;
+  const auto vanilla = eval::RunVanilla(*engine, ds, test, batch,
+                                        models::ModelKindName(kind));
+  rows.push_back(vanilla.row);
+  rows.push_back(eval::RunGlnn(pipeline, ds, test, 4).row);
+  rows.push_back(eval::RunNosmog(pipeline, ds, test).row);
+  rows.push_back(eval::RunTinyGnn(pipeline, ds, test).row);
+  rows.push_back(eval::RunQuantized(pipeline, ds, test, batch).row);
+
+  const auto napd =
+      eval::MakeDefaultSettings(pipeline, ds, core::NapKind::kDistance);
+  core::InferenceConfig cfg_d = napd[0].config;
+  cfg_d.batch_size = batch;
+  const auto naid = eval::RunNai(*engine, ds, test, cfg_d, "NAId");
+  rows.push_back(naid.row);
+
+  const auto napg =
+      eval::MakeDefaultSettings(pipeline, ds, core::NapKind::kGate);
+  core::InferenceConfig cfg_g = napg[0].config;
+  cfg_g.batch_size = batch;
+  const auto naig = eval::RunNai(*engine, ds, test, cfg_g, "NAIg");
+  rows.push_back(naig.row);
+
+  eval::PrintTable("inference comparison", rows);
+  std::printf(
+      "NAId speedups vs vanilla: MACs %.0fx  FP MACs %.0fx  Time %.0fx  FP "
+      "Time %.0fx\n",
+      Ratio(rows[0].mmacs_per_node, naid.row.mmacs_per_node),
+      Ratio(rows[0].fp_mmacs_per_node, naid.row.fp_mmacs_per_node),
+      Ratio(rows[0].time_ms, naid.row.time_ms),
+      Ratio(rows[0].fp_time_ms, naid.row.fp_time_ms));
+}
+
+}  // namespace nai::bench
+
+#endif  // NAI_BENCH_GENERALIZATION_COMMON_H_

@@ -1,0 +1,93 @@
+// Fraud detection on a transaction graph — the paper's millisecond-latency
+// motivation (§I). New accounts arrive continuously; each must be scored
+// against the existing account graph within a latency budget. This example
+// streams unseen nodes through the NAI engine in small batches and reports
+// per-batch latency percentiles for the vanilla model versus NAI.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/eval/datasets.h"
+#include "src/eval/harness.h"
+
+namespace {
+
+using namespace nai;
+
+struct LatencyStats {
+  double p50 = 0.0, p95 = 0.0, max = 0.0;
+  float accuracy = 0.0f;
+};
+
+LatencyStats Stream(core::NaiEngine& engine, const eval::PreparedDataset& ds,
+                    const core::InferenceConfig& config,
+                    std::size_t batch_size) {
+  std::vector<double> latencies;
+  std::size_t correct = 0, total = 0;
+  const auto& nodes = ds.split.test_nodes;
+  for (std::size_t begin = 0; begin < nodes.size(); begin += batch_size) {
+    const std::size_t end = std::min(nodes.size(), begin + batch_size);
+    const std::vector<std::int32_t> batch(nodes.begin() + begin,
+                                          nodes.begin() + end);
+    eval::Timer timer;
+    core::InferenceConfig cfg = config;
+    cfg.batch_size = batch.size();
+    const core::InferenceResult r = engine.Infer(batch, cfg);
+    latencies.push_back(timer.ElapsedMs());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (r.predictions[i] == ds.data.labels[batch[i]]) ++correct;
+      ++total;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  LatencyStats out;
+  out.p50 = latencies[latencies.size() / 2];
+  out.p95 = latencies[latencies.size() * 95 / 100];
+  out.max = latencies.back();
+  out.accuracy = static_cast<float>(correct) / static_cast<float>(total);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nai;
+  // The "account graph": heavy-tailed degrees like a payments network.
+  // Suspicious-account class = one of the generator's planted classes.
+  const eval::PreparedDataset ds = eval::Prepare(eval::ProductsSim(0.3));
+  std::printf("account graph: %lld accounts, %lld relations; %zu unseen "
+              "accounts to score\n",
+              static_cast<long long>(ds.data.graph.num_nodes()),
+              static_cast<long long>(ds.data.graph.num_edges()),
+              ds.split.test_nodes.size());
+
+  eval::PipelineConfig config;
+  config.distill.base_epochs = 100;
+  config.distill.single_epochs = 60;
+  config.distill.multi_epochs = 40;
+  eval::TrainedPipeline pipeline = eval::TrainPipeline(ds, config);
+  auto engine = eval::MakeEngine(pipeline, ds);
+
+  const std::size_t kBatch = 64;  // accounts arriving per scoring tick
+
+  core::InferenceConfig vanilla;
+  vanilla.nap = core::NapKind::kNone;
+  const LatencyStats slow = Stream(*engine, ds, vanilla, kBatch);
+  std::printf("\nvanilla full-depth scoring (k=%d):\n",
+              pipeline.classifiers->depth());
+  std::printf("  batch latency p50 %.1f ms, p95 %.1f ms, max %.1f ms; "
+              "ACC %.2f%%\n",
+              slow.p50, slow.p95, slow.max, slow.accuracy * 100);
+
+  const auto settings =
+      eval::MakeDefaultSettings(pipeline, ds, core::NapKind::kDistance);
+  const LatencyStats fast = Stream(*engine, ds, settings[0].config, kBatch);
+  std::printf("NAI speed-first scoring:\n");
+  std::printf("  batch latency p50 %.1f ms, p95 %.1f ms, max %.1f ms; "
+              "ACC %.2f%%\n",
+              fast.p50, fast.p95, fast.max, fast.accuracy * 100);
+  std::printf("\np95 latency cut %.1fx with %+.2f accuracy points.\n",
+              slow.p95 / fast.p95, (fast.accuracy - slow.accuracy) * 100);
+  return 0;
+}

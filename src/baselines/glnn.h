@@ -1,0 +1,60 @@
+#ifndef NAI_BASELINES_GLNN_H_
+#define NAI_BASELINES_GLNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/eval/metrics.h"
+#include "src/nn/mlp.h"
+#include "src/tensor/matrix.h"
+
+namespace nai::baselines {
+
+/// GLNN (Zhang et al., ICLR 2022): distill a GNN teacher into a plain MLP
+/// that reads only raw node features, eliminating all neighbor fetching at
+/// inference. The paper widens the student's hidden layer (4x/8x the
+/// teacher) to partially recover capacity.
+struct GlnnConfig {
+  std::vector<std::size_t> hidden_dims;  ///< already widened
+  float dropout = 0.1f;
+  int epochs = 200;
+  float learning_rate = 1e-2f;
+  float weight_decay = 0.0f;
+  float temperature = 1.0f;  ///< KD temperature
+  float lambda = 0.5f;       ///< KD weight vs hard labels
+  std::uint64_t seed = 11;
+};
+
+struct GlnnResult {
+  std::vector<std::int32_t> predictions;
+  eval::CostCounters cost;
+};
+
+class Glnn {
+ public:
+  Glnn(std::size_t feature_dim, std::size_t num_classes,
+       const GlnnConfig& config);
+
+  /// Distills from teacher logits over the training rows. `features` are
+  /// the raw (un-propagated) features of the training rows; `labels` their
+  /// labels; `labeled` the V_l row positions.
+  void Train(const tensor::Matrix& features,
+             const tensor::Matrix& teacher_logits,
+             const std::vector<std::int32_t>& labels,
+             const std::vector<std::int32_t>& labeled);
+
+  /// Classifies raw feature rows; counts MACs and time. FP cost is zero by
+  /// construction (no propagation).
+  GlnnResult Infer(const tensor::Matrix& features) ;
+
+  nn::Mlp& mlp() { return mlp_; }
+
+ private:
+  GlnnConfig config_;
+  nn::Mlp mlp_;
+  tensor::Rng rng_;
+};
+
+}  // namespace nai::baselines
+
+#endif  // NAI_BASELINES_GLNN_H_

@@ -1,0 +1,165 @@
+#include "src/baselines/quantization.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/graph/normalize.h"
+#include "src/graph/sampler.h"
+#include "src/tensor/ops.h"
+
+namespace nai::baselines {
+
+namespace {
+
+float AbsMax(const float* data, std::size_t n) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(data[i]));
+  return m;
+}
+
+std::int8_t QuantizeValue(float v, float inv_scale) {
+  const int q = static_cast<int>(std::lround(v * inv_scale));
+  return static_cast<std::int8_t>(std::clamp(q, -127, 127));
+}
+
+}  // namespace
+
+QuantizedLinear::QuantizedLinear(const nn::Linear& source)
+    : in_dim_(source.in_dim()),
+      out_dim_(source.out_dim()),
+      bias_(source.bias().value) {
+  const tensor::Matrix& w = source.weight().value;
+  const float absmax = AbsMax(w.data(), w.size());
+  weight_scale_ = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+  const float inv = 1.0f / weight_scale_;
+  weight_.resize(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    weight_[i] = QuantizeValue(w.data()[i], inv);
+  }
+}
+
+tensor::Matrix QuantizedLinear::Forward(const tensor::Matrix& x) const {
+  assert(x.cols() == in_dim_);
+  const std::size_t rows = x.rows();
+
+  // Dynamic per-batch activation quantization (absmax, symmetric).
+  const float act_absmax = AbsMax(x.data(), x.size());
+  const float act_scale = act_absmax > 0.0f ? act_absmax / 127.0f : 1.0f;
+  const float inv_act = 1.0f / act_scale;
+  std::vector<std::int8_t> xq(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    xq[i] = QuantizeValue(x.data()[i], inv_act);
+  }
+
+  tensor::Matrix out(rows, out_dim_);
+  const float dequant = act_scale * weight_scale_;
+  tensor::ParallelFor(rows, [&](std::size_t r0, std::size_t r1) {
+    std::vector<std::int32_t> acc(out_dim_);
+    for (std::size_t i = r0; i < r1; ++i) {
+      std::fill(acc.begin(), acc.end(), 0);
+      const std::int8_t* xr = xq.data() + i * in_dim_;
+      for (std::size_t p = 0; p < in_dim_; ++p) {
+        const std::int32_t xv = xr[p];
+        if (xv == 0) continue;
+        const std::int8_t* wr = weight_.data() + p * out_dim_;
+        for (std::size_t j = 0; j < out_dim_; ++j) {
+          acc[j] += xv * static_cast<std::int32_t>(wr[j]);
+        }
+      }
+      float* orow = out.row(i);
+      const float* b = bias_.data();
+      for (std::size_t j = 0; j < out_dim_; ++j) {
+        orow[j] = static_cast<float>(acc[j]) * dequant + b[j];
+      }
+    }
+  });
+  return out;
+}
+
+QuantizedMlp::QuantizedMlp(const nn::Mlp& source) {
+  layers_.reserve(source.num_layers());
+  for (std::size_t i = 0; i < source.num_layers(); ++i) {
+    layers_.emplace_back(source.layer(i));
+  }
+}
+
+tensor::Matrix QuantizedMlp::Forward(const tensor::Matrix& x) const {
+  tensor::Matrix h = layers_[0].Forward(x);
+  for (std::size_t l = 1; l < layers_.size(); ++l) {
+    tensor::ReluInPlace(h);
+    h = layers_[l].Forward(h);
+  }
+  return h;
+}
+
+std::int64_t QuantizedMlp::ForwardMacs(std::int64_t rows) const {
+  std::int64_t total = 0;
+  for (const auto& l : layers_) total += l.ForwardMacs(rows);
+  return total;
+}
+
+QuantizedInferResult QuantizedScalableInfer(
+    const graph::Graph& full_graph, const tensor::Matrix& features,
+    float gamma, int depth, models::DepthHead& head, const QuantizedMlp& qmlp,
+    const std::vector<std::int32_t>& nodes, std::size_t batch_size) {
+  QuantizedInferResult out;
+  out.predictions.resize(nodes.size());
+
+  const graph::Csr norm_adj = graph::NormalizedAdjacency(full_graph, gamma);
+  graph::SupportSampler sampler(norm_adj);
+  const std::size_t f = features.cols();
+
+  const std::size_t bs = std::max<std::size_t>(1, batch_size);
+  for (std::size_t begin = 0; begin < nodes.size(); begin += bs) {
+    const std::size_t end = std::min(nodes.size(), begin + bs);
+    const std::vector<std::int32_t> batch(nodes.begin() + begin,
+                                          nodes.begin() + end);
+
+    eval::Timer sample_timer;
+    graph::BatchSupport support = sampler.SampleMapped(batch, depth);
+    const std::vector<std::int32_t>& g2l = sampler.global_to_local();
+    tensor::Matrix cur = features.GatherRows(support.nodes);
+    std::vector<std::int64_t> prefix_nnz(support.nodes.size() + 1, 0);
+    for (std::size_t r = 0; r < support.nodes.size(); ++r) {
+      prefix_nnz[r + 1] = prefix_nnz[r] + norm_adj.RowNnz(support.nodes[r]);
+    }
+    const double sample_ms = sample_timer.ElapsedMs();
+
+    std::vector<std::int32_t> batch_locals(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch_locals[i] = static_cast<std::int32_t>(i);
+    }
+    std::vector<tensor::Matrix> batch_stack;
+    batch_stack.push_back(cur.GatherRows(batch_locals));
+
+    // Fixed-depth propagation, exactly the vanilla path.
+    eval::Timer fp_timer;
+    tensor::Matrix next(support.nodes.size(), f);
+    std::int64_t fp_macs = 0;
+    for (int l = 1; l <= depth; ++l) {
+      const std::int64_t limit = support.layer_counts[depth - l];
+      graph::SpMMMappedPrefix(norm_adj, support.nodes, g2l, cur, limit,
+                              next);
+      fp_macs += prefix_nnz[limit] * static_cast<std::int64_t>(f);
+      std::swap(cur, next);
+      batch_stack.push_back(cur.GatherRows(batch_locals));
+    }
+    const double fp_ms = fp_timer.ElapsedMs();
+    out.cost.fp_time_ms += fp_ms;
+    out.cost.fp_macs += fp_macs;
+
+    eval::Timer cls_timer;
+    models::FeatureViews views;
+    for (const auto& m : batch_stack) views.push_back(&m);
+    const tensor::Matrix reduced = head.Reduce(views);
+    const tensor::Matrix logits = qmlp.Forward(reduced);
+    const std::vector<std::int32_t> pred = tensor::ArgmaxRows(logits);
+    std::copy(pred.begin(), pred.end(), out.predictions.begin() + begin);
+    out.cost.total_time_ms += sample_ms + fp_ms + cls_timer.ElapsedMs();
+    out.cost.total_macs += fp_macs + qmlp.ForwardMacs(batch.size());
+  }
+  return out;
+}
+
+}  // namespace nai::baselines

@@ -1,0 +1,90 @@
+#ifndef NAI_BASELINES_TINYGNN_H_
+#define NAI_BASELINES_TINYGNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/eval/metrics.h"
+#include "src/graph/graph.h"
+#include "src/nn/mlp.h"
+#include "src/nn/parameter.h"
+#include "src/tensor/matrix.h"
+
+namespace nai::baselines {
+
+/// TinyGNN (Yan et al., KDD 2020): a single-layer GNN student distilled
+/// from a deep teacher. The Peer-Aware Module is a dot-product
+/// self-attention over the 1-hop neighborhood (self included):
+///
+///   q_i = x_i W_q,  k_j = x_j W_k,  v_j = x_j W_v
+///   α_ij = softmax_j(q_i · k_j / sqrt(d)),   h_i = Σ_j α_ij v_j
+///   logits_i = MLP([x_i || h_i])
+///
+/// The three projections over every supporting node are what makes TinyGNN
+/// MAC-heavy on high-dimensional features (the paper's Flickr observation)
+/// even though it only touches 1 hop.
+struct TinyGnnConfig {
+  std::size_t attention_dim = 64;
+  std::vector<std::size_t> hidden_dims;
+  float dropout = 0.1f;
+  int epochs = 150;
+  float learning_rate = 1e-2f;
+  float weight_decay = 0.0f;
+  float temperature = 1.0f;
+  float lambda = 0.5f;
+  std::uint64_t seed = 17;
+};
+
+struct TinyGnnResult {
+  std::vector<std::int32_t> predictions;
+  eval::CostCounters cost;
+};
+
+class TinyGnn {
+ public:
+  TinyGnn(std::size_t feature_dim, std::size_t num_classes,
+          const TinyGnnConfig& config);
+
+  /// Distillation training on the training graph (teacher logits per
+  /// train-local row).
+  void Train(const graph::Graph& train_graph, const tensor::Matrix& features,
+             const tensor::Matrix& teacher_logits,
+             const std::vector<std::int32_t>& labels,
+             const std::vector<std::int32_t>& labeled);
+
+  /// Classifies `query_nodes` in the full graph, fetching 1-hop peers
+  /// online. Counts the projection/attention work as FP cost.
+  TinyGnnResult Infer(const graph::Graph& full_graph,
+                      const tensor::Matrix& full_features,
+                      const std::vector<std::int32_t>& query_nodes);
+
+ private:
+  /// Peer-aware attention outputs h for `targets` given the feature source.
+  /// When `train` is true, caches everything needed for AttentionBackward.
+  tensor::Matrix AttentionForward(const graph::Graph& graph,
+                                  const tensor::Matrix& features,
+                                  const std::vector<std::int32_t>& targets,
+                                  bool train, std::int64_t* macs);
+
+  void AttentionBackward(const tensor::Matrix& grad_h);
+
+  std::size_t feature_dim_;
+  TinyGnnConfig config_;
+  nn::Parameter wq_, wk_, wv_;  // f x d
+  nn::Mlp mlp_;                 // input: f + d
+  tensor::Rng rng_;
+
+  // Training caches (train graph attention).
+  struct Cache {
+    tensor::Matrix features;  // source features (n x f)
+    tensor::Matrix q, k, v;   // n x d
+    std::vector<std::int32_t> targets;
+    std::vector<std::vector<std::int32_t>> peers;   // per target
+    std::vector<std::vector<float>> alphas;         // per target
+  };
+  Cache cache_;
+};
+
+}  // namespace nai::baselines
+
+#endif  // NAI_BASELINES_TINYGNN_H_

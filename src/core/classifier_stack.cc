@@ -1,0 +1,52 @@
+#include "src/core/classifier_stack.h"
+
+#include <cassert>
+
+namespace nai::core {
+
+models::FeatureViews GatheredStack::ViewsUpTo(int upto) const {
+  assert(upto >= 0 && static_cast<std::size_t>(upto) < mats.size());
+  models::FeatureViews views;
+  views.reserve(upto + 1);
+  for (int t = 0; t <= upto; ++t) views.push_back(&mats[t]);
+  return views;
+}
+
+GatheredStack GatherStack(const std::vector<tensor::Matrix>& stack,
+                          const std::vector<std::int32_t>& rows) {
+  GatheredStack out;
+  out.mats.reserve(stack.size());
+  for (const auto& m : stack) out.mats.push_back(m.GatherRows(rows));
+  return out;
+}
+
+ClassifierStack::ClassifierStack(const models::ModelConfig& config,
+                                 std::uint64_t seed)
+    : config_(config) {
+  tensor::Rng rng(seed);
+  heads_.reserve(config.depth);
+  for (int l = 1; l <= config.depth; ++l) {
+    heads_.push_back(models::MakeHead(config, l, rng));
+  }
+}
+
+tensor::Matrix ClassifierStack::Logits(int l, const GatheredStack& gathered) {
+  assert(l >= 1 && l <= depth());
+  return heads_[l - 1]->Forward(gathered.ViewsUpTo(l), /*train=*/false,
+                                nullptr);
+}
+
+tensor::Matrix ClassifierStack::LogitsTrain(int l,
+                                            const GatheredStack& gathered,
+                                            tensor::Rng& rng) {
+  assert(l >= 1 && l <= depth());
+  return heads_[l - 1]->Forward(gathered.ViewsUpTo(l), /*train=*/true, &rng);
+}
+
+std::vector<nn::Parameter*> ClassifierStack::HeadParameters(int l) {
+  std::vector<nn::Parameter*> params;
+  heads_[l - 1]->CollectParameters(params);
+  return params;
+}
+
+}  // namespace nai::core

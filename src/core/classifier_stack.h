@@ -1,0 +1,61 @@
+#ifndef NAI_CORE_CLASSIFIER_STACK_H_
+#define NAI_CORE_CLASSIFIER_STACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/models/scalable_gnn.h"
+#include "src/tensor/matrix.h"
+#include "src/tensor/random.h"
+
+namespace nai::core {
+
+/// A feature stack gathered down to a row subset: element t holds X^(t)
+/// restricted to the chosen rows. Provides the per-depth view slices the
+/// classifier heads consume.
+struct GatheredStack {
+  std::vector<tensor::Matrix> mats;
+
+  /// Views {X^(0), ..., X^(upto)} (upto inclusive).
+  models::FeatureViews ViewsUpTo(int upto) const;
+
+  std::size_t num_rows() const { return mats.empty() ? 0 : mats[0].rows(); }
+};
+
+/// Gathers rows `rows` from every matrix of `stack`.
+GatheredStack GatherStack(const std::vector<tensor::Matrix>& stack,
+                          const std::vector<std::int32_t>& rows);
+
+/// The per-depth classifier bank f^(1), ..., f^(k) of the NAI framework
+/// (paper Fig. 2): one head per propagation depth, all of the same family
+/// (SGC/SIGN/S2GC/GAMLP) and same architecture as the teacher f^(k).
+class ClassifierStack {
+ public:
+  ClassifierStack(const models::ModelConfig& config, std::uint64_t seed);
+
+  int depth() const { return config_.depth; }
+  const models::ModelConfig& config() const { return config_; }
+
+  /// Head for depth l, 1 <= l <= depth().
+  models::DepthHead& head(int l) { return *heads_[l - 1]; }
+  const models::DepthHead& head(int l) const { return *heads_[l - 1]; }
+
+  /// Logits of f^(l) on a gathered stack (train=false, inference mode).
+  tensor::Matrix Logits(int l, const GatheredStack& gathered);
+
+  /// Logits in training mode (dropout + cached intermediates).
+  tensor::Matrix LogitsTrain(int l, const GatheredStack& gathered,
+                             tensor::Rng& rng);
+
+  /// Parameters of head l only.
+  std::vector<nn::Parameter*> HeadParameters(int l);
+
+ private:
+  models::ModelConfig config_;
+  std::vector<std::unique_ptr<models::DepthHead>> heads_;
+};
+
+}  // namespace nai::core
+
+#endif  // NAI_CORE_CLASSIFIER_STACK_H_

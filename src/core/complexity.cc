@@ -1,0 +1,79 @@
+#include "src/core/complexity.h"
+
+#include <cmath>
+
+namespace nai::core {
+
+namespace {
+
+std::int64_t Round(double x) { return static_cast<std::int64_t>(std::llround(x)); }
+
+}  // namespace
+
+std::int64_t VanillaMacs(models::ModelKind kind, const ComplexityParams& p) {
+  const double n = static_cast<double>(p.n);
+  const double m = static_cast<double>(p.m);
+  const double f = static_cast<double>(p.f);
+  const double pl = static_cast<double>(p.p);
+  switch (kind) {
+    case models::ModelKind::kSgc:
+      return Round(p.k * m * f + n * f * f);
+    case models::ModelKind::kSign:
+      return Round(p.k * m * f + p.k * pl * n * f * f);
+    case models::ModelKind::kS2gc:
+      return Round(p.k * m * f + p.k * n * f + n * f * f);
+    case models::ModelKind::kGamlp:
+      return Round(p.k * m * f + pl * n * f * f);
+  }
+  return 0;
+}
+
+std::int64_t NaiMacs(models::ModelKind kind, const ComplexityParams& p,
+                     bool rank_one_stationary) {
+  const double n = static_cast<double>(p.n);
+  const double m = static_cast<double>(p.m);
+  const double f = static_cast<double>(p.f);
+  const double pl = static_cast<double>(p.p);
+  const double stationary = rank_one_stationary ? n * f : n * n * f;
+  switch (kind) {
+    case models::ModelKind::kSgc:
+      return Round(p.q * m * f + n * f * f + stationary);
+    case models::ModelKind::kSign:
+      return Round(p.q * m * f + p.q * pl * n * f * f + stationary);
+    case models::ModelKind::kS2gc:
+      return Round(p.q * m * f + p.q * n * f + n * f * f + stationary);
+    case models::ModelKind::kGamlp:
+      return Round(p.q * m * f + pl * n * f * f + stationary);
+  }
+  return 0;
+}
+
+std::string VanillaFormula(models::ModelKind kind) {
+  switch (kind) {
+    case models::ModelKind::kSgc:
+      return "O(kmf + nf^2)";
+    case models::ModelKind::kSign:
+      return "O(kmf + kPnf^2)";
+    case models::ModelKind::kS2gc:
+      return "O(kmf + knf + nf^2)";
+    case models::ModelKind::kGamlp:
+      return "O(kmf + Pnf^2)";
+  }
+  return "";
+}
+
+std::string NaiFormula(models::ModelKind kind) {
+  switch (kind) {
+    case models::ModelKind::kSgc:
+      return "O(qmf + nf^2 + n^2 f)";
+    case models::ModelKind::kSign:
+      return "O(qmf + qPnf^2 + n^2 f)";
+    case models::ModelKind::kS2gc:
+      return "O(qmf + qnf + nf^2 + n^2 f)";
+    case models::ModelKind::kGamlp:
+      return "O(qmf + Pnf^2 + n^2 f)";
+  }
+  return "";
+}
+
+}  // namespace nai::core

@@ -1,0 +1,38 @@
+#ifndef NAI_CORE_COMPLEXITY_H_
+#define NAI_CORE_COMPLEXITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/models/scalable_gnn.h"
+
+namespace nai::core {
+
+/// Symbolic parameters of the paper's Table I complexity model.
+struct ComplexityParams {
+  std::int64_t n = 0;  ///< nodes classified
+  std::int64_t m = 0;  ///< edges touched by propagation
+  std::int64_t f = 0;  ///< feature dimension
+  std::int64_t p = 1;  ///< classifier layer count P
+  double k = 0.0;      ///< fixed propagation depth (vanilla)
+  double q = 0.0;      ///< average personalized depth (NAI)
+};
+
+/// Analytic inference MACs of the vanilla Scalable GNN (Table I, row 1).
+std::int64_t VanillaMacs(models::ModelKind kind, const ComplexityParams& p);
+
+/// Analytic inference MACs with NAI deployed (Table I, row 2).
+/// `rank_one_stationary` replaces the paper's O(n²f) stationary-state term
+/// with the O(nf) cost of the rank-one factorization this library actually
+/// executes (see StationaryState); pass false to reproduce the table
+/// verbatim.
+std::int64_t NaiMacs(models::ModelKind kind, const ComplexityParams& p,
+                     bool rank_one_stationary = true);
+
+/// Human-readable formula strings for the two rows (for the Table I bench).
+std::string VanillaFormula(models::ModelKind kind);
+std::string NaiFormula(models::ModelKind kind);
+
+}  // namespace nai::core
+
+#endif  // NAI_CORE_COMPLEXITY_H_

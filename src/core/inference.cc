@@ -1,0 +1,261 @@
+#include "src/core/inference.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "src/tensor/ops.h"
+
+namespace nai::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Local ids within `radius` hops of the seed locals, walking the *global*
+/// adjacency through the support mapping, ascending. `visited` is
+/// caller-provided scratch sized |support|, all false on entry and restored
+/// to all false on exit.
+std::vector<std::int32_t> RadiusBfs(
+    const graph::Csr& global, const std::vector<std::int32_t>& nodes,
+    const std::vector<std::int32_t>& global_to_local,
+    const std::vector<std::int32_t>& seeds, int radius,
+    std::vector<char>& visited) {
+  std::vector<std::int32_t> reached;
+  reached.reserve(seeds.size() * 4);
+  for (const std::int32_t s : seeds) {
+    if (!visited[s]) {
+      visited[s] = 1;
+      reached.push_back(s);
+    }
+  }
+  std::size_t frontier_begin = 0;
+  for (int hop = 0; hop < radius; ++hop) {
+    const std::size_t frontier_end = reached.size();
+    for (std::size_t i = frontier_begin; i < frontier_end; ++i) {
+      const std::int32_t g = nodes[reached[i]];
+      for (std::int64_t p = global.row_ptr[g]; p < global.row_ptr[g + 1];
+           ++p) {
+        const std::int32_t u = global_to_local[global.col_idx[p]];
+        if (u >= 0 && !visited[u]) {
+          visited[u] = 1;
+          reached.push_back(u);
+        }
+      }
+    }
+    frontier_begin = frontier_end;
+  }
+  for (const std::int32_t v : reached) visited[v] = 0;
+  std::sort(reached.begin(), reached.end());
+  return reached;
+}
+
+/// Sum of global-row nnz over a list of local rows.
+std::int64_t RowListNnz(const graph::Csr& global,
+                        const std::vector<std::int32_t>& nodes,
+                        const std::vector<std::int32_t>& local_rows) {
+  std::int64_t nnz = 0;
+  for (const std::int32_t r : local_rows) nnz += global.RowNnz(nodes[r]);
+  return nnz;
+}
+
+}  // namespace
+
+double InferenceStats::average_depth() const {
+  std::int64_t weighted = 0;
+  std::int64_t total = 0;
+  for (std::size_t l = 0; l < exits_at_depth.size(); ++l) {
+    weighted += static_cast<std::int64_t>(l + 1) * exits_at_depth[l];
+    total += exits_at_depth[l];
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(weighted) / static_cast<double>(total);
+}
+
+NaiEngine::NaiEngine(const graph::Graph& full_graph,
+                     const tensor::Matrix& features, float gamma,
+                     ClassifierStack& classifiers,
+                     const StationaryState* stationary, const GateStack* gates)
+    : graph_(&full_graph),
+      features_(&features),
+      classifiers_(&classifiers),
+      stationary_(stationary),
+      gates_(gates),
+      norm_adj_(graph::NormalizedAdjacency(full_graph, gamma)),
+      sampler_(norm_adj_) {}
+
+InferenceResult NaiEngine::Infer(const std::vector<std::int32_t>& nodes,
+                                 const InferenceConfig& config) {
+  const int k = classifiers_->depth();
+  int t_max = config.t_max <= 0 ? k : std::min(config.t_max, k);
+  assert(t_max >= 1);
+  if (config.nap == NapKind::kDistance) {
+    assert(stationary_ != nullptr && "NAPd requires a stationary state");
+  }
+  if (config.nap == NapKind::kGate) {
+    assert(gates_ != nullptr && stationary_ != nullptr &&
+           "NAPg requires trained gates and a stationary state");
+  }
+
+  InferenceResult result;
+  result.predictions.resize(nodes.size());
+  result.exit_depths.resize(nodes.size());
+  result.stats.num_nodes = static_cast<std::int64_t>(nodes.size());
+  result.stats.exits_at_depth.assign(t_max, 0);
+
+  const std::size_t bs = std::max<std::size_t>(1, config.batch_size);
+  std::vector<std::int32_t> batch_pred;
+  std::vector<std::int32_t> batch_depth;
+  for (std::size_t begin = 0; begin < nodes.size(); begin += bs) {
+    const std::size_t end = std::min(nodes.size(), begin + bs);
+    const std::vector<std::int32_t> batch(nodes.begin() + begin,
+                                          nodes.begin() + end);
+    batch_pred.assign(batch.size(), -1);
+    batch_depth.assign(batch.size(), -1);
+    InferBatch(batch, config, t_max, batch_pred, batch_depth, result.stats);
+    std::copy(batch_pred.begin(), batch_pred.end(),
+              result.predictions.begin() + begin);
+    std::copy(batch_depth.begin(), batch_depth.end(),
+              result.exit_depths.begin() + begin);
+  }
+  return result;
+}
+
+void NaiEngine::InferBatch(const std::vector<std::int32_t>& batch,
+                           const InferenceConfig& config, int t_max,
+                           std::vector<std::int32_t>& out_predictions,
+                           std::vector<std::int32_t>& out_depths,
+                           InferenceStats& stats) {
+  const std::size_t f = features_->cols();
+  const std::size_t B = batch.size();
+  const int t_min = std::clamp(config.t_min, 1, t_max);
+  const bool use_nap = config.nap != NapKind::kNone;
+
+  // Line 3: sample supporting nodes out to T_max hops. The mapped variant
+  // skips the induced-submatrix build; propagation reads the global
+  // adjacency through the support mapping.
+  auto t0 = Clock::now();
+  graph::BatchSupport support = sampler_.SampleMapped(batch, t_max);
+  const std::vector<std::int32_t>& g2l = sampler_.global_to_local();
+  tensor::Matrix cur = features_->GatherRows(support.nodes);
+  // Cumulative touched-edge counts per local prefix, for MAC accounting.
+  std::vector<std::int64_t> prefix_nnz(support.nodes.size() + 1, 0);
+  for (std::size_t r = 0; r < support.nodes.size(); ++r) {
+    prefix_nnz[r + 1] = prefix_nnz[r] + norm_adj_.RowNnz(support.nodes[r]);
+  }
+  stats.sample_time_ms += MsSince(t0);
+
+  // Line 2: stationary state X^(∞) for the batch (rank-1 form).
+  tensor::Matrix x_inf;
+  if (use_nap) {
+    t0 = Clock::now();
+    x_inf = stationary_->RowsForNodes(batch);
+    stats.stationary_time_ms += MsSince(t0);
+    stats.stationary_macs += static_cast<std::int64_t>(B) * f;
+  }
+
+  // Per-depth history of the batch rows only (the classifier heads of
+  // SIGN/S2GC/GAMLP consume the whole slice X^(0..l)).
+  std::vector<tensor::Matrix> batch_stack;
+  batch_stack.reserve(t_max + 1);
+  std::vector<std::int32_t> batch_locals(B);
+  for (std::size_t i = 0; i < B; ++i) {
+    batch_locals[i] = static_cast<std::int32_t>(i);
+  }
+  batch_stack.push_back(cur.GatherRows(batch_locals));
+
+  std::vector<std::int32_t> active = batch_locals;
+  tensor::Matrix next(support.nodes.size(), f);
+  std::vector<char> bfs_visited(support.nodes.size(), 0);
+  std::vector<std::int32_t> rows_to_compute;
+  bool use_row_list = false;
+
+  auto classify = [&](int depth, const std::vector<std::int32_t>& locals) {
+    if (locals.empty()) return;
+    auto tc = Clock::now();
+    GatheredStack gathered;
+    gathered.mats.reserve(depth + 1);
+    for (int t = 0; t <= depth; ++t) {
+      gathered.mats.push_back(batch_stack[t].GatherRows(locals));
+    }
+    const tensor::Matrix logits = classifiers_->Logits(depth, gathered);
+    const std::vector<std::int32_t> pred = tensor::ArgmaxRows(logits);
+    for (std::size_t i = 0; i < locals.size(); ++i) {
+      out_predictions[locals[i]] = pred[i];
+      out_depths[locals[i]] = depth;
+    }
+    stats.classification_macs +=
+        classifiers_->head(depth).ForwardMacs(locals.size());
+    stats.classify_time_ms += MsSince(tc);
+    stats.exits_at_depth[depth - 1] += static_cast<std::int64_t>(locals.size());
+  };
+
+  for (int l = 1; l <= t_max; ++l) {
+    // Line 5: propagate one hop, but only for nodes that can still matter:
+    // everything within (t_max - l) hops of the active batch nodes.
+    auto tf = Clock::now();
+    if (use_row_list) {
+      graph::SpMMMappedRows(norm_adj_, support.nodes, g2l, cur,
+                            rows_to_compute, next);
+      stats.propagation_macs +=
+          RowListNnz(norm_adj_, support.nodes, rows_to_compute) *
+          static_cast<std::int64_t>(f);
+    } else {
+      const std::int64_t limit = support.layer_counts[t_max - l];
+      graph::SpMMMappedPrefix(norm_adj_, support.nodes, g2l, cur, limit,
+                              next);
+      stats.propagation_macs +=
+          prefix_nnz[limit] * static_cast<std::int64_t>(f);
+    }
+    std::swap(cur, next);
+    stats.fp_time_ms += MsSince(tf);
+    batch_stack.push_back(cur.GatherRows(batch_locals));
+
+    if (l == t_max) {
+      // Lines 16-17: everything still active is predicted by f^(T_max).
+      classify(t_max, active);
+      break;
+    }
+    if (l < t_min || !use_nap) continue;
+
+    // Lines 9-13: evaluate the exit criterion on the active nodes.
+    auto tn = Clock::now();
+    const tensor::Matrix x_l_active = cur.GatherRows(active);
+    const tensor::Matrix x_inf_active = x_inf.GatherRows(active);
+    std::vector<bool> exit_now;
+    if (config.nap == NapKind::kDistance) {
+      exit_now = NapDistance(config.threshold, config.relative_distance)
+                     .ShouldExit(x_l_active, x_inf_active);
+      stats.nap_macs +=
+          static_cast<std::int64_t>(active.size()) * static_cast<std::int64_t>(f);
+    } else {
+      exit_now = gates_->ShouldExit(l, x_l_active, x_inf_active,
+                                    config.gate_bias);
+      stats.nap_macs += gates_->DecisionMacs(active.size());
+    }
+    stats.fp_time_ms += MsSince(tn);
+
+    std::vector<std::int32_t> exited, remaining;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      (exit_now[i] ? exited : remaining).push_back(active[i]);
+    }
+    classify(l, exited);
+    active = std::move(remaining);
+    if (active.empty()) break;
+
+    if (config.shrink_active_support && !exited.empty()) {
+      // The supporting set for the remaining hops only needs to cover the
+      // still-active nodes' (t_max - l - 1)-hop neighborhoods.
+      rows_to_compute = RadiusBfs(norm_adj_, support.nodes, g2l, active,
+                                  t_max - l - 1, bfs_visited);
+      use_row_list = true;
+    }
+  }
+}
+
+}  // namespace nai::core

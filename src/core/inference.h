@@ -1,0 +1,116 @@
+#ifndef NAI_CORE_INFERENCE_H_
+#define NAI_CORE_INFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/classifier_stack.h"
+#include "src/core/nap_distance.h"
+#include "src/core/nap_gate.h"
+#include "src/core/stationary.h"
+#include "src/graph/graph.h"
+#include "src/graph/normalize.h"
+#include "src/graph/sampler.h"
+#include "src/tensor/matrix.h"
+
+namespace nai::core {
+
+/// Which Node-Adaptive Propagation module terminates propagation.
+enum class NapKind {
+  kNone,      ///< fixed-depth propagation to t_max ("NAI w/o NAP" / vanilla)
+  kDistance,  ///< NAPd: explicit distance to the stationary state (Eq. 8-9)
+  kGate,      ///< NAPg: learned gates (Eq. 11-13)
+};
+
+/// Inference-time hyper-parameters (Algorithm 1).
+struct InferenceConfig {
+  NapKind nap = NapKind::kDistance;
+  float threshold = 0.1f;   ///< T_s for NAPd
+  /// Scale-free NAPd distances (see NapDistance); false = plain Eq. 8.
+  bool relative_distance = false;
+  float gate_bias = 0.0f;   ///< optional stop-logit bias for NAPg (0 = paper)
+  int t_min = 1;            ///< minimum propagation depth T_min
+  int t_max = 0;            ///< maximum propagation depth T_max (0 = use k)
+  std::size_t batch_size = 500;
+  /// Re-derive the supporting set from the still-active nodes after each
+  /// exit round (saves propagation work; disable to ablate).
+  bool shrink_active_support = true;
+};
+
+/// Cost and behaviour counters for one inference run. MACs are
+/// multiply-accumulate counts of what the engine actually executed.
+struct InferenceStats {
+  std::int64_t num_nodes = 0;
+  std::int64_t propagation_macs = 0;    ///< online SpMM work
+  std::int64_t nap_macs = 0;            ///< distance or gate decisions
+  std::int64_t stationary_macs = 0;     ///< X^(∞) rows (rank-1 form)
+  std::int64_t classification_macs = 0; ///< classifier forward passes
+  double fp_time_ms = 0.0;              ///< propagation + NAP decisions
+  double sample_time_ms = 0.0;          ///< supporting-node sampling
+  double stationary_time_ms = 0.0;
+  double classify_time_ms = 0.0;
+  /// exits_at_depth[l-1] = nodes predicted by f^(l) (Table VI rows).
+  std::vector<std::int64_t> exits_at_depth;
+
+  std::int64_t total_macs() const {
+    return propagation_macs + nap_macs + stationary_macs +
+           classification_macs;
+  }
+  std::int64_t fp_macs() const { return propagation_macs + nap_macs; }
+  double total_time_ms() const {
+    return fp_time_ms + sample_time_ms + stationary_time_ms +
+           classify_time_ms;
+  }
+  double average_depth() const;
+};
+
+struct InferenceResult {
+  std::vector<std::int32_t> predictions;  ///< aligned with the query nodes
+  /// Personalized propagation depth L(v_i) actually used per query node
+  /// (aligned with `predictions`) — the per-node view of Table VI.
+  std::vector<std::int32_t> exit_depths;
+  InferenceStats stats;
+};
+
+/// The NAI online-propagation inference engine (Algorithm 1).
+///
+/// Owns nothing: the full inference-time graph (training nodes + unseen
+/// nodes), its features, the trained classifier bank, the stationary state
+/// and (optionally) the trained gates are all borrowed and must outlive the
+/// engine. Batches are processed independently: supporting nodes are
+/// sampled to T_max hops, features are propagated hop by hop over the
+/// induced subgraph, and after every hop in [T_min, T_max) the NAP module
+/// retires nodes whose features are smooth enough, which shrinks the
+/// remaining propagation frontier.
+class NaiEngine {
+ public:
+  NaiEngine(const graph::Graph& full_graph, const tensor::Matrix& features,
+            float gamma, ClassifierStack& classifiers,
+            const StationaryState* stationary, const GateStack* gates);
+
+  /// Classifies `nodes` (global ids in the full graph). Thread-compatible
+  /// but not thread-safe (shared sampler scratch).
+  InferenceResult Infer(const std::vector<std::int32_t>& nodes,
+                        const InferenceConfig& config);
+
+  const graph::Csr& norm_adj() const { return norm_adj_; }
+
+ private:
+  void InferBatch(const std::vector<std::int32_t>& batch,
+                  const InferenceConfig& config, int t_max,
+                  std::vector<std::int32_t>& out_predictions,
+                  std::vector<std::int32_t>& out_depths,
+                  InferenceStats& stats);
+
+  const graph::Graph* graph_;
+  const tensor::Matrix* features_;
+  ClassifierStack* classifiers_;
+  const StationaryState* stationary_;
+  const GateStack* gates_;
+  graph::Csr norm_adj_;
+  graph::SupportSampler sampler_;
+};
+
+}  // namespace nai::core
+
+#endif  // NAI_CORE_INFERENCE_H_

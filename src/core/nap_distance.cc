@@ -1,0 +1,51 @@
+#include "src/core/nap_distance.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/tensor/ops.h"
+
+namespace nai::core {
+
+std::vector<float> NapDistance::Distances(const tensor::Matrix& propagated,
+                                          const tensor::Matrix& stationary) {
+  return tensor::RowL2Distance(propagated, stationary);
+}
+
+std::vector<float> NapDistance::ComputeDistances(
+    const tensor::Matrix& propagated, const tensor::Matrix& stationary) const {
+  std::vector<float> d = Distances(propagated, stationary);
+  if (relative_) {
+    constexpr float kEps = 1e-12f;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      d[i] /= std::sqrt(stationary.RowSquaredNorm(i)) + kEps;
+    }
+  }
+  return d;
+}
+
+std::vector<bool> NapDistance::ShouldExit(
+    const tensor::Matrix& propagated, const tensor::Matrix& stationary) const {
+  const std::vector<float> d = ComputeDistances(propagated, stationary);
+  std::vector<bool> exit(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) exit[i] = d[i] < threshold_;
+  return exit;
+}
+
+double DepthUpperBound(float threshold, std::int64_t degree,
+                       std::int64_t num_edges, std::int64_t num_nodes,
+                       double lambda2) {
+  if (lambda2 <= 0.0 || lambda2 >= 1.0 || threshold <= 0.0f) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double arg =
+      static_cast<double>(threshold) *
+      std::sqrt(static_cast<double>(degree + 1) /
+                static_cast<double>(2 * num_edges + num_nodes));
+  if (arg >= 1.0) return 0.0;  // already within threshold at depth 0
+  // log base λ2 of arg; both in (0,1) so the result is positive.
+  return std::log(arg) / std::log(lambda2);
+}
+
+}  // namespace nai::core

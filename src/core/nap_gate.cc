@@ -1,0 +1,215 @@
+#include "src/core/nap_gate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/core/classifier_stack.h"
+#include "src/nn/gumbel.h"
+#include "src/nn/loss.h"
+#include "src/tensor/ops.h"
+
+namespace nai::core {
+
+GateStack::GateStack(int max_depth, std::size_t feature_dim,
+                     std::uint64_t seed)
+    : max_depth_(max_depth), feature_dim_(feature_dim) {
+  assert(max_depth >= 2 && "gates only make sense with k >= 2");
+  tensor::Rng rng(seed);
+  weights_.resize(max_depth - 1);
+  biases_.resize(max_depth - 1);
+  for (int g = 0; g < max_depth - 1; ++g) {
+    weights_[g].Resize(2 * feature_dim, 2);
+    biases_[g].Resize(1, 2);
+    tensor::FillGlorot(weights_[g].value, rng);
+  }
+}
+
+tensor::Matrix GateStack::Preference(int depth, const tensor::Matrix& x_l,
+                                     const tensor::Matrix& x_inf) const {
+  assert(depth >= 1 && depth < max_depth_);
+  assert(x_l.SameShape(x_inf));
+  assert(x_l.cols() == feature_dim_);
+  const tensor::Matrix concat = tensor::ConcatCols({&x_l, &x_inf});
+  tensor::Matrix logits = tensor::MatMul(concat, weights_[depth - 1].value);
+  tensor::AddRowBias(logits, biases_[depth - 1].value);
+  return tensor::SoftmaxRows(logits);
+}
+
+std::vector<bool> GateStack::ShouldExit(int depth, const tensor::Matrix& x_l,
+                                        const tensor::Matrix& x_inf,
+                                        float decision_bias) const {
+  const tensor::Matrix e = Preference(depth, x_l, x_inf);
+  std::vector<bool> exit(e.rows());
+  for (std::size_t i = 0; i < e.rows(); ++i) {
+    exit[i] = e.at(i, 0) + decision_bias > e.at(i, 1);
+  }
+  return exit;
+}
+
+float GateStack::Penalty(const std::vector<std::vector<float>>& masks_prev,
+                         std::size_t node, int depth, float mu,
+                         float phi) const {
+  float theta = 0.0f;
+  for (int j = 0; j < depth - 1; ++j) {
+    theta += mu / (1.0f + std::exp(-phi * (masks_prev[j][node] - 0.5f)));
+  }
+  return theta;
+}
+
+float GateStack::Train(const std::vector<tensor::Matrix>& stack,
+                       const tensor::Matrix& stationary,
+                       ClassifierStack& classifiers,
+                       const std::vector<std::int32_t>& rows,
+                       const std::vector<std::int32_t>& labels,
+                       const GateTrainConfig& config) {
+  const int k = max_depth_;
+  assert(static_cast<int>(stack.size()) == k + 1);
+  assert(classifiers.depth() == k);
+  const std::size_t n = rows.size();
+  assert(labels.size() == n);
+  tensor::Rng rng(config.seed);
+
+  // Gather the per-depth features and the frozen class probabilities once;
+  // the classifiers do not change during gate training (paper §III-A-2).
+  const GatheredStack gathered = GatherStack(stack, rows);
+  assert(stationary.rows() == n);
+  std::vector<tensor::Matrix> class_probs(k + 1);  // index by depth 1..k
+  for (int l = 1; l <= k; ++l) {
+    class_probs[l] = tensor::SoftmaxRows(classifiers.Logits(l, gathered));
+  }
+  const std::size_t c = class_probs[1].cols();
+
+  nn::Adam adam({.learning_rate = config.learning_rate,
+                 .weight_decay = config.weight_decay});
+  {
+    std::vector<nn::Parameter*> params;
+    for (auto& w : weights_) params.push_back(&w);
+    for (auto& b : biases_) params.push_back(&b);
+    adam.Register(params);
+  }
+
+  float final_loss = 0.0f;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    adam.ZeroGrad();
+
+    // ---- Forward: all gates, exact penalty-based masking. ----------------
+    std::vector<tensor::Matrix> concats(k - 1);
+    std::vector<nn::GumbelSample> samples(k - 1);
+    std::vector<tensor::Matrix> prefs(k - 1);
+    std::vector<std::vector<float>> hard(k - 1,
+                                         std::vector<float>(n, 0.0f));
+    for (int l = 1; l <= k - 1; ++l) {
+      concats[l - 1] =
+          tensor::ConcatCols({&gathered.mats[l], &stationary});
+      tensor::Matrix logits =
+          tensor::MatMul(concats[l - 1], weights_[l - 1].value);
+      tensor::AddRowBias(logits, biases_[l - 1].value);
+      prefs[l - 1] = tensor::SoftmaxRows(logits);
+      // Gumbel-softmax sampling of the categorical e (Eq. 11) uses the
+      // log-probabilities — sampling on raw probabilities in [0,1] would
+      // drown the preference in the O(1)-scale Gumbel noise and keep the
+      // gates undecided forever. The exclusivity penalty (footnote 1)
+      // shifts the "stop" column.
+      tensor::Matrix adjusted(n, 2);
+      constexpr float kLogEps = 1e-12f;
+      for (std::size_t i = 0; i < n; ++i) {
+        adjusted.at(i, 0) =
+            std::log(prefs[l - 1].at(i, 0) + kLogEps) -
+            Penalty(hard, i, l, config.penalty_mu, config.penalty_phi);
+        adjusted.at(i, 1) = std::log(prefs[l - 1].at(i, 1) + kLogEps);
+      }
+      samples[l - 1] = nn::GumbelSoftmax(adjusted, config.gumbel_tau, rng);
+      for (std::size_t i = 0; i < n; ++i) {
+        hard[l - 1][i] = samples[l - 1].hard.at(i, 0);
+      }
+    }
+
+    // Hard selections: sel_l = first gate that fired; sel_k = none fired.
+    // The penalty already guarantees at most one fires; recompute the
+    // product form anyway so the invariant is enforced structurally.
+    tensor::Matrix y_hat(n, c);
+    std::vector<std::vector<float>> sel(k + 1, std::vector<float>(n, 0.0f));
+    for (std::size_t i = 0; i < n; ++i) {
+      float cont = 1.0f;
+      for (int l = 1; l <= k - 1; ++l) {
+        sel[l][i] = hard[l - 1][i] * cont;
+        cont *= (1.0f - hard[l - 1][i]);
+      }
+      sel[k][i] = cont;
+      float* yrow = y_hat.row(i);
+      for (int l = 1; l <= k; ++l) {
+        if (sel[l][i] == 0.0f) continue;
+        const float* prow = class_probs[l].row(i);
+        for (std::size_t j = 0; j < c; ++j) yrow[j] += sel[l][i] * prow[j];
+      }
+    }
+
+    const nn::LossResult loss =
+        nn::CrossEntropyOnProbabilities(y_hat, labels);
+    final_loss = loss.loss;
+
+    // ---- Backward (straight-through): soft product form. -----------------
+    // dL/dsel_l[i] = grad_yhat[i] . P_l[i]
+    std::vector<std::vector<float>> dsel(k + 1, std::vector<float>(n, 0.0f));
+    for (int l = 1; l <= k; ++l) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* g = loss.grad_logits.row(i);
+        const float* p = class_probs[l].row(i);
+        float dot = 0.0f;
+        for (std::size_t j = 0; j < c; ++j) dot += g[j] * p[j];
+        dsel[l][i] = dot;
+      }
+    }
+    // Soft mask values s_l and continue products c̃_l.
+    // sel_l = s_l * Π_{j<l}(1-s_j);  sel_k = Π_{j<k}(1-s_j)
+    for (int l = 1; l <= k - 1; ++l) {
+      tensor::Matrix grad_soft(n, 2);
+      for (std::size_t i = 0; i < n; ++i) {
+        float c_before = 1.0f;
+        for (int j = 1; j < l; ++j) {
+          c_before *= (1.0f - samples[j - 1].soft.at(i, 0));
+        }
+        float d = dsel[l][i] * c_before;
+        // Later selections shrink when s_l grows:
+        // ∂sel_j/∂s_l = −s_j · Π_{t<j, t≠l}(1−s_t). Track that product
+        // directly (c_excl) instead of dividing by (1−s_l).
+        float c_excl = c_before;
+        for (int j = l + 1; j <= k - 1; ++j) {
+          const float s_j = samples[j - 1].soft.at(i, 0);
+          d -= dsel[j][i] * s_j * c_excl;
+          c_excl *= (1.0f - s_j);
+        }
+        d -= dsel[k][i] * c_excl;
+        grad_soft.at(i, 0) = d;
+      }
+      // Through the Gumbel-softmax relaxation to the adjusted preferences
+      // (the log-probabilities; the penalty's gradient vanishes because
+      // its sigmoid is saturated).
+      tensor::Matrix grad_adj = nn::GumbelSoftmaxBackward(
+          samples[l - 1].soft, grad_soft, config.gumbel_tau);
+      // log-softmax backward: d a_k = d(log e)_k − e_k · Σ_j d(log e)_j.
+      tensor::Matrix grad_logits(n, 2);
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* e = prefs[l - 1].row(i);
+        const float* dle = grad_adj.row(i);
+        const float total = dle[0] + dle[1];
+        grad_logits.at(i, 0) = dle[0] - e[0] * total;
+        grad_logits.at(i, 1) = dle[1] - e[1] * total;
+      }
+      tensor::AddInPlace(
+          weights_[l - 1].grad,
+          tensor::MatMulTransposeA(concats[l - 1], grad_logits));
+      tensor::AddInPlace(biases_[l - 1].grad,
+                         tensor::ColumnSums(grad_logits));
+    }
+    adam.Step();
+  }
+  return final_loss;
+}
+
+std::int64_t GateStack::DecisionMacs(std::int64_t rows) const {
+  return rows * static_cast<std::int64_t>(2 * feature_dim_) * 2;
+}
+
+}  // namespace nai::core

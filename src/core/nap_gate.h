@@ -1,0 +1,99 @@
+#ifndef NAI_CORE_NAP_GATE_H_
+#define NAI_CORE_NAP_GATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/adam.h"
+#include "src/nn/parameter.h"
+#include "src/tensor/matrix.h"
+#include "src/tensor/random.h"
+
+namespace nai::core {
+
+class ClassifierStack;  // classifier_stack.h
+
+/// Configuration for training the gate stack (paper §III-A-2, Fig. 3).
+struct GateTrainConfig {
+  int epochs = 60;
+  float learning_rate = 1e-2f;
+  float weight_decay = 0.0f;
+  float gumbel_tau = 1.0f;     ///< Gumbel-softmax temperature
+  float penalty_mu = 1000.0f;  ///< µ of footnote 1
+  float penalty_phi = 1000.0f; ///< φ of footnote 1
+  std::uint64_t seed = 7;
+};
+
+/// Gate-based Node-Adaptive Propagation (NAPg).
+///
+/// One lightweight gate per depth l = 1..k-1 decides whether a node's
+/// propagation should stop at l. Gate l consumes the concatenation
+/// [X^(l)_i || X̂^(l)_i] (Eq. 11) where X̂ is the stationary feature X^(∞)_i
+/// until the node is selected (Eq. 12 — a node that was never selected by a
+/// previous gate carries X̂ = X^(∞) unchanged, and a node that *was*
+/// selected is forced unselected at all later depths by the penalty term).
+/// Consequently the live decision input is always [X^(l) || X^(∞)], and
+/// exited nodes simply leave the active set.
+///
+/// Training is end-to-end across all gates simultaneously with the
+/// classifiers frozen: the straight-through Gumbel-softmax gives hard
+/// selections in the forward pass and soft gradients in the backward pass.
+/// The mutual-exclusivity penalty θ (footnote 1) is implemented exactly for
+/// the forward/inference path; its gradient vanishes by construction
+/// (sigmoid saturated at ±φ/2), so the backward pass uses the equivalent
+/// first-selection product form sel_l = m_l · Π_{j<l}(1 − m_j).
+class GateStack {
+ public:
+  /// Gates for depths 1..max_depth-1 over features of width `feature_dim`.
+  GateStack(int max_depth, std::size_t feature_dim, std::uint64_t seed);
+
+  int max_depth() const { return max_depth_; }
+  int num_gates() const { return max_depth_ - 1; }
+
+  /// Raw gate preference e^(l) = softmax([x || x_inf] W^(l)) (Eq. 11) for a
+  /// batch of rows; column 0 is "stop here", column 1 is "continue".
+  tensor::Matrix Preference(int depth, const tensor::Matrix& x_l,
+                            const tensor::Matrix& x_inf) const;
+
+  /// Deterministic inference decision (Eq. 13): exit where the stop
+  /// preference exceeds the continue preference. `decision_bias` (an
+  /// extension knob, 0 by default) shifts the stop logit to trade accuracy
+  /// for latency without retraining.
+  std::vector<bool> ShouldExit(int depth, const tensor::Matrix& x_l,
+                               const tensor::Matrix& x_inf,
+                               float decision_bias = 0.0f) const;
+
+  /// The penalty term θ^(l)_i of footnote 1, computed exactly from the
+  /// previous depths' stop decisions (mask_prev[j][i] = m^(j)_{i,1}).
+  /// Exposed for tests and for the reference forward pass.
+  float Penalty(const std::vector<std::vector<float>>& masks_prev,
+                std::size_t node, int depth, float mu, float phi) const;
+
+  /// End-to-end gate training (Fig. 3). `stack` is the propagated feature
+  /// stack X^(0..k) of the training graph; `stationary` the matching
+  /// stationary rows; `rows` the node rows used for training with
+  /// `labels[i]` the label of rows[i]. `classifiers` provides the frozen
+  /// per-depth heads. Returns the final training loss.
+  float Train(const std::vector<tensor::Matrix>& stack,
+              const tensor::Matrix& stationary,
+              ClassifierStack& classifiers,
+              const std::vector<std::int32_t>& rows,
+              const std::vector<std::int32_t>& labels,
+              const GateTrainConfig& config);
+
+  /// MAC-equivalents of one gate decision over `rows` rows (2f x 2 GEMM).
+  std::int64_t DecisionMacs(std::int64_t rows) const;
+
+  nn::Parameter& gate_weight(int depth) { return weights_[depth - 1]; }
+  nn::Parameter& gate_bias(int depth) { return biases_[depth - 1]; }
+
+ private:
+  int max_depth_;
+  std::size_t feature_dim_;
+  std::vector<nn::Parameter> weights_;  // per gate: (2f x 2)
+  std::vector<nn::Parameter> biases_;   // per gate: (1 x 2)
+};
+
+}  // namespace nai::core
+
+#endif  // NAI_CORE_NAP_GATE_H_

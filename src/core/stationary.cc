@@ -1,0 +1,77 @@
+#include "src/core/stationary.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace nai::core {
+
+StationaryState::StationaryState(const graph::Graph& graph,
+                                 const tensor::Matrix& features, float gamma)
+    : graph_(&graph), gamma_(gamma) {
+  const std::int64_t n = graph.num_nodes();
+  assert(static_cast<std::int64_t>(features.rows()) == n);
+  const double denom = static_cast<double>(2 * graph.num_edges() + n);
+  pooled_.Resize(1, features.cols());
+  float* g = pooled_.data();
+  for (std::int64_t j = 0; j < n; ++j) {
+    const float vj = static_cast<float>(
+        std::pow(static_cast<double>(graph.degree(j) + 1), 1.0 - gamma) /
+        denom);
+    const float* row = features.row(j);
+    for (std::size_t f = 0; f < features.cols(); ++f) g[f] += vj * row[f];
+  }
+}
+
+StationaryState StationaryState::FromPooled(const graph::Graph& graph,
+                                            tensor::Matrix pooled,
+                                            float gamma) {
+  return StationaryState(&graph, std::move(pooled), gamma);
+}
+
+tensor::Matrix StationaryState::RowsForDegrees(
+    const std::vector<float>& degrees_with_loops) const {
+  tensor::Matrix out(degrees_with_loops.size(), pooled_.cols());
+  const float* g = pooled_.data();
+  for (std::size_t i = 0; i < degrees_with_loops.size(); ++i) {
+    const float ui = std::pow(degrees_with_loops[i], gamma_);
+    float* row = out.row(i);
+    for (std::size_t f = 0; f < pooled_.cols(); ++f) row[f] = ui * g[f];
+  }
+  return out;
+}
+
+tensor::Matrix StationaryState::RowsForNodes(
+    const std::vector<std::int32_t>& nodes) const {
+  std::vector<float> degrees(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    degrees[i] = static_cast<float>(graph_->degree(nodes[i]) + 1);
+  }
+  return RowsForDegrees(degrees);
+}
+
+tensor::Matrix StationaryStateDense(const graph::Graph& graph,
+                                    const tensor::Matrix& features,
+                                    float gamma) {
+  const std::int64_t n = graph.num_nodes();
+  const double denom = static_cast<double>(2 * graph.num_edges() + n);
+  tensor::Matrix out(n, features.cols());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double ui = std::pow(static_cast<double>(graph.degree(i) + 1),
+                               static_cast<double>(gamma));
+    float* orow = out.row(i);
+    for (std::int64_t j = 0; j < n; ++j) {
+      const double aij =
+          ui *
+          std::pow(static_cast<double>(graph.degree(j) + 1),
+                   1.0 - static_cast<double>(gamma)) /
+          denom;
+      const float* frow = features.row(j);
+      for (std::size_t f = 0; f < features.cols(); ++f) {
+        orow[f] += static_cast<float>(aij) * frow[f];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nai::core

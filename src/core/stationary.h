@@ -1,0 +1,65 @@
+#ifndef NAI_CORE_STATIONARY_H_
+#define NAI_CORE_STATIONARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/tensor/matrix.h"
+
+namespace nai::core {
+
+/// The stationary feature state X^(∞) of infinite propagation (Eqs. 6-7):
+///
+///   X^(∞)_i = sum_j Â^(∞)_{i,j} X_j,
+///   Â^(∞)_{i,j} = (d_i+1)^γ (d_j+1)^(1-γ) / (2m + n)
+///
+/// Â^(∞) is the outer product u v^T with u_i = (d_i+1)^γ and
+/// v_j = (d_j+1)^(1-γ) / (2m+n), so the whole state is rank one:
+/// X^(∞)_i = u_i · g with a single pooled vector g = v^T X. This class
+/// precomputes g once from the reference graph and then serves per-node
+/// stationary rows in O(f) — the optimization that makes the paper's
+/// stationary-state comparison affordable at inference time.
+class StationaryState {
+ public:
+  /// Precomputes the pooled vector from `graph` (degrees and scale) and
+  /// `features` (n x f). γ is the convolution coefficient of Eq. 1.
+  StationaryState(const graph::Graph& graph, const tensor::Matrix& features,
+                  float gamma);
+
+  /// Reconstructs a state from a previously computed pooled vector (e.g. a
+  /// checkpoint); `graph` supplies the degrees for RowsForNodes.
+  static StationaryState FromPooled(const graph::Graph& graph,
+                                    tensor::Matrix pooled, float gamma);
+
+  /// X^(∞) rows for nodes with the given degrees-with-self-loop (d_i + 1).
+  /// Works for unseen nodes too: only their degree is needed.
+  tensor::Matrix RowsForDegrees(const std::vector<float>& degrees_with_loops) const;
+
+  /// X^(∞) rows for the given global node ids of the reference graph.
+  tensor::Matrix RowsForNodes(const std::vector<std::int32_t>& nodes) const;
+
+  /// The pooled vector g (1 x f).
+  const tensor::Matrix& pooled() const { return pooled_; }
+
+  float gamma() const { return gamma_; }
+
+ private:
+  StationaryState(const graph::Graph* graph, tensor::Matrix pooled,
+                  float gamma)
+      : graph_(graph), pooled_(std::move(pooled)), gamma_(gamma) {}
+
+  const graph::Graph* graph_;
+  tensor::Matrix pooled_;  // 1 x f
+  float gamma_;
+};
+
+/// Reference implementation of Eq. 6-7 by explicit materialization of
+/// Â^(∞) (O(n^2 f)); tests verify StationaryState against it.
+tensor::Matrix StationaryStateDense(const graph::Graph& graph,
+                                    const tensor::Matrix& features,
+                                    float gamma);
+
+}  // namespace nai::core
+
+#endif  // NAI_CORE_STATIONARY_H_

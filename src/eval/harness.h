@@ -1,0 +1,109 @@
+#ifndef NAI_EVAL_HARNESS_H_
+#define NAI_EVAL_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/classifier_stack.h"
+#include "src/core/distillation.h"
+#include "src/core/inference.h"
+#include "src/core/nap_gate.h"
+#include "src/core/stationary.h"
+#include "src/eval/datasets.h"
+#include "src/eval/metrics.h"
+#include "src/models/scalable_gnn.h"
+
+namespace nai::eval {
+
+/// Everything needed to train one NAI deployment on one dataset.
+struct PipelineConfig {
+  models::ModelKind kind = models::ModelKind::kSgc;
+  int depth = 0;  ///< k; 0 = dataset default
+  float gamma = 0.5f;
+  std::vector<std::size_t> hidden_dims = {64};
+  float dropout = -1.0f;  ///< <0 = dataset default
+  core::DistillConfig distill;
+  core::GateTrainConfig gate;
+  bool train_gates = true;
+  std::uint64_t seed = 42;
+};
+
+/// A trained NAI deployment: classifier bank, stationary states (training
+/// graph for gate training, full graph for inference), optional gates, and
+/// the training-graph propagated stack (kept for baseline distillation).
+struct TrainedPipeline {
+  models::ModelConfig model_config;
+  std::unique_ptr<core::ClassifierStack> classifiers;
+  std::unique_ptr<core::StationaryState> full_stationary;
+  std::unique_ptr<core::GateStack> gates;
+  std::vector<tensor::Matrix> train_stack;  ///< X^(0..k) on the train graph
+  core::GatheredStack train_feats;          ///< same, as a GatheredStack
+
+  /// Teacher logits f^(k)(X^(k)) on the training rows (baseline distilling).
+  tensor::Matrix TeacherLogits();
+};
+
+/// Trains the full NAI pipeline (propagation, Inception Distillation, gate
+/// training) on the dataset's training graph.
+TrainedPipeline TrainPipeline(const PreparedDataset& ds,
+                              const PipelineConfig& config);
+
+/// Builds the inference engine over the full graph (training + unseen
+/// nodes) for a trained pipeline.
+std::unique_ptr<core::NaiEngine> MakeEngine(TrainedPipeline& pipeline,
+                                            const PreparedDataset& ds);
+
+/// One named inference configuration (the paper's NAI^1, NAI^2, NAI^3).
+struct NaiSetting {
+  std::string name;
+  core::InferenceConfig config;
+};
+
+/// Derives the three canonical accuracy/latency trade-off settings from the
+/// distance distribution on the validation nodes: speed-first (small T_max),
+/// balanced, and accuracy-first (T_max = k). Thresholds T_s are chosen as
+/// quantiles of the depth-wise distance distribution, which is how a user
+/// would calibrate them from a validation set.
+std::vector<NaiSetting> MakeDefaultSettings(TrainedPipeline& pipeline,
+                                            const PreparedDataset& ds,
+                                            core::NapKind nap);
+
+/// Result of running one method on the test set.
+struct MethodResult {
+  EvalRow row;
+  core::InferenceStats stats;            ///< meaningful for NAI runs only
+  std::vector<std::int32_t> predictions;
+};
+
+/// Runs the NAI engine under `config` on `nodes` and scores it.
+MethodResult RunNai(core::NaiEngine& engine, const PreparedDataset& ds,
+                    const std::vector<std::int32_t>& nodes,
+                    const core::InferenceConfig& config,
+                    const std::string& name);
+
+/// Vanilla fixed-depth Scalable GNN (no NAP, no stationary computation).
+MethodResult RunVanilla(core::NaiEngine& engine, const PreparedDataset& ds,
+                        const std::vector<std::int32_t>& nodes,
+                        std::size_t batch_size, const std::string& name);
+
+/// Baseline runners (train + infer). Each distills from the pipeline's
+/// teacher and evaluates on `nodes` of the full graph.
+MethodResult RunGlnn(TrainedPipeline& pipeline, const PreparedDataset& ds,
+                     const std::vector<std::int32_t>& nodes,
+                     int hidden_multiplier);
+MethodResult RunNosmog(TrainedPipeline& pipeline, const PreparedDataset& ds,
+                       const std::vector<std::int32_t>& nodes);
+MethodResult RunTinyGnn(TrainedPipeline& pipeline, const PreparedDataset& ds,
+                        const std::vector<std::int32_t>& nodes);
+MethodResult RunQuantized(TrainedPipeline& pipeline, const PreparedDataset& ds,
+                          const std::vector<std::int32_t>& nodes,
+                          std::size_t batch_size);
+
+/// Prints a Table-VI style node-distribution line.
+void PrintNodeDistribution(const std::string& label,
+                           const core::InferenceStats& stats);
+
+}  // namespace nai::eval
+
+#endif  // NAI_EVAL_HARNESS_H_

@@ -1,0 +1,44 @@
+#include "src/eval/metrics.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace nai::eval {
+
+float AccuracyOnNodes(const std::vector<std::int32_t>& predictions,
+                      const std::vector<std::int32_t>& labels,
+                      const std::vector<std::int32_t>& nodes) {
+  assert(predictions.size() == nodes.size());
+  if (nodes.empty()) return 0.0f;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (predictions[i] == labels[nodes[i]]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(nodes.size());
+}
+
+EvalRow MakeRow(const std::string& method, float accuracy,
+                const CostCounters& cost, std::int64_t num_nodes) {
+  EvalRow row;
+  row.method = method;
+  row.accuracy = accuracy;
+  const double n = num_nodes > 0 ? static_cast<double>(num_nodes) : 1.0;
+  row.mmacs_per_node = static_cast<double>(cost.total_macs) / n / 1e6;
+  row.fp_mmacs_per_node = static_cast<double>(cost.fp_macs) / n / 1e6;
+  row.time_ms = cost.total_time_ms;
+  row.fp_time_ms = cost.fp_time_ms;
+  return row;
+}
+
+void PrintTable(const std::string& caption, const std::vector<EvalRow>& rows) {
+  std::printf("\n== %s ==\n", caption.c_str());
+  std::printf("%-16s %8s %12s %14s %12s %12s\n", "method", "ACC(%)",
+              "mMACs/node", "FP mMACs/node", "Time(ms)", "FP Time(ms)");
+  for (const EvalRow& r : rows) {
+    std::printf("%-16s %8.2f %12.3f %14.3f %12.1f %12.1f\n", r.method.c_str(),
+                r.accuracy * 100.0f, r.mmacs_per_node, r.fp_mmacs_per_node,
+                r.time_ms, r.fp_time_ms);
+  }
+}
+
+}  // namespace nai::eval

@@ -1,0 +1,70 @@
+#ifndef NAI_EVAL_METRICS_H_
+#define NAI_EVAL_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nai::eval {
+
+/// Wall-clock stopwatch (steady clock, milliseconds).
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Cost counters shared by every inference method in the evaluation:
+/// total and feature-processing (FP) MACs and wall time, following the
+/// paper's five criteria (§IV-A). Totals, not per-node averages; the
+/// harness divides by the node count when printing.
+struct CostCounters {
+  std::int64_t total_macs = 0;
+  std::int64_t fp_macs = 0;
+  double total_time_ms = 0.0;
+  double fp_time_ms = 0.0;
+
+  CostCounters& operator+=(const CostCounters& o) {
+    total_macs += o.total_macs;
+    fp_macs += o.fp_macs;
+    total_time_ms += o.total_time_ms;
+    fp_time_ms += o.fp_time_ms;
+    return *this;
+  }
+};
+
+/// One printed row of a comparison table (Tables V, IX, X, XI).
+struct EvalRow {
+  std::string method;
+  float accuracy = 0.0f;       // fraction in [0,1]
+  double mmacs_per_node = 0.0;
+  double fp_mmacs_per_node = 0.0;
+  double time_ms = 0.0;        // total inference time for the test set
+  double fp_time_ms = 0.0;
+};
+
+/// Classification accuracy of predictions against labels restricted to
+/// `nodes` (predictions[i] corresponds to nodes[i]).
+float AccuracyOnNodes(const std::vector<std::int32_t>& predictions,
+                      const std::vector<std::int32_t>& labels,
+                      const std::vector<std::int32_t>& nodes);
+
+/// Builds an EvalRow from raw counters.
+EvalRow MakeRow(const std::string& method, float accuracy,
+                const CostCounters& cost, std::int64_t num_nodes);
+
+/// Prints a table of rows with a caption, paper-style.
+void PrintTable(const std::string& caption, const std::vector<EvalRow>& rows);
+
+}  // namespace nai::eval
+
+#endif  // NAI_EVAL_METRICS_H_

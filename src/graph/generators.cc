@@ -1,0 +1,175 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/tensor/random.h"
+
+namespace nai::graph {
+
+namespace {
+
+/// Samples an index from a cumulative weight table by binary search.
+std::int32_t SampleFromCdf(const std::vector<double>& cdf, double u) {
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), u * cdf.back());
+  return static_cast<std::int32_t>(std::min<std::ptrdiff_t>(
+      std::distance(cdf.begin(), it), static_cast<std::ptrdiff_t>(cdf.size()) - 1));
+}
+
+}  // namespace
+
+SyntheticDataset GenerateDataset(const GeneratorConfig& config) {
+  assert(config.num_nodes > 1);
+  assert(config.num_classes >= 2);
+  assert(config.power_law_exponent > 1.0f);
+  tensor::Rng rng(config.seed);
+
+  const std::int64_t n = config.num_nodes;
+  const std::int32_t c = config.num_classes;
+
+  // --- Class assignment (balanced, shuffled). -----------------------------
+  std::vector<std::int32_t> labels(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<std::int32_t>(i % c);
+  }
+  {
+    std::vector<std::int32_t> perm(n);
+    for (std::int64_t i = 0; i < n; ++i) perm[i] = static_cast<std::int32_t>(i);
+    rng.Shuffle(perm);
+    std::vector<std::int32_t> shuffled(n);
+    for (std::int64_t i = 0; i < n; ++i) shuffled[perm[i]] = labels[i];
+    labels = std::move(shuffled);
+  }
+
+  // --- Power-law node weights (inverse-CDF of truncated Pareto). ----------
+  std::vector<double> weights(n);
+  const double alpha = config.power_law_exponent;
+  const double wmin = 1.0;
+  const double wmax = static_cast<double>(config.max_weight_ratio);
+  const double a = 1.0 - alpha;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double u = rng.NextDouble();
+    // Inverse CDF of p(w) ~ w^-alpha on [wmin, wmax].
+    const double wa = std::pow(wmin, a);
+    const double wb = std::pow(wmax, a);
+    weights[i] = std::pow(wa + u * (wb - wa), 1.0 / a);
+  }
+
+  // --- Cumulative tables: global and per class. ---------------------------
+  std::vector<double> cdf_all(n);
+  std::vector<std::vector<std::int32_t>> class_members(c);
+  for (std::int64_t i = 0; i < n; ++i) {
+    cdf_all[i] = weights[i] + (i > 0 ? cdf_all[i - 1] : 0.0);
+    class_members[labels[i]].push_back(static_cast<std::int32_t>(i));
+  }
+  std::vector<std::vector<double>> cdf_class(c);
+  for (std::int32_t k = 0; k < c; ++k) {
+    cdf_class[k].resize(class_members[k].size());
+    double acc = 0.0;
+    for (std::size_t j = 0; j < class_members[k].size(); ++j) {
+      acc += weights[class_members[k][j]];
+      cdf_class[k][j] = acc;
+    }
+  }
+
+  // --- Edge sampling with homophily. ---------------------------------------
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  edges.reserve(config.num_edges);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(config.num_edges * 2);
+  const std::int64_t max_attempts = config.num_edges * 20;
+  std::int64_t attempts = 0;
+  while (static_cast<std::int64_t>(edges.size()) < config.num_edges &&
+         attempts < max_attempts) {
+    ++attempts;
+    const std::int32_t u = SampleFromCdf(cdf_all, rng.NextDouble());
+    std::int32_t v;
+    if (rng.NextFloat() < config.homophily) {
+      const std::int32_t k = labels[u];
+      v = class_members[k][SampleFromCdf(cdf_class[k], rng.NextDouble())];
+    } else {
+      v = SampleFromCdf(cdf_all, rng.NextDouble());
+    }
+    if (u == v) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(u, v)) << 32) |
+        static_cast<std::uint32_t>(std::max(u, v));
+    if (!seen.insert(key).second) continue;
+    edges.emplace_back(u, v);
+  }
+
+  SyntheticDataset out;
+  out.graph = Graph::FromEdges(n, edges);
+  out.labels = std::move(labels);
+  out.num_classes = c;
+
+  // --- Features: class centroid + noise. -----------------------------------
+  tensor::Matrix centroids(c, config.feature_dim);
+  tensor::FillGaussian(centroids, config.class_separation, rng);
+  out.features.Resize(n, config.feature_dim);
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* row = out.features.row(i);
+    const float* mu = centroids.row(out.labels[i]);
+    for (std::int32_t j = 0; j < config.feature_dim; ++j) {
+      row[j] = mu[j] + config.feature_noise * rng.NextGaussian();
+    }
+  }
+
+  // --- Observed-label corruption (after edges and features, which follow
+  // the true labels): sets the irreducible-error ceiling. ------------------
+  if (config.label_noise > 0.0f) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (rng.NextFloat() < config.label_noise) {
+        const std::int32_t offset =
+            1 + static_cast<std::int32_t>(rng.NextBounded(c - 1));
+        out.labels[i] = (out.labels[i] + offset) % c;
+      }
+    }
+  }
+  return out;
+}
+
+Graph PathGraph(std::int64_t n) {
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  for (std::int32_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph::FromEdges(n, edges);
+}
+
+Graph CycleGraph(std::int64_t n) {
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  for (std::int32_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  if (n > 2) edges.emplace_back(static_cast<std::int32_t>(n - 1), 0);
+  return Graph::FromEdges(n, edges);
+}
+
+Graph StarGraph(std::int64_t leaves) {
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  for (std::int32_t i = 1; i <= leaves; ++i) edges.emplace_back(0, i);
+  return Graph::FromEdges(leaves + 1, edges);
+}
+
+Graph CompleteGraph(std::int64_t n) {
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph GridGraph(std::int64_t rows, std::int64_t cols) {
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  auto id = [cols](std::int64_t r, std::int64_t c) {
+    return static_cast<std::int32_t>(r * cols + c);
+  };
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph::FromEdges(rows * cols, edges);
+}
+
+}  // namespace nai::graph

@@ -1,0 +1,68 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace nai::graph {
+
+Graph Graph::FromEdges(
+    std::int64_t num_nodes,
+    const std::vector<std::pair<std::int32_t, std::int32_t>>& edges) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    assert(u >= 0 && u < num_nodes && v >= 0 && v < num_nodes);
+    if (u == v) continue;  // drop self-loops
+    triplets.push_back({u, v, 1.0f});
+    triplets.push_back({v, u, 1.0f});
+  }
+  Graph g;
+  g.adjacency_ = CsrFromTriplets(num_nodes, num_nodes, std::move(triplets));
+  // CsrFromTriplets sums duplicates; clamp values back to 1 so the adjacency
+  // stays unweighted even when the input listed an edge twice.
+  for (float& v : g.adjacency_.values) v = 1.0f;
+  return g;
+}
+
+bool Graph::HasEdge(std::int32_t u, std::int32_t v) const {
+  const auto* begin = neighbors_begin(u);
+  const auto* end = neighbors_end(u);
+  return std::binary_search(begin, end, v);
+}
+
+Graph Graph::InducedSubgraph(const std::vector<std::int32_t>& ids) const {
+  std::vector<std::int32_t> global_to_local(num_nodes(), -1);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    global_to_local[ids[i]] = static_cast<std::int32_t>(i);
+  }
+  Graph g;
+  g.adjacency_ = InducedSubmatrix(adjacency_, ids, global_to_local);
+  return g;
+}
+
+std::vector<std::int32_t> Graph::ConnectedComponents() const {
+  const std::int64_t n = num_nodes();
+  std::vector<std::int32_t> component(n, -1);
+  std::int32_t next_label = 0;
+  std::queue<std::int32_t> queue;
+  for (std::int32_t start = 0; start < n; ++start) {
+    if (component[start] >= 0) continue;
+    component[start] = next_label;
+    queue.push(start);
+    while (!queue.empty()) {
+      const std::int32_t v = queue.front();
+      queue.pop();
+      for (const auto* it = neighbors_begin(v); it != neighbors_end(v); ++it) {
+        if (component[*it] < 0) {
+          component[*it] = next_label;
+          queue.push(*it);
+        }
+      }
+    }
+    ++next_label;
+  }
+  return component;
+}
+
+}  // namespace nai::graph

@@ -1,0 +1,59 @@
+#ifndef NAI_GRAPH_GRAPH_H_
+#define NAI_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr.h"
+
+namespace nai::graph {
+
+/// Undirected simple graph stored as a symmetric CSR adjacency (no
+/// self-loops, each undirected edge appears in both endpoint rows).
+///
+/// `num_edges()` counts undirected edges (m in the paper); the CSR holds
+/// 2m directed entries.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an undirected edge list. Duplicate edges and self-loops are
+  /// dropped. Endpoints must be in [0, num_nodes).
+  static Graph FromEdges(
+      std::int64_t num_nodes,
+      const std::vector<std::pair<std::int32_t, std::int32_t>>& edges);
+
+  std::int64_t num_nodes() const { return adjacency_.rows; }
+  std::int64_t num_edges() const { return adjacency_.nnz() / 2; }
+
+  /// Degree of node v (self-loops excluded by construction).
+  std::int64_t degree(std::int32_t v) const { return adjacency_.RowNnz(v); }
+
+  /// Neighbor ids of v (sorted).
+  const std::int32_t* neighbors_begin(std::int32_t v) const {
+    return adjacency_.col_idx.data() + adjacency_.row_ptr[v];
+  }
+  const std::int32_t* neighbors_end(std::int32_t v) const {
+    return adjacency_.col_idx.data() + adjacency_.row_ptr[v + 1];
+  }
+
+  /// Unweighted symmetric adjacency (values all 1.0).
+  const Csr& adjacency() const { return adjacency_; }
+
+  /// True iff {u, v} is an edge. O(log deg(u)).
+  bool HasEdge(std::int32_t u, std::int32_t v) const;
+
+  /// Induced subgraph on `ids` (order defines new node ids). Also returns
+  /// nothing else: label/feature gathering is the caller's job.
+  Graph InducedSubgraph(const std::vector<std::int32_t>& ids) const;
+
+  /// Connected-component label per node (0-based, BFS order).
+  std::vector<std::int32_t> ConnectedComponents() const;
+
+ private:
+  Csr adjacency_;
+};
+
+}  // namespace nai::graph
+
+#endif  // NAI_GRAPH_GRAPH_H_

@@ -1,0 +1,97 @@
+#include "src/graph/normalize.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/random.h"
+
+namespace nai::graph {
+
+Csr NormalizedAdjacency(const Graph& graph, float gamma) {
+  assert(gamma >= 0.0f && gamma <= 1.0f);
+  const Csr& adj = graph.adjacency();
+  const std::int64_t n = graph.num_nodes();
+
+  std::vector<float> left(n), right(n);  // d̃^(γ-1) and d̃^(-γ)
+  for (std::int64_t v = 0; v < n; ++v) {
+    const float dt = static_cast<float>(graph.degree(v) + 1);
+    left[v] = std::pow(dt, gamma - 1.0f);
+    right[v] = std::pow(dt, -gamma);
+  }
+
+  Csr out;
+  out.rows = n;
+  out.cols = n;
+  out.row_ptr.assign(n + 1, 0);
+  // Each row gains exactly one self-loop entry.
+  for (std::int64_t v = 0; v < n; ++v) {
+    out.row_ptr[v + 1] = out.row_ptr[v] + adj.RowNnz(v) + 1;
+  }
+  out.col_idx.resize(out.row_ptr.back());
+  out.values.resize(out.row_ptr.back());
+  for (std::int64_t v = 0; v < n; ++v) {
+    std::int64_t q = out.row_ptr[v];
+    bool self_written = false;
+    for (std::int64_t p = adj.row_ptr[v]; p < adj.row_ptr[v + 1]; ++p) {
+      const std::int32_t u = adj.col_idx[p];
+      if (!self_written && u > v) {
+        out.col_idx[q] = static_cast<std::int32_t>(v);
+        out.values[q] = left[v] * right[v];
+        ++q;
+        self_written = true;
+      }
+      out.col_idx[q] = u;
+      out.values[q] = left[v] * right[u];
+      ++q;
+    }
+    if (!self_written) {
+      out.col_idx[q] = static_cast<std::int32_t>(v);
+      out.values[q] = left[v] * right[v];
+      ++q;
+    }
+    assert(q == out.row_ptr[v + 1]);
+  }
+  return out;
+}
+
+std::vector<float> DegreesWithSelfLoops(const Graph& graph) {
+  std::vector<float> out(graph.num_nodes());
+  for (std::int64_t v = 0; v < graph.num_nodes(); ++v) {
+    out[v] = static_cast<float>(graph.degree(v) + 1);
+  }
+  return out;
+}
+
+float EstimateSecondEigenvalue(const Csr& norm_adj, int iterations,
+                               std::uint64_t seed) {
+  const std::int64_t n = norm_adj.rows;
+  if (n < 2) return 0.0f;
+
+  // Dominant eigenvector first (power iteration), then deflate.
+  tensor::Rng rng(seed);
+  tensor::Matrix v1(n, 1);
+  tensor::FillGaussian(v1, 1.0f, rng);
+  for (int it = 0; it < iterations; ++it) {
+    v1 = SpMM(norm_adj, v1);
+    tensor::NormalizeRowsInPlace(v1, 0.0f);  // no-op guard
+    const float norm = tensor::FrobeniusNorm(v1);
+    if (norm > 0.0f) tensor::ScaleInPlace(v1, 1.0f / norm);
+  }
+
+  tensor::Matrix v2(n, 1);
+  tensor::FillGaussian(v2, 1.0f, rng);
+  float lambda2 = 0.0f;
+  for (int it = 0; it < iterations; ++it) {
+    // Deflate: v2 <- v2 - (v1·v2) v1.
+    float dot = 0.0f;
+    for (std::int64_t i = 0; i < n; ++i) dot += v1.at(i, 0) * v2.at(i, 0);
+    for (std::int64_t i = 0; i < n; ++i) v2.at(i, 0) -= dot * v1.at(i, 0);
+    v2 = SpMM(norm_adj, v2);
+    lambda2 = tensor::FrobeniusNorm(v2);
+    if (lambda2 > 0.0f) tensor::ScaleInPlace(v2, 1.0f / lambda2);
+  }
+  return lambda2;
+}
+
+}  // namespace nai::graph

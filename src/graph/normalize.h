@@ -1,0 +1,31 @@
+#ifndef NAI_GRAPH_NORMALIZE_H_
+#define NAI_GRAPH_NORMALIZE_H_
+
+#include "src/graph/csr.h"
+#include "src/graph/graph.h"
+
+namespace nai::graph {
+
+/// Builds the normalized adjacency with self-loops used by every Scalable
+/// GNN in the paper (Eq. 1):
+///
+///   Â = D̃^(γ-1) Ã D̃^(-γ),   Ã = A + I,   D̃ = diag(d_i + 1)
+///
+/// γ = 0.5 gives the symmetric normalization D̃^(-1/2) Ã D̃^(-1/2) (GCN/SGC,
+/// the paper's experimental setting); γ = 1 the transition matrix Ã D̃^(-1);
+/// γ = 0 the reverse transition matrix D̃^(-1) Ã.
+Csr NormalizedAdjacency(const Graph& graph, float gamma);
+
+/// Degrees-with-self-loop vector d̃_i = d_i + 1 as floats.
+std::vector<float> DegreesWithSelfLoops(const Graph& graph);
+
+/// Estimates the second largest eigenvalue magnitude of Â by power
+/// iteration on the component orthogonal to the dominant eigenvector.
+/// Used by the personalized-depth upper-bound diagnostics (Eq. 10).
+/// `iterations` power steps; deterministic given `seed`.
+float EstimateSecondEigenvalue(const Csr& norm_adj, int iterations,
+                               std::uint64_t seed);
+
+}  // namespace nai::graph
+
+#endif  // NAI_GRAPH_NORMALIZE_H_

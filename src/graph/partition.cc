@@ -1,0 +1,68 @@
+#include "src/graph/partition.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/tensor/random.h"
+
+namespace nai::graph {
+
+InductiveSplit MakeInductiveSplit(const Graph& graph, double train_fraction,
+                                  double labeled_fraction,
+                                  double val_fraction, std::uint64_t seed) {
+  assert(train_fraction > 0.0 && train_fraction < 1.0);
+  assert(labeled_fraction > 0.0 && labeled_fraction <= 1.0);
+  assert(val_fraction >= 0.0 && labeled_fraction + val_fraction <= 1.0);
+
+  const std::int64_t n = graph.num_nodes();
+  std::vector<std::int32_t> perm(n);
+  for (std::int64_t i = 0; i < n; ++i) perm[i] = static_cast<std::int32_t>(i);
+  tensor::Rng rng(seed);
+  rng.Shuffle(perm);
+
+  const std::int64_t n_train =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(n * train_fraction));
+  const std::int64_t n_labeled = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(n_train * labeled_fraction));
+  const std::int64_t n_val =
+      static_cast<std::int64_t>(n_train * val_fraction);
+  assert(n_labeled + n_val <= n_train);
+
+  InductiveSplit split;
+  split.train_nodes.assign(perm.begin(), perm.begin() + n_train);
+  split.test_nodes.assign(perm.begin() + n_train, perm.end());
+  // Sorting keeps train-local ids monotone in global id, which makes the
+  // induced adjacency rows naturally sorted and debugging saner.
+  std::sort(split.train_nodes.begin(), split.train_nodes.end());
+  std::sort(split.test_nodes.begin(), split.test_nodes.end());
+
+  // Labeled / validation subsets drawn from the shuffled train order so they
+  // are random w.r.t. global id.
+  std::vector<std::int32_t> train_shuffled = split.train_nodes;
+  rng.Shuffle(train_shuffled);
+  split.labeled_nodes.assign(train_shuffled.begin(),
+                             train_shuffled.begin() + n_labeled);
+  split.val_nodes.assign(train_shuffled.begin() + n_labeled,
+                         train_shuffled.begin() + n_labeled + n_val);
+  std::sort(split.labeled_nodes.begin(), split.labeled_nodes.end());
+  std::sort(split.val_nodes.begin(), split.val_nodes.end());
+
+  split.train_graph = graph.InducedSubgraph(split.train_nodes);
+
+  // Global -> train-local lookup for the labeled/val positions.
+  std::vector<std::int32_t> global_to_local(n, -1);
+  for (std::size_t i = 0; i < split.train_nodes.size(); ++i) {
+    global_to_local[split.train_nodes[i]] = static_cast<std::int32_t>(i);
+  }
+  split.labeled_local.reserve(split.labeled_nodes.size());
+  for (const std::int32_t g : split.labeled_nodes) {
+    split.labeled_local.push_back(global_to_local[g]);
+  }
+  split.val_local.reserve(split.val_nodes.size());
+  for (const std::int32_t g : split.val_nodes) {
+    split.val_local.push_back(global_to_local[g]);
+  }
+  return split;
+}
+
+}  // namespace nai::graph

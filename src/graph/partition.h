@@ -1,0 +1,48 @@
+#ifndef NAI_GRAPH_PARTITION_H_
+#define NAI_GRAPH_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace nai::graph {
+
+/// Inductive node split (paper §II-A): V is partitioned into V_train
+/// (containing the labeled subset V_l and unlabeled V_u) and V_test.
+/// Models train on G_train — the subgraph induced on V_train — and are
+/// evaluated on V_test inside the full graph G, where test nodes and the
+/// edges touching them are unseen during training.
+struct InductiveSplit {
+  /// Global ids of training nodes (V_train = V_l ∪ V_u).
+  std::vector<std::int32_t> train_nodes;
+  /// Global ids of the labeled subset V_l ⊆ V_train.
+  std::vector<std::int32_t> labeled_nodes;
+  /// Global ids of test nodes (unseen at training time).
+  std::vector<std::int32_t> test_nodes;
+  /// Global ids of the validation subset V_val ⊆ V_train \ V_l, used for
+  /// hyper-parameter selection as in the paper's protocol.
+  std::vector<std::int32_t> val_nodes;
+
+  /// G_train: induced on train_nodes; node i of this graph is
+  /// train_nodes[i] globally.
+  Graph train_graph;
+
+  /// Positions of labeled/validation nodes inside train_nodes (local ids of
+  /// train_graph). Same length/order as labeled_nodes / val_nodes.
+  std::vector<std::int32_t> labeled_local;
+  std::vector<std::int32_t> val_local;
+};
+
+/// Randomly partitions `graph` into the inductive setting.
+///   train_fraction: |V_train| / |V|  (rest is V_test)
+///   labeled_fraction: |V_l| / |V_train|
+///   val_fraction: |V_val| / |V_train| (drawn from the unlabeled part)
+/// Fractions must satisfy labeled + val <= 1 and train_fraction in (0, 1).
+InductiveSplit MakeInductiveSplit(const Graph& graph, double train_fraction,
+                                  double labeled_fraction,
+                                  double val_fraction, std::uint64_t seed);
+
+}  // namespace nai::graph
+
+#endif  // NAI_GRAPH_PARTITION_H_

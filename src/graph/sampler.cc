@@ -1,0 +1,65 @@
+#include "src/graph/sampler.h"
+
+#include <cassert>
+
+namespace nai::graph {
+
+SupportSampler::SupportSampler(const Csr& norm_adj)
+    : adj_(&norm_adj), global_to_local_(norm_adj.rows, -1) {}
+
+BatchSupport SupportSampler::Collect(const std::vector<std::int32_t>& batch,
+                                     int depth) {
+  assert(depth >= 0);
+  // Lazily reset the mapping of the previous mapped batch.
+  for (const std::int32_t v : mapped_nodes_) global_to_local_[v] = -1;
+  mapped_nodes_.clear();
+
+  BatchSupport out;
+  out.nodes.reserve(batch.size() * 4);
+  out.layer_counts.reserve(depth + 1);
+
+  for (const std::int32_t v : batch) {
+    assert(v >= 0 && v < adj_->rows);
+    assert(global_to_local_[v] == -1 && "duplicate node in batch");
+    global_to_local_[v] = static_cast<std::int32_t>(out.nodes.size());
+    out.nodes.push_back(v);
+  }
+  out.layer_counts.push_back(static_cast<std::int64_t>(out.nodes.size()));
+
+  std::size_t frontier_begin = 0;
+  for (int hop = 1; hop <= depth; ++hop) {
+    const std::size_t frontier_end = out.nodes.size();
+    for (std::size_t i = frontier_begin; i < frontier_end; ++i) {
+      const std::int32_t v = out.nodes[i];
+      for (std::int64_t p = adj_->row_ptr[v]; p < adj_->row_ptr[v + 1]; ++p) {
+        const std::int32_t u = adj_->col_idx[p];
+        if (global_to_local_[u] == -1) {
+          global_to_local_[u] = static_cast<std::int32_t>(out.nodes.size());
+          out.nodes.push_back(u);
+        }
+      }
+    }
+    frontier_begin = frontier_end;
+    out.layer_counts.push_back(static_cast<std::int64_t>(out.nodes.size()));
+  }
+  return out;
+}
+
+BatchSupport SupportSampler::Sample(const std::vector<std::int32_t>& batch,
+                                    int depth) {
+  BatchSupport out = Collect(batch, depth);
+  out.sub_adj = InducedSubmatrix(*adj_, out.nodes, global_to_local_);
+  // Eagerly reset: the mapping is not exposed on this path.
+  for (const std::int32_t v : out.nodes) global_to_local_[v] = -1;
+  return out;
+}
+
+BatchSupport SupportSampler::SampleMapped(
+    const std::vector<std::int32_t>& batch, int depth) {
+  BatchSupport out = Collect(batch, depth);
+  // Keep the mapping live for SpMMMapped*; remember what to reset later.
+  mapped_nodes_ = out.nodes;
+  return out;
+}
+
+}  // namespace nai::graph

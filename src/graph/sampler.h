@@ -1,0 +1,70 @@
+#ifndef NAI_GRAPH_SAMPLER_H_
+#define NAI_GRAPH_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr.h"
+
+namespace nai::graph {
+
+/// Supporting-node set of one inference batch (Algorithm 1, line 3).
+///
+/// Local node ids are ordered by BFS discovery layer, so "all nodes within
+/// t hops of the batch" is exactly the local-id prefix [0, layer_counts[t]).
+/// The batch itself is the prefix [0, layer_counts[0]).
+///
+/// This prefix property is what makes the online propagation cheap: to
+/// obtain X^(l) on the nodes still needed after hop l, only the prefix
+/// [0, layer_counts[depth - l]) must be recomputed, and every in-neighbor it
+/// references lies inside the next-larger prefix.
+struct BatchSupport {
+  /// local id -> global id, BFS-layer order (batch first).
+  std::vector<std::int32_t> nodes;
+  /// layer_counts[t] = number of local nodes within t hops, t = 0..depth.
+  std::vector<std::int64_t> layer_counts;
+  /// Induced normalized adjacency over `nodes`, local ids.
+  Csr sub_adj;
+
+  std::int64_t batch_size() const { return layer_counts.empty() ? 0 : layer_counts[0]; }
+  std::int64_t num_supporting() const {
+    return static_cast<std::int64_t>(nodes.size());
+  }
+};
+
+/// Extracts k-hop supporting-node sets for inference batches against a fixed
+/// (already normalized) adjacency. Reusable scratch buffers make repeated
+/// batch sampling allocation-light.
+class SupportSampler {
+ public:
+  /// `norm_adj` must outlive the sampler.
+  explicit SupportSampler(const Csr& norm_adj);
+
+  /// BFS out to `depth` hops from `batch` (global ids, must be unique) and
+  /// builds the induced submatrix. depth >= 0.
+  BatchSupport Sample(const std::vector<std::int32_t>& batch, int depth);
+
+  /// Like Sample but skips the induced-submatrix materialization (the
+  /// returned support has an empty sub_adj). The sampler's global->local
+  /// mapping stays populated for this batch until the next Sample /
+  /// SampleMapped call, so callers can run SpMMMapped* against the global
+  /// matrix — the fast path the inference engine uses.
+  BatchSupport SampleMapped(const std::vector<std::int32_t>& batch,
+                            int depth);
+
+  /// Mapping of the most recent SampleMapped batch (-1 = not in support).
+  const std::vector<std::int32_t>& global_to_local() const {
+    return global_to_local_;
+  }
+
+ private:
+  BatchSupport Collect(const std::vector<std::int32_t>& batch, int depth);
+
+  const Csr* adj_;
+  std::vector<std::int32_t> global_to_local_;  // -1 when not in current batch
+  std::vector<std::int32_t> mapped_nodes_;     // to reset lazily
+};
+
+}  // namespace nai::graph
+
+#endif  // NAI_GRAPH_SAMPLER_H_

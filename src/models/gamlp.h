@@ -1,0 +1,37 @@
+#ifndef NAI_MODELS_GAMLP_H_
+#define NAI_MODELS_GAMLP_H_
+
+#include "src/models/scalable_gnn.h"
+#include "src/nn/attention.h"
+#include "src/nn/mlp.h"
+
+namespace nai::models {
+
+/// GAMLP head (Zhang et al., 2022), basic JK-attention variant: combine the
+/// propagated features at depths 0..depth with node-wise attention weights
+/// T^(l) (Eq. 5), then classify the combination with an MLP. The attention
+/// reference vectors and the MLP train jointly.
+class GamlpHead : public DepthHead {
+ public:
+  GamlpHead(const ModelConfig& config, int depth, tensor::Rng& rng);
+
+  tensor::Matrix Forward(const FeatureViews& views, bool train,
+                         tensor::Rng* rng) override;
+  void Backward(const tensor::Matrix& grad_logits) override;
+  void CollectParameters(std::vector<nn::Parameter*>& params) override;
+  std::int64_t ForwardMacs(std::int64_t rows) const override;
+  std::size_t expected_views() const override { return depth_ + 1; }
+  std::size_t num_classes() const override { return mlp_.out_dim(); }
+  tensor::Matrix Reduce(const FeatureViews& views) override;
+  const nn::Mlp& classifier_mlp() const override { return mlp_; }
+
+ private:
+  int depth_;
+  std::size_t feature_dim_;
+  nn::VectorAttention attention_;
+  nn::Mlp mlp_;
+};
+
+}  // namespace nai::models
+
+#endif  // NAI_MODELS_GAMLP_H_

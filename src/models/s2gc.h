@@ -1,0 +1,33 @@
+#ifndef NAI_MODELS_S2GC_H_
+#define NAI_MODELS_S2GC_H_
+
+#include "src/models/scalable_gnn.h"
+#include "src/nn/mlp.h"
+
+namespace nai::models {
+
+/// S2GC head (Zhu & Koniusz, 2021): average the propagated features at all
+/// depths 0..depth (Eq. 4) and classify the average.
+class S2gcHead : public DepthHead {
+ public:
+  S2gcHead(const ModelConfig& config, int depth, tensor::Rng& rng);
+
+  tensor::Matrix Forward(const FeatureViews& views, bool train,
+                         tensor::Rng* rng) override;
+  void Backward(const tensor::Matrix& grad_logits) override;
+  void CollectParameters(std::vector<nn::Parameter*>& params) override;
+  std::int64_t ForwardMacs(std::int64_t rows) const override;
+  std::size_t expected_views() const override { return depth_ + 1; }
+  std::size_t num_classes() const override { return mlp_.out_dim(); }
+  tensor::Matrix Reduce(const FeatureViews& views) override;
+  const nn::Mlp& classifier_mlp() const override { return mlp_; }
+
+ private:
+  int depth_;
+  std::size_t feature_dim_;
+  nn::Mlp mlp_;
+};
+
+}  // namespace nai::models
+
+#endif  // NAI_MODELS_S2GC_H_

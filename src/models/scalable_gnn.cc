@@ -1,0 +1,56 @@
+#include "src/models/scalable_gnn.h"
+
+#include <cassert>
+
+#include "src/models/gamlp.h"
+#include "src/models/s2gc.h"
+#include "src/models/sgc.h"
+#include "src/models/sign.h"
+
+namespace nai::models {
+
+std::string ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kSgc:
+      return "SGC";
+    case ModelKind::kSign:
+      return "SIGN";
+    case ModelKind::kS2gc:
+      return "S2GC";
+    case ModelKind::kGamlp:
+      return "GAMLP";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<DepthHead> MakeHead(const ModelConfig& config, int depth,
+                                    tensor::Rng& rng) {
+  assert(depth >= 0 && depth <= config.depth);
+  switch (config.kind) {
+    case ModelKind::kSgc:
+      return std::make_unique<SgcHead>(config, depth, rng);
+    case ModelKind::kSign:
+      return std::make_unique<SignHead>(config, depth, rng);
+    case ModelKind::kS2gc:
+      return std::make_unique<S2gcHead>(config, depth, rng);
+    case ModelKind::kGamlp:
+      return std::make_unique<GamlpHead>(config, depth, rng);
+  }
+  return nullptr;
+}
+
+std::vector<tensor::Matrix> PropagateStack(const graph::Csr& norm_adj,
+                                           const tensor::Matrix& features,
+                                           int depth) {
+  assert(depth >= 0);
+  assert(static_cast<std::int64_t>(features.rows()) == norm_adj.rows);
+  std::vector<tensor::Matrix> stack;
+  stack.reserve(depth + 1);
+  stack.push_back(features);
+  for (int t = 1; t <= depth; ++t) {
+    stack.push_back(graph::SpMM(norm_adj, stack.back()));
+  }
+  return stack;
+}
+
+}  // namespace nai::models

@@ -1,0 +1,94 @@
+#ifndef NAI_MODELS_SCALABLE_GNN_H_
+#define NAI_MODELS_SCALABLE_GNN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/nn/mlp.h"
+#include "src/nn/parameter.h"
+#include "src/tensor/matrix.h"
+#include "src/tensor/random.h"
+
+namespace nai::models {
+
+/// Which Scalable GNN family a model instance belongss to (paper §II-C).
+enum class ModelKind {
+  kSgc,    ///< SGC: classify X^(k) directly (Eq. 2)
+  kSign,   ///< SIGN: concatenate X^(0..k) (Eq. 3)
+  kS2gc,   ///< S2GC: average X^(0..k) (Eq. 4)
+  kGamlp,  ///< GAMLP: node-wise attention over X^(0..k) (Eq. 5)
+};
+
+std::string ModelKindName(ModelKind kind);
+
+/// Views of the propagated-feature stack X^(0), ..., X^(l) restricted to the
+/// rows being classified. views[t] is X^(t); all have equal shape (n x f).
+using FeatureViews = std::vector<const tensor::Matrix*>;
+
+/// A trainable classifier head reading the feature stack up to its depth.
+/// Each Scalable GNN family defines how the stack is reduced to classifier
+/// input (identity / concat / mean / attention). The NAI framework trains
+/// one head per depth (the paper's f^(1..k)).
+class DepthHead {
+ public:
+  virtual ~DepthHead() = default;
+
+  /// Logits for the stack slice views = {X^(0), ..., X^(depth)}.
+  /// `train` caches intermediates for Backward and enables dropout.
+  virtual tensor::Matrix Forward(const FeatureViews& views, bool train,
+                                 tensor::Rng* rng) = 0;
+
+  /// Accumulates parameter gradients from dLoss/dLogits.
+  virtual void Backward(const tensor::Matrix& grad_logits) = 0;
+
+  virtual void CollectParameters(std::vector<nn::Parameter*>& params) = 0;
+
+  /// Classification MACs for `rows` nodes (the "nf^2"-type terms of
+  /// Table I; propagation MACs are counted by the inference engine).
+  virtual std::int64_t ForwardMacs(std::int64_t rows) const = 0;
+
+  /// Number of views this head expects (depth + 1).
+  virtual std::size_t expected_views() const = 0;
+
+  virtual std::size_t num_classes() const = 0;
+
+  /// The family-specific stack reduction (identity / concat / mean /
+  /// attention) without the MLP, in inference mode. Exposed so alternative
+  /// classifier executors (e.g. the INT8-quantization baseline) can reuse
+  /// the reduction and substitute their own final MLP.
+  virtual tensor::Matrix Reduce(const FeatureViews& views) = 0;
+
+  /// The float MLP that consumes Reduce()'s output.
+  virtual const nn::Mlp& classifier_mlp() const = 0;
+};
+
+/// Model family descriptor + head factory. Holds no propagated state; the
+/// propagation itself is a free function so that training-time (full graph)
+/// and inference-time (batch subgraph) paths share it.
+struct ModelConfig {
+  ModelKind kind = ModelKind::kSgc;
+  int depth = 3;                           ///< k, the maximum propagation depth
+  float gamma = 0.5f;                      ///< convolution coefficient (Eq. 1)
+  std::size_t feature_dim = 0;
+  std::size_t num_classes = 0;
+  std::vector<std::size_t> hidden_dims;    ///< classifier hidden layer sizes
+  float dropout = 0.1f;
+};
+
+/// Creates the family-specific head for classifiers at `depth` (so it will
+/// consume views X^(0..depth)).
+std::unique_ptr<DepthHead> MakeHead(const ModelConfig& config, int depth,
+                                    tensor::Rng& rng);
+
+/// Computes the propagated feature stack {X^(0), X^(1), ..., X^(k)} over a
+/// full graph: X^(t) = Â X^(t-1) (Eq. 2). Returns k+1 matrices.
+std::vector<tensor::Matrix> PropagateStack(const graph::Csr& norm_adj,
+                                           const tensor::Matrix& features,
+                                           int depth);
+
+}  // namespace nai::models
+
+#endif  // NAI_MODELS_SCALABLE_GNN_H_

@@ -1,0 +1,33 @@
+#ifndef NAI_MODELS_SGC_H_
+#define NAI_MODELS_SGC_H_
+
+#include "src/models/scalable_gnn.h"
+#include "src/nn/mlp.h"
+
+namespace nai::models {
+
+/// SGC head (Wu et al., 2019): classify the deepest propagated feature
+/// X^(depth) with an MLP (a single Linear when hidden_dims is empty, which
+/// is the original SGC's logistic regression).
+class SgcHead : public DepthHead {
+ public:
+  SgcHead(const ModelConfig& config, int depth, tensor::Rng& rng);
+
+  tensor::Matrix Forward(const FeatureViews& views, bool train,
+                         tensor::Rng* rng) override;
+  void Backward(const tensor::Matrix& grad_logits) override;
+  void CollectParameters(std::vector<nn::Parameter*>& params) override;
+  std::int64_t ForwardMacs(std::int64_t rows) const override;
+  std::size_t expected_views() const override { return depth_ + 1; }
+  std::size_t num_classes() const override { return mlp_.out_dim(); }
+  tensor::Matrix Reduce(const FeatureViews& views) override;
+  const nn::Mlp& classifier_mlp() const override { return mlp_; }
+
+ private:
+  int depth_;
+  nn::Mlp mlp_;
+};
+
+}  // namespace nai::models
+
+#endif  // NAI_MODELS_SGC_H_

@@ -1,0 +1,37 @@
+#ifndef NAI_MODELS_SIGN_H_
+#define NAI_MODELS_SIGN_H_
+
+#include "src/models/scalable_gnn.h"
+#include "src/nn/mlp.h"
+
+namespace nai::models {
+
+/// SIGN head (Frasca et al., 2020): concatenate the propagated features at
+/// all depths 0..depth (Eq. 3) and classify the concatenation with an MLP.
+///
+/// The paper's per-depth linear transforms W^(0..l) followed by
+/// concatenation are folded into the first MLP layer here: a Linear over
+/// the concatenation is the same parameterization as the concatenation of
+/// per-depth Linears, with strictly more general cross-terms.
+class SignHead : public DepthHead {
+ public:
+  SignHead(const ModelConfig& config, int depth, tensor::Rng& rng);
+
+  tensor::Matrix Forward(const FeatureViews& views, bool train,
+                         tensor::Rng* rng) override;
+  void Backward(const tensor::Matrix& grad_logits) override;
+  void CollectParameters(std::vector<nn::Parameter*>& params) override;
+  std::int64_t ForwardMacs(std::int64_t rows) const override;
+  std::size_t expected_views() const override { return depth_ + 1; }
+  std::size_t num_classes() const override { return mlp_.out_dim(); }
+  tensor::Matrix Reduce(const FeatureViews& views) override;
+  const nn::Mlp& classifier_mlp() const override { return mlp_; }
+
+ private:
+  int depth_;
+  nn::Mlp mlp_;  // input dim = (depth + 1) * feature_dim
+};
+
+}  // namespace nai::models
+
+#endif  // NAI_MODELS_SIGN_H_

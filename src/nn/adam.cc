@@ -1,0 +1,50 @@
+#include "src/nn/adam.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace nai::nn {
+
+void Adam::Register(const std::vector<Parameter*>& params) {
+  assert(step_count_ == 0 && "register all parameters before stepping");
+  for (Parameter* p : params) params_.push_back(p);
+}
+
+void Adam::Step() {
+  if (m_.empty()) {
+    m_.resize(params_.size());
+    v_.resize(params_.size());
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      m_[i].Resize(params_[i]->value.rows(), params_[i]->value.cols());
+      v_[i].Resize(params_[i]->value.rows(), params_[i]->value.cols());
+    }
+  }
+  ++step_count_;
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(step_count_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    float* val = p.value.data();
+    const float* g = p.grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (std::size_t j = 0; j < p.value.size(); ++j) {
+      float grad = g[j];
+      if (config_.weight_decay > 0.0f) grad += config_.weight_decay * val[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * grad;
+      v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      val[j] -= config_.learning_rate * m_hat /
+                (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+}  // namespace nai::nn

@@ -1,0 +1,50 @@
+#ifndef NAI_NN_ADAM_H_
+#define NAI_NN_ADAM_H_
+
+#include <vector>
+
+#include "src/nn/parameter.h"
+#include "src/tensor/matrix.h"
+
+namespace nai::nn {
+
+struct AdamConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  /// Decoupled L2 weight decay (the paper's "weight decay" hyper-parameter).
+  float weight_decay = 0.0f;
+};
+
+/// Adam optimizer over a fixed set of registered parameters.
+/// Register all parameters before the first Step(); slots are allocated
+/// lazily on first Step to match parameter shapes.
+class Adam {
+ public:
+  explicit Adam(const AdamConfig& config) : config_(config) {}
+
+  /// Adds parameters (non-owning; must outlive the optimizer).
+  void Register(const std::vector<Parameter*>& params);
+
+  /// Applies one Adam update from each parameter's accumulated gradient,
+  /// then leaves gradients untouched (call ZeroGrad separately).
+  void Step();
+
+  /// Zeroes all registered gradients.
+  void ZeroGrad();
+
+  int step_count() const { return step_count_; }
+  AdamConfig& config() { return config_; }
+
+ private:
+  AdamConfig config_;
+  std::vector<Parameter*> params_;
+  std::vector<tensor::Matrix> m_;
+  std::vector<tensor::Matrix> v_;
+  int step_count_ = 0;
+};
+
+}  // namespace nai::nn
+
+#endif  // NAI_NN_ADAM_H_

@@ -1,0 +1,57 @@
+#ifndef NAI_NN_ATTENTION_H_
+#define NAI_NN_ATTENTION_H_
+
+#include <vector>
+
+#include "src/nn/parameter.h"
+#include "src/tensor/matrix.h"
+#include "src/tensor/random.h"
+
+namespace nai::nn {
+
+/// Node-wise scalar attention over L per-depth "views" of each node.
+///
+/// Given views V_l (n x d), l = 0..L-1, and learned per-view reference
+/// vectors s_l (rows of a single L x d parameter):
+///
+///   q_i^l = sigmoid(V_l[i] · s_l)         (self-attention score, Eq. 18)
+///   w_i   = softmax_l(q_i^l)              (normalized weights)
+///   out_i = sum_l w_i^l V_l[i]            (combined view)
+///
+/// This is the node-wise attention used both by GAMLP's recursive feature
+/// combination (Eq. 5) and by Inception Distillation's ensemble teacher
+/// (Eq. 18), where the views are classifier prediction vectors.
+class VectorAttention {
+ public:
+  VectorAttention() = default;
+  VectorAttention(std::size_t num_views, std::size_t dim, tensor::Rng& rng);
+
+  /// Combines the views. With `train` true, caches intermediates.
+  tensor::Matrix Forward(const std::vector<const tensor::Matrix*>& views,
+                         bool train);
+
+  /// Backward from dLoss/dOut. Accumulates the gradient of the reference
+  /// vectors; if `grad_views` is non-null it receives dLoss/dV_l for each
+  /// view (resized as needed). Requires a previous Forward(train=true).
+  void Backward(const tensor::Matrix& grad_out,
+                std::vector<tensor::Matrix>* grad_views);
+
+  /// Per-node attention weights from the last forward (n x L).
+  const tensor::Matrix& last_weights() const { return weights_; }
+
+  Parameter& reference() { return reference_; }
+  void CollectParameters(std::vector<Parameter*>& params);
+
+  std::size_t num_views() const { return reference_.value.rows(); }
+  std::size_t dim() const { return reference_.value.cols(); }
+
+ private:
+  Parameter reference_;            // L x d, row l is s_l
+  std::vector<tensor::Matrix> cached_views_;
+  tensor::Matrix scores_;          // n x L, q before softmax (post-sigmoid)
+  tensor::Matrix weights_;         // n x L, softmax over views
+};
+
+}  // namespace nai::nn
+
+#endif  // NAI_NN_ATTENTION_H_

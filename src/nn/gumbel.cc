@@ -1,0 +1,50 @@
+#include "src/nn/gumbel.h"
+
+#include <cassert>
+
+#include "src/tensor/ops.h"
+
+namespace nai::nn {
+
+GumbelSample GumbelSoftmax(const tensor::Matrix& logits, float tau,
+                           tensor::Rng& rng, bool deterministic) {
+  assert(tau > 0.0f);
+  tensor::Matrix noisy = logits;
+  if (!deterministic) {
+    float* d = noisy.data();
+    for (std::size_t i = 0; i < noisy.size(); ++i) d[i] += rng.NextGumbel();
+  }
+  GumbelSample out;
+  out.soft = tensor::SoftmaxRows(noisy, tau);
+  out.hard.Resize(logits.rows(), logits.cols());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const float* s = out.soft.row(i);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < logits.cols(); ++j) {
+      if (s[j] > s[best]) best = j;
+    }
+    out.hard.at(i, best) = 1.0f;
+  }
+  return out;
+}
+
+tensor::Matrix GumbelSoftmaxBackward(const tensor::Matrix& soft,
+                                     const tensor::Matrix& grad_soft,
+                                     float tau) {
+  assert(soft.SameShape(grad_soft));
+  tensor::Matrix grad(soft.rows(), soft.cols());
+  const float inv_tau = 1.0f / tau;
+  for (std::size_t i = 0; i < soft.rows(); ++i) {
+    const float* s = soft.row(i);
+    const float* g = grad_soft.row(i);
+    float* o = grad.row(i);
+    float dot = 0.0f;
+    for (std::size_t j = 0; j < soft.cols(); ++j) dot += g[j] * s[j];
+    for (std::size_t j = 0; j < soft.cols(); ++j) {
+      o[j] = inv_tau * s[j] * (g[j] - dot);
+    }
+  }
+  return grad;
+}
+
+}  // namespace nai::nn

@@ -1,0 +1,34 @@
+#ifndef NAI_NN_GUMBEL_H_
+#define NAI_NN_GUMBEL_H_
+
+#include "src/tensor/matrix.h"
+#include "src/tensor/random.h"
+
+namespace nai::nn {
+
+/// One straight-through Gumbel-softmax draw (Jang et al., 2016), the GS
+/// operator of the paper's Eq. (11).
+struct GumbelSample {
+  /// Differentiable relaxed sample: softmax((logits + gumbel_noise) / tau).
+  tensor::Matrix soft;
+  /// Hard one-hot arg-max of `soft`. Forward uses `hard`; gradients flow
+  /// through `soft` (straight-through estimator).
+  tensor::Matrix hard;
+};
+
+/// Samples row-wise from the Gumbel-softmax with temperature `tau`.
+/// When `deterministic` is true the noise is skipped (used at inference,
+/// where the gate is a plain argmax — Eq. (13)).
+GumbelSample GumbelSoftmax(const tensor::Matrix& logits, float tau,
+                           tensor::Rng& rng, bool deterministic = false);
+
+/// Backward helper for the straight-through estimator: given dL/d(soft
+/// sample) `grad_soft` and the forward's `soft` output, returns dL/d(logits):
+///   dL/dz_j = (1/tau) * soft_j * (grad_j - sum_k grad_k soft_k)
+tensor::Matrix GumbelSoftmaxBackward(const tensor::Matrix& soft,
+                                     const tensor::Matrix& grad_soft,
+                                     float tau);
+
+}  // namespace nai::nn
+
+#endif  // NAI_NN_GUMBEL_H_

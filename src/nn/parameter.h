@@ -1,0 +1,24 @@
+#ifndef NAI_NN_PARAMETER_H_
+#define NAI_NN_PARAMETER_H_
+
+#include "src/tensor/matrix.h"
+
+namespace nai::nn {
+
+/// A trainable tensor: value plus accumulated gradient of the same shape.
+/// Layers own their parameters; optimizers hold non-owning pointers to them.
+struct Parameter {
+  tensor::Matrix value;
+  tensor::Matrix grad;
+
+  void Resize(std::size_t rows, std::size_t cols) {
+    value.Resize(rows, cols);
+    grad.Resize(rows, cols);
+  }
+
+  void ZeroGrad() { grad.Fill(0.0f); }
+};
+
+}  // namespace nai::nn
+
+#endif  // NAI_NN_PARAMETER_H_

@@ -1,0 +1,71 @@
+#include "src/tensor/matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace nai::tensor {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.size() == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    assert(r.size() == cols_ && "ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::Resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+Matrix Matrix::RowCopy(std::size_t r) const {
+  Matrix out(1, cols_);
+  std::copy(row(r), row(r) + cols_, out.data());
+  return out;
+}
+
+Matrix Matrix::GatherRows(const std::vector<std::int32_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] >= 0 && static_cast<std::size_t>(indices[i]) < rows_);
+    std::copy(row(indices[i]), row(indices[i]) + cols_, out.row(i));
+  }
+  return out;
+}
+
+void Matrix::SetRow(std::size_t r, const float* src) {
+  std::copy(src, src + cols_, row(r));
+}
+
+float Matrix::RowSquaredNorm(std::size_t r) const {
+  const float* p = row(r);
+  float acc = 0.0f;
+  for (std::size_t c = 0; c < cols_; ++c) acc += p[c] * p[c];
+  return acc;
+}
+
+std::size_t Matrix::CountDifferences(const Matrix& other, float tol) const {
+  if (!SameShape(other)) return size();
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) ++diff;
+  }
+  return diff;
+}
+
+std::string Matrix::ShapeString() const {
+  std::ostringstream os;
+  os << "[" << rows_ << " x " << cols_ << "]";
+  return os.str();
+}
+
+}  // namespace nai::tensor

@@ -1,0 +1,92 @@
+#ifndef NAI_TENSOR_MATRIX_H_
+#define NAI_TENSOR_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace nai::tensor {
+
+/// Dense row-major float matrix. This is the workhorse value type of the
+/// library: node-feature matrices, classifier weights, logits and soft labels
+/// are all `Matrix`. Rows index nodes (or output units), columns index
+/// feature dimensions.
+///
+/// The class is a passive data holder plus cheap accessors; all heavy
+/// numerical kernels live in ops.h so they can be tested and benchmarked
+/// independently.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a zero-initialized matrix of shape `rows x cols`.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// Creates a matrix from a nested initializer list; all inner lists must
+  /// have equal length. Intended for tests and small fixtures.
+  Matrix(std::initializer_list<std::initializer_list<float>> rows);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Pointer to the start of row `r`.
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  float& operator()(std::size_t r, std::size_t c) { return at(r, c); }
+  float operator()(std::size_t r, std::size_t c) const { return at(r, c); }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Resizes to `rows x cols`, zero-initializing all elements.
+  void Resize(std::size_t rows, std::size_t cols);
+
+  /// Returns a copy of row `r` as a 1 x cols matrix.
+  Matrix RowCopy(std::size_t r) const;
+
+  /// Returns a new matrix containing the given rows, in order.
+  Matrix GatherRows(const std::vector<std::int32_t>& indices) const;
+
+  /// Writes `src` (1 x cols or cols-length row) into row `r`.
+  void SetRow(std::size_t r, const float* src);
+
+  /// Squared L2 norm of row `r`.
+  float RowSquaredNorm(std::size_t r) const;
+
+  /// Total number of float elements that differ from `other` by more than
+  /// `tol` (absolute). Shape mismatch counts as `size()` differences.
+  std::size_t CountDifferences(const Matrix& other, float tol) const;
+
+  /// Human-readable shape, e.g. "[128 x 64]". Used in error messages.
+  std::string ShapeString() const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace nai::tensor
+
+#endif  // NAI_TENSOR_MATRIX_H_

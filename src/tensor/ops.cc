@@ -1,0 +1,316 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+namespace nai::tensor {
+
+void ParallelFor(std::size_t total,
+                 const std::function<void(std::size_t, std::size_t)>& fn,
+                 int max_threads) {
+  if (total == 0) return;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::size_t workers = max_threads > 0
+                            ? static_cast<std::size_t>(max_threads)
+                            : static_cast<std::size_t>(hw);
+  // Thread spawn costs ~10us; below this chunk size it is pure overhead.
+  constexpr std::size_t kMinChunk = 2048;
+  workers = std::min(workers, (total + kMinChunk - 1) / kMinChunk);
+  if (workers <= 1) {
+    fn(0, total);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const std::size_t chunk = (total + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(total, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix out(m, n);
+  // ikj loop order: the inner loop streams over contiguous rows of `b` and
+  // `out`, which vectorizes well and avoids a transpose.
+  ParallelFor(m, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* arow = a.row(i);
+      float* orow = out.row(i);
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b.row(p);
+        for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  });
+  return out;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix out(m, n);
+  ParallelFor(m, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* arow = a.row(i);
+      float* orow = out.row(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = b.row(j);
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        orow[j] = acc;
+      }
+    }
+  });
+  return out;
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix out(m, n);
+  // Serial over k to keep writes race-free; parallelize over output rows by
+  // accumulating into thread-local strips would cost memory; the matrices
+  // here (gradient accumulations, f x c) are small, so a single pass is fine.
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.row(i);
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+void AddInPlace(Matrix& dst, const Matrix& src) {
+  assert(dst.SameShape(src));
+  float* d = dst.data();
+  const float* s = src.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) d[i] += s[i];
+}
+
+void Axpy(Matrix& dst, float alpha, const Matrix& src) {
+  assert(dst.SameShape(src));
+  float* d = dst.data();
+  const float* s = src.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) d[i] += alpha * s[i];
+}
+
+void ScaleInPlace(Matrix& dst, float alpha) {
+  float* d = dst.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) d[i] *= alpha;
+}
+
+Matrix Subtract(const Matrix& a, const Matrix& b) {
+  assert(a.SameShape(b));
+  Matrix out(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < a.size(); ++i) po[i] = pa[i] - pb[i];
+  return out;
+}
+
+void AddRowBias(Matrix& m, const Matrix& bias) {
+  assert(bias.rows() == 1 && bias.cols() == m.cols());
+  const float* b = bias.data();
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float* row = m.row(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) row[j] += b[j];
+  }
+}
+
+void ReluInPlace(Matrix& m) {
+  float* d = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) d[i] = std::max(0.0f, d[i]);
+}
+
+void ReluBackwardInPlace(const Matrix& z, Matrix& grad) {
+  assert(z.SameShape(grad));
+  const float* zp = z.data();
+  float* gp = grad.data();
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    if (zp[i] <= 0.0f) gp[i] = 0.0f;
+  }
+}
+
+void SigmoidInPlace(Matrix& m) {
+  float* d = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    d[i] = 1.0f / (1.0f + std::exp(-d[i]));
+  }
+}
+
+Matrix SoftmaxRows(const Matrix& m, float temperature) {
+  assert(temperature > 0.0f);
+  Matrix out(m.rows(), m.cols());
+  ParallelFor(m.rows(), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* in = m.row(i);
+      float* o = out.row(i);
+      float maxv = -std::numeric_limits<float>::infinity();
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        maxv = std::max(maxv, in[j] / temperature);
+      }
+      float sum = 0.0f;
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        o[j] = std::exp(in[j] / temperature - maxv);
+        sum += o[j];
+      }
+      const float inv = 1.0f / sum;
+      for (std::size_t j = 0; j < m.cols(); ++j) o[j] *= inv;
+    }
+  });
+  return out;
+}
+
+Matrix LogSoftmaxRows(const Matrix& m) {
+  Matrix out(m.rows(), m.cols());
+  ParallelFor(m.rows(), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* in = m.row(i);
+      float* o = out.row(i);
+      float maxv = -std::numeric_limits<float>::infinity();
+      for (std::size_t j = 0; j < m.cols(); ++j) maxv = std::max(maxv, in[j]);
+      float sum = 0.0f;
+      for (std::size_t j = 0; j < m.cols(); ++j) sum += std::exp(in[j] - maxv);
+      const float lse = maxv + std::log(sum);
+      for (std::size_t j = 0; j < m.cols(); ++j) o[j] = in[j] - lse;
+    }
+  });
+  return out;
+}
+
+std::vector<std::int32_t> ArgmaxRows(const Matrix& m) {
+  std::vector<std::int32_t> out(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.row(i);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < m.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = static_cast<std::int32_t>(best);
+  }
+  return out;
+}
+
+Matrix ConcatCols(const std::vector<const Matrix*>& parts) {
+  assert(!parts.empty());
+  const std::size_t rows = parts[0]->rows();
+  std::size_t total_cols = 0;
+  for (const Matrix* p : parts) {
+    assert(p->rows() == rows);
+    total_cols += p->cols();
+  }
+  Matrix out(rows, total_cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* orow = out.row(i);
+    std::size_t offset = 0;
+    for (const Matrix* p : parts) {
+      std::copy(p->row(i), p->row(i) + p->cols(), orow + offset);
+      offset += p->cols();
+    }
+  }
+  return out;
+}
+
+Matrix Mean(const std::vector<const Matrix*>& parts) {
+  assert(!parts.empty());
+  Matrix out(parts[0]->rows(), parts[0]->cols());
+  for (const Matrix* p : parts) AddInPlace(out, *p);
+  ScaleInPlace(out, 1.0f / static_cast<float>(parts.size()));
+  return out;
+}
+
+std::vector<float> RowL2Distance(const Matrix& a, const Matrix& b) {
+  assert(a.SameShape(b));
+  std::vector<float> out(a.rows());
+  ParallelFor(a.rows(), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* pa = a.row(i);
+      const float* pb = b.row(i);
+      float acc = 0.0f;
+      for (std::size_t j = 0; j < a.cols(); ++j) {
+        const float d = pa[j] - pb[j];
+        acc += d * d;
+      }
+      out[i] = std::sqrt(acc);
+    }
+  });
+  return out;
+}
+
+std::vector<float> RowL2Norms(const Matrix& m) {
+  std::vector<float> out(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    out[i] = std::sqrt(m.RowSquaredNorm(i));
+  }
+  return out;
+}
+
+void NormalizeRowsInPlace(Matrix& m, float eps) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float norm = std::sqrt(m.RowSquaredNorm(i));
+    if (norm < eps) continue;
+    float* row = m.row(i);
+    const float inv = 1.0f / norm;
+    for (std::size_t j = 0; j < m.cols(); ++j) row[j] *= inv;
+  }
+}
+
+Matrix ColumnSums(const Matrix& m) {
+  Matrix out(1, m.cols());
+  float* o = out.data();
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.row(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) o[j] += row[j];
+  }
+  return out;
+}
+
+float FrobeniusNorm(const Matrix& m) {
+  double acc = 0.0;
+  const float* d = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    acc += static_cast<double>(d[i]) * d[i];
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+void DropoutInPlace(Matrix& m, float rate, Matrix& mask,
+                    const std::function<float()>& uniform01) {
+  mask.Resize(m.rows(), m.cols());
+  if (rate <= 0.0f) {
+    mask.Fill(1.0f);
+    return;
+  }
+  assert(rate < 1.0f);
+  const float keep_scale = 1.0f / (1.0f - rate);
+  float* d = m.data();
+  float* mk = mask.data();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (uniform01() < rate) {
+      mk[i] = 0.0f;
+      d[i] = 0.0f;
+    } else {
+      mk[i] = keep_scale;
+      d[i] *= keep_scale;
+    }
+  }
+}
+
+}  // namespace nai::tensor

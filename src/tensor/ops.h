@@ -1,0 +1,94 @@
+#ifndef NAI_TENSOR_OPS_H_
+#define NAI_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace nai::tensor {
+
+/// Runs `fn(begin, end)` over [0, total) split into contiguous chunks across
+/// up to `max_threads` worker threads (hardware concurrency by default).
+/// Falls back to a single inline call for small `total`.
+void ParallelFor(std::size_t total,
+                 const std::function<void(std::size_t, std::size_t)>& fn,
+                 int max_threads = 0);
+
+/// out = a * b. Shapes: (m x k) * (k x n) -> (m x n).
+/// Blocked, multi-threaded over rows of `a`.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// out = a * b^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+
+/// out = a^T * b. Shapes: (k x m)^T * (k x n) -> (m x n).
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+
+/// dst += src (elementwise). Shapes must match.
+void AddInPlace(Matrix& dst, const Matrix& src);
+
+/// dst += alpha * src (elementwise). Shapes must match.
+void Axpy(Matrix& dst, float alpha, const Matrix& src);
+
+/// dst *= alpha.
+void ScaleInPlace(Matrix& dst, float alpha);
+
+/// Returns a - b.
+Matrix Subtract(const Matrix& a, const Matrix& b);
+
+/// Adds row-vector `bias` (1 x cols) to every row of `m`.
+void AddRowBias(Matrix& m, const Matrix& bias);
+
+/// ReLU in place.
+void ReluInPlace(Matrix& m);
+
+/// Given pre-activation `z` and upstream gradient `grad`, zeroes gradient
+/// entries where z <= 0 (ReLU backward), in place on `grad`.
+void ReluBackwardInPlace(const Matrix& z, Matrix& grad);
+
+/// Sigmoid in place.
+void SigmoidInPlace(Matrix& m);
+
+/// Row-wise softmax with optional temperature: softmax(m[i] / temperature).
+Matrix SoftmaxRows(const Matrix& m, float temperature = 1.0f);
+
+/// Row-wise log-softmax (numerically stable).
+Matrix LogSoftmaxRows(const Matrix& m);
+
+/// Argmax of each row.
+std::vector<std::int32_t> ArgmaxRows(const Matrix& m);
+
+/// Concatenates matrices horizontally (same row count).
+Matrix ConcatCols(const std::vector<const Matrix*>& parts);
+
+/// Elementwise mean of equally-shaped matrices.
+Matrix Mean(const std::vector<const Matrix*>& parts);
+
+/// Per-row L2 distance between equally-shaped a and b:
+/// out[i] = ||a[i] - b[i]||_2.
+std::vector<float> RowL2Distance(const Matrix& a, const Matrix& b);
+
+/// Per-row L2 norms.
+std::vector<float> RowL2Norms(const Matrix& m);
+
+/// Normalizes each row to unit L2 norm (rows with norm < eps are left as-is).
+void NormalizeRowsInPlace(Matrix& m, float eps = 1e-12f);
+
+/// Sum over rows -> 1 x cols.
+Matrix ColumnSums(const Matrix& m);
+
+/// Frobenius norm.
+float FrobeniusNorm(const Matrix& m);
+
+/// Dropout forward: zeroes each entry with probability `rate` and rescales
+/// survivors by 1/(1-rate). `mask` receives the kept/rescale multipliers so
+/// the caller can replay the same mask in the backward pass. `rate` = 0 is a
+/// no-op. Uses the caller's uniform sampler for determinism.
+void DropoutInPlace(Matrix& m, float rate, Matrix& mask,
+                    const std::function<float()>& uniform01);
+
+}  // namespace nai::tensor
+
+#endif  // NAI_TENSOR_OPS_H_

@@ -1,0 +1,78 @@
+#include "src/baselines/nosmog.h"
+
+#include "gtest/gtest.h"
+#include "src/graph/partition.h"
+#include "tests/core/core_fixtures.h"
+
+namespace nai::baselines {
+namespace {
+
+using nai::testing::MakeSmallWorld;
+
+TEST(NosmogTest, TrainAndInferInductive) {
+  auto w = MakeSmallWorld(2, models::ModelKind::kSgc, 400);
+  const graph::InductiveSplit split =
+      graph::MakeInductiveSplit(w.data.graph, 0.7, 0.8, 0.1, 5);
+
+  // Teacher logits on train-graph rows: reuse the transductive classifier
+  // restricted to train nodes (adequate as a distillation signal in tests).
+  const tensor::Matrix teacher_all = w.classifiers->Logits(2, w.all_feats);
+  const tensor::Matrix teacher = teacher_all.GatherRows(split.train_nodes);
+  const tensor::Matrix train_feats =
+      w.data.features.GatherRows(split.train_nodes);
+  std::vector<std::int32_t> train_labels;
+  for (const auto g : split.train_nodes) {
+    train_labels.push_back(w.data.labels[g]);
+  }
+
+  NosmogConfig cfg;
+  cfg.hidden_dims = {32};
+  cfg.epochs = 120;
+  cfg.position_dim = 8;
+  Nosmog nosmog(w.config.feature_dim, w.config.num_classes, cfg);
+  nosmog.Train(split.train_graph, train_feats, teacher, train_labels,
+               split.labeled_local);
+  EXPECT_EQ(nosmog.train_positions().rows(), split.train_nodes.size());
+  EXPECT_EQ(nosmog.train_positions().cols(), 8u);
+
+  const NosmogResult r = nosmog.Infer(w.data.graph, w.data.features,
+                                      split.train_nodes, split.test_nodes);
+  EXPECT_EQ(r.predictions.size(), split.test_nodes.size());
+  // Position aggregation for unseen nodes is real FP work.
+  EXPECT_GT(r.cost.fp_macs, 0);
+  EXPECT_GT(r.cost.total_macs, r.cost.fp_macs);
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < split.test_nodes.size(); ++i) {
+    if (r.predictions[i] == w.data.labels[split.test_nodes[i]]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / split.test_nodes.size(), 0.4);
+}
+
+TEST(NosmogTest, TrainNodeQueriesReuseStoredPositions) {
+  auto w = MakeSmallWorld(2, models::ModelKind::kSgc, 200);
+  const graph::InductiveSplit split =
+      graph::MakeInductiveSplit(w.data.graph, 0.8, 0.8, 0.1, 7);
+  const tensor::Matrix teacher =
+      w.classifiers->Logits(2, w.all_feats).GatherRows(split.train_nodes);
+  const tensor::Matrix train_feats =
+      w.data.features.GatherRows(split.train_nodes);
+  std::vector<std::int32_t> train_labels;
+  for (const auto g : split.train_nodes) {
+    train_labels.push_back(w.data.labels[g]);
+  }
+  NosmogConfig cfg;
+  cfg.hidden_dims = {16};
+  cfg.epochs = 10;
+  Nosmog nosmog(w.config.feature_dim, w.config.num_classes, cfg);
+  nosmog.Train(split.train_graph, train_feats, teacher, train_labels,
+               split.labeled_local);
+
+  // Querying only train nodes costs no aggregation MACs.
+  const NosmogResult r = nosmog.Infer(w.data.graph, w.data.features,
+                                      split.train_nodes, split.train_nodes);
+  EXPECT_EQ(r.cost.fp_macs, 0);
+}
+
+}  // namespace
+}  // namespace nai::baselines

@@ -1,0 +1,80 @@
+#include "src/core/classifier_stack.h"
+
+#include "gtest/gtest.h"
+#include "src/tensor/ops.h"
+#include "tests/core/core_fixtures.h"
+#include "tests/test_util.h"
+
+namespace nai::core {
+namespace {
+
+using nai::testing::MakeSmallWorld;
+using nai::testing::RandomMatrix;
+
+TEST(GatheredStackTest, GatherAndViews) {
+  std::vector<tensor::Matrix> stack;
+  stack.push_back(RandomMatrix(10, 4, 1));
+  stack.push_back(RandomMatrix(10, 4, 2));
+  stack.push_back(RandomMatrix(10, 4, 3));
+  const GatheredStack g = GatherStack(stack, {3, 7});
+  EXPECT_EQ(g.num_rows(), 2u);
+  EXPECT_EQ(g.mats.size(), 3u);
+  EXPECT_FLOAT_EQ(g.mats[1].at(0, 2), stack[1].at(3, 2));
+  EXPECT_FLOAT_EQ(g.mats[2].at(1, 0), stack[2].at(7, 0));
+
+  const models::FeatureViews v = g.ViewsUpTo(1);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], &g.mats[0]);
+}
+
+TEST(ClassifierStackTest, OneHeadPerDepth) {
+  models::ModelConfig cfg;
+  cfg.kind = models::ModelKind::kSgc;
+  cfg.depth = 4;
+  cfg.feature_dim = 8;
+  cfg.num_classes = 3;
+  ClassifierStack stack(cfg, 7);
+  EXPECT_EQ(stack.depth(), 4);
+  for (int l = 1; l <= 4; ++l) {
+    EXPECT_EQ(stack.head(l).expected_views(), static_cast<std::size_t>(l + 1));
+    EXPECT_EQ(stack.head(l).num_classes(), 3u);
+  }
+}
+
+TEST(ClassifierStackTest, LogitsShapes) {
+  auto w = MakeSmallWorld(3);
+  for (int l = 1; l <= 3; ++l) {
+    const tensor::Matrix logits = w.classifiers->Logits(l, w.all_feats);
+    EXPECT_EQ(logits.rows(), w.all_nodes.size());
+    EXPECT_EQ(logits.cols(), 4u);
+  }
+}
+
+TEST(ClassifierStackTest, HeadParametersDistinct) {
+  auto w = MakeSmallWorld(2);
+  const auto p1 = w.classifiers->HeadParameters(1);
+  const auto p2 = w.classifiers->HeadParameters(2);
+  EXPECT_FALSE(p1.empty());
+  for (const auto* a : p1) {
+    for (const auto* b : p2) EXPECT_NE(a, b);
+  }
+}
+
+TEST(ClassifierStackTest, TrainedHeadsBeatChance) {
+  auto w = MakeSmallWorld(3);
+  // All heads were CE-trained by the fixture; each should beat 4-class
+  // chance comfortably on the (transductive) training data.
+  for (int l = 1; l <= 3; ++l) {
+    const tensor::Matrix logits = w.classifiers->Logits(l, w.all_feats);
+    const auto pred = tensor::ArgmaxRows(logits);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      if (pred[i] == w.data.labels[i]) ++correct;
+    }
+    EXPECT_GT(static_cast<double>(correct) / pred.size(), 0.5)
+        << "head at depth " << l;
+  }
+}
+
+}  // namespace
+}  // namespace nai::core

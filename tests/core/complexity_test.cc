@@ -1,0 +1,89 @@
+#include "src/core/complexity.h"
+
+#include "gtest/gtest.h"
+
+namespace nai::core {
+namespace {
+
+ComplexityParams BaseParams() {
+  ComplexityParams p;
+  p.n = 1000;
+  p.m = 10000;
+  p.f = 64;
+  p.p = 2;
+  p.k = 5.0;
+  p.q = 2.0;
+  return p;
+}
+
+TEST(ComplexityTest, SgcFormulas) {
+  const ComplexityParams p = BaseParams();
+  EXPECT_EQ(VanillaMacs(models::ModelKind::kSgc, p),
+            5 * 10000 * 64 + 1000 * 64 * 64);
+  EXPECT_EQ(NaiMacs(models::ModelKind::kSgc, p, true),
+            2 * 10000 * 64 + 1000 * 64 * 64 + 1000 * 64);
+  EXPECT_EQ(NaiMacs(models::ModelKind::kSgc, p, false),
+            2 * 10000 * 64 + 1000 * 64 * 64 +
+                static_cast<std::int64_t>(1000) * 1000 * 64);
+}
+
+TEST(ComplexityTest, SignScalesClassificationWithDepth) {
+  const ComplexityParams p = BaseParams();
+  const std::int64_t vanilla = VanillaMacs(models::ModelKind::kSign, p);
+  const std::int64_t nai = NaiMacs(models::ModelKind::kSign, p, true);
+  // Vanilla: k * P * n * f^2; NAI: q * P * n * f^2 — NAI strictly smaller
+  // in both the propagation and the classification term when q < k.
+  EXPECT_LT(nai, vanilla);
+  EXPECT_EQ(vanilla, 5 * 10000 * 64 + 5 * 2 * 1000 * 64 * 64);
+}
+
+TEST(ComplexityTest, S2gcHasAveragingTerm) {
+  const ComplexityParams p = BaseParams();
+  EXPECT_EQ(VanillaMacs(models::ModelKind::kS2gc, p),
+            5 * 10000 * 64 + 5 * 1000 * 64 + 1000 * 64 * 64);
+}
+
+TEST(ComplexityTest, GamlpClassificationIndependentOfDepth) {
+  ComplexityParams p = BaseParams();
+  const std::int64_t at_k5 = VanillaMacs(models::ModelKind::kGamlp, p);
+  p.k = 10.0;
+  const std::int64_t at_k10 = VanillaMacs(models::ModelKind::kGamlp, p);
+  // Only the propagation term grows with k.
+  EXPECT_EQ(at_k10 - at_k5, 5 * 10000 * 64);
+}
+
+TEST(ComplexityTest, NaiBeatsVanillaWhenQSmall) {
+  for (const auto kind :
+       {models::ModelKind::kSgc, models::ModelKind::kSign,
+        models::ModelKind::kS2gc, models::ModelKind::kGamlp}) {
+    ComplexityParams p = BaseParams();
+    p.q = 1.2;
+    EXPECT_LT(NaiMacs(kind, p, true), VanillaMacs(kind, p))
+        << models::ModelKindName(kind);
+  }
+}
+
+TEST(ComplexityTest, QuadraticStationaryCanDominate) {
+  // With the paper's O(n^2 f) stationary term, NAI exceeds vanilla on
+  // small m; the rank-one implementation cuts that overhead from n^2 f to
+  // n f (a factor of n).
+  ComplexityParams p = BaseParams();
+  p.m = 100;  // tiny edge count
+  EXPECT_GT(NaiMacs(models::ModelKind::kSgc, p, false),
+            VanillaMacs(models::ModelKind::kSgc, p));
+  const std::int64_t paper = NaiMacs(models::ModelKind::kSgc, p, false);
+  const std::int64_t rank_one = NaiMacs(models::ModelKind::kSgc, p, true);
+  EXPECT_EQ(paper - rank_one, p.n * p.n * p.f - p.n * p.f);
+}
+
+TEST(ComplexityTest, FormulaStringsNonEmpty) {
+  for (const auto kind :
+       {models::ModelKind::kSgc, models::ModelKind::kSign,
+        models::ModelKind::kS2gc, models::ModelKind::kGamlp}) {
+    EXPECT_FALSE(VanillaFormula(kind).empty());
+    EXPECT_FALSE(NaiFormula(kind).empty());
+  }
+}
+
+}  // namespace
+}  // namespace nai::core

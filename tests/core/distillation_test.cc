@@ -1,0 +1,141 @@
+#include "src/core/distillation.h"
+
+#include "gtest/gtest.h"
+#include "src/nn/loss.h"
+#include "tests/core/core_fixtures.h"
+
+namespace nai::core {
+namespace {
+
+using nai::testing::MakeSmallWorld;
+using nai::testing::SmallWorld;
+
+float HeadAccuracy(SmallWorld& w, int l) {
+  const tensor::Matrix logits = w.classifiers->Logits(l, w.all_feats);
+  return nn::Accuracy(logits, w.data.labels);
+}
+
+TEST(DistillationTest, TrainBaseFitsTeacher) {
+  auto w = MakeSmallWorld(3, models::ModelKind::kSgc, 400, 0);
+  DistillConfig cfg;
+  cfg.base_epochs = 80;
+  InceptionDistillation distiller(*w.classifiers, cfg);
+  const float loss =
+      distiller.TrainBase(w.all_feats, w.data.labels, w.all_nodes);
+  EXPECT_LT(loss, 1.0f);
+  EXPECT_GT(HeadAccuracy(w, 3), 0.6f);
+}
+
+TEST(DistillationTest, SingleScaleLiftsShallowHeads) {
+  auto w = MakeSmallWorld(3, models::ModelKind::kSgc, 400, 0);
+  DistillConfig cfg;
+  cfg.base_epochs = 80;
+  cfg.single_epochs = 80;
+  cfg.lambda_single = 0.5f;
+  InceptionDistillation distiller(*w.classifiers, cfg);
+  distiller.TrainBase(w.all_feats, w.data.labels, w.all_nodes);
+  const float before = HeadAccuracy(w, 1);  // untrained head: ~chance
+  distiller.SingleScale(w.all_feats, w.data.labels, w.all_nodes);
+  const float after = HeadAccuracy(w, 1);
+  EXPECT_GT(after, before + 0.2f);
+  EXPECT_GT(after, 0.5f);
+}
+
+TEST(DistillationTest, MultiScaleDoesNotDegradeStudents) {
+  auto w = MakeSmallWorld(3, models::ModelKind::kSgc, 400, 0);
+  DistillConfig cfg;
+  cfg.base_epochs = 80;
+  cfg.single_epochs = 60;
+  cfg.multi_epochs = 40;
+  cfg.ensemble_size = 2;
+  InceptionDistillation distiller(*w.classifiers, cfg);
+  distiller.TrainBase(w.all_feats, w.data.labels, w.all_nodes);
+  distiller.SingleScale(w.all_feats, w.data.labels, w.all_nodes);
+  const float before = HeadAccuracy(w, 1);
+  distiller.MultiScale(w.all_feats, w.data.labels, w.all_nodes);
+  const float after = HeadAccuracy(w, 1);
+  // Joint teacher/student updates jitter accuracy by a point or two; the
+  // guard is against real degradation, not noise.
+  EXPECT_GE(after, before - 0.08f);
+  EXPECT_GT(after, 0.5f);
+}
+
+TEST(DistillationTest, TrainAllRespectsAblationFlags) {
+  // With both stages disabled, every head still gets plain CE training
+  // (the "w/o ID" configuration must produce a usable bank).
+  auto w = MakeSmallWorld(2, models::ModelKind::kSgc, 300, 0);
+  DistillConfig cfg;
+  cfg.base_epochs = 60;
+  cfg.enable_single = false;
+  cfg.enable_multi = false;
+  InceptionDistillation distiller(*w.classifiers, cfg);
+  distiller.TrainAll(w.all_feats, w.data.labels, w.all_nodes);
+  EXPECT_GT(HeadAccuracy(w, 1), 0.5f);
+  EXPECT_GT(HeadAccuracy(w, 2), 0.5f);
+}
+
+TEST(DistillationTest, LabeledSubsetOnlyHardLoss) {
+  // Training with a small labeled subset must still work (the KD terms see
+  // every training row).
+  auto w = MakeSmallWorld(2, models::ModelKind::kSgc, 300, 0);
+  std::vector<std::int32_t> labeled(w.all_nodes.begin(),
+                                    w.all_nodes.begin() + 60);
+  DistillConfig cfg;
+  cfg.base_epochs = 80;
+  cfg.single_epochs = 60;
+  cfg.enable_multi = false;
+  InceptionDistillation distiller(*w.classifiers, cfg);
+  distiller.TrainAll(w.all_feats, w.data.labels, labeled);
+  EXPECT_GT(HeadAccuracy(w, 1), 0.45f);
+}
+
+TEST(DistillationTest, WorksForAllModelFamilies) {
+  for (const auto kind :
+       {models::ModelKind::kSign, models::ModelKind::kS2gc,
+        models::ModelKind::kGamlp}) {
+    auto w = MakeSmallWorld(2, kind, 250, 0);
+    DistillConfig cfg;
+    cfg.base_epochs = 50;
+    cfg.single_epochs = 40;
+    cfg.multi_epochs = 20;
+    cfg.ensemble_size = 2;
+    InceptionDistillation distiller(*w.classifiers, cfg);
+    distiller.TrainAll(w.all_feats, w.data.labels, w.all_nodes);
+    EXPECT_GT(HeadAccuracy(w, 1), 0.45f)
+        << models::ModelKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace nai::core
+
+namespace nai::core {
+namespace {
+
+TEST(DistillationTest, DepthOneDegeneratesGracefully) {
+  // k = 1: there are no student classifiers; base training must still
+  // produce a usable single-head bank and both distillation stages must be
+  // no-ops rather than crashes.
+  auto w = nai::testing::MakeSmallWorld(1, models::ModelKind::kSgc, 200, 0);
+  DistillConfig cfg;
+  cfg.base_epochs = 50;
+  cfg.ensemble_size = 3;  // clamped to k internally
+  InceptionDistillation distiller(*w.classifiers, cfg);
+  distiller.TrainAll(w.all_feats, w.data.labels, w.all_nodes);
+  EXPECT_GT(HeadAccuracy(w, 1), 0.5f);
+}
+
+TEST(DistillationTest, EnsembleLargerThanDepthClamped) {
+  auto w = nai::testing::MakeSmallWorld(2, models::ModelKind::kSgc, 200, 0);
+  DistillConfig cfg;
+  cfg.base_epochs = 40;
+  cfg.single_epochs = 20;
+  cfg.multi_epochs = 20;
+  cfg.ensemble_size = 99;  // > k
+  InceptionDistillation distiller(*w.classifiers, cfg);
+  distiller.TrainAll(w.all_feats, w.data.labels, w.all_nodes);
+  EXPECT_GT(HeadAccuracy(w, 1), 0.45f);
+}
+
+}  // namespace
+}  // namespace nai::core

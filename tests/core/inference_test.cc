@@ -1,0 +1,213 @@
+#include "src/core/inference.h"
+
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "src/tensor/ops.h"
+#include "tests/core/core_fixtures.h"
+
+namespace nai::core {
+namespace {
+
+using nai::testing::MakeSmallWorld;
+using nai::testing::SmallWorld;
+
+std::vector<std::int32_t> TransductivePredictions(SmallWorld& w, int depth) {
+  const tensor::Matrix logits = w.classifiers->Logits(depth, w.all_feats);
+  return tensor::ArgmaxRows(logits);
+}
+
+TEST(InferenceTest, VanillaMatchesTransductive) {
+  // The batched online propagation must reproduce exactly the full-graph
+  // (transductive) propagation for every node: this validates the layered
+  // supporting-set machinery end to end.
+  auto w = MakeSmallWorld(3);
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), nullptr);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kNone;
+  cfg.batch_size = 64;
+  const InferenceResult result = engine.Infer(w.all_nodes, cfg);
+  EXPECT_EQ(result.predictions, TransductivePredictions(w, 3));
+}
+
+TEST(InferenceTest, VanillaMatchesTransductiveAllFamilies) {
+  for (const auto kind :
+       {models::ModelKind::kSign, models::ModelKind::kS2gc,
+        models::ModelKind::kGamlp}) {
+    auto w = MakeSmallWorld(2, kind, 250);
+    NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                     *w.classifiers, w.stationary.get(), nullptr);
+    InferenceConfig cfg;
+    cfg.nap = NapKind::kNone;
+    cfg.batch_size = 50;
+    const InferenceResult result = engine.Infer(w.all_nodes, cfg);
+    EXPECT_EQ(result.predictions, TransductivePredictions(w, 2))
+        << models::ModelKindName(kind);
+  }
+}
+
+TEST(InferenceTest, BatchSizeDoesNotChangePredictions) {
+  auto w = MakeSmallWorld(3);
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), nullptr);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.threshold = 0.3f;
+  cfg.batch_size = 17;
+  const auto small = engine.Infer(w.all_nodes, cfg);
+  cfg.batch_size = 400;
+  const auto large = engine.Infer(w.all_nodes, cfg);
+  EXPECT_EQ(small.predictions, large.predictions);
+}
+
+TEST(InferenceTest, HugeThresholdExitsAtTmin) {
+  auto w = MakeSmallWorld(4);
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), nullptr);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.threshold = 1e9f;
+  cfg.t_min = 2;
+  cfg.t_max = 4;
+  const auto result = engine.Infer(w.all_nodes, cfg);
+  EXPECT_EQ(result.stats.exits_at_depth[0], 0);  // nothing below t_min
+  EXPECT_EQ(result.stats.exits_at_depth[1],
+            static_cast<std::int64_t>(w.all_nodes.size()));
+}
+
+TEST(InferenceTest, ZeroThresholdGoesToTmax) {
+  auto w = MakeSmallWorld(4);
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), nullptr);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.threshold = 0.0f;
+  cfg.t_max = 3;
+  const auto result = engine.Infer(w.all_nodes, cfg);
+  EXPECT_EQ(result.stats.exits_at_depth[2],
+            static_cast<std::int64_t>(w.all_nodes.size()));
+  // And the predictions match the fixed-depth-3 transductive classifier.
+  EXPECT_EQ(result.predictions, TransductivePredictions(w, 3));
+}
+
+TEST(InferenceTest, ExitsSumToNodeCount) {
+  auto w = MakeSmallWorld(4);
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), nullptr);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.threshold = 0.5f;
+  const auto result = engine.Infer(w.all_nodes, cfg);
+  const std::int64_t total =
+      std::accumulate(result.stats.exits_at_depth.begin(),
+                      result.stats.exits_at_depth.end(), std::int64_t{0});
+  EXPECT_EQ(total, static_cast<std::int64_t>(w.all_nodes.size()));
+  for (const auto p : result.predictions) EXPECT_GE(p, 0);
+}
+
+TEST(InferenceTest, ShrinkTogglePreservesPredictions) {
+  auto w = MakeSmallWorld(4);
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), nullptr);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.threshold = 0.4f;
+  cfg.shrink_active_support = true;
+  const auto with_shrink = engine.Infer(w.all_nodes, cfg);
+  cfg.shrink_active_support = false;
+  const auto without = engine.Infer(w.all_nodes, cfg);
+  EXPECT_EQ(with_shrink.predictions, without.predictions);
+  // Shrinking never increases propagation work.
+  EXPECT_LE(with_shrink.stats.propagation_macs,
+            without.stats.propagation_macs);
+}
+
+TEST(InferenceTest, NapReducesPropagationWork) {
+  auto w = MakeSmallWorld(4);
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), nullptr);
+  InferenceConfig vanilla;
+  vanilla.nap = NapKind::kNone;
+  const auto base = engine.Infer(w.all_nodes, vanilla);
+
+  InferenceConfig napd;
+  napd.nap = NapKind::kDistance;
+  napd.threshold = 1e9f;  // exit everything at depth 1
+  napd.t_max = 2;
+  const auto fast = engine.Infer(w.all_nodes, napd);
+  EXPECT_LT(fast.stats.propagation_macs, base.stats.propagation_macs);
+  EXPECT_LT(fast.stats.total_macs(), base.stats.total_macs());
+}
+
+TEST(InferenceTest, GateBasedInferenceRuns) {
+  auto w = MakeSmallWorld(3);
+  GateStack gates(3, w.config.feature_dim, 77);
+  const tensor::Matrix stationary = w.stationary->RowsForNodes(w.all_nodes);
+  GateTrainConfig gcfg;
+  gcfg.epochs = 20;
+  gates.Train(w.stack, stationary, *w.classifiers, w.all_nodes,
+              w.data.labels, gcfg);
+
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), &gates);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kGate;
+  const auto result = engine.Infer(w.all_nodes, cfg);
+  EXPECT_EQ(result.predictions.size(), w.all_nodes.size());
+  const std::int64_t total =
+      std::accumulate(result.stats.exits_at_depth.begin(),
+                      result.stats.exits_at_depth.end(), std::int64_t{0});
+  EXPECT_EQ(total, static_cast<std::int64_t>(w.all_nodes.size()));
+  EXPECT_GT(result.stats.nap_macs, 0);
+}
+
+TEST(InferenceTest, StatsCategoriesPopulated) {
+  auto w = MakeSmallWorld(3);
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), nullptr);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.threshold = 0.3f;
+  const auto r = engine.Infer(w.all_nodes, cfg);
+  EXPECT_GT(r.stats.propagation_macs, 0);
+  EXPECT_GT(r.stats.stationary_macs, 0);
+  EXPECT_GT(r.stats.nap_macs, 0);
+  EXPECT_GT(r.stats.classification_macs, 0);
+  EXPECT_EQ(r.stats.total_macs(),
+            r.stats.propagation_macs + r.stats.nap_macs +
+                r.stats.stationary_macs + r.stats.classification_macs);
+  EXPECT_GE(r.stats.average_depth(), 1.0);
+  EXPECT_LE(r.stats.average_depth(), 3.0);
+}
+
+TEST(InferenceTest, SubsetOfNodesOnly) {
+  auto w = MakeSmallWorld(3);
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), nullptr);
+  const std::vector<std::int32_t> subset = {5, 17, 200, 399};
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kNone;
+  const auto r = engine.Infer(subset, cfg);
+  ASSERT_EQ(r.predictions.size(), 4u);
+  const auto full = TransductivePredictions(w, 3);
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    EXPECT_EQ(r.predictions[i], full[subset[i]]);
+  }
+}
+
+TEST(InferenceTest, TminOneTmaxOne) {
+  auto w = MakeSmallWorld(3);
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), nullptr);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.t_max = 1;
+  const auto r = engine.Infer(w.all_nodes, cfg);
+  EXPECT_EQ(r.stats.exits_at_depth[0],
+            static_cast<std::int64_t>(w.all_nodes.size()));
+  EXPECT_EQ(r.predictions, TransductivePredictions(w, 1));
+}
+
+}  // namespace
+}  // namespace nai::core

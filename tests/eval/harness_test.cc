@@ -1,0 +1,96 @@
+// Unit tests for the experiment harness on a miniature dataset: pipeline
+// training wiring, default-setting construction, and the method runners.
+
+#include "src/eval/harness.h"
+
+#include "gtest/gtest.h"
+
+namespace nai::eval {
+namespace {
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetSpec spec = ArxivSim(0.05);
+    spec.gen.num_classes = 6;
+    ds_ = new PreparedDataset(Prepare(spec));
+    PipelineConfig cfg;
+    cfg.depth = 3;
+    cfg.distill.base_epochs = 40;
+    cfg.distill.single_epochs = 30;
+    cfg.distill.multi_epochs = 20;
+    cfg.gate.epochs = 20;
+    pipeline_ = new TrainedPipeline(TrainPipeline(*ds_, cfg));
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete ds_;
+  }
+  static PreparedDataset* ds_;
+  static TrainedPipeline* pipeline_;
+};
+
+PreparedDataset* HarnessTest::ds_ = nullptr;
+TrainedPipeline* HarnessTest::pipeline_ = nullptr;
+
+TEST_F(HarnessTest, PipelineShapes) {
+  EXPECT_EQ(pipeline_->model_config.depth, 3);
+  EXPECT_EQ(pipeline_->classifiers->depth(), 3);
+  EXPECT_EQ(pipeline_->train_stack.size(), 4u);  // X^(0..3)
+  EXPECT_NE(pipeline_->gates, nullptr);
+  EXPECT_NE(pipeline_->full_stationary, nullptr);
+  const tensor::Matrix teacher = pipeline_->TeacherLogits();
+  EXPECT_EQ(teacher.rows(), ds_->split.train_nodes.size());
+  EXPECT_EQ(teacher.cols(), 6u);
+}
+
+TEST_F(HarnessTest, DefaultSettingsAreOrdered) {
+  const auto settings =
+      MakeDefaultSettings(*pipeline_, *ds_, core::NapKind::kDistance);
+  ASSERT_EQ(settings.size(), 3u);
+  // Speed-first has the shallowest window and the loosest threshold.
+  EXPECT_LE(settings[0].config.t_max, settings[1].config.t_max);
+  EXPECT_LE(settings[1].config.t_max, settings[2].config.t_max);
+  EXPECT_GE(settings[0].config.threshold, settings[1].config.threshold);
+  EXPECT_GE(settings[1].config.threshold, settings[2].config.threshold);
+  EXPECT_EQ(settings[2].config.t_max, 3);
+}
+
+TEST_F(HarnessTest, RunVanillaProducesFullCoverage) {
+  auto engine = MakeEngine(*pipeline_, *ds_);
+  const MethodResult r =
+      RunVanilla(*engine, *ds_, ds_->split.test_nodes, 100, "vanilla");
+  EXPECT_EQ(r.predictions.size(), ds_->split.test_nodes.size());
+  EXPECT_GT(r.row.mmacs_per_node, 0.0);
+  EXPECT_GE(r.row.accuracy, 0.0f);
+  // All exits at depth k for the vanilla run.
+  EXPECT_EQ(r.stats.exits_at_depth.back(),
+            static_cast<std::int64_t>(ds_->split.test_nodes.size()));
+}
+
+TEST_F(HarnessTest, RunNaiCostBelowVanilla) {
+  auto engine = MakeEngine(*pipeline_, *ds_);
+  const MethodResult vanilla =
+      RunVanilla(*engine, *ds_, ds_->split.test_nodes, 100, "vanilla");
+  const auto settings =
+      MakeDefaultSettings(*pipeline_, *ds_, core::NapKind::kDistance);
+  core::InferenceConfig cfg = settings[0].config;
+  cfg.batch_size = 100;
+  const MethodResult nai =
+      RunNai(*engine, *ds_, ds_->split.test_nodes, cfg, "nai");
+  EXPECT_LT(nai.stats.propagation_macs, vanilla.stats.propagation_macs);
+}
+
+TEST_F(HarnessTest, BaselineRunnersProduceRows) {
+  const MethodResult glnn =
+      RunGlnn(*pipeline_, *ds_, ds_->split.test_nodes, 2);
+  EXPECT_EQ(glnn.row.method, "GLNN");
+  EXPECT_EQ(glnn.predictions.size(), ds_->split.test_nodes.size());
+  const MethodResult quant =
+      RunQuantized(*pipeline_, *ds_, ds_->split.test_nodes, 100);
+  EXPECT_EQ(quant.row.method, "Quantization");
+  EXPECT_GT(quant.row.fp_mmacs_per_node, 0.0);
+}
+
+}  // namespace
+}  // namespace nai::eval

@@ -1,0 +1,48 @@
+#include "src/eval/mac_counter.h"
+
+#include "gtest/gtest.h"
+#include "src/graph/generators.h"
+#include "src/graph/normalize.h"
+
+namespace nai::eval {
+namespace {
+
+TEST(MacCounterTest, AverageDepth) {
+  EXPECT_DOUBLE_EQ(AverageDepth({10, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(AverageDepth({0, 0, 10}), 3.0);
+  EXPECT_DOUBLE_EQ(AverageDepth({5, 0, 5}), 2.0);
+  EXPECT_DOUBLE_EQ(AverageDepth({}), 0.0);
+  EXPECT_DOUBLE_EQ(AverageDepth({0, 0, 0}), 0.0);
+}
+
+TEST(MacCounterTest, FixedDepthPropagationMacs) {
+  const graph::Graph g = graph::CycleGraph(20);
+  const graph::Csr adj = graph::NormalizedAdjacency(g, 0.5f);
+  graph::SupportSampler sampler(adj);
+  const graph::BatchSupport support = sampler.Sample({0, 10}, 3);
+  const std::int64_t f = 8;
+  const std::int64_t macs = FixedDepthPropagationMacs(support, 3, f);
+  // Manual: hop l computes prefix layer_counts[3-l] rows.
+  std::int64_t expected = 0;
+  for (int l = 1; l <= 3; ++l) {
+    expected += support.sub_adj.row_ptr[support.layer_counts[3 - l]] * f;
+  }
+  EXPECT_EQ(macs, expected);
+  EXPECT_GT(macs, 0);
+}
+
+TEST(MacCounterTest, ParamsFromStatsRoundTrip) {
+  core::InferenceStats stats;
+  stats.num_nodes = 100;
+  stats.exits_at_depth = {50, 50};     // q = 1.5
+  stats.propagation_macs = 1'500'000;  // = q * m * f with m=10000, f=100
+  const core::ComplexityParams p = ParamsFromStats(stats, 100, 2, 2);
+  EXPECT_EQ(p.n, 100);
+  EXPECT_EQ(p.f, 100);
+  EXPECT_EQ(p.p, 2);
+  EXPECT_DOUBLE_EQ(p.q, 1.5);
+  EXPECT_EQ(p.m, 10000);
+}
+
+}  // namespace
+}  // namespace nai::eval

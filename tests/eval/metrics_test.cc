@@ -1,0 +1,57 @@
+#include "src/eval/metrics.h"
+
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace nai::eval {
+namespace {
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = t.ElapsedMs();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 500.0);
+  t.Reset();
+  EXPECT_LT(t.ElapsedMs(), 15.0);
+}
+
+TEST(CostCountersTest, Accumulate) {
+  CostCounters a{100, 50, 1.5, 0.5};
+  CostCounters b{10, 5, 0.5, 0.25};
+  a += b;
+  EXPECT_EQ(a.total_macs, 110);
+  EXPECT_EQ(a.fp_macs, 55);
+  EXPECT_DOUBLE_EQ(a.total_time_ms, 2.0);
+  EXPECT_DOUBLE_EQ(a.fp_time_ms, 0.75);
+}
+
+TEST(AccuracyOnNodesTest, Basic) {
+  const std::vector<std::int32_t> labels = {0, 1, 2, 0, 1};
+  const std::vector<std::int32_t> nodes = {0, 2, 4};
+  const std::vector<std::int32_t> preds = {0, 2, 0};  // 2 of 3 correct
+  EXPECT_FLOAT_EQ(AccuracyOnNodes(preds, labels, nodes), 2.0f / 3.0f);
+  EXPECT_FLOAT_EQ(AccuracyOnNodes({}, labels, {}), 0.0f);
+}
+
+TEST(MakeRowTest, PerNodeNormalization) {
+  CostCounters cost;
+  cost.total_macs = 2'000'000;
+  cost.fp_macs = 1'000'000;
+  cost.total_time_ms = 42.0;
+  const EvalRow row = MakeRow("test", 0.5f, cost, 4);
+  EXPECT_EQ(row.method, "test");
+  EXPECT_DOUBLE_EQ(row.mmacs_per_node, 0.5);
+  EXPECT_DOUBLE_EQ(row.fp_mmacs_per_node, 0.25);
+  EXPECT_DOUBLE_EQ(row.time_ms, 42.0);
+}
+
+TEST(PrintTableTest, DoesNotCrash) {
+  CostCounters cost;
+  cost.total_macs = 1000;
+  PrintTable("smoke", {MakeRow("a", 0.9f, cost, 10)});
+}
+
+}  // namespace
+}  // namespace nai::eval

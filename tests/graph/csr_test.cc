@@ -1,0 +1,178 @@
+#include "src/graph/csr.h"
+
+#include "gtest/gtest.h"
+#include "src/tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace nai::graph {
+namespace {
+
+using nai::testing::ExpectMatrixNear;
+using nai::testing::RandomMatrix;
+
+Csr SmallCsr() {
+  // 3x3: [[0, 1, 0], [2, 0, 3], [0, 0, 4]]
+  return CsrFromTriplets(3, 3,
+                         {{0, 1, 1.0f}, {1, 0, 2.0f}, {1, 2, 3.0f},
+                          {2, 2, 4.0f}});
+}
+
+TEST(CsrTest, FromTripletsBasic) {
+  const Csr c = SmallCsr();
+  EXPECT_TRUE(c.Validate());
+  EXPECT_EQ(c.nnz(), 4);
+  EXPECT_EQ(c.RowNnz(0), 1);
+  EXPECT_EQ(c.RowNnz(1), 2);
+  EXPECT_EQ(c.RowNnz(2), 1);
+  const tensor::Matrix d = ToDense(c);
+  EXPECT_FLOAT_EQ(d.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(d.at(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(d.at(1, 2), 3.0f);
+  EXPECT_FLOAT_EQ(d.at(2, 2), 4.0f);
+}
+
+TEST(CsrTest, DuplicateTripletsSum) {
+  const Csr c =
+      CsrFromTriplets(2, 2, {{0, 0, 1.0f}, {0, 0, 2.5f}, {1, 1, 1.0f}});
+  EXPECT_TRUE(c.Validate());
+  EXPECT_EQ(c.nnz(), 2);
+  EXPECT_FLOAT_EQ(ToDense(c).at(0, 0), 3.5f);
+}
+
+TEST(CsrTest, EmptyMatrix) {
+  const Csr c = CsrFromTriplets(4, 4, {});
+  EXPECT_TRUE(c.Validate());
+  EXPECT_EQ(c.nnz(), 0);
+  EXPECT_EQ(c.RowNnz(3), 0);
+}
+
+TEST(CsrTest, ValidateCatchesBrokenRowPtr) {
+  Csr c = SmallCsr();
+  c.row_ptr[1] = 99;
+  EXPECT_FALSE(c.Validate());
+}
+
+TEST(CsrTest, ValidateCatchesOutOfRangeColumn) {
+  Csr c = SmallCsr();
+  c.col_idx[0] = 5;
+  EXPECT_FALSE(c.Validate());
+}
+
+TEST(CsrTest, SpMMIdentity) {
+  // Identity CSR leaves the dense side unchanged.
+  std::vector<Triplet> eye;
+  for (std::int32_t i = 0; i < 5; ++i) eye.push_back({i, i, 1.0f});
+  const Csr id = CsrFromTriplets(5, 5, eye);
+  const tensor::Matrix x = RandomMatrix(5, 3, 42);
+  ExpectMatrixNear(SpMM(id, x), x, 1e-6f);
+}
+
+TEST(CsrTest, SpMMMatchesDense) {
+  const Csr c = SmallCsr();
+  const tensor::Matrix x = RandomMatrix(3, 4, 7);
+  const tensor::Matrix expected = tensor::MatMul(ToDense(c), x);
+  ExpectMatrixNear(SpMM(c, x), expected, 1e-4f);
+}
+
+// Property sweep: random sparse matrices match dense multiply.
+class SpMMProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpMMProperty, MatchesDense) {
+  const int n = GetParam();
+  tensor::Rng rng(1000 + n);
+  std::vector<Triplet> trips;
+  for (int i = 0; i < n * 4; ++i) {
+    trips.push_back({static_cast<std::int32_t>(rng.NextBounded(n)),
+                     static_cast<std::int32_t>(rng.NextBounded(n)),
+                     rng.NextGaussian()});
+  }
+  const Csr c = CsrFromTriplets(n, n, trips);
+  ASSERT_TRUE(c.Validate());
+  const tensor::Matrix x = RandomMatrix(n, 6, 2000 + n);
+  ExpectMatrixNear(SpMM(c, x), tensor::MatMul(ToDense(c), x), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpMMProperty,
+                         ::testing::Values(1, 2, 7, 16, 33, 100));
+
+TEST(CsrTest, SpMMPrefixOnlyTouchesPrefix) {
+  const Csr c = SmallCsr();
+  const tensor::Matrix x = RandomMatrix(3, 4, 9);
+  tensor::Matrix out(3, 4);
+  out.Fill(-99.0f);
+  SpMMPrefix(c, x, 2, out);
+  const tensor::Matrix full = SpMM(c, x);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(out.at(0, j), full.at(0, j));
+    EXPECT_FLOAT_EQ(out.at(1, j), full.at(1, j));
+    EXPECT_FLOAT_EQ(out.at(2, j), -99.0f);  // untouched
+  }
+}
+
+TEST(CsrTest, SpMMRowsOnlyTouchesListed) {
+  const Csr c = SmallCsr();
+  const tensor::Matrix x = RandomMatrix(3, 4, 10);
+  tensor::Matrix out(3, 4);
+  out.Fill(-1.0f);
+  SpMMRows(c, x, {2, 0}, out);
+  const tensor::Matrix full = SpMM(c, x);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(out.at(0, j), full.at(0, j));
+    EXPECT_FLOAT_EQ(out.at(1, j), -1.0f);
+    EXPECT_FLOAT_EQ(out.at(2, j), full.at(2, j));
+  }
+}
+
+TEST(CsrTest, TransposeInvolution) {
+  const Csr c = SmallCsr();
+  const Csr tt = Transpose(Transpose(c));
+  EXPECT_TRUE(tt.Validate());
+  ExpectMatrixNear(ToDense(tt), ToDense(c), 0.0f);
+}
+
+TEST(CsrTest, TransposeMatchesDense) {
+  const Csr c = SmallCsr();
+  const Csr t = Transpose(c);
+  EXPECT_TRUE(t.Validate());
+  const tensor::Matrix d = ToDense(c);
+  const tensor::Matrix dt = ToDense(t);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(dt.at(j, i), d.at(i, j));
+    }
+  }
+}
+
+TEST(CsrTest, InducedSubmatrix) {
+  const Csr c = SmallCsr();
+  const std::vector<std::int32_t> ids = {1, 2};
+  std::vector<std::int32_t> g2l(3, -1);
+  g2l[1] = 0;
+  g2l[2] = 1;
+  const Csr sub = InducedSubmatrix(c, ids, g2l);
+  EXPECT_TRUE(sub.Validate());
+  // Dense sub = [[0, 3], [0, 4]]
+  const tensor::Matrix d = ToDense(sub);
+  EXPECT_FLOAT_EQ(d.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(d.at(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(d.at(1, 1), 4.0f);
+}
+
+TEST(CsrTest, InducedSubmatrixNonMonotoneOrder) {
+  const Csr c = SmallCsr();
+  const std::vector<std::int32_t> ids = {2, 0, 1};  // permuted
+  std::vector<std::int32_t> g2l(3, -1);
+  for (std::size_t i = 0; i < ids.size(); ++i) g2l[ids[i]] = i;
+  const Csr sub = InducedSubmatrix(c, ids, g2l);
+  EXPECT_TRUE(sub.Validate());
+  const tensor::Matrix orig = ToDense(c);
+  const tensor::Matrix d = ToDense(sub);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(d.at(i, j), orig.at(ids[i], ids[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nai::graph

@@ -1,0 +1,193 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace nai::graph {
+namespace {
+
+GeneratorConfig BaseConfig() {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 1000;
+  cfg.num_edges = 6000;
+  cfg.num_classes = 5;
+  cfg.feature_dim = 16;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(GeneratorsTest, ShapesAndRanges) {
+  const SyntheticDataset ds = GenerateDataset(BaseConfig());
+  EXPECT_EQ(ds.graph.num_nodes(), 1000);
+  EXPECT_EQ(ds.features.rows(), 1000u);
+  EXPECT_EQ(ds.features.cols(), 16u);
+  EXPECT_EQ(ds.labels.size(), 1000u);
+  EXPECT_EQ(ds.num_classes, 5);
+  for (const auto y : ds.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 5);
+  }
+}
+
+TEST(GeneratorsTest, EdgeCountNearTarget) {
+  const SyntheticDataset ds = GenerateDataset(BaseConfig());
+  EXPECT_GE(ds.graph.num_edges(), 5400);  // >= 90% of requested
+  EXPECT_LE(ds.graph.num_edges(), 6000);
+}
+
+TEST(GeneratorsTest, Deterministic) {
+  const SyntheticDataset a = GenerateDataset(BaseConfig());
+  const SyntheticDataset b = GenerateDataset(BaseConfig());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.features.CountDifferences(b.features, 0.0f), 0u);
+}
+
+TEST(GeneratorsTest, SeedChangesOutput) {
+  GeneratorConfig cfg = BaseConfig();
+  const SyntheticDataset a = GenerateDataset(cfg);
+  cfg.seed = 78;
+  const SyntheticDataset b = GenerateDataset(cfg);
+  EXPECT_NE(a.labels, b.labels);
+}
+
+TEST(GeneratorsTest, ClassesBalanced) {
+  const SyntheticDataset ds = GenerateDataset(BaseConfig());
+  std::vector<int> counts(5, 0);
+  for (const auto y : ds.labels) ++counts[y];
+  for (const int c : counts) EXPECT_EQ(c, 200);
+}
+
+TEST(GeneratorsTest, HomophilyControlsSameClassEdgeFraction) {
+  GeneratorConfig cfg = BaseConfig();
+  cfg.homophily = 0.9f;
+  const SyntheticDataset high = GenerateDataset(cfg);
+  cfg.homophily = 0.0f;
+  cfg.seed = 79;
+  const SyntheticDataset low = GenerateDataset(cfg);
+
+  auto same_class_fraction = [](const SyntheticDataset& ds) {
+    std::int64_t same = 0, total = 0;
+    for (std::int32_t v = 0; v < ds.graph.num_nodes(); ++v) {
+      for (const auto* it = ds.graph.neighbors_begin(v);
+           it != ds.graph.neighbors_end(v); ++it) {
+        if (*it > v) {
+          ++total;
+          if (ds.labels[v] == ds.labels[*it]) ++same;
+        }
+      }
+    }
+    return static_cast<double>(same) / static_cast<double>(total);
+  };
+
+  const double high_frac = same_class_fraction(high);
+  const double low_frac = same_class_fraction(low);
+  EXPECT_GT(high_frac, 0.8);
+  // With homophily 0, same-class edges happen at the chance rate ~1/5.
+  EXPECT_LT(low_frac, 0.35);
+}
+
+TEST(GeneratorsTest, DegreeHeterogeneity) {
+  GeneratorConfig cfg = BaseConfig();
+  cfg.power_law_exponent = 2.0f;
+  cfg.max_weight_ratio = 200.0f;
+  const SyntheticDataset ds = GenerateDataset(cfg);
+  std::vector<std::int64_t> degrees;
+  for (std::int32_t v = 0; v < ds.graph.num_nodes(); ++v) {
+    degrees.push_back(ds.graph.degree(v));
+  }
+  std::sort(degrees.begin(), degrees.end());
+  const std::int64_t median = degrees[degrees.size() / 2];
+  const std::int64_t max = degrees.back();
+  // Heavy tail: the hub is much larger than the median node.
+  EXPECT_GT(max, 5 * std::max<std::int64_t>(median, 1));
+}
+
+TEST(GeneratorsTest, FeaturesCarryClassSignal) {
+  // A nearest-centroid classifier on raw features beats chance: the class
+  // centroids must be recoverable.
+  GeneratorConfig cfg = BaseConfig();
+  cfg.feature_noise = 1.0f;
+  const SyntheticDataset ds = GenerateDataset(cfg);
+  // Estimate centroids from the first half, classify the second half.
+  const std::int64_t half = ds.graph.num_nodes() / 2;
+  tensor::Matrix centroids(cfg.num_classes, cfg.feature_dim);
+  std::vector<int> counts(cfg.num_classes, 0);
+  for (std::int64_t i = 0; i < half; ++i) {
+    const float* x = ds.features.row(i);
+    float* c = centroids.row(ds.labels[i]);
+    for (std::int32_t j = 0; j < cfg.feature_dim; ++j) c[j] += x[j];
+    ++counts[ds.labels[i]];
+  }
+  for (std::int32_t k = 0; k < cfg.num_classes; ++k) {
+    float* c = centroids.row(k);
+    for (std::int32_t j = 0; j < cfg.feature_dim; ++j) c[j] /= counts[k];
+  }
+  std::int64_t correct = 0;
+  for (std::int64_t i = half; i < ds.graph.num_nodes(); ++i) {
+    const float* x = ds.features.row(i);
+    int best = 0;
+    float best_d = 1e30f;
+    for (std::int32_t k = 0; k < cfg.num_classes; ++k) {
+      const float* c = centroids.row(k);
+      float d = 0.0f;
+      for (std::int32_t j = 0; j < cfg.feature_dim; ++j) {
+        d += (x[j] - c[j]) * (x[j] - c[j]);
+      }
+      if (d < best_d) {
+        best_d = d;
+        best = k;
+      }
+    }
+    if (best == ds.labels[i]) ++correct;
+  }
+  const double acc = static_cast<double>(correct) / (ds.graph.num_nodes() - half);
+  EXPECT_GT(acc, 0.5);  // 5 classes => chance is 0.2
+}
+
+}  // namespace
+}  // namespace nai::graph
+
+namespace nai::graph {
+namespace {
+
+TEST(GeneratorsTest, LabelNoiseFlipsExpectedFraction) {
+  GeneratorConfig clean = BaseConfig();
+  GeneratorConfig noisy = BaseConfig();
+  noisy.label_noise = 0.3f;
+  const SyntheticDataset a = GenerateDataset(clean);
+  const SyntheticDataset b = GenerateDataset(noisy);
+  // Identical seed: graph and features agree; only labels differ.
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < a.labels.size(); ++i) {
+    if (a.labels[i] != b.labels[i]) ++flipped;
+  }
+  const double fraction = static_cast<double>(flipped) / a.labels.size();
+  EXPECT_NEAR(fraction, 0.3, 0.05);
+  // Flipped labels stay within the class range.
+  for (const auto y : b.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, clean.num_classes);
+  }
+}
+
+TEST(GeneratorsTest, LabelNoiseCapsAttainableAccuracy) {
+  // No classifier can beat ~(1 - noise) + noise/c on the observed labels;
+  // check that even the true labels score in that band.
+  GeneratorConfig cfg = BaseConfig();
+  cfg.label_noise = 0.4f;
+  const SyntheticDataset clean = GenerateDataset(BaseConfig());
+  const SyntheticDataset noisy = GenerateDataset(cfg);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < clean.labels.size(); ++i) {
+    if (clean.labels[i] == noisy.labels[i]) ++agree;
+  }
+  const double ceiling = static_cast<double>(agree) / clean.labels.size();
+  EXPECT_NEAR(ceiling, 0.6, 0.05);
+}
+
+}  // namespace
+}  // namespace nai::graph

@@ -1,0 +1,94 @@
+#include "src/graph/graph.h"
+
+#include "gtest/gtest.h"
+#include "src/graph/generators.h"
+
+namespace nai::graph {
+namespace {
+
+TEST(GraphTest, FromEdgesBasic) {
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, SelfLoopsDropped) {
+  const Graph g = Graph::FromEdges(3, {{0, 0}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, DuplicateEdgesCollapse) {
+  const Graph g = Graph::FromEdges(3, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+  // Adjacency values stay 1.0 despite duplicates.
+  for (const float v : g.adjacency().values) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  const Graph g = Graph::FromEdges(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  std::vector<std::int32_t> nbrs(g.neighbors_begin(2), g.neighbors_end(2));
+  EXPECT_EQ(nbrs, (std::vector<std::int32_t>{0, 1, 3, 4}));
+}
+
+TEST(GraphTest, AdjacencyIsSymmetric) {
+  const Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {5, 3}});
+  for (std::int32_t v = 0; v < g.num_nodes(); ++v) {
+    for (const auto* it = g.neighbors_begin(v); it != g.neighbors_end(v);
+         ++it) {
+      EXPECT_TRUE(g.HasEdge(*it, v));
+    }
+  }
+}
+
+TEST(GraphTest, IsolatedNodes) {
+  const Graph g = Graph::FromEdges(5, {{0, 1}});
+  EXPECT_EQ(g.degree(4), 0);
+  EXPECT_EQ(g.neighbors_begin(4), g.neighbors_end(4));
+}
+
+TEST(GraphTest, InducedSubgraph) {
+  // Path 0-1-2-3; induce on {0, 1, 3}: only edge 0-1 survives.
+  const Graph g = PathGraph(4);
+  const Graph sub = g.InducedSubgraph({0, 1, 3});
+  EXPECT_EQ(sub.num_nodes(), 3);
+  EXPECT_EQ(sub.num_edges(), 1);
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_FALSE(sub.HasEdge(1, 2));
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  const Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}});
+  const auto comp = g.ConnectedComponents();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+  EXPECT_NE(comp[5], comp[3]);
+}
+
+TEST(GraphTest, ToyGenerators) {
+  EXPECT_EQ(PathGraph(5).num_edges(), 4);
+  EXPECT_EQ(CycleGraph(5).num_edges(), 5);
+  EXPECT_EQ(StarGraph(6).num_edges(), 6);
+  EXPECT_EQ(StarGraph(6).degree(0), 6);
+  EXPECT_EQ(CompleteGraph(5).num_edges(), 10);
+  EXPECT_EQ(GridGraph(3, 4).num_edges(), 3 * 3 + 2 * 4);
+  EXPECT_EQ(GridGraph(3, 4).num_nodes(), 12);
+}
+
+TEST(GraphTest, CycleIsTwoRegular) {
+  const Graph g = CycleGraph(7);
+  for (std::int32_t v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2);
+}
+
+}  // namespace
+}  // namespace nai::graph

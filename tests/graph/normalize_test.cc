@@ -1,0 +1,102 @@
+#include "src/graph/normalize.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/graph/generators.h"
+#include "src/tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace nai::graph {
+namespace {
+
+TEST(NormalizeTest, SelfLoopsPresent) {
+  const Graph g = PathGraph(3);
+  const Csr a = NormalizedAdjacency(g, 0.5f);
+  EXPECT_TRUE(a.Validate());
+  const tensor::Matrix d = ToDense(a);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_GT(d.at(i, i), 0.0f);
+}
+
+TEST(NormalizeTest, SymmetricWhenGammaHalf) {
+  const Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},
+                                       {0, 2}});
+  const tensor::Matrix d = ToDense(NormalizedAdjacency(g, 0.5f));
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(d.at(i, j), d.at(j, i), 1e-6f);
+    }
+  }
+}
+
+TEST(NormalizeTest, RowStochasticWhenGammaOne) {
+  // γ=1: Â = Ã D̃^{-1}? No — Eq. 1 gives D̃^{γ-1} Ã D̃^{-γ} = D̃^0 Ã D̃^{-1},
+  // which is column-stochastic; its transpose (γ=0) is row-stochastic.
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  const tensor::Matrix d = ToDense(NormalizedAdjacency(g, 0.0f));
+  for (std::size_t i = 0; i < 4; ++i) {
+    float row_sum = 0.0f;
+    for (std::size_t j = 0; j < 4; ++j) row_sum += d.at(i, j);
+    EXPECT_NEAR(row_sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(NormalizeTest, ColumnStochasticWhenGammaOneExact) {
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const tensor::Matrix d = ToDense(NormalizedAdjacency(g, 1.0f));
+  for (std::size_t j = 0; j < 4; ++j) {
+    float col_sum = 0.0f;
+    for (std::size_t i = 0; i < 4; ++i) col_sum += d.at(i, j);
+    EXPECT_NEAR(col_sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(NormalizeTest, ValuesMatchFormula) {
+  // Edge {0,1} on a path of 3: value = (d0+1)^(γ-1) (d1+1)^(-γ).
+  const Graph g = PathGraph(3);
+  const float gamma = 0.5f;
+  const tensor::Matrix d = ToDense(NormalizedAdjacency(g, gamma));
+  const float d0 = 2.0f;  // degree 1 + self loop
+  const float d1 = 3.0f;  // degree 2 + self loop
+  EXPECT_NEAR(d.at(0, 1), std::pow(d0, gamma - 1) * std::pow(d1, -gamma),
+              1e-6f);
+  EXPECT_NEAR(d.at(0, 0), std::pow(d0, gamma - 1) * std::pow(d0, -gamma),
+              1e-6f);
+}
+
+TEST(NormalizeTest, SpectralRadiusAtMostOne) {
+  // Symmetric normalization has eigenvalues in [-1, 1]; repeated SpMM of a
+  // random vector must not blow up.
+  GeneratorConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.num_edges = 800;
+  cfg.seed = 5;
+  const SyntheticDataset ds = GenerateDataset(cfg);
+  const Csr a = NormalizedAdjacency(ds.graph, 0.5f);
+  tensor::Matrix v = nai::testing::RandomMatrix(200, 1, 3);
+  const float before = tensor::FrobeniusNorm(v);
+  for (int i = 0; i < 20; ++i) v = SpMM(a, v);
+  EXPECT_LE(tensor::FrobeniusNorm(v), before * 1.01f);
+}
+
+TEST(NormalizeTest, SecondEigenvalueBelowOne) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 150;
+  cfg.num_edges = 900;
+  cfg.seed = 6;
+  const SyntheticDataset ds = GenerateDataset(cfg);
+  const Csr a = NormalizedAdjacency(ds.graph, 0.5f);
+  const float l2 = EstimateSecondEigenvalue(a, 60, 7);
+  EXPECT_GT(l2, 0.0f);
+  EXPECT_LT(l2, 1.0f);
+}
+
+TEST(NormalizeTest, DegreesWithSelfLoops) {
+  const Graph g = StarGraph(4);
+  const auto d = DegreesWithSelfLoops(g);
+  EXPECT_FLOAT_EQ(d[0], 5.0f);
+  EXPECT_FLOAT_EQ(d[1], 2.0f);
+}
+
+}  // namespace
+}  // namespace nai::graph

@@ -1,0 +1,92 @@
+#include "src/graph/partition.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "src/graph/generators.h"
+
+namespace nai::graph {
+namespace {
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorConfig cfg;
+    cfg.num_nodes = 500;
+    cfg.num_edges = 2000;
+    cfg.seed = 3;
+    ds_ = GenerateDataset(cfg);
+  }
+  SyntheticDataset ds_;
+};
+
+TEST_F(PartitionTest, SizesMatchFractions) {
+  const InductiveSplit s = MakeInductiveSplit(ds_.graph, 0.6, 0.5, 0.2, 7);
+  EXPECT_EQ(s.train_nodes.size(), 300u);
+  EXPECT_EQ(s.test_nodes.size(), 200u);
+  EXPECT_EQ(s.labeled_nodes.size(), 150u);
+  EXPECT_EQ(s.val_nodes.size(), 60u);
+}
+
+TEST_F(PartitionTest, DisjointAndComplete) {
+  const InductiveSplit s = MakeInductiveSplit(ds_.graph, 0.7, 0.5, 0.1, 9);
+  std::set<std::int32_t> train(s.train_nodes.begin(), s.train_nodes.end());
+  std::set<std::int32_t> test(s.test_nodes.begin(), s.test_nodes.end());
+  EXPECT_EQ(train.size() + test.size(), 500u);
+  for (const auto v : test) EXPECT_FALSE(train.count(v));
+}
+
+TEST_F(PartitionTest, LabeledAndValSubsetsOfTrainAndDisjoint) {
+  const InductiveSplit s = MakeInductiveSplit(ds_.graph, 0.7, 0.4, 0.3, 11);
+  std::set<std::int32_t> train(s.train_nodes.begin(), s.train_nodes.end());
+  std::set<std::int32_t> labeled(s.labeled_nodes.begin(),
+                                 s.labeled_nodes.end());
+  for (const auto v : s.labeled_nodes) EXPECT_TRUE(train.count(v));
+  for (const auto v : s.val_nodes) {
+    EXPECT_TRUE(train.count(v));
+    EXPECT_FALSE(labeled.count(v));
+  }
+}
+
+TEST_F(PartitionTest, TrainGraphExcludesTestEdges) {
+  const InductiveSplit s = MakeInductiveSplit(ds_.graph, 0.5, 0.5, 0.1, 13);
+  EXPECT_EQ(s.train_graph.num_nodes(),
+            static_cast<std::int64_t>(s.train_nodes.size()));
+  // Every edge of the train graph maps to an edge of the full graph between
+  // train nodes.
+  for (std::int32_t v = 0; v < s.train_graph.num_nodes(); ++v) {
+    for (const auto* it = s.train_graph.neighbors_begin(v);
+         it != s.train_graph.neighbors_end(v); ++it) {
+      EXPECT_TRUE(ds_.graph.HasEdge(s.train_nodes[v], s.train_nodes[*it]));
+    }
+  }
+}
+
+TEST_F(PartitionTest, LocalIndicesConsistent) {
+  const InductiveSplit s = MakeInductiveSplit(ds_.graph, 0.6, 0.5, 0.2, 15);
+  ASSERT_EQ(s.labeled_local.size(), s.labeled_nodes.size());
+  for (std::size_t i = 0; i < s.labeled_local.size(); ++i) {
+    EXPECT_EQ(s.train_nodes[s.labeled_local[i]], s.labeled_nodes[i]);
+  }
+  ASSERT_EQ(s.val_local.size(), s.val_nodes.size());
+  for (std::size_t i = 0; i < s.val_local.size(); ++i) {
+    EXPECT_EQ(s.train_nodes[s.val_local[i]], s.val_nodes[i]);
+  }
+}
+
+TEST_F(PartitionTest, DeterministicGivenSeed) {
+  const InductiveSplit a = MakeInductiveSplit(ds_.graph, 0.6, 0.5, 0.2, 42);
+  const InductiveSplit b = MakeInductiveSplit(ds_.graph, 0.6, 0.5, 0.2, 42);
+  EXPECT_EQ(a.train_nodes, b.train_nodes);
+  EXPECT_EQ(a.labeled_nodes, b.labeled_nodes);
+  EXPECT_EQ(a.val_nodes, b.val_nodes);
+}
+
+TEST_F(PartitionTest, DifferentSeedsDiffer) {
+  const InductiveSplit a = MakeInductiveSplit(ds_.graph, 0.6, 0.5, 0.2, 1);
+  const InductiveSplit b = MakeInductiveSplit(ds_.graph, 0.6, 0.5, 0.2, 2);
+  EXPECT_NE(a.train_nodes, b.train_nodes);
+}
+
+}  // namespace
+}  // namespace nai::graph

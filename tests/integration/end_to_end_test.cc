@@ -1,0 +1,139 @@
+// Integration tests: the full harness path on a shrunken dataset — train
+// the pipeline (propagation + Inception Distillation + gates), deploy the
+// engine over the full graph, and check the paper's headline claims hold
+// qualitatively: NAI ~matches vanilla accuracy with far less propagation
+// work, and beats the topology-blind MLP baselines on unseen nodes.
+
+#include "gtest/gtest.h"
+#include "src/eval/harness.h"
+
+namespace nai::eval {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetSpec spec = ArxivSim(0.08);  // ~1200 nodes
+    spec.gen.num_classes = 8;
+    ds_ = new PreparedDataset(Prepare(spec));
+
+    PipelineConfig cfg;
+    cfg.depth = 4;
+    cfg.distill.base_epochs = 80;
+    cfg.distill.single_epochs = 60;
+    cfg.distill.multi_epochs = 40;
+    cfg.gate.epochs = 40;
+    pipeline_ = new TrainedPipeline(TrainPipeline(*ds_, cfg));
+    engine_ = MakeEngine(*pipeline_, *ds_).release();
+  }
+
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete pipeline_;
+    delete ds_;
+  }
+
+  static PreparedDataset* ds_;
+  static TrainedPipeline* pipeline_;
+  static core::NaiEngine* engine_;
+};
+
+PreparedDataset* EndToEndTest::ds_ = nullptr;
+TrainedPipeline* EndToEndTest::pipeline_ = nullptr;
+core::NaiEngine* EndToEndTest::engine_ = nullptr;
+
+TEST_F(EndToEndTest, VanillaBeatsChanceOnUnseenNodes) {
+  const MethodResult vanilla =
+      RunVanilla(*engine_, *ds_, ds_->split.test_nodes, 200, "SGC");
+  EXPECT_GT(vanilla.row.accuracy, 0.4f);  // 8 classes -> chance 0.125
+}
+
+TEST_F(EndToEndTest, NapdTracksVanillaAccuracyWithLessWork) {
+  const MethodResult vanilla =
+      RunVanilla(*engine_, *ds_, ds_->split.test_nodes, 200, "SGC");
+  const auto settings =
+      MakeDefaultSettings(*pipeline_, *ds_, core::NapKind::kDistance);
+  core::InferenceConfig cfg = settings[2].config;  // accuracy-first setting
+  cfg.batch_size = 200;
+  const MethodResult nai =
+      RunNai(*engine_, *ds_, ds_->split.test_nodes, cfg, "NAId");
+  EXPECT_GT(nai.row.accuracy, vanilla.row.accuracy - 0.05f);
+  EXPECT_LT(nai.stats.propagation_macs,
+            vanilla.stats.propagation_macs);
+}
+
+TEST_F(EndToEndTest, GateInferenceWorks) {
+  ASSERT_NE(pipeline_->gates, nullptr);
+  const auto settings =
+      MakeDefaultSettings(*pipeline_, *ds_, core::NapKind::kGate);
+  // The balanced setting: its window [t_min, t_max) actually contains gate
+  // decision hops (the speed-first gate setting pins t_min == t_max == 2).
+  core::InferenceConfig cfg = settings[1].config;
+  cfg.batch_size = 200;
+  const MethodResult nai =
+      RunNai(*engine_, *ds_, ds_->split.test_nodes, cfg, "NAIg");
+  EXPECT_GT(nai.row.accuracy, 0.3f);
+  EXPECT_GT(nai.stats.nap_macs, 0);
+}
+
+TEST_F(EndToEndTest, BaselinesRun) {
+  const auto glnn = RunGlnn(*pipeline_, *ds_, ds_->split.test_nodes, 4);
+  EXPECT_GT(glnn.row.accuracy, 0.15f);
+  EXPECT_EQ(glnn.row.fp_mmacs_per_node, 0.0);
+
+  const auto nosmog = RunNosmog(*pipeline_, *ds_, ds_->split.test_nodes);
+  EXPECT_GT(nosmog.row.accuracy, 0.15f);
+
+  const auto tiny = RunTinyGnn(*pipeline_, *ds_, ds_->split.test_nodes);
+  EXPECT_GT(tiny.row.accuracy, 0.15f);
+
+  const auto quant =
+      RunQuantized(*pipeline_, *ds_, ds_->split.test_nodes, 200);
+  EXPECT_GT(quant.row.accuracy, 0.3f);
+}
+
+TEST_F(EndToEndTest, QuantizationTracksVanillaAccuracy) {
+  const MethodResult vanilla =
+      RunVanilla(*engine_, *ds_, ds_->split.test_nodes, 200, "SGC");
+  const auto quant =
+      RunQuantized(*pipeline_, *ds_, ds_->split.test_nodes, 200);
+  EXPECT_NEAR(quant.row.accuracy, vanilla.row.accuracy, 0.03f);
+}
+
+TEST_F(EndToEndTest, SettingsTradeOffDepthForAccuracy) {
+  const auto settings =
+      MakeDefaultSettings(*pipeline_, *ds_, core::NapKind::kDistance);
+  ASSERT_EQ(settings.size(), 3u);
+  std::vector<MethodResult> results;
+  for (const auto& s : settings) {
+    core::InferenceConfig cfg = s.config;
+    cfg.batch_size = 200;
+    results.push_back(
+        RunNai(*engine_, *ds_, ds_->split.test_nodes, cfg, s.name));
+  }
+  // Speed-first uses strictly less propagation than accuracy-first.
+  EXPECT_LT(results[0].stats.propagation_macs,
+            results[2].stats.propagation_macs);
+  // Average exit depth is monotone across the settings.
+  EXPECT_LE(results[0].stats.average_depth(),
+            results[2].stats.average_depth());
+}
+
+TEST_F(EndToEndTest, ValidationSelectionWorkflow) {
+  // The paper's deployment story: pick the setting by validation accuracy
+  // under a latency budget. Just exercise the workflow.
+  const auto settings =
+      MakeDefaultSettings(*pipeline_, *ds_, core::NapKind::kDistance);
+  float best_acc = 0.0f;
+  for (const auto& s : settings) {
+    core::InferenceConfig cfg = s.config;
+    cfg.batch_size = 200;
+    const MethodResult r =
+        RunNai(*engine_, *ds_, ds_->split.val_nodes, cfg, s.name);
+    best_acc = std::max(best_acc, r.row.accuracy);
+  }
+  EXPECT_GT(best_acc, 0.4f);
+}
+
+}  // namespace
+}  // namespace nai::eval

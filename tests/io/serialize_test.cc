@@ -1,0 +1,71 @@
+#include "src/io/serialize.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace nai::io {
+namespace {
+
+TEST(SerializeTest, ScalarsRoundTrip) {
+  std::stringstream ss;
+  WriteU64(ss, 0xdeadbeefcafeULL);
+  WriteI32(ss, -42);
+  WriteF32(ss, 3.25f);
+  WriteString(ss, "hello");
+  WriteString(ss, "");
+  EXPECT_EQ(ReadU64(ss), 0xdeadbeefcafeULL);
+  EXPECT_EQ(ReadI32(ss), -42);
+  EXPECT_FLOAT_EQ(ReadF32(ss), 3.25f);
+  EXPECT_EQ(ReadString(ss), "hello");
+  EXPECT_EQ(ReadString(ss), "");
+}
+
+TEST(SerializeTest, MatrixRoundTrip) {
+  const tensor::Matrix m = nai::testing::RandomMatrix(7, 5, 42);
+  std::stringstream ss;
+  WriteMatrix(ss, m);
+  const tensor::Matrix back = ReadMatrix(ss);
+  EXPECT_EQ(m.CountDifferences(back, 0.0f), 0u);
+}
+
+TEST(SerializeTest, EmptyMatrixRoundTrip) {
+  tensor::Matrix m;
+  std::stringstream ss;
+  WriteMatrix(ss, m);
+  const tensor::Matrix back = ReadMatrix(ss);
+  EXPECT_EQ(back.rows(), 0u);
+  EXPECT_EQ(back.cols(), 0u);
+}
+
+TEST(SerializeTest, VectorRoundTrip) {
+  const std::vector<std::int32_t> v = {5, -1, 0, 1 << 20};
+  std::stringstream ss;
+  WriteI32Vector(ss, v);
+  EXPECT_EQ(ReadI32Vector(ss), v);
+}
+
+TEST(SerializeTest, HeaderTagChecked) {
+  std::stringstream ss;
+  WriteHeader(ss, "kind_a");
+  EXPECT_THROW(ReadHeader(ss, "kind_b"), std::runtime_error);
+}
+
+TEST(SerializeTest, BadMagicRejected) {
+  std::stringstream ss;
+  ss << "this is not a NAI artifact at all";
+  EXPECT_THROW(ReadHeader(ss, "anything"), std::runtime_error);
+}
+
+TEST(SerializeTest, TruncatedStreamThrows) {
+  std::stringstream ss;
+  WriteMatrix(ss, nai::testing::RandomMatrix(4, 4, 1));
+  std::string data = ss.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW(ReadMatrix(truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nai::io

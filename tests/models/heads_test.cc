@@ -1,0 +1,148 @@
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/models/scalable_gnn.h"
+#include "src/nn/adam.h"
+#include "src/nn/loss.h"
+#include "tests/test_util.h"
+
+namespace nai::models {
+namespace {
+
+using nai::testing::RandomMatrix;
+
+class HeadsTest : public ::testing::TestWithParam<ModelKind> {
+ protected:
+  ModelConfig Config(int depth = 2) {
+    ModelConfig cfg;
+    cfg.kind = GetParam();
+    cfg.depth = depth;
+    cfg.feature_dim = 6;
+    cfg.num_classes = 3;
+    cfg.hidden_dims = {8};
+    cfg.dropout = 0.0f;
+    return cfg;
+  }
+
+  std::vector<tensor::Matrix> MakeViews(int depth, std::size_t rows,
+                                        std::uint64_t seed) {
+    std::vector<tensor::Matrix> views;
+    for (int t = 0; t <= depth; ++t) {
+      views.push_back(RandomMatrix(rows, 6, seed + t));
+    }
+    return views;
+  }
+};
+
+TEST_P(HeadsTest, ForwardShape) {
+  tensor::Rng rng(1);
+  const ModelConfig cfg = Config();
+  auto head = MakeHead(cfg, 2, rng);
+  const auto views = MakeViews(2, 5, 100);
+  FeatureViews ptrs;
+  for (const auto& v : views) ptrs.push_back(&v);
+  const tensor::Matrix logits = head->Forward(ptrs, false, nullptr);
+  EXPECT_EQ(logits.rows(), 5u);
+  EXPECT_EQ(logits.cols(), 3u);
+  EXPECT_EQ(head->expected_views(), 3u);
+  EXPECT_EQ(head->num_classes(), 3u);
+}
+
+TEST_P(HeadsTest, MacsPositiveAndScaleWithRows) {
+  tensor::Rng rng(2);
+  auto head = MakeHead(Config(), 2, rng);
+  const std::int64_t m1 = head->ForwardMacs(10);
+  const std::int64_t m2 = head->ForwardMacs(20);
+  EXPECT_GT(m1, 0);
+  EXPECT_EQ(m2, 2 * m1);
+}
+
+TEST_P(HeadsTest, TrainsOnSeparableViews) {
+  // Train the head on a dataset where the depth-0 view separates classes;
+  // all families can use it (SGC uses the deepest view, so plant the signal
+  // in every view to be family-agnostic).
+  tensor::Rng rng(3);
+  const ModelConfig cfg = Config(1);
+  auto head = MakeHead(cfg, 1, rng);
+
+  const std::size_t n = 60;
+  std::vector<std::int32_t> labels(n);
+  std::vector<tensor::Matrix> views(2, tensor::Matrix(n, 6));
+  tensor::Rng data_rng(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<std::int32_t>(i % 3);
+    for (auto& v : views) {
+      for (std::size_t j = 0; j < 6; ++j) {
+        v.at(i, j) = 0.3f * data_rng.NextGaussian();
+      }
+      v.at(i, labels[i]) += 3.0f;  // class-aligned coordinate
+    }
+  }
+  FeatureViews ptrs;
+  for (const auto& v : views) ptrs.push_back(&v);
+
+  nn::Adam adam({.learning_rate = 0.05f});
+  std::vector<nn::Parameter*> params;
+  head->CollectParameters(params);
+  adam.Register(params);
+
+  float loss = 0.0f;
+  for (int epoch = 0; epoch < 150; ++epoch) {
+    adam.ZeroGrad();
+    const tensor::Matrix logits = head->Forward(ptrs, true, &rng);
+    const nn::LossResult r = nn::SoftmaxCrossEntropy(logits, labels);
+    loss = r.loss;
+    head->Backward(r.grad_logits);
+    adam.Step();
+  }
+  EXPECT_LT(loss, 0.1f);
+  EXPECT_GT(nn::Accuracy(head->Forward(ptrs, false, nullptr), labels), 0.95f);
+}
+
+TEST_P(HeadsTest, ReduceShape) {
+  tensor::Rng rng(5);
+  const ModelConfig cfg = Config();
+  auto head = MakeHead(cfg, 2, rng);
+  const auto views = MakeViews(2, 4, 200);
+  FeatureViews ptrs;
+  for (const auto& v : views) ptrs.push_back(&v);
+  const tensor::Matrix reduced = head->Reduce(ptrs);
+  EXPECT_EQ(reduced.rows(), 4u);
+  const std::size_t expected_cols =
+      GetParam() == ModelKind::kSign ? 18u : 6u;
+  EXPECT_EQ(reduced.cols(), expected_cols);
+  // Reduce feeds the head's own MLP: its width must match.
+  EXPECT_EQ(head->classifier_mlp().in_dim(), reduced.cols());
+}
+
+TEST_P(HeadsTest, ReducePlusMlpMatchesForwardEval) {
+  tensor::Rng rng(6);
+  auto head = MakeHead(Config(), 2, rng);
+  const auto views = MakeViews(2, 7, 300);
+  FeatureViews ptrs;
+  for (const auto& v : views) ptrs.push_back(&v);
+  const tensor::Matrix direct = head->Forward(ptrs, false, nullptr);
+  const tensor::Matrix reduced = head->Reduce(ptrs);
+  // Forward on the same MLP parameters: recompute via a const-free copy.
+  nn::Mlp mlp_copy = head->classifier_mlp();
+  const tensor::Matrix via_reduce = mlp_copy.Forward(reduced, false);
+  nai::testing::ExpectMatrixNear(direct, via_reduce, 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, HeadsTest,
+                         ::testing::Values(ModelKind::kSgc, ModelKind::kSign,
+                                           ModelKind::kS2gc,
+                                           ModelKind::kGamlp),
+                         [](const auto& info) {
+                           return ModelKindName(info.param);
+                         });
+
+TEST(ModelKindTest, Names) {
+  EXPECT_EQ(ModelKindName(ModelKind::kSgc), "SGC");
+  EXPECT_EQ(ModelKindName(ModelKind::kSign), "SIGN");
+  EXPECT_EQ(ModelKindName(ModelKind::kS2gc), "S2GC");
+  EXPECT_EQ(ModelKindName(ModelKind::kGamlp), "GAMLP");
+}
+
+}  // namespace
+}  // namespace nai::models

@@ -1,0 +1,86 @@
+#include "src/nn/adam.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace nai::nn {
+namespace {
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // f(w) = 0.5 * ||w - target||^2, grad = w - target.
+  Parameter p;
+  p.Resize(1, 3);
+  p.value = tensor::Matrix{{5.0f, -2.0f, 0.5f}};
+  const tensor::Matrix target{{1.0f, 1.0f, 1.0f}};
+
+  Adam adam({.learning_rate = 0.1f});
+  adam.Register({&p});
+  for (int i = 0; i < 500; ++i) {
+    adam.ZeroGrad();
+    for (std::size_t j = 0; j < 3; ++j) {
+      p.grad.at(0, j) = p.value.at(0, j) - target.at(0, j);
+    }
+    adam.Step();
+  }
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(p.value.at(0, j), 1.0f, 1e-2f);
+  }
+}
+
+TEST(AdamTest, FirstStepSizeIsLearningRate) {
+  // With bias correction, the very first Adam step is ~lr * sign(grad).
+  Parameter p;
+  p.Resize(1, 1);
+  p.value.at(0, 0) = 0.0f;
+  Adam adam({.learning_rate = 0.01f});
+  adam.Register({&p});
+  p.grad.at(0, 0) = 123.0f;
+  adam.Step();
+  EXPECT_NEAR(p.value.at(0, 0), -0.01f, 1e-4f);
+}
+
+TEST(AdamTest, ZeroGradClearsAll) {
+  Parameter a, b;
+  a.Resize(2, 2);
+  b.Resize(1, 4);
+  Adam adam({});
+  adam.Register({&a, &b});
+  a.grad.Fill(3.0f);
+  b.grad.Fill(-1.0f);
+  adam.ZeroGrad();
+  for (std::size_t i = 0; i < a.grad.size(); ++i) {
+    EXPECT_EQ(a.grad.data()[i], 0.0f);
+  }
+  for (std::size_t i = 0; i < b.grad.size(); ++i) {
+    EXPECT_EQ(b.grad.data()[i], 0.0f);
+  }
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  Parameter p;
+  p.Resize(1, 1);
+  p.value.at(0, 0) = 10.0f;
+  Adam adam({.learning_rate = 0.1f, .weight_decay = 1.0f});
+  adam.Register({&p});
+  // Zero loss gradient: only decay drives the update.
+  for (int i = 0; i < 100; ++i) {
+    adam.ZeroGrad();
+    adam.Step();
+  }
+  EXPECT_LT(std::fabs(p.value.at(0, 0)), 10.0f * 0.5f);
+}
+
+TEST(AdamTest, StepCountAdvances) {
+  Parameter p;
+  p.Resize(1, 1);
+  Adam adam({});
+  adam.Register({&p});
+  EXPECT_EQ(adam.step_count(), 0);
+  adam.Step();
+  adam.Step();
+  EXPECT_EQ(adam.step_count(), 2);
+}
+
+}  // namespace
+}  // namespace nai::nn

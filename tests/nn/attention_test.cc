@@ -1,0 +1,111 @@
+#include "src/nn/attention.h"
+
+#include "gtest/gtest.h"
+#include "src/tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace nai::nn {
+namespace {
+
+using nai::testing::GradientRelativeError;
+using nai::testing::NumericalGradient;
+using nai::testing::RandomMatrix;
+
+TEST(AttentionTest, OutputIsConvexCombination) {
+  tensor::Rng rng(1);
+  VectorAttention att(3, 4, rng);
+  const tensor::Matrix v0 = RandomMatrix(5, 4, 2);
+  const tensor::Matrix v1 = RandomMatrix(5, 4, 3);
+  const tensor::Matrix v2 = RandomMatrix(5, 4, 4);
+  const tensor::Matrix out = att.Forward({&v0, &v1, &v2}, false);
+  EXPECT_EQ(out.rows(), 5u);
+  EXPECT_EQ(out.cols(), 4u);
+  const tensor::Matrix& w = att.last_weights();
+  for (std::size_t i = 0; i < 5; ++i) {
+    float sum = 0.0f;
+    for (std::size_t l = 0; l < 3; ++l) {
+      EXPECT_GE(w.at(i, l), 0.0f);
+      sum += w.at(i, l);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    // Each output coordinate lies inside the convex hull of the views.
+    for (std::size_t j = 0; j < 4; ++j) {
+      const float lo =
+          std::min({v0.at(i, j), v1.at(i, j), v2.at(i, j)});
+      const float hi =
+          std::max({v0.at(i, j), v1.at(i, j), v2.at(i, j)});
+      EXPECT_GE(out.at(i, j), lo - 1e-4f);
+      EXPECT_LE(out.at(i, j), hi + 1e-4f);
+    }
+  }
+}
+
+TEST(AttentionTest, IdenticalViewsGiveThatView) {
+  tensor::Rng rng(5);
+  VectorAttention att(2, 3, rng);
+  const tensor::Matrix v = RandomMatrix(4, 3, 6);
+  const tensor::Matrix out = att.Forward({&v, &v}, false);
+  nai::testing::ExpectMatrixNear(out, v, 1e-5f);
+}
+
+TEST(AttentionTest, ReferenceGradientCheck) {
+  tensor::Rng rng(7);
+  VectorAttention att(3, 4, rng);
+  const tensor::Matrix v0 = RandomMatrix(4, 4, 8);
+  const tensor::Matrix v1 = RandomMatrix(4, 4, 9);
+  const tensor::Matrix v2 = RandomMatrix(4, 4, 10);
+  const tensor::Matrix grad_out = RandomMatrix(4, 4, 11);
+
+  auto scalar = [&] {
+    const tensor::Matrix out = att.Forward({&v0, &v1, &v2}, false);
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      acc += out.data()[i] * grad_out.data()[i];
+    }
+    return acc;
+  };
+
+  att.reference().ZeroGrad();
+  att.Forward({&v0, &v1, &v2}, true);
+  att.Backward(grad_out, nullptr);
+  const tensor::Matrix numeric = NumericalGradient(att.reference().value,
+                                                   scalar);
+  EXPECT_LT(GradientRelativeError(att.reference().grad, numeric), 0.03f);
+}
+
+TEST(AttentionTest, ViewGradientCheck) {
+  tensor::Rng rng(12);
+  VectorAttention att(2, 3, rng);
+  tensor::Matrix v0 = RandomMatrix(3, 3, 13);
+  const tensor::Matrix v1 = RandomMatrix(3, 3, 14);
+  const tensor::Matrix grad_out = RandomMatrix(3, 3, 15);
+
+  auto scalar = [&] {
+    const tensor::Matrix out = att.Forward({&v0, &v1}, false);
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      acc += out.data()[i] * grad_out.data()[i];
+    }
+    return acc;
+  };
+
+  att.Forward({&v0, &v1}, true);
+  std::vector<tensor::Matrix> grad_views;
+  att.Backward(grad_out, &grad_views);
+  ASSERT_EQ(grad_views.size(), 2u);
+  const tensor::Matrix numeric = NumericalGradient(v0, scalar);
+  EXPECT_LT(GradientRelativeError(grad_views[0], numeric), 0.03f);
+}
+
+TEST(AttentionTest, CollectParameters) {
+  tensor::Rng rng(16);
+  VectorAttention att(4, 8, rng);
+  std::vector<Parameter*> params;
+  att.CollectParameters(params);
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_EQ(params[0]->value.rows(), 4u);
+  EXPECT_EQ(params[0]->value.cols(), 8u);
+}
+
+}  // namespace
+}  // namespace nai::nn

@@ -1,0 +1,124 @@
+#include "src/nn/gumbel.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace nai::nn {
+namespace {
+
+using nai::testing::GradientRelativeError;
+using nai::testing::NumericalGradient;
+using nai::testing::RandomMatrix;
+
+TEST(GumbelTest, HardIsOneHot) {
+  tensor::Rng rng(1);
+  const tensor::Matrix logits = RandomMatrix(10, 4, 2);
+  const GumbelSample s = GumbelSoftmax(logits, 1.0f, rng);
+  for (std::size_t i = 0; i < 10; ++i) {
+    float sum = 0.0f;
+    int ones = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      sum += s.hard.at(i, j);
+      if (s.hard.at(i, j) == 1.0f) ++ones;
+    }
+    EXPECT_FLOAT_EQ(sum, 1.0f);
+    EXPECT_EQ(ones, 1);
+  }
+}
+
+TEST(GumbelTest, SoftIsDistribution) {
+  tensor::Rng rng(3);
+  const tensor::Matrix logits = RandomMatrix(8, 3, 4);
+  const GumbelSample s = GumbelSoftmax(logits, 0.7f, rng);
+  for (std::size_t i = 0; i < 8; ++i) {
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_GE(s.soft.at(i, j), 0.0f);
+      sum += s.soft.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(GumbelTest, HardMatchesSoftArgmax) {
+  tensor::Rng rng(5);
+  const tensor::Matrix logits = RandomMatrix(20, 5, 6);
+  const GumbelSample s = GumbelSoftmax(logits, 1.0f, rng);
+  const auto soft_arg = tensor::ArgmaxRows(s.soft);
+  const auto hard_arg = tensor::ArgmaxRows(s.hard);
+  EXPECT_EQ(soft_arg, hard_arg);
+}
+
+TEST(GumbelTest, DeterministicModeIgnoresNoise) {
+  tensor::Rng rng_a(7), rng_b(999);
+  const tensor::Matrix logits = RandomMatrix(5, 3, 8);
+  const GumbelSample a = GumbelSoftmax(logits, 1.0f, rng_a, true);
+  const GumbelSample b = GumbelSoftmax(logits, 1.0f, rng_b, true);
+  EXPECT_EQ(a.soft.CountDifferences(b.soft, 0.0f), 0u);
+  // Deterministic soft equals plain softmax.
+  nai::testing::ExpectMatrixNear(a.soft, tensor::SoftmaxRows(logits, 1.0f),
+                                 1e-6f);
+}
+
+TEST(GumbelTest, SamplingFollowsLogits) {
+  // With logits strongly favoring column 0, most hard samples pick it.
+  tensor::Matrix logits(200, 2);
+  for (std::size_t i = 0; i < 200; ++i) logits.at(i, 0) = 4.0f;
+  tensor::Rng rng(9);
+  const GumbelSample s = GumbelSoftmax(logits, 1.0f, rng);
+  int picked = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    if (s.hard.at(i, 0) == 1.0f) ++picked;
+  }
+  EXPECT_GT(picked, 170);  // P(pick 0) = sigmoid(4) ~ 0.982
+}
+
+TEST(GumbelTest, LowTemperatureSharpens) {
+  tensor::Rng rng_a(11), rng_b(11);
+  const tensor::Matrix logits = RandomMatrix(10, 4, 12);
+  const GumbelSample hot = GumbelSoftmax(logits, 5.0f, rng_a);
+  const GumbelSample cold = GumbelSoftmax(logits, 0.1f, rng_b);
+  // Max prob of the cold sample exceeds the hot one on average.
+  float hot_max = 0.0f, cold_max = 0.0f;
+  for (std::size_t i = 0; i < 10; ++i) {
+    float hm = 0.0f, cm = 0.0f;
+    for (std::size_t j = 0; j < 4; ++j) {
+      hm = std::max(hm, hot.soft.at(i, j));
+      cm = std::max(cm, cold.soft.at(i, j));
+    }
+    hot_max += hm;
+    cold_max += cm;
+  }
+  EXPECT_GT(cold_max, hot_max);
+}
+
+TEST(GumbelTest, BackwardGradientCheck) {
+  // Verify GumbelSoftmaxBackward against numerical differentiation of the
+  // deterministic relaxation (noise off so the function is differentiable
+  // w.r.t. the logits).
+  tensor::Matrix logits = RandomMatrix(3, 4, 13);
+  const float tau = 0.8f;
+  const tensor::Matrix grad_soft = RandomMatrix(3, 4, 14);
+
+  auto scalar = [&] {
+    tensor::Rng rng(0);
+    const GumbelSample s = GumbelSoftmax(logits, tau, rng, true);
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < s.soft.size(); ++i) {
+      acc += s.soft.data()[i] * grad_soft.data()[i];
+    }
+    return acc;
+  };
+
+  tensor::Rng rng(0);
+  const GumbelSample s = GumbelSoftmax(logits, tau, rng, true);
+  const tensor::Matrix analytic = GumbelSoftmaxBackward(s.soft, grad_soft, tau);
+  const tensor::Matrix numeric = NumericalGradient(logits, scalar);
+  EXPECT_LT(GradientRelativeError(analytic, numeric), 0.03f);
+}
+
+}  // namespace
+}  // namespace nai::nn

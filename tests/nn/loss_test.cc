@@ -1,0 +1,105 @@
+#include "src/nn/loss.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace nai::nn {
+namespace {
+
+using nai::testing::GradientRelativeError;
+using nai::testing::NumericalGradient;
+using nai::testing::RandomMatrix;
+
+TEST(LossTest, CrossEntropyUniformLogits) {
+  tensor::Matrix logits(2, 4);  // all zeros -> uniform softmax
+  const LossResult r = SoftmaxCrossEntropy(logits, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(LossTest, CrossEntropyPerfectPrediction) {
+  tensor::Matrix logits{{100.0f, 0.0f}, {0.0f, 100.0f}};
+  const LossResult r = SoftmaxCrossEntropy(logits, {0, 1});
+  EXPECT_NEAR(r.loss, 0.0f, 1e-5f);
+  // Gradient vanishes at the optimum.
+  for (std::size_t i = 0; i < r.grad_logits.size(); ++i) {
+    EXPECT_NEAR(r.grad_logits.data()[i], 0.0f, 1e-5f);
+  }
+}
+
+TEST(LossTest, CrossEntropyGradientCheck) {
+  tensor::Matrix logits = RandomMatrix(6, 5, 42);
+  const std::vector<std::int32_t> labels = {0, 1, 2, 3, 4, 0};
+  const LossResult r = SoftmaxCrossEntropy(logits, labels);
+  const tensor::Matrix num = NumericalGradient(
+      logits, [&] { return SoftmaxCrossEntropy(logits, labels).loss; });
+  EXPECT_LT(GradientRelativeError(r.grad_logits, num), 0.02f);
+}
+
+TEST(LossTest, SoftTargetMatchesHardAtDelta) {
+  // Soft-target CE with a one-hot target and T=1 equals hard-label CE.
+  tensor::Matrix logits = RandomMatrix(3, 4, 7);
+  const std::vector<std::int32_t> labels = {2, 0, 3};
+  tensor::Matrix targets(3, 4);
+  for (std::size_t i = 0; i < 3; ++i) targets.at(i, labels[i]) = 1.0f;
+  const LossResult hard = SoftmaxCrossEntropy(logits, labels);
+  const LossResult soft = SoftTargetCrossEntropy(logits, targets, 1.0f);
+  EXPECT_NEAR(hard.loss, soft.loss, 1e-5f);
+  nai::testing::ExpectMatrixNear(hard.grad_logits, soft.grad_logits, 1e-5f);
+}
+
+class SoftTargetTemp : public ::testing::TestWithParam<float> {};
+
+TEST_P(SoftTargetTemp, GradientCheck) {
+  const float T = GetParam();
+  tensor::Matrix logits = RandomMatrix(4, 3, 11);
+  const tensor::Matrix targets =
+      tensor::SoftmaxRows(RandomMatrix(4, 3, 12), 1.0f);
+  const LossResult r = SoftTargetCrossEntropy(logits, targets, T);
+  const tensor::Matrix num = NumericalGradient(logits, [&] {
+    return SoftTargetCrossEntropy(logits, targets, T).loss;
+  });
+  EXPECT_LT(GradientRelativeError(r.grad_logits, num), 0.02f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, SoftTargetTemp,
+                         ::testing::Values(0.5f, 1.0f, 1.5f, 2.0f, 4.0f));
+
+TEST(LossTest, SoftTargetMinimizedWhenMatching) {
+  // The loss is minimized (equals target entropy) when softmax(z/T) = target.
+  tensor::Matrix logits{{2.0f, 1.0f, 0.0f}};
+  const tensor::Matrix target = tensor::SoftmaxRows(logits, 1.0f);
+  const float at_match =
+      SoftTargetCrossEntropy(logits, target, 1.0f).loss;
+  tensor::Matrix other{{0.0f, 1.0f, 2.0f}};
+  const float elsewhere = SoftTargetCrossEntropy(other, target, 1.0f).loss;
+  EXPECT_LT(at_match, elsewhere);
+}
+
+TEST(LossTest, CrossEntropyOnProbabilities) {
+  tensor::Matrix probs{{0.5f, 0.5f}, {0.9f, 0.1f}};
+  const LossResult r = CrossEntropyOnProbabilities(probs, {0, 0});
+  EXPECT_NEAR(r.loss, 0.5f * (-std::log(0.5f) - std::log(0.9f)), 1e-5f);
+  // Gradient: -1/(N p) on the label entries only.
+  EXPECT_NEAR(r.grad_logits.at(0, 0), -0.5f / 0.5f, 1e-4f);
+  EXPECT_NEAR(r.grad_logits.at(1, 0), -0.5f / 0.9f, 1e-4f);
+  EXPECT_EQ(r.grad_logits.at(0, 1), 0.0f);
+}
+
+TEST(LossTest, CrossEntropyOnProbabilitiesClampsZero) {
+  tensor::Matrix probs{{0.0f, 1.0f}};
+  const LossResult r = CrossEntropyOnProbabilities(probs, {0});
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_TRUE(std::isfinite(r.grad_logits.at(0, 0)));
+}
+
+TEST(LossTest, Accuracy) {
+  tensor::Matrix logits{{1.0f, 0.0f}, {0.0f, 1.0f}, {1.0f, 0.0f}};
+  EXPECT_FLOAT_EQ(Accuracy(logits, {0, 1, 1}), 2.0f / 3.0f);
+  EXPECT_FLOAT_EQ(Accuracy(tensor::Matrix(0, 2), {}), 0.0f);
+}
+
+}  // namespace
+}  // namespace nai::nn

@@ -1,0 +1,114 @@
+#include "src/tensor/matrix.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace nai::tensor {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(m.data()[i], 0.0f);
+  }
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1.0f, 2.0f}, {3.0f, 4.0f}, {5.0f, 6.0f}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.at(0, 0), 1.0f);
+  EXPECT_EQ(m.at(2, 1), 6.0f);
+}
+
+TEST(MatrixTest, RowMajorLayout) {
+  Matrix m{{1.0f, 2.0f, 3.0f}, {4.0f, 5.0f, 6.0f}};
+  EXPECT_EQ(m.row(1)[0], 4.0f);
+  EXPECT_EQ(m.row(1)[2], 6.0f);
+  EXPECT_EQ(m.data()[3], 4.0f);  // row 1 starts at offset cols
+}
+
+TEST(MatrixTest, FillAndResize) {
+  Matrix m(2, 2);
+  m.Fill(7.5f);
+  EXPECT_EQ(m.at(1, 1), 7.5f);
+  m.Resize(3, 5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_EQ(m.at(2, 4), 0.0f);  // resize zero-initializes
+}
+
+TEST(MatrixTest, RowCopy) {
+  Matrix m{{1.0f, 2.0f}, {3.0f, 4.0f}};
+  Matrix r = m.RowCopy(1);
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 2u);
+  EXPECT_EQ(r.at(0, 0), 3.0f);
+  EXPECT_EQ(r.at(0, 1), 4.0f);
+}
+
+TEST(MatrixTest, GatherRows) {
+  Matrix m{{0.0f, 1.0f}, {10.0f, 11.0f}, {20.0f, 21.0f}};
+  Matrix g = m.GatherRows({2, 0, 2});
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.at(0, 0), 20.0f);
+  EXPECT_EQ(g.at(1, 1), 1.0f);
+  EXPECT_EQ(g.at(2, 0), 20.0f);
+}
+
+TEST(MatrixTest, GatherRowsEmpty) {
+  Matrix m{{1.0f, 2.0f}};
+  Matrix g = m.GatherRows({});
+  EXPECT_EQ(g.rows(), 0u);
+  EXPECT_EQ(g.cols(), 2u);
+}
+
+TEST(MatrixTest, SetRow) {
+  Matrix m(2, 3);
+  const float src[3] = {1.0f, 2.0f, 3.0f};
+  m.SetRow(1, src);
+  EXPECT_EQ(m.at(1, 2), 3.0f);
+  EXPECT_EQ(m.at(0, 0), 0.0f);
+}
+
+TEST(MatrixTest, RowSquaredNorm) {
+  Matrix m{{3.0f, 4.0f}, {0.0f, 0.0f}};
+  EXPECT_FLOAT_EQ(m.RowSquaredNorm(0), 25.0f);
+  EXPECT_FLOAT_EQ(m.RowSquaredNorm(1), 0.0f);
+}
+
+TEST(MatrixTest, CountDifferences) {
+  Matrix a{{1.0f, 2.0f}, {3.0f, 4.0f}};
+  Matrix b = a;
+  EXPECT_EQ(a.CountDifferences(b, 1e-6f), 0u);
+  b.at(0, 1) += 0.5f;
+  EXPECT_EQ(a.CountDifferences(b, 1e-6f), 1u);
+  Matrix c(1, 2);
+  EXPECT_EQ(a.CountDifferences(c, 1e-6f), a.size());
+}
+
+TEST(MatrixTest, ShapeString) {
+  Matrix m(5, 7);
+  EXPECT_EQ(m.ShapeString(), "[5 x 7]");
+}
+
+TEST(MatrixTest, CopyAndMove) {
+  Matrix a{{1.0f, 2.0f}};
+  Matrix b = a;          // copy
+  Matrix c = std::move(a);
+  EXPECT_EQ(b.at(0, 1), 2.0f);
+  EXPECT_EQ(c.at(0, 1), 2.0f);
+}
+
+}  // namespace
+}  // namespace nai::tensor

@@ -1,0 +1,269 @@
+#include "src/tensor/ops.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "src/tensor/random.h"
+#include "tests/test_util.h"
+
+namespace nai::tensor {
+namespace {
+
+using nai::testing::ExpectMatrixNear;
+using nai::testing::RandomMatrix;
+
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < a.cols(); ++p) {
+        acc += a.at(i, p) * b.at(p, j);
+      }
+      out.at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+TEST(OpsTest, MatMulSmallKnown) {
+  Matrix a{{1.0f, 2.0f}, {3.0f, 4.0f}};
+  Matrix b{{5.0f, 6.0f}, {7.0f, 8.0f}};
+  Matrix c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+// Property sweep: MatMul and the transpose variants agree with the naive
+// reference over a range of shapes.
+class MatMulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapes, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = RandomMatrix(m, k, 1234 + m * 100 + k * 10 + n);
+  const Matrix b = RandomMatrix(k, n, 4321 + m + k + n);
+  ExpectMatrixNear(MatMul(a, b), NaiveMatMul(a, b), 1e-3f);
+}
+
+TEST_P(MatMulShapes, TransposeBMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = RandomMatrix(m, k, 99 + m);
+  const Matrix bt = RandomMatrix(n, k, 77 + n);  // holds b^T
+  // Build b from bt to feed naive.
+  Matrix b(k, n);
+  for (std::size_t i = 0; i < b.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) b.at(i, j) = bt.at(j, i);
+  }
+  ExpectMatrixNear(MatMulTransposeB(a, bt), NaiveMatMul(a, b), 1e-3f);
+}
+
+TEST_P(MatMulShapes, TransposeAMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const Matrix at = RandomMatrix(k, m, 55 + k);  // holds a^T
+  const Matrix b = RandomMatrix(k, n, 66 + n);
+  Matrix a(m, k);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) a.at(i, j) = at.at(j, i);
+  }
+  ExpectMatrixNear(MatMulTransposeA(at, b), NaiveMatMul(a, b), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 2),
+                      std::make_tuple(8, 8, 8), std::make_tuple(17, 3, 9),
+                      std::make_tuple(64, 32, 16),
+                      std::make_tuple(100, 1, 100)));
+
+TEST(OpsTest, ParallelForCoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(10000);
+  ParallelFor(hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(OpsTest, ParallelForZeroIsNoop) {
+  bool called = false;
+  ParallelFor(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(OpsTest, AddAxpyScaleSubtract) {
+  Matrix a{{1.0f, 2.0f}};
+  Matrix b{{10.0f, 20.0f}};
+  AddInPlace(a, b);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 22.0f);
+  Axpy(a, 0.5f, b);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 16.0f);
+  ScaleInPlace(a, 2.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 32.0f);
+  Matrix d = Subtract(a, b);
+  EXPECT_FLOAT_EQ(d.at(0, 0), 22.0f);
+}
+
+TEST(OpsTest, AddRowBias) {
+  Matrix m(2, 3);
+  Matrix bias{{1.0f, 2.0f, 3.0f}};
+  AddRowBias(m, bias);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 3.0f);
+}
+
+TEST(OpsTest, ReluForwardBackward) {
+  Matrix z{{-1.0f, 0.0f, 2.0f}};
+  Matrix m = z;
+  ReluInPlace(m);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 2), 2.0f);
+  Matrix g{{5.0f, 5.0f, 5.0f}};
+  ReluBackwardInPlace(z, g);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(g.at(0, 1), 0.0f);  // z == 0 kills the gradient too
+  EXPECT_FLOAT_EQ(g.at(0, 2), 5.0f);
+}
+
+TEST(OpsTest, SigmoidValues) {
+  Matrix m{{0.0f, 100.0f, -100.0f}};
+  SigmoidInPlace(m);
+  EXPECT_NEAR(m.at(0, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(m.at(0, 1), 1.0f, 1e-6f);
+  EXPECT_NEAR(m.at(0, 2), 0.0f, 1e-6f);
+}
+
+// Property: softmax rows are distributions for any temperature.
+class SoftmaxProperty : public ::testing::TestWithParam<float> {};
+
+TEST_P(SoftmaxProperty, RowsSumToOne) {
+  const float temp = GetParam();
+  const Matrix m = RandomMatrix(13, 9, 2024, 5.0f);
+  const Matrix s = SoftmaxRows(m, temp);
+  for (std::size_t i = 0; i < s.rows(); ++i) {
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < s.cols(); ++j) {
+      EXPECT_GE(s.at(i, j), 0.0f);
+      sum += s.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST_P(SoftmaxProperty, LogSoftmaxConsistent) {
+  const float temp = GetParam();
+  if (temp != 1.0f) GTEST_SKIP() << "log-softmax has no temperature arg";
+  const Matrix m = RandomMatrix(7, 5, 11, 3.0f);
+  const Matrix s = SoftmaxRows(m);
+  const Matrix ls = LogSoftmaxRows(m);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_NEAR(std::log(s.at(i, j)), ls.at(i, j), 1e-4f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, SoftmaxProperty,
+                         ::testing::Values(0.5f, 1.0f, 2.0f, 10.0f));
+
+TEST(OpsTest, SoftmaxNumericallyStableAtLargeLogits) {
+  Matrix m{{1000.0f, 1000.0f, -1000.0f}};
+  const Matrix s = SoftmaxRows(m);
+  EXPECT_NEAR(s.at(0, 0), 0.5f, 1e-5f);
+  EXPECT_NEAR(s.at(0, 2), 0.0f, 1e-5f);
+  EXPECT_FALSE(std::isnan(s.at(0, 0)));
+}
+
+TEST(OpsTest, ArgmaxRows) {
+  Matrix m{{0.0f, 3.0f, 1.0f}, {9.0f, 1.0f, 2.0f}};
+  const auto idx = ArgmaxRows(m);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(OpsTest, ConcatCols) {
+  Matrix a{{1.0f}, {2.0f}};
+  Matrix b{{3.0f, 4.0f}, {5.0f, 6.0f}};
+  const Matrix c = ConcatCols({&a, &b});
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 2), 6.0f);
+}
+
+TEST(OpsTest, MeanOfMatrices) {
+  Matrix a{{2.0f}};
+  Matrix b{{4.0f}};
+  Matrix c{{6.0f}};
+  const Matrix m = Mean({&a, &b, &c});
+  EXPECT_FLOAT_EQ(m.at(0, 0), 4.0f);
+}
+
+TEST(OpsTest, RowL2DistanceAndNorms) {
+  Matrix a{{0.0f, 0.0f}, {1.0f, 1.0f}};
+  Matrix b{{3.0f, 4.0f}, {1.0f, 1.0f}};
+  const auto d = RowL2Distance(a, b);
+  EXPECT_NEAR(d[0], 5.0f, 1e-6f);
+  EXPECT_NEAR(d[1], 0.0f, 1e-6f);
+  const auto n = RowL2Norms(b);
+  EXPECT_NEAR(n[0], 5.0f, 1e-6f);
+}
+
+TEST(OpsTest, NormalizeRows) {
+  Matrix m{{3.0f, 4.0f}, {0.0f, 0.0f}};
+  NormalizeRowsInPlace(m);
+  EXPECT_NEAR(m.at(0, 0), 0.6f, 1e-6f);
+  EXPECT_NEAR(m.at(1, 0), 0.0f, 1e-6f);  // zero row untouched
+}
+
+TEST(OpsTest, ColumnSums) {
+  Matrix m{{1.0f, 2.0f}, {3.0f, 4.0f}};
+  const Matrix s = ColumnSums(m);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(s.at(0, 1), 6.0f);
+}
+
+TEST(OpsTest, FrobeniusNorm) {
+  Matrix m{{3.0f, 4.0f}};
+  EXPECT_NEAR(FrobeniusNorm(m), 5.0f, 1e-6f);
+}
+
+TEST(OpsTest, DropoutZeroRateIsIdentity) {
+  Matrix m = RandomMatrix(4, 4, 3);
+  const Matrix before = m;
+  Matrix mask;
+  DropoutInPlace(m, 0.0f, mask, [] { return 0.5f; });
+  ExpectMatrixNear(m, before, 0.0f);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    EXPECT_FLOAT_EQ(mask.data()[i], 1.0f);
+  }
+}
+
+TEST(OpsTest, DropoutDropsAndRescales) {
+  Matrix m(1, 4);
+  m.Fill(2.0f);
+  Matrix mask;
+  Rng rng(5);
+  DropoutInPlace(m, 0.5f, mask, [&rng] { return rng.NextFloat(); });
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    // Survivors are rescaled by 2x, dropped are exactly 0.
+    EXPECT_TRUE(m.data()[i] == 0.0f || m.data()[i] == 4.0f);
+    EXPECT_FLOAT_EQ(m.data()[i], 2.0f * mask.data()[i]);
+  }
+}
+
+TEST(OpsTest, DropoutExpectationPreserved) {
+  // E[dropout(x)] == x: check the empirical mean over many entries.
+  Matrix m(100, 100);
+  m.Fill(1.0f);
+  Matrix mask;
+  Rng rng(7);
+  DropoutInPlace(m, 0.3f, mask, [&rng] { return rng.NextFloat(); });
+  const double mean =
+      std::accumulate(m.data(), m.data() + m.size(), 0.0) / m.size();
+  EXPECT_NEAR(mean, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace nai::tensor

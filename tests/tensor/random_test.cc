@@ -1,0 +1,152 @@
+#include "src/tensor/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace nai::tensor {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SeedZeroIsUsable) {
+  Rng rng(0);
+  // A raw xoshiro with all-zero state would return 0 forever; the splitmix
+  // seeding must prevent that.
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 16; ++i) values.insert(rng.NextUint64());
+  EXPECT_GT(values.size(), 10u);
+}
+
+TEST(RngTest, FloatInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = rng.NextFloat();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(RngTest, BoundedWithinRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  // bound 1 always returns 0
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GumbelMoments) {
+  // Gumbel(0,1): mean = Euler-Mascheroni (~0.5772), var = pi^2/6 (~1.645).
+  Rng rng(15);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float g = rng.NextGumbel();
+    sum += g;
+    sumsq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5772, 0.02);
+  EXPECT_NEAR(var, 1.6449, 0.1);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<std::int32_t> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<std::int32_t> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);  // same multiset
+}
+
+TEST(RandomFillTest, GlorotWithinLimit) {
+  Matrix m(30, 50);
+  Rng rng(19);
+  FillGlorot(m, rng);
+  const float limit = std::sqrt(6.0f / (30 + 50));
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::fabs(m.data()[i]), limit);
+  }
+  // Not all zero.
+  float maxabs = 0.0f;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    maxabs = std::max(maxabs, std::fabs(m.data()[i]));
+  }
+  EXPECT_GT(maxabs, limit * 0.5f);
+}
+
+TEST(RandomFillTest, GaussianStddev) {
+  Matrix m(100, 100);
+  Rng rng(21);
+  FillGaussian(m, 2.0f, rng);
+  double sumsq = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    sumsq += static_cast<double>(m.data()[i]) * m.data()[i];
+  }
+  EXPECT_NEAR(std::sqrt(sumsq / m.size()), 2.0, 0.1);
+}
+
+TEST(SampleWithoutReplacementTest, DistinctAndInRange) {
+  Rng rng(23);
+  const auto s = SampleWithoutReplacement(1000, 100, rng);
+  EXPECT_EQ(s.size(), 100u);
+  std::set<std::int32_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 100u);
+  for (const auto v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 1000);
+  }
+}
+
+TEST(SampleWithoutReplacementTest, FullPopulation) {
+  Rng rng(25);
+  const auto s = SampleWithoutReplacement(10, 10, rng);
+  std::set<std::int32_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+}  // namespace
+}  // namespace nai::tensor

@@ -1,0 +1,70 @@
+#ifndef NAI_TESTS_TEST_UTIL_H_
+#define NAI_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/tensor/matrix.h"
+#include "src/tensor/random.h"
+
+namespace nai::testing {
+
+/// Asserts two matrices are elementwise close.
+inline void ExpectMatrixNear(const tensor::Matrix& a, const tensor::Matrix& b,
+                             float tol) {
+  ASSERT_EQ(a.rows(), b.rows()) << a.ShapeString() << " vs " << b.ShapeString();
+  ASSERT_EQ(a.cols(), b.cols()) << a.ShapeString() << " vs " << b.ShapeString();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(a.at(i, j), b.at(i, j), tol)
+          << "mismatch at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+/// Central-difference numerical gradient of a scalar function w.r.t. one
+/// parameter matrix. `loss_fn` must be deterministic.
+inline tensor::Matrix NumericalGradient(
+    tensor::Matrix& param, const std::function<float()>& loss_fn,
+    float eps = 1e-3f) {
+  tensor::Matrix grad(param.rows(), param.cols());
+  for (std::size_t i = 0; i < param.size(); ++i) {
+    const float saved = param.data()[i];
+    param.data()[i] = saved + eps;
+    const float up = loss_fn();
+    param.data()[i] = saved - eps;
+    const float down = loss_fn();
+    param.data()[i] = saved;
+    grad.data()[i] = (up - down) / (2.0f * eps);
+  }
+  return grad;
+}
+
+/// Relative error between analytic and numerical gradients, using the
+/// standard max(|a|,|n|) denominator with an absolute floor.
+inline float GradientRelativeError(const tensor::Matrix& analytic,
+                                   const tensor::Matrix& numerical) {
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < analytic.size(); ++i) {
+    const float a = analytic.data()[i];
+    const float n = numerical.data()[i];
+    const float denom = std::max({std::fabs(a), std::fabs(n), 1e-3f});
+    worst = std::max(worst, std::fabs(a - n) / denom);
+  }
+  return worst;
+}
+
+/// A fixed-seed random matrix.
+inline tensor::Matrix RandomMatrix(std::size_t rows, std::size_t cols,
+                                   std::uint64_t seed, float stddev = 1.0f) {
+  tensor::Matrix m(rows, cols);
+  tensor::Rng rng(seed);
+  tensor::FillGaussian(m, stddev, rng);
+  return m;
+}
+
+}  // namespace nai::testing
+
+#endif  // NAI_TESTS_TEST_UTIL_H_
