@@ -114,3 +114,5 @@ void BM_SoftmaxRows(benchmark::State& state) {
 BENCHMARK(BM_SoftmaxRows)->Arg(10000);
 
 }  // namespace
+
+BENCHMARK_MAIN();

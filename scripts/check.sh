@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate: configure (Release + ASan/UBSan), build everything, run every
+# CTest suite. Exits nonzero on any configure/build/test failure.
+#
+# Usage:
+#   scripts/check.sh             # sanitized Release build into build-check/
+#   NAI_SANITIZE=""    scripts/check.sh   # disable sanitizers
+#   NAI_BUILD_DIR=foo  scripts/check.sh   # custom build directory
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${NAI_BUILD_DIR:-build-check}"
+SANITIZE="${NAI_SANITIZE-address,undefined}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DNAI_SANITIZE="${SANITIZE}"
+
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"

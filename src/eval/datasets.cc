@@ -1,6 +1,7 @@
 #include "src/eval/datasets.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 namespace nai::eval {
@@ -16,7 +17,11 @@ std::int64_t Scaled(std::int64_t base, double scale) {
 double EnvScale() {
   const char* env = std::getenv("NAI_SCALE");
   if (env == nullptr) return 1.0;
-  const double v = std::atof(env);
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  // Unparseable or non-finite (strtod accepts "nan"/"inf"): ignore the
+  // variable rather than clamp garbage to the minimum scale.
+  if (end == env || !std::isfinite(v)) return 1.0;
   return std::clamp(v, 0.05, 100.0);
 }
 

@@ -53,5 +53,30 @@ TEST(GlnnTest, MacsMatchMlpSize) {
   EXPECT_EQ(r.cost.total_macs, 8 * (10 * 50 + 50 * 5));
 }
 
+TEST(GlnnTest, SameSeedIsDeterministic) {
+  auto w = MakeSmallWorld(2, models::ModelKind::kSgc, 150);
+  const tensor::Matrix teacher = w.classifiers->Logits(2, w.all_feats);
+  auto train_once = [&] {
+    GlnnConfig cfg;
+    cfg.hidden_dims = {16};
+    cfg.epochs = 5;
+    cfg.seed = 77;
+    Glnn glnn(w.config.feature_dim, w.config.num_classes, cfg);
+    glnn.Train(w.data.features, teacher, w.data.labels, w.all_nodes);
+    return glnn.Infer(w.data.features).predictions;
+  };
+  EXPECT_EQ(train_once(), train_once());
+}
+
+TEST(GlnnTest, EmptyFeatureBatch) {
+  GlnnConfig cfg;
+  cfg.hidden_dims = {8};
+  Glnn glnn(6, 3, cfg);
+  tensor::Matrix empty(0, 6);
+  const GlnnResult r = glnn.Infer(empty);
+  EXPECT_TRUE(r.predictions.empty());
+  EXPECT_EQ(r.cost.total_macs, 0);
+}
+
 }  // namespace
 }  // namespace nai::baselines

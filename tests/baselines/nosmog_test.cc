@@ -74,5 +74,34 @@ TEST(NosmogTest, TrainNodeQueriesReuseStoredPositions) {
   EXPECT_EQ(r.cost.fp_macs, 0);
 }
 
+TEST(NosmogTest, SameSeedIsDeterministic) {
+  auto w = MakeSmallWorld(2, models::ModelKind::kSgc, 200);
+  const graph::InductiveSplit split =
+      graph::MakeInductiveSplit(w.data.graph, 0.8, 0.8, 0.1, 7);
+  const tensor::Matrix teacher =
+      w.classifiers->Logits(2, w.all_feats).GatherRows(split.train_nodes);
+  const tensor::Matrix train_feats =
+      w.data.features.GatherRows(split.train_nodes);
+  std::vector<std::int32_t> train_labels;
+  for (const auto g : split.train_nodes) {
+    train_labels.push_back(w.data.labels[g]);
+  }
+  auto train_once = [&] {
+    NosmogConfig cfg;
+    cfg.hidden_dims = {16};
+    cfg.epochs = 5;
+    cfg.position_dim = 8;
+    cfg.seed = 31;
+    Nosmog nosmog(w.config.feature_dim, w.config.num_classes, cfg);
+    nosmog.Train(split.train_graph, train_feats, teacher, train_labels,
+                 split.labeled_local);
+    return nosmog
+        .Infer(w.data.graph, w.data.features, split.train_nodes,
+               split.test_nodes)
+        .predictions;
+  };
+  EXPECT_EQ(train_once(), train_once());
+}
+
 }  // namespace
 }  // namespace nai::baselines

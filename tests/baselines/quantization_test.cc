@@ -74,5 +74,29 @@ TEST(QuantizedInferTest, MatchesVanillaAccuracyClosely) {
   EXPECT_GT(r.cost.fp_macs, 0);
 }
 
+TEST(QuantizedMlpTest, ForwardMacsSumOverLayers) {
+  tensor::Rng rng(9);
+  nn::Mlp mlp(10, {20, 30}, 4, 0.0f, rng);
+  const QuantizedMlp q(mlp);
+  // 10->20, 20->30, 30->4, per row.
+  EXPECT_EQ(q.ForwardMacs(3), 3 * (10 * 20 + 20 * 30 + 30 * 4));
+}
+
+TEST(QuantizedLinearTest, ZeroWeightsStayZero) {
+  // An all-zero layer has absmax 0; quantization must not divide by zero
+  // and the output must be exactly the (float) bias.
+  tensor::Rng rng(2);
+  nn::Linear layer(4, 3, rng);
+  layer.weight().value.Fill(0.0f);
+  const QuantizedLinear q(layer);
+  const tensor::Matrix x = RandomMatrix(6, 4, 11);
+  const tensor::Matrix y = q.Forward(x);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    for (std::size_t j = 0; j < y.cols(); ++j) {
+      EXPECT_FLOAT_EQ(y.at(i, j), layer.bias().value.at(0, j));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace nai::baselines

@@ -73,5 +73,20 @@ TEST(TinyGnnTest, SubsetQueryTouchesOnlyOneHop) {
   EXPECT_EQ(one.predictions[0], all.predictions[0]);
 }
 
+TEST(TinyGnnTest, EmptyQueryReturnsEmpty) {
+  auto w = MakeSmallWorld(2, models::ModelKind::kSgc, 100);
+  TinyGnnConfig cfg;
+  cfg.attention_dim = 4;
+  cfg.hidden_dims = {8};
+  cfg.epochs = 1;
+  TinyGnn tiny(w.config.feature_dim, w.config.num_classes, cfg);
+  tiny.Train(w.data.graph, w.data.features,
+             w.classifiers->Logits(2, w.all_feats), w.data.labels,
+             w.all_nodes);
+  const TinyGnnResult r = tiny.Infer(w.data.graph, w.data.features, {});
+  EXPECT_TRUE(r.predictions.empty());
+  EXPECT_EQ(r.cost.fp_macs, 0);
+}
+
 }  // namespace
 }  // namespace nai::baselines

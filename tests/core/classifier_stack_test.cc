@@ -76,5 +76,34 @@ TEST(ClassifierStackTest, TrainedHeadsBeatChance) {
   }
 }
 
+TEST(ClassifierStackTest, SameSeedSameInitialization) {
+  models::ModelConfig cfg;
+  cfg.kind = models::ModelKind::kSgc;
+  cfg.depth = 2;
+  cfg.feature_dim = 6;
+  cfg.num_classes = 3;
+  cfg.hidden_dims = {4};
+  cfg.dropout = 0.0f;
+  ClassifierStack a(cfg, 42);
+  ClassifierStack b(cfg, 42);
+  std::vector<tensor::Matrix> stack;
+  for (int t = 0; t <= 2; ++t) stack.push_back(RandomMatrix(5, 6, 90 + t));
+  GatheredStack feats;
+  feats.mats = stack;
+  for (int l = 1; l <= 2; ++l) {
+    EXPECT_EQ(a.Logits(l, feats).CountDifferences(b.Logits(l, feats), 0.0f),
+              0u)
+        << "depth " << l;
+  }
+}
+
+TEST(GatheredStackTest, GatherEmptyRowSet) {
+  std::vector<tensor::Matrix> stack;
+  stack.push_back(RandomMatrix(10, 4, 5));
+  const GatheredStack g = GatherStack(stack, {});
+  EXPECT_EQ(g.num_rows(), 0u);
+  EXPECT_EQ(g.mats.size(), 1u);
+}
+
 }  // namespace
 }  // namespace nai::core

@@ -85,5 +85,30 @@ TEST(ComplexityTest, FormulaStringsNonEmpty) {
   }
 }
 
+TEST(ComplexityTest, NaiEqualsVanillaWhenQEqualsKForSgc) {
+  // With q = k the NAI propagation term matches vanilla; the only extra is
+  // the (rank-one) stationary term n*f.
+  ComplexityParams p = BaseParams();
+  p.q = p.k;
+  EXPECT_EQ(NaiMacs(models::ModelKind::kSgc, p, true) -
+                VanillaMacs(models::ModelKind::kSgc, p),
+            p.n * p.f);
+}
+
+TEST(ComplexityTest, MacsScaleLinearlyInFeatureTouchedEdges) {
+  // Doubling m doubles only the propagation term, for every family.
+  for (const auto kind :
+       {models::ModelKind::kSgc, models::ModelKind::kSign,
+        models::ModelKind::kS2gc, models::ModelKind::kGamlp}) {
+    ComplexityParams p = BaseParams();
+    const std::int64_t base = VanillaMacs(kind, p);
+    p.m *= 2;
+    const std::int64_t doubled = VanillaMacs(kind, p);
+    EXPECT_EQ(doubled - base,
+              static_cast<std::int64_t>(p.k) * (p.m / 2) * p.f)
+        << models::ModelKindName(kind);
+  }
+}
+
 }  // namespace
 }  // namespace nai::core

@@ -125,6 +125,22 @@ TEST(DistillationTest, DepthOneDegeneratesGracefully) {
   EXPECT_GT(HeadAccuracy(w, 1), 0.5f);
 }
 
+TEST(DistillationTest, ZeroEpochsLeavesHeadsUntouched) {
+  // A fully disabled schedule must not move a single parameter.
+  auto w = nai::testing::MakeSmallWorld(2, models::ModelKind::kSgc, 150, 0);
+  const tensor::Matrix before = w.classifiers->Logits(2, w.all_feats);
+  DistillConfig cfg;
+  cfg.base_epochs = 0;
+  cfg.single_epochs = 0;
+  cfg.multi_epochs = 0;
+  cfg.enable_single = false;
+  cfg.enable_multi = false;
+  InceptionDistillation distiller(*w.classifiers, cfg);
+  distiller.TrainAll(w.all_feats, w.data.labels, w.all_nodes);
+  const tensor::Matrix after = w.classifiers->Logits(2, w.all_feats);
+  EXPECT_EQ(before.CountDifferences(after, 0.0f), 0u);
+}
+
 TEST(DistillationTest, EnsembleLargerThanDepthClamped) {
   auto w = nai::testing::MakeSmallWorld(2, models::ModelKind::kSgc, 200, 0);
   DistillConfig cfg;

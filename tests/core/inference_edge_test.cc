@@ -42,6 +42,79 @@ TEST(InferenceEdgeTest, IsolatedNodeIsClassified) {
   EXPECT_LT(r.predictions[0], 2);
 }
 
+TEST(InferenceEdgeTest, TMaxZeroMeansUseClassifierDepth) {
+  // InferenceConfig documents t_max = 0 as "use k" (the classifier bank's
+  // depth). An explicit t_max = k run must be indistinguishable.
+  auto w = MakeSmallWorld(3);
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), nullptr);
+  InferenceConfig zero;
+  zero.nap = NapKind::kDistance;
+  zero.relative_distance = true;
+  zero.threshold = 0.5f;
+  zero.t_max = 0;
+  const auto implicit_k = engine.Infer(w.all_nodes, zero);
+
+  InferenceConfig explicit_cfg = zero;
+  explicit_cfg.t_max = 3;
+  const auto explicit_k = engine.Infer(w.all_nodes, explicit_cfg);
+
+  EXPECT_EQ(implicit_k.stats.exits_at_depth.size(), 3u);
+  EXPECT_EQ(implicit_k.predictions, explicit_k.predictions);
+  EXPECT_EQ(implicit_k.exit_depths, explicit_k.exit_depths);
+  EXPECT_EQ(implicit_k.stats.propagation_macs,
+            explicit_k.stats.propagation_macs);
+}
+
+TEST(InferenceEdgeTest, BatchSizeLargerThanNodeCount) {
+  // A batch size far beyond the query count must behave exactly like one
+  // batch holding every node.
+  auto w = MakeSmallWorld(3, models::ModelKind::kSgc, 150);
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), nullptr);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.threshold = 0.3f;
+  cfg.batch_size = 100000;  // >> 150 nodes
+  const auto huge = engine.Infer(w.all_nodes, cfg);
+  cfg.batch_size = w.all_nodes.size();
+  const auto exact = engine.Infer(w.all_nodes, cfg);
+  ASSERT_EQ(huge.predictions.size(), w.all_nodes.size());
+  EXPECT_EQ(huge.predictions, exact.predictions);
+  EXPECT_EQ(huge.stats.propagation_macs, exact.stats.propagation_macs);
+}
+
+TEST(InferenceEdgeTest, EdgelessGraphClassifiesEveryNode) {
+  // A graph with no edges at all: every supporting set degenerates to the
+  // node itself and propagation must still terminate and classify.
+  const std::int64_t n = 12;
+  graph::Graph g = graph::Graph::FromEdges(n, {});
+  tensor::Matrix x = nai::testing::RandomMatrix(n, 8, 17);
+  models::ModelConfig cfg;
+  cfg.kind = models::ModelKind::kSgc;
+  cfg.depth = 2;
+  cfg.feature_dim = 8;
+  cfg.num_classes = 3;
+  cfg.hidden_dims = {4};
+  cfg.dropout = 0.0f;
+  ClassifierStack classifiers(cfg, 5);
+  StationaryState stationary(g, x, 0.5f);
+  NaiEngine engine(g, x, 0.5f, classifiers, &stationary, nullptr);
+
+  InferenceConfig icfg;
+  icfg.nap = NapKind::kDistance;
+  icfg.threshold = 0.5f;
+  std::vector<std::int32_t> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), 0);
+  const auto r = engine.Infer(nodes, icfg);
+  ASSERT_EQ(r.predictions.size(), nodes.size());
+  for (const std::int32_t pred : r.predictions) {
+    EXPECT_GE(pred, 0);
+    EXPECT_LT(pred, 3);
+  }
+  EXPECT_EQ(r.stats.num_nodes, n);
+}
+
 TEST(InferenceEdgeTest, EmptyNodeList) {
   auto w = MakeSmallWorld(2, models::ModelKind::kSgc, 100);
   NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,

@@ -209,5 +209,25 @@ TEST(InferenceTest, TminOneTmaxOne) {
   EXPECT_EQ(r.predictions, TransductivePredictions(w, 1));
 }
 
+TEST(InferenceTest, QueryOrderPermutesResultsConsistently) {
+  // The engine must report predictions aligned with the query order, so a
+  // permuted query returns the same per-node answers.
+  auto w = MakeSmallWorld(3, models::ModelKind::kSgc, 200);
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), nullptr);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.threshold = 0.4f;
+  const std::vector<std::int32_t> fwd = {3, 40, 77, 150, 199};
+  const std::vector<std::int32_t> rev = {199, 150, 77, 40, 3};
+  const auto a = engine.Infer(fwd, cfg);
+  const auto b = engine.Infer(rev, cfg);
+  ASSERT_EQ(a.predictions.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.predictions[i], b.predictions[4 - i]) << "node " << fwd[i];
+    EXPECT_EQ(a.exit_depths[i], b.exit_depths[4 - i]) << "node " << fwd[i];
+  }
+}
+
 }  // namespace
 }  // namespace nai::core

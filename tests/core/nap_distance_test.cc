@@ -83,6 +83,17 @@ TEST(NapDistanceTest, LargerThresholdExitsEarlier) {
   EXPECT_LT(coarse, fine);  // strictly different at the extremes
 }
 
+TEST(NapDistanceTest, DistanceIsSymmetric) {
+  const tensor::Matrix a{{1.0f, 2.0f}, {-3.0f, 0.5f}};
+  const tensor::Matrix b{{0.0f, 1.0f}, {2.0f, 2.5f}};
+  const auto ab = NapDistance::Distances(a, b);
+  const auto ba = NapDistance::Distances(b, a);
+  ASSERT_EQ(ab.size(), ba.size());
+  for (std::size_t i = 0; i < ab.size(); ++i) {
+    EXPECT_FLOAT_EQ(ab[i], ba[i]);
+  }
+}
+
 TEST(DepthUpperBoundTest, InfiniteWhenLambdaDegenerate) {
   EXPECT_TRUE(std::isinf(DepthUpperBound(0.1f, 3, 100, 50, 1.0)));
   EXPECT_TRUE(std::isinf(DepthUpperBound(0.1f, 3, 100, 50, 0.0)));

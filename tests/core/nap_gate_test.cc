@@ -13,6 +13,19 @@ namespace {
 using nai::testing::MakeSmallWorld;
 using nai::testing::RandomMatrix;
 
+TEST(GateStackTest, SameSeedSameDecisions) {
+  GateStack a(4, 6, 99);
+  GateStack b(4, 6, 99);
+  const tensor::Matrix x = RandomMatrix(8, 6, 50);
+  const tensor::Matrix xi = RandomMatrix(8, 6, 51);
+  for (int l = 1; l <= 3; ++l) {
+    EXPECT_EQ(a.Preference(l, x, xi).CountDifferences(b.Preference(l, x, xi),
+                                                      0.0f),
+              0u)
+        << "gate " << l;
+  }
+}
+
 TEST(GateStackTest, ConstructionShapes) {
   GateStack gates(5, 12, 1);
   EXPECT_EQ(gates.max_depth(), 5);

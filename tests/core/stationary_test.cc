@@ -140,5 +140,18 @@ TEST(StationaryTest, PooledVectorShape) {
   EXPECT_FLOAT_EQ(state.gamma(), 0.5f);
 }
 
+TEST(StationaryTest, FromPooledReconstructsIdenticalState) {
+  const graph::Graph g = graph::GridGraph(4, 4);
+  const tensor::Matrix x = RandomMatrix(16, 5, 19);
+  const StationaryState original(g, x, 0.5f);
+  const StationaryState rebuilt =
+      StationaryState::FromPooled(g, original.pooled(), 0.5f);
+  std::vector<std::int32_t> all;
+  for (std::int32_t i = 0; i < 16; ++i) all.push_back(i);
+  EXPECT_EQ(original.RowsForNodes(all).CountDifferences(
+                rebuilt.RowsForNodes(all), 0.0f),
+            0u);
+}
+
 }  // namespace
 }  // namespace nai::core

@@ -64,5 +64,27 @@ TEST(DatasetsTest, ProductsHasHeavierDegreeTail) {
   EXPECT_GT(products_avg, arxiv_avg);
 }
 
+TEST(DatasetsTest, PrepareIsDeterministic) {
+  const PreparedDataset a = Prepare(FlickrSim(0.05));
+  const PreparedDataset b = Prepare(FlickrSim(0.05));
+  EXPECT_EQ(a.data.graph.num_edges(), b.data.graph.num_edges());
+  EXPECT_EQ(a.data.labels, b.data.labels);
+  EXPECT_EQ(a.split.train_nodes, b.split.train_nodes);
+  EXPECT_EQ(a.split.test_nodes, b.split.test_nodes);
+  EXPECT_EQ(a.data.features.CountDifferences(b.data.features, 0.0f), 0u);
+}
+
+TEST(DatasetsTest, EnvScaleRejectsGarbage) {
+  setenv("NAI_SCALE", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(EnvScale(), 1.0);
+  // strtod parses "nan"/"inf" successfully; they must not reach clamp()
+  // (NaN comparisons would leak NaN into dataset sizing).
+  setenv("NAI_SCALE", "nan", 1);
+  EXPECT_DOUBLE_EQ(EnvScale(), 1.0);
+  setenv("NAI_SCALE", "inf", 1);
+  EXPECT_DOUBLE_EQ(EnvScale(), 1.0);
+  unsetenv("NAI_SCALE");
+}
+
 }  // namespace
 }  // namespace nai::eval

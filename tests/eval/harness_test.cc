@@ -92,5 +92,21 @@ TEST_F(HarnessTest, BaselineRunnersProduceRows) {
   EXPECT_GT(quant.row.fp_mmacs_per_node, 0.0);
 }
 
+TEST_F(HarnessTest, RunNaiGateProducesFullCoverage) {
+  // The NAPg path through the harness: every test node classified, exits
+  // within the depth window.
+  auto engine = MakeEngine(*pipeline_, *ds_);
+  const auto settings =
+      MakeDefaultSettings(*pipeline_, *ds_, core::NapKind::kGate);
+  core::InferenceConfig cfg = settings[1].config;
+  cfg.batch_size = 100;
+  const MethodResult r =
+      RunNai(*engine, *ds_, ds_->split.test_nodes, cfg, "napg");
+  EXPECT_EQ(r.predictions.size(), ds_->split.test_nodes.size());
+  std::int64_t exited = 0;
+  for (const std::int64_t c : r.stats.exits_at_depth) exited += c;
+  EXPECT_EQ(exited, static_cast<std::int64_t>(ds_->split.test_nodes.size()));
+}
+
 }  // namespace
 }  // namespace nai::eval

@@ -44,5 +44,33 @@ TEST(MacCounterTest, ParamsFromStatsRoundTrip) {
   EXPECT_EQ(p.m, 10000);
 }
 
+TEST(MacCounterTest, AverageDepthWeighted) {
+  // 1*1 + 3*2 + 6*3 over 10 nodes = 2.5.
+  EXPECT_DOUBLE_EQ(AverageDepth({1, 3, 6}), 2.5);
+}
+
+TEST(MacCounterTest, PropagationMacsMonotoneInDepth) {
+  const graph::Graph g = graph::GridGraph(6, 6);
+  const graph::Csr adj = graph::NormalizedAdjacency(g, 0.5f);
+  graph::SupportSampler sampler(adj);
+  std::int64_t prev = 0;
+  for (int depth = 1; depth <= 3; ++depth) {
+    const graph::BatchSupport support = sampler.Sample({0, 35}, depth);
+    const std::int64_t macs = FixedDepthPropagationMacs(support, depth, 4);
+    EXPECT_GT(macs, prev) << "depth " << depth;
+    prev = macs;
+  }
+}
+
+TEST(MacCounterTest, PropagationMacsScaleLinearlyInFeatureDim) {
+  const graph::Graph g = graph::CycleGraph(30);
+  const graph::Csr adj = graph::NormalizedAdjacency(g, 0.5f);
+  graph::SupportSampler sampler(adj);
+  const graph::BatchSupport support = sampler.Sample({0, 15}, 2);
+  const std::int64_t f8 = FixedDepthPropagationMacs(support, 2, 8);
+  const std::int64_t f16 = FixedDepthPropagationMacs(support, 2, 16);
+  EXPECT_EQ(f16, 2 * f8);
+}
+
 }  // namespace
 }  // namespace nai::eval

@@ -53,5 +53,33 @@ TEST(PrintTableTest, DoesNotCrash) {
   PrintTable("smoke", {MakeRow("a", 0.9f, cost, 10)});
 }
 
+TEST(AccuracyOnNodesTest, Extremes) {
+  const std::vector<std::int32_t> labels = {1, 1, 1};
+  const std::vector<std::int32_t> nodes = {0, 1, 2};
+  EXPECT_FLOAT_EQ(AccuracyOnNodes({1, 1, 1}, labels, nodes), 1.0f);
+  EXPECT_FLOAT_EQ(AccuracyOnNodes({0, 0, 0}, labels, nodes), 0.0f);
+}
+
+TEST(MakeRowTest, FpTimePassedThrough) {
+  CostCounters cost;
+  cost.total_macs = 1'000'000;
+  cost.fp_macs = 250'000;
+  cost.total_time_ms = 8.0;
+  cost.fp_time_ms = 3.0;
+  const EvalRow row = MakeRow("napd", 0.75f, cost, 2);
+  EXPECT_FLOAT_EQ(row.accuracy, 0.75f);
+  EXPECT_DOUBLE_EQ(row.fp_time_ms, 3.0);
+  EXPECT_DOUBLE_EQ(row.mmacs_per_node, 0.5);
+  EXPECT_DOUBLE_EQ(row.fp_mmacs_per_node, 0.125);
+}
+
+TEST(CostCountersTest, DefaultIsZero) {
+  const CostCounters c;
+  EXPECT_EQ(c.total_macs, 0);
+  EXPECT_EQ(c.fp_macs, 0);
+  EXPECT_DOUBLE_EQ(c.total_time_ms, 0.0);
+  EXPECT_DOUBLE_EQ(c.fp_time_ms, 0.0);
+}
+
 }  // namespace
 }  // namespace nai::eval

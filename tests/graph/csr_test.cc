@@ -10,6 +10,35 @@ namespace {
 using nai::testing::ExpectMatrixNear;
 using nai::testing::RandomMatrix;
 
+TEST(CsrTest, SpMMIsLinear) {
+  // SpMM(A, x + y) == SpMM(A, x) + SpMM(A, y): the engine's incremental
+  // propagation paths rely on this.
+  const Csr c = CsrFromTriplets(
+      4, 4, {{0, 1, 0.5f}, {1, 2, -1.0f}, {2, 0, 2.0f}, {3, 3, 1.0f}});
+  const tensor::Matrix x = RandomMatrix(4, 3, 70);
+  const tensor::Matrix y = RandomMatrix(4, 3, 71);
+  tensor::Matrix sum(4, 3);
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    sum.data()[i] = x.data()[i] + y.data()[i];
+  }
+  const tensor::Matrix ax = SpMM(c, x);
+  const tensor::Matrix ay = SpMM(c, y);
+  tensor::Matrix expected(4, 3);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    expected.data()[i] = ax.data()[i] + ay.data()[i];
+  }
+  ExpectMatrixNear(SpMM(c, sum), expected, 1e-5f);
+}
+
+TEST(CsrTest, TransposeOfEmpty) {
+  const Csr c = CsrFromTriplets(3, 5, {});
+  const Csr t = Transpose(c);
+  EXPECT_TRUE(t.Validate());
+  EXPECT_EQ(t.rows, 5);
+  EXPECT_EQ(t.cols, 3);
+  EXPECT_EQ(t.nnz(), 0);
+}
+
 Csr SmallCsr() {
   // 3x3: [[0, 1, 0], [2, 0, 3], [0, 0, 4]]
   return CsrFromTriplets(3, 3,

@@ -174,6 +174,20 @@ TEST(GeneratorsTest, LabelNoiseFlipsExpectedFraction) {
   }
 }
 
+TEST(GeneratorsTest, NumClassesRespected) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.num_edges = 600;
+  cfg.num_classes = 2;
+  cfg.seed = 77;
+  const SyntheticDataset ds = GenerateDataset(cfg);
+  EXPECT_EQ(ds.num_classes, 2);
+  for (const auto y : ds.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 2);
+  }
+}
+
 TEST(GeneratorsTest, LabelNoiseCapsAttainableAccuracy) {
   // No classifier can beat ~(1 - noise) + noise/c on the observed labels;
   // check that even the true labels score in that band.

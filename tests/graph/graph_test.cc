@@ -90,5 +90,22 @@ TEST(GraphTest, CycleIsTwoRegular) {
   for (std::int32_t v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2);
 }
 
+TEST(GraphTest, DegreeSumIsTwiceEdgeCount) {
+  const Graph g = GridGraph(4, 5);
+  std::int64_t degree_sum = 0;
+  for (std::int32_t v = 0; v < g.num_nodes(); ++v) degree_sum += g.degree(v);
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+TEST(GraphTest, CompleteGraphHasAllEdges) {
+  const Graph g = CompleteGraph(6);
+  for (std::int32_t u = 0; u < 6; ++u) {
+    EXPECT_EQ(g.degree(u), 5);
+    for (std::int32_t v = 0; v < 6; ++v) {
+      EXPECT_EQ(g.HasEdge(u, v), u != v);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace nai::graph

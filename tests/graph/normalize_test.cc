@@ -98,5 +98,25 @@ TEST(NormalizeTest, DegreesWithSelfLoops) {
   EXPECT_FLOAT_EQ(d[1], 2.0f);
 }
 
+TEST(NormalizeTest, SecondEigenvalueDeterministicGivenSeed) {
+  const Graph g = GridGraph(5, 5);
+  const Csr adj = NormalizedAdjacency(g, 0.5f);
+  const float a = EstimateSecondEigenvalue(adj, 40, 17);
+  const float b = EstimateSecondEigenvalue(adj, 40, 17);
+  EXPECT_FLOAT_EQ(a, b);
+}
+
+TEST(NormalizeTest, GammaZeroIsReverseTransition) {
+  // γ = 0 gives D̃^(-1) Ã: rows sum to 1 (each row divided by its degree).
+  const Graph g = StarGraph(3);
+  const Csr adj = NormalizedAdjacency(g, 0.0f);
+  const tensor::Matrix dense = ToDense(adj);
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < dense.cols(); ++j) sum += dense.at(i, j);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
 }  // namespace
 }  // namespace nai::graph

@@ -88,5 +88,13 @@ TEST_F(PartitionTest, DifferentSeedsDiffer) {
   EXPECT_NE(a.train_nodes, b.train_nodes);
 }
 
+TEST_F(PartitionTest, AllNodesTrainFraction) {
+  // train_fraction = 1 keeps every node (and all edges) in the train graph.
+  const InductiveSplit s = MakeInductiveSplit(ds_.graph, 1.0, 0.5, 0.1, 21);
+  EXPECT_EQ(s.train_nodes.size(), 500u);
+  EXPECT_TRUE(s.test_nodes.empty());
+  EXPECT_EQ(s.train_graph.num_edges(), ds_.graph.num_edges());
+}
+
 }  // namespace
 }  // namespace nai::graph

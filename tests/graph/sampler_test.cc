@@ -11,6 +11,16 @@
 namespace nai::graph {
 namespace {
 
+TEST(SamplerTest, StarHubReachesEverythingInOneHop) {
+  const Graph g = StarGraph(9);  // hub 0, leaves 1..9
+  const Csr adj = NormalizedAdjacency(g, 0.5f);
+  SupportSampler sampler(adj);
+  const BatchSupport s = sampler.Sample({0}, 1);
+  ASSERT_EQ(s.layer_counts.size(), 2u);
+  EXPECT_EQ(s.layer_counts[0], 1);
+  EXPECT_EQ(s.layer_counts[1], 10);  // the whole graph
+}
+
 TEST(SamplerTest, DepthZeroIsJustTheBatch) {
   const Graph g = PathGraph(5);
   const Csr adj = NormalizedAdjacency(g, 0.5f);

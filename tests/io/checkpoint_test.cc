@@ -109,5 +109,16 @@ TEST(CheckpointTest, FullDeploymentRoundTrip) {
   EXPECT_EQ(a.predictions, b.predictions);
 }
 
+TEST(CheckpointTest, WrongArtifactKindRejected) {
+  // Loading a gate-stack artifact as a classifier stack must fail on the
+  // header tag, not mis-parse.
+  auto w = MakeSmallWorld(2, models::ModelKind::kSgc, 150);
+  core::GateStack gates(3, 8, 7);
+  std::stringstream ss;
+  SaveGateStack(ss, gates);
+  core::ClassifierStack fresh(w.config, 1);
+  EXPECT_THROW(LoadClassifierStack(ss, fresh), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace nai::io

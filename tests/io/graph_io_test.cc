@@ -51,6 +51,13 @@ TEST(GraphIoTest, EdgeListRoundTrip) {
   }
 }
 
+TEST(GraphIoTest, EdgeListCollapsesDuplicatesAndSelfLoops) {
+  std::stringstream ss("0 1\n1 0\n0 1\n1 1\n");
+  const graph::Graph g = ReadEdgeList(ss);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
 TEST(GraphIoTest, FeaturesRoundTrip) {
   const tensor::Matrix m = nai::testing::RandomMatrix(9, 4, 11);
   std::stringstream ss;

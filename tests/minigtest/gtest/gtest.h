@@ -1,0 +1,589 @@
+// Minimal header-only GoogleTest-compatible shim for offline builds.
+//
+// Implements the subset of the GoogleTest API used by this repository:
+//   TEST / TEST_F / TEST_P (+ TestWithParam, INSTANTIATE_TEST_SUITE_P,
+//   testing::Values), ASSERT_* / EXPECT_* comparisons incl. EXPECT_NEAR,
+//   EXPECT_FLOAT_EQ / EXPECT_DOUBLE_EQ, EXPECT_THROW family, streamed
+//   failure messages, fixtures with SetUp/TearDown, GTEST_SKIP, and
+//   RUN_ALL_TESTS with per-test reporting and a nonzero exit on failure.
+//
+// The real GoogleTest is preferred when available; CMake selects this shim
+// only when find_package(GTest) fails (or -DNAI_FORCE_MINIGTEST=ON).
+#ifndef NAI_TESTS_MINIGTEST_GTEST_GTEST_H_
+#define NAI_TESTS_MINIGTEST_GTEST_GTEST_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+class Message {
+ public:
+  template <typename T>
+  Message& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  // Accept ostream manipulators (std::endl etc.), which the template above
+  // cannot deduce.
+  Message& operator<<(std::ostream& (*manip)(std::ostream&)) {
+    stream_ << manip;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+namespace internal {
+
+struct TestCase {
+  std::string suite;
+  std::string name;
+  std::function<void()> run;
+  void (*suite_up)() = nullptr;
+  void (*suite_down)() = nullptr;
+};
+
+struct State {
+  std::vector<TestCase> tests;
+  int failures_in_current_test = 0;
+  bool fatal_failure_in_current_test = false;
+  bool current_test_skipped = false;
+  std::string filter = "*";
+};
+
+inline State& GetState() {
+  static State state;
+  return state;
+}
+
+inline void RegisterTest(std::string suite, std::string name,
+                         std::function<void()> run,
+                         void (*suite_up)() = nullptr,
+                         void (*suite_down)() = nullptr) {
+  GetState().tests.push_back({std::move(suite), std::move(name),
+                              std::move(run), suite_up, suite_down});
+}
+
+template <typename T>
+std::string PrintValue(const T& value) {
+  if constexpr (requires(std::ostream& os, const T& v) { os << v; }) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    return "(value of unprintable type)";
+  }
+}
+
+inline std::string PrintValue(std::nullptr_t) { return "nullptr"; }
+inline std::string PrintValue(bool value) { return value ? "true" : "false"; }
+
+// Reports one failure when assigned a Message.  ASSERT_* macros `return`
+// the (void) result of the assignment; EXPECT_* macros discard it.
+class FailureSink {
+ public:
+  FailureSink(const char* file, int line, std::string summary,
+              bool fatal = false)
+      : file_(file), line_(line), summary_(std::move(summary)),
+        fatal_(fatal) {}
+
+  void operator=(const Message& message) const {
+    ++GetState().failures_in_current_test;
+    if (fatal_) GetState().fatal_failure_in_current_test = true;
+    std::cout << file_ << ":" << line_ << ": Failure\n" << summary_;
+    const std::string extra = message.str();
+    if (!extra.empty()) std::cout << "\n" << extra;
+    std::cout << "\n";
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::string summary_;
+  bool fatal_;
+};
+
+class SkipSink {
+ public:
+  void operator=(const Message& message) const {
+    GetState().current_test_skipped = true;
+    const std::string extra = message.str();
+    if (!extra.empty()) std::cout << "Skipped: " << extra << "\n";
+  }
+};
+
+template <typename A, typename B>
+std::string CmpSummary(const char* op, const char* lhs_expr,
+                       const char* rhs_expr, const A& lhs, const B& rhs) {
+  std::ostringstream os;
+  os << "Expected: (" << lhs_expr << ") " << op << " (" << rhs_expr
+     << "), actual: " << PrintValue(lhs) << " vs " << PrintValue(rhs);
+  return os.str();
+}
+
+// Approximates GoogleTest's 4-ULP float comparison with a combined
+// absolute + relative tolerance.
+template <typename T>
+bool AlmostEqual(T a, T b) {
+  if (a == b) return true;
+  if (std::isnan(a) || std::isnan(b)) return false;
+  if (std::isinf(a) || std::isinf(b)) return false;  // unequal inf vs finite
+  const T eps = std::numeric_limits<T>::epsilon();
+  const T diff = std::fabs(a - b);
+  const T scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= T(4) * eps * std::max(scale, T(1));
+}
+
+// Glob match supporting '*' and '?', plus ':'-separated alternatives and a
+// trailing negative section introduced by '-'.
+inline bool GlobMatch(const std::string& pattern, const std::string& text) {
+  std::size_t p = 0, t = 0, star = std::string::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p, ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+inline bool FilterAccepts(const std::string& full_name) {
+  const std::string& filter = GetState().filter;
+  std::string positive = filter, negative;
+  const std::size_t dash = filter.find('-');
+  if (dash != std::string::npos) {
+    positive = filter.substr(0, dash);
+    negative = filter.substr(dash + 1);
+  }
+  if (positive.empty()) positive = "*";
+  auto any_section = [&full_name](const std::string& sections) {
+    std::size_t begin = 0;
+    while (begin <= sections.size()) {
+      const std::size_t end = sections.find(':', begin);
+      const std::string one =
+          sections.substr(begin, end == std::string::npos ? end : end - begin);
+      if (!one.empty() && GlobMatch(one, full_name)) return true;
+      if (end == std::string::npos) break;
+      begin = end + 1;
+    }
+    return false;
+  };
+  return any_section(positive) &&
+         !(dash != std::string::npos && any_section(negative));
+}
+
+}  // namespace internal
+
+class Test {
+ public:
+  virtual ~Test() = default;
+  static void SetUpTestSuite() {}
+  static void TearDownTestSuite() {}
+
+ protected:
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+  virtual void TestBody() = 0;
+
+ public:
+  void RunTest() {
+    SetUp();
+    // GoogleTest semantics: a fatal failure (or skip) inside SetUp skips
+    // the test body but still tears down — and an exception escaping the
+    // body must not skip TearDown either.
+    if (!internal::GetState().fatal_failure_in_current_test &&
+        !internal::GetState().current_test_skipped) {
+      try {
+        TestBody();
+      } catch (const std::exception& e) {
+        ++internal::GetState().failures_in_current_test;
+        std::cout << "unexpected exception: " << e.what() << "\n";
+      } catch (...) {
+        ++internal::GetState().failures_in_current_test;
+        std::cout << "unexpected non-std exception\n";
+      }
+    }
+    TearDown();
+  }
+};
+
+template <typename T>
+class TestWithParam : public Test {
+ public:
+  using ParamType = T;
+  static void SetParam(const T* param) { current_param_ = param; }
+  const T& GetParam() const { return *current_param_; }
+
+ private:
+  static inline const T* current_param_ = nullptr;
+};
+
+template <typename... Ts>
+auto Values(Ts... values) {
+  using T = std::common_type_t<Ts...>;
+  return std::vector<T>{static_cast<T>(values)...};
+}
+
+namespace internal {
+
+// TEST_P bodies register here; INSTANTIATE_TEST_SUITE_P cross-joins with
+// them at RUN_ALL_TESTS registration time, so macro order never matters.
+struct ParamTest {
+  std::string suite;
+  std::string name;
+  std::function<void(const void*)> run;
+};
+
+struct ParamInstantiation {
+  std::string suite;
+  std::string prefix;
+  std::size_t count = 0;
+  std::function<const void*(std::size_t)> get;
+};
+
+inline std::vector<ParamTest>& ParamTests() {
+  static std::vector<ParamTest> tests;
+  return tests;
+}
+
+inline std::vector<ParamInstantiation>& ParamInstantiations() {
+  static std::vector<ParamInstantiation> instantiations;
+  return instantiations;
+}
+
+inline void ExpandParamTests() {
+  for (const auto& inst : ParamInstantiations()) {
+    for (const auto& test : ParamTests()) {
+      if (test.suite != inst.suite) continue;
+      for (std::size_t i = 0; i < inst.count; ++i) {
+        RegisterTest(inst.prefix + "/" + inst.suite,
+                     test.name + "/" + std::to_string(i),
+                     [&test, &inst, i] { test.run(inst.get(i)); });
+      }
+    }
+  }
+}
+
+struct Registrar {
+  Registrar(const char* suite, const char* name, std::function<void()> run,
+            void (*suite_up)() = nullptr, void (*suite_down)() = nullptr) {
+    RegisterTest(suite, name, std::move(run), suite_up, suite_down);
+  }
+};
+
+struct ParamRegistrar {
+  ParamRegistrar(const char* suite, const char* name,
+                 std::function<void(const void*)> run) {
+    ParamTests().push_back({suite, name, std::move(run)});
+  }
+};
+
+template <typename Values>
+struct InstantiationRegistrar {
+  InstantiationRegistrar(const char* prefix, const char* suite,
+                         Values values) {
+    auto stored = std::make_shared<Values>(std::move(values));
+    ParamInstantiations().push_back(
+        {suite, prefix, stored->size(),
+         [stored](std::size_t i) -> const void* { return &(*stored)[i]; }});
+  }
+};
+
+}  // namespace internal
+
+inline void InitGoogleTest(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string flag = "--gtest_filter=";
+    if (arg.rfind(flag, 0) == 0) {
+      internal::GetState().filter = arg.substr(flag.size());
+    }
+  }
+}
+inline void InitGoogleTest() {}
+
+}  // namespace testing
+
+inline int RUN_ALL_TESTS() {
+  auto& state = ::testing::internal::GetState();
+  ::testing::internal::ExpandParamTests();
+  int ran = 0, failed = 0, skipped = 0;
+  std::vector<std::string> failed_names;
+  // Per-suite static setup: run SetUpTestSuite on first encounter, and
+  // collect TearDownTestSuite calls for after the loop (reverse order).
+  std::vector<std::string> suites_up;
+  std::vector<void (*)()> suite_downs;
+  for (const auto& test : state.tests) {
+    const std::string full_name = test.suite + "." + test.name;
+    if (!::testing::internal::FilterAccepts(full_name)) continue;
+    if (std::find(suites_up.begin(), suites_up.end(), test.suite) ==
+        suites_up.end()) {
+      suites_up.push_back(test.suite);
+      if (test.suite_up != nullptr) test.suite_up();
+      if (test.suite_down != nullptr) suite_downs.push_back(test.suite_down);
+    }
+    std::cout << "[ RUN      ] " << full_name << std::endl;
+    state.failures_in_current_test = 0;
+    state.fatal_failure_in_current_test = false;
+    state.current_test_skipped = false;
+    ++ran;
+    try {
+      test.run();
+    } catch (const std::exception& e) {
+      ++state.failures_in_current_test;
+      std::cout << "unexpected exception: " << e.what() << "\n";
+    } catch (...) {
+      ++state.failures_in_current_test;
+      std::cout << "unexpected non-std exception\n";
+    }
+    if (state.failures_in_current_test > 0) {
+      ++failed;
+      failed_names.push_back(full_name);
+      std::cout << "[  FAILED  ] " << full_name << std::endl;
+    } else if (state.current_test_skipped) {
+      ++skipped;
+      std::cout << "[  SKIPPED ] " << full_name << std::endl;
+    } else {
+      std::cout << "[       OK ] " << full_name << std::endl;
+    }
+  }
+  for (auto it = suite_downs.rbegin(); it != suite_downs.rend(); ++it) (*it)();
+  std::cout << "[==========] " << ran << " test(s) ran." << std::endl;
+  if (skipped > 0)
+    std::cout << "[  SKIPPED ] " << skipped << " test(s)." << std::endl;
+  if (failed > 0) {
+    std::cout << "[  FAILED  ] " << failed << " test(s):" << std::endl;
+    for (const auto& name : failed_names)
+      std::cout << "[  FAILED  ] " << name << std::endl;
+  } else {
+    std::cout << "[  PASSED  ] " << ran << " test(s)." << std::endl;
+  }
+  return failed == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Test-definition macros
+// ---------------------------------------------------------------------------
+
+#define NAI_GTEST_CLASS_NAME_(suite, name) suite##_##name##_Test
+
+#define TEST(suite, name)                                                   \
+  class NAI_GTEST_CLASS_NAME_(suite, name) : public ::testing::Test {      \
+    void TestBody() override;                                               \
+  };                                                                        \
+  static ::testing::internal::Registrar nai_gtest_reg_##suite##_##name(     \
+      #suite, #name, [] {                                                   \
+        NAI_GTEST_CLASS_NAME_(suite, name) instance;                        \
+        instance.RunTest();                                                 \
+      });                                                                   \
+  void NAI_GTEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define TEST_F(fixture, name)                                               \
+  class NAI_GTEST_CLASS_NAME_(fixture, name) : public fixture {             \
+    void TestBody() override;                                               \
+                                                                            \
+   public:                                                                  \
+    /* Trampolines: the fixture may declare these protected. */             \
+    static void NaiSuiteUp() { SetUpTestSuite(); }                          \
+    static void NaiSuiteDown() { TearDownTestSuite(); }                     \
+  };                                                                        \
+  static ::testing::internal::Registrar nai_gtest_reg_##fixture##_##name(   \
+      #fixture, #name,                                                      \
+      [] {                                                                  \
+        NAI_GTEST_CLASS_NAME_(fixture, name) instance;                      \
+        instance.RunTest();                                                 \
+      },                                                                    \
+      &NAI_GTEST_CLASS_NAME_(fixture, name)::NaiSuiteUp,                    \
+      &NAI_GTEST_CLASS_NAME_(fixture, name)::NaiSuiteDown);                 \
+  void NAI_GTEST_CLASS_NAME_(fixture, name)::TestBody()
+
+#define TEST_P(fixture, name)                                               \
+  class NAI_GTEST_CLASS_NAME_(fixture, name) : public fixture {             \
+    void TestBody() override;                                               \
+  };                                                                        \
+  static ::testing::internal::ParamRegistrar                                \
+      nai_gtest_preg_##fixture##_##name(                                    \
+          #fixture, #name, [](const void* param) {                          \
+            fixture::SetParam(                                              \
+                static_cast<const fixture::ParamType*>(param));             \
+            NAI_GTEST_CLASS_NAME_(fixture, name) instance;                  \
+            instance.RunTest();                                             \
+          });                                                               \
+  void NAI_GTEST_CLASS_NAME_(fixture, name)::TestBody()
+
+// The optional 4th argument (test-name generator) is accepted and ignored;
+// the shim always names instances by index.
+#define INSTANTIATE_TEST_SUITE_P(prefix, fixture, generator, ...)           \
+  static ::testing::internal::InstantiationRegistrar<                       \
+      decltype(generator)>                                                  \
+      nai_gtest_ireg_##prefix##_##fixture(#prefix, #fixture, generator)
+
+// ---------------------------------------------------------------------------
+// Assertion macros.  The `if (ok) ; else sink = Message() << ...` shape
+// supports streamed messages; ASSERT_* additionally returns on failure.
+// ---------------------------------------------------------------------------
+
+#define NAI_GTEST_EXPECT_(ok, summary)                                      \
+  if (ok)                                                                   \
+    ;                                                                       \
+  else                                                                      \
+    ::testing::internal::FailureSink(__FILE__, __LINE__, summary) =         \
+        ::testing::Message()
+
+#define NAI_GTEST_ASSERT_(ok, summary)                                      \
+  if (ok)                                                                   \
+    ;                                                                       \
+  else                                                                      \
+    return ::testing::internal::FailureSink(__FILE__, __LINE__, summary,    \
+                                            /*fatal=*/true) =               \
+               ::testing::Message()
+
+// Summary-based variants: `expr` yields "" on success and the failure
+// summary otherwise, so side-effecting arguments are evaluated exactly once
+// (inside the lambda that builds the summary).
+#define NAI_GTEST_EXPECT_SUMMARY_(expr)                                     \
+  if (const std::string nai_gtest_s = (expr); nai_gtest_s.empty())          \
+    ;                                                                       \
+  else                                                                      \
+    ::testing::internal::FailureSink(__FILE__, __LINE__, nai_gtest_s) =     \
+        ::testing::Message()
+
+#define NAI_GTEST_ASSERT_SUMMARY_(expr)                                     \
+  if (const std::string nai_gtest_s = (expr); nai_gtest_s.empty())          \
+    ;                                                                       \
+  else                                                                      \
+    return ::testing::internal::FailureSink(__FILE__, __LINE__,             \
+                                            nai_gtest_s,                    \
+                                            /*fatal=*/true) =               \
+               ::testing::Message()
+
+#define NAI_GTEST_CMP_(kind, op, opname, a, b)                              \
+  NAI_GTEST_##kind##_SUMMARY_([&]() -> std::string {                        \
+    const auto& nai_a = (a);                                                \
+    const auto& nai_b = (b);                                                \
+    if (nai_a op nai_b) return std::string();                               \
+    return ::testing::internal::CmpSummary(opname, #a, #b, nai_a, nai_b);   \
+  }())
+
+#define EXPECT_EQ(a, b) NAI_GTEST_CMP_(EXPECT, ==, "==", a, b)
+#define EXPECT_NE(a, b) NAI_GTEST_CMP_(EXPECT, !=, "!=", a, b)
+#define EXPECT_LT(a, b) NAI_GTEST_CMP_(EXPECT, <, "<", a, b)
+#define EXPECT_LE(a, b) NAI_GTEST_CMP_(EXPECT, <=, "<=", a, b)
+#define EXPECT_GT(a, b) NAI_GTEST_CMP_(EXPECT, >, ">", a, b)
+#define EXPECT_GE(a, b) NAI_GTEST_CMP_(EXPECT, >=, ">=", a, b)
+#define ASSERT_EQ(a, b) NAI_GTEST_CMP_(ASSERT, ==, "==", a, b)
+#define ASSERT_NE(a, b) NAI_GTEST_CMP_(ASSERT, !=, "!=", a, b)
+#define ASSERT_LT(a, b) NAI_GTEST_CMP_(ASSERT, <, "<", a, b)
+#define ASSERT_LE(a, b) NAI_GTEST_CMP_(ASSERT, <=, "<=", a, b)
+#define ASSERT_GT(a, b) NAI_GTEST_CMP_(ASSERT, >, ">", a, b)
+#define ASSERT_GE(a, b) NAI_GTEST_CMP_(ASSERT, >=, ">=", a, b)
+
+#define EXPECT_TRUE(cond)                                                   \
+  NAI_GTEST_EXPECT_((cond), "Expected: " #cond " is true")
+#define EXPECT_FALSE(cond)                                                  \
+  NAI_GTEST_EXPECT_(!(cond), "Expected: " #cond " is false")
+#define ASSERT_TRUE(cond)                                                   \
+  NAI_GTEST_ASSERT_((cond), "Expected: " #cond " is true")
+#define ASSERT_FALSE(cond)                                                  \
+  NAI_GTEST_ASSERT_(!(cond), "Expected: " #cond " is false")
+
+#define NAI_GTEST_NEAR_(kind, a, b, tol)                                    \
+  NAI_GTEST_##kind##_SUMMARY_([&]() -> std::string {                        \
+    const auto nai_a = (a);                                                 \
+    const auto nai_b = (b);                                                 \
+    if (std::fabs(nai_a - nai_b) <= (tol)) return std::string();            \
+    return ::testing::internal::CmpSummary("within " #tol " of", #a, #b,    \
+                                           nai_a, nai_b);                   \
+  }())
+#define EXPECT_NEAR(a, b, tol) NAI_GTEST_NEAR_(EXPECT, a, b, tol)
+#define ASSERT_NEAR(a, b, tol) NAI_GTEST_NEAR_(ASSERT, a, b, tol)
+
+#define NAI_GTEST_ALMOST_(kind, type, a, b)                                 \
+  NAI_GTEST_##kind##_SUMMARY_([&]() -> std::string {                        \
+    const type nai_a = (a);                                                 \
+    const type nai_b = (b);                                                 \
+    if (::testing::internal::AlmostEqual<type>(nai_a, nai_b))               \
+      return std::string();                                                 \
+    return ::testing::internal::CmpSummary("~=", #a, #b, nai_a, nai_b);     \
+  }())
+#define EXPECT_FLOAT_EQ(a, b) NAI_GTEST_ALMOST_(EXPECT, float, a, b)
+#define EXPECT_DOUBLE_EQ(a, b) NAI_GTEST_ALMOST_(EXPECT, double, a, b)
+#define ASSERT_FLOAT_EQ(a, b) NAI_GTEST_ALMOST_(ASSERT, float, a, b)
+#define ASSERT_DOUBLE_EQ(a, b) NAI_GTEST_ALMOST_(ASSERT, double, a, b)
+
+#define NAI_GTEST_THROW_BODY_(kind, stmt, ok_expr, summary)                 \
+  {                                                                         \
+    bool nai_gtest_threw_expected = false;                                  \
+    bool nai_gtest_threw_other = false;                                     \
+    try {                                                                   \
+      stmt;                                                                 \
+    } catch (ok_expr) {                                                     \
+      nai_gtest_threw_expected = true;                                      \
+    } catch (...) {                                                         \
+      nai_gtest_threw_other = true;                                         \
+    }                                                                       \
+    (void)nai_gtest_threw_other;                                            \
+    NAI_GTEST_##kind##_(nai_gtest_threw_expected, summary);                 \
+  }
+
+#define EXPECT_THROW(stmt, ex)                                              \
+  NAI_GTEST_THROW_BODY_(EXPECT, stmt, const ex&,                            \
+                        "Expected: " #stmt " throws " #ex)
+#define ASSERT_THROW(stmt, ex)                                              \
+  NAI_GTEST_THROW_BODY_(ASSERT, stmt, const ex&,                            \
+                        "Expected: " #stmt " throws " #ex)
+#define EXPECT_ANY_THROW(stmt)                                              \
+  {                                                                         \
+    bool nai_gtest_threw = false;                                           \
+    try {                                                                   \
+      stmt;                                                                 \
+    } catch (...) {                                                         \
+      nai_gtest_threw = true;                                               \
+    }                                                                       \
+    NAI_GTEST_EXPECT_(nai_gtest_threw, "Expected: " #stmt " throws");       \
+  }
+
+#define EXPECT_NO_THROW(stmt)                                               \
+  {                                                                         \
+    bool nai_gtest_no_throw = true;                                         \
+    try {                                                                   \
+      stmt;                                                                 \
+    } catch (...) {                                                         \
+      nai_gtest_no_throw = false;                                           \
+    }                                                                       \
+    NAI_GTEST_EXPECT_(nai_gtest_no_throw,                                   \
+                      "Expected: " #stmt " does not throw");                \
+  }
+
+#define ADD_FAILURE()                                                       \
+  ::testing::internal::FailureSink(__FILE__, __LINE__, "Failure") =         \
+      ::testing::Message()
+#define FAIL()                                                              \
+  return ::testing::internal::FailureSink(__FILE__, __LINE__, "Failure") =  \
+             ::testing::Message()
+#define SUCCEED() ::testing::Message()
+#define GTEST_SKIP()                                                        \
+  return ::testing::internal::SkipSink() = ::testing::Message()
+
+#endif  // NAI_TESTS_MINIGTEST_GTEST_GTEST_H_

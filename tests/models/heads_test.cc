@@ -129,6 +129,30 @@ TEST_P(HeadsTest, ReducePlusMlpMatchesForwardEval) {
   nai::testing::ExpectMatrixNear(direct, via_reduce, 1e-5f);
 }
 
+TEST_P(HeadsTest, SameSeedSameInitialization) {
+  const ModelConfig cfg = Config();
+  tensor::Rng rng_a(42);
+  tensor::Rng rng_b(42);
+  auto a = MakeHead(cfg, 2, rng_a);
+  auto b = MakeHead(cfg, 2, rng_b);
+  const auto views = MakeViews(2, 5, 400);
+  FeatureViews ptrs;
+  for (const auto& v : views) ptrs.push_back(&v);
+  nai::testing::ExpectMatrixNear(a->Forward(ptrs, false, nullptr),
+                                 b->Forward(ptrs, false, nullptr), 0.0f);
+}
+
+TEST_P(HeadsTest, SingleRowForward) {
+  tensor::Rng rng(8);
+  auto head = MakeHead(Config(), 2, rng);
+  const auto views = MakeViews(2, 1, 500);
+  FeatureViews ptrs;
+  for (const auto& v : views) ptrs.push_back(&v);
+  const tensor::Matrix logits = head->Forward(ptrs, false, nullptr);
+  EXPECT_EQ(logits.rows(), 1u);
+  EXPECT_EQ(logits.cols(), 3u);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllFamilies, HeadsTest,
                          ::testing::Values(ModelKind::kSgc, ModelKind::kSign,
                                            ModelKind::kS2gc,

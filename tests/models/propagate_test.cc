@@ -121,5 +121,40 @@ TEST(PropagateTest, PropagationImprovesClassSignal) {
   EXPECT_GT(fisher(stack[1]), fisher(stack[0]) * 1.5);
 }
 
+TEST(PropagateTest, ConstantFeaturesAreStationaryOnRegularGraph) {
+  // On a regular graph every d̃_i is equal, so Â (any γ) has the constant
+  // vector as a fixed point: propagation must leave it untouched.
+  const graph::Graph g = graph::CycleGraph(8);
+  const graph::Csr adj = graph::NormalizedAdjacency(g, 0.5f);
+  tensor::Matrix x(8, 2);
+  x.Fill(3.25f);
+  const auto stack = PropagateStack(adj, x, 3);
+  for (const auto& level : stack) {
+    nai::testing::ExpectMatrixNear(level, x, 1e-5f);
+  }
+}
+
+TEST(PropagateTest, PropagationIsLinear) {
+  // SpMM is linear: propagating x + y equals propagating each and adding.
+  const graph::Graph g = graph::GridGraph(3, 4);
+  const graph::Csr adj = graph::NormalizedAdjacency(g, 0.5f);
+  const tensor::Matrix x = nai::testing::RandomMatrix(12, 3, 21);
+  const tensor::Matrix y = nai::testing::RandomMatrix(12, 3, 22);
+  tensor::Matrix sum(12, 3);
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    sum.data()[i] = x.data()[i] + y.data()[i];
+  }
+  const auto sx = PropagateStack(adj, x, 2);
+  const auto sy = PropagateStack(adj, y, 2);
+  const auto ssum = PropagateStack(adj, sum, 2);
+  for (int t = 0; t <= 2; ++t) {
+    tensor::Matrix combined(12, 3);
+    for (std::size_t i = 0; i < combined.size(); ++i) {
+      combined.data()[i] = sx[t].data()[i] + sy[t].data()[i];
+    }
+    nai::testing::ExpectMatrixNear(ssum[t], combined, 1e-4f);
+  }
+}
+
 }  // namespace
 }  // namespace nai::models

@@ -82,5 +82,26 @@ TEST(AdamTest, StepCountAdvances) {
   EXPECT_EQ(adam.step_count(), 2);
 }
 
+TEST(AdamTest, IdenticalParametersGetIdenticalUpdates) {
+  // Adam is deterministic and per-parameter: two parameters with the same
+  // values and gradients must stay bit-identical through many steps.
+  Parameter a, b;
+  a.Resize(2, 2);
+  b.Resize(2, 2);
+  a.value.Fill(1.5f);
+  b.value.Fill(1.5f);
+  Adam adam({.learning_rate = 0.05f});
+  adam.Register({&a, &b});
+  for (int i = 0; i < 10; ++i) {
+    adam.ZeroGrad();
+    a.grad.Fill(0.3f * static_cast<float>(i + 1));
+    b.grad.Fill(0.3f * static_cast<float>(i + 1));
+    adam.Step();
+  }
+  for (std::size_t i = 0; i < a.value.size(); ++i) {
+    EXPECT_EQ(a.value.data()[i], b.value.data()[i]);
+  }
+}
+
 }  // namespace
 }  // namespace nai::nn

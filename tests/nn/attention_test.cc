@@ -107,5 +107,18 @@ TEST(AttentionTest, CollectParameters) {
   EXPECT_EQ(params[0]->value.cols(), 8u);
 }
 
+TEST(AttentionTest, SingleViewIsIdentity) {
+  // With one view the softmax over views is trivially 1, so the attention
+  // must pass the view through unchanged regardless of the reference.
+  tensor::Rng rng(20);
+  VectorAttention att(1, 5, rng);
+  const tensor::Matrix v = RandomMatrix(6, 5, 21);
+  const tensor::Matrix out = att.Forward({&v}, false);
+  nai::testing::ExpectMatrixNear(out, v, 1e-6f);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_FLOAT_EQ(att.last_weights().at(i, 0), 1.0f);
+  }
+}
+
 }  // namespace
 }  // namespace nai::nn

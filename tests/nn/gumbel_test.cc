@@ -120,5 +120,17 @@ TEST(GumbelTest, BackwardGradientCheck) {
   EXPECT_LT(GradientRelativeError(analytic, numeric), 0.03f);
 }
 
+TEST(GumbelTest, HighTemperatureFlattensTowardUniform) {
+  // As tau -> infinity the relaxed sample approaches the uniform
+  // distribution no matter how peaked the logits are.
+  tensor::Rng rng(40);
+  tensor::Matrix logits(1, 4);
+  logits.at(0, 0) = 10.0f;  // strongly favors class 0
+  const GumbelSample hot = GumbelSoftmax(logits, 1000.0f, rng, true);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(hot.soft.at(0, j), 0.25f, 0.01f);
+  }
+}
+
 }  // namespace
 }  // namespace nai::nn

@@ -110,5 +110,25 @@ TEST(LinearTest, CollectParameters) {
   EXPECT_EQ(params[1]->value.cols(), 3u);
 }
 
+TEST(LinearTest, SameSeedSameInitialization) {
+  tensor::Rng rng_a(123);
+  tensor::Rng rng_b(123);
+  Linear a(6, 4, rng_a);
+  Linear b(6, 4, rng_b);
+  const tensor::Matrix x = RandomMatrix(3, 6, 50);
+  EXPECT_EQ(a.Forward(x, false).CountDifferences(b.Forward(x, false), 0.0f),
+            0u);
+}
+
+TEST(LinearTest, EmptyBatchForward) {
+  tensor::Rng rng(51);
+  Linear layer(4, 3, rng);
+  tensor::Matrix x(0, 4);
+  const tensor::Matrix y = layer.Forward(x, false);
+  EXPECT_EQ(y.rows(), 0u);
+  EXPECT_EQ(y.cols(), 3u);
+  EXPECT_EQ(layer.ForwardMacs(0), 0);
+}
+
 }  // namespace
 }  // namespace nai::nn

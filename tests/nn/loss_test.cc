@@ -101,5 +101,33 @@ TEST(LossTest, Accuracy) {
   EXPECT_FLOAT_EQ(Accuracy(tensor::Matrix(0, 2), {}), 0.0f);
 }
 
+TEST(LossTest, CrossEntropyInvariantToLogitShift) {
+  // Softmax is shift-invariant per row: adding a constant to a row's logits
+  // must not change the loss or its gradient.
+  const tensor::Matrix logits = RandomMatrix(4, 5, 60);
+  tensor::Matrix shifted = logits;
+  for (std::size_t i = 0; i < shifted.rows(); ++i) {
+    for (std::size_t j = 0; j < shifted.cols(); ++j) {
+      shifted.at(i, j) += 7.5f;
+    }
+  }
+  const std::vector<std::int32_t> labels = {0, 2, 4, 1};
+  const LossResult a = SoftmaxCrossEntropy(logits, labels);
+  const LossResult b = SoftmaxCrossEntropy(shifted, labels);
+  EXPECT_NEAR(a.loss, b.loss, 1e-4f);
+  nai::testing::ExpectMatrixNear(a.grad_logits, b.grad_logits, 1e-5f);
+}
+
+TEST(LossTest, GradientRowsSumToZero) {
+  // (softmax - onehot) sums to zero per row, scaled by 1/N.
+  const tensor::Matrix logits = RandomMatrix(6, 3, 61);
+  const LossResult r = SoftmaxCrossEntropy(logits, {0, 1, 2, 0, 1, 2});
+  for (std::size_t i = 0; i < 6; ++i) {
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < 3; ++j) sum += r.grad_logits.at(i, j);
+    EXPECT_NEAR(sum, 0.0f, 1e-6f);
+  }
+}
+
 }  // namespace
 }  // namespace nai::nn

@@ -129,5 +129,27 @@ TEST(MlpTest, CopyParametersFrom) {
             0u);
 }
 
+TEST(MlpTest, SameSeedSameInitialization) {
+  tensor::Rng rng_a(77);
+  tensor::Rng rng_b(77);
+  Mlp a(5, {12}, 3, 0.0f, rng_a);
+  Mlp b(5, {12}, 3, 0.0f, rng_b);
+  const tensor::Matrix x = RandomMatrix(4, 5, 32);
+  EXPECT_EQ(a.Forward(x, false).CountDifferences(b.Forward(x, false), 0.0f),
+            0u);
+}
+
+TEST(MlpTest, LayerAccessorsConsistent) {
+  tensor::Rng rng(78);
+  Mlp mlp(7, {9, 11}, 2, 0.0f, rng);
+  ASSERT_EQ(mlp.num_layers(), 3u);
+  EXPECT_EQ(mlp.layer(0).in_dim(), 7u);
+  EXPECT_EQ(mlp.layer(0).out_dim(), 9u);
+  EXPECT_EQ(mlp.layer(1).in_dim(), 9u);
+  EXPECT_EQ(mlp.layer(1).out_dim(), 11u);
+  EXPECT_EQ(mlp.layer(2).in_dim(), 11u);
+  EXPECT_EQ(mlp.layer(2).out_dim(), 2u);
+}
+
 }  // namespace
 }  // namespace nai::nn

@@ -110,5 +110,31 @@ TEST(MatrixTest, CopyAndMove) {
   EXPECT_EQ(c.at(0, 1), 2.0f);
 }
 
+TEST(MatrixTest, SameShape) {
+  Matrix a(3, 4), b(3, 4), c(4, 3);
+  EXPECT_TRUE(a.SameShape(b));
+  EXPECT_FALSE(a.SameShape(c));
+  EXPECT_TRUE(Matrix().SameShape(Matrix()));
+}
+
+TEST(MatrixTest, CallOperatorAliasesAt) {
+  Matrix m(2, 3);
+  m(1, 2) = 9.5f;
+  EXPECT_FLOAT_EQ(m.at(1, 2), 9.5f);
+  const Matrix& cm = m;
+  EXPECT_FLOAT_EQ(cm(1, 2), 9.5f);
+}
+
+TEST(MatrixTest, ResizeClearsOldContents) {
+  Matrix m(2, 2);
+  m.Fill(7.0f);
+  m.Resize(3, 3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_FLOAT_EQ(m.data()[i], 0.0f);
+  }
+}
+
 }  // namespace
 }  // namespace nai::tensor

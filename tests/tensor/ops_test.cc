@@ -1,5 +1,6 @@
 #include "src/tensor/ops.h"
 
+#include <atomic>
 #include <cmath>
 #include <numeric>
 
