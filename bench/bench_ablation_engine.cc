@@ -92,7 +92,8 @@ void SamplerAblation(const eval::PreparedDataset& ds, float gamma) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nai::bench::ApplyThreadsFlag(argc, argv);
   using namespace nai;
   bench::Banner("Engine design-choice ablations (arxiv-sim)");
   const eval::PreparedDataset ds =

@@ -17,7 +17,8 @@ using namespace nai;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nai::bench::ApplyThreadsFlag(argc, argv);
   using namespace nai;
   const double scale = eval::EnvScale();
   bench::Banner("Figure 5 — batch-size sweep on flickr-sim");

@@ -29,7 +29,8 @@ float F1Accuracy(const eval::PreparedDataset& ds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nai::bench::ApplyThreadsFlag(argc, argv);
   using namespace nai;
   bench::Banner("Figure 6 — Inception Distillation sensitivity (flickr-sim)");
   // A reduced-size preset: the sweep trains 17 pipelines.

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "src/runtime/flags.h"
+
 #include "src/core/nap_gate.h"
 #include "src/core/stationary.h"
 #include "src/graph/generators.h"
@@ -115,4 +117,12 @@ BENCHMARK(BM_SoftmaxRows)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the shared --threads flag is stripped before
+// google-benchmark sees (and rejects) it.
+int main(int argc, char** argv) {
+  nai::runtime::ApplyThreadsFlag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -3,7 +3,8 @@
 
 #include "bench/generalization_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  nai::bench::ApplyThreadsFlag(argc, argv);
   nai::bench::RunGeneralization(nai::models::ModelKind::kS2gc, 10,
                                 "Table X");
   return 0;

@@ -58,7 +58,8 @@ void RunFamily(models::ModelKind kind, const eval::PreparedDataset& ds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nai::bench::ApplyThreadsFlag(argc, argv);
   using namespace nai;
   bench::Banner("Table I — complexity model vs measured MACs (arxiv-sim)");
   eval::DatasetSpec spec = eval::ArxivSim(0.5 * eval::EnvScale());

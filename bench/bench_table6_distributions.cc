@@ -37,7 +37,8 @@ void RunDataset(const eval::DatasetSpec& spec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nai::bench::ApplyThreadsFlag(argc, argv);
   const double scale = nai::eval::EnvScale();
   RunDataset(nai::eval::FlickrSim(scale));
   RunDataset(nai::eval::ArxivSim(scale));

@@ -67,7 +67,8 @@ void RunDataset(const eval::DatasetSpec& spec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nai::bench::ApplyThreadsFlag(argc, argv);
   const double scale = nai::eval::EnvScale();
   RunDataset(nai::eval::ArxivSim(scale));
   RunDataset(nai::eval::ProductsSim(scale));

@@ -50,7 +50,8 @@ void RunDataset(const eval::DatasetSpec& spec, float* out_row) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nai::bench::ApplyThreadsFlag(argc, argv);
   using namespace nai;
   const double scale = eval::EnvScale();
   bench::Banner("Table VIII — Inception Distillation ablation (ACC of f^(1), %)");

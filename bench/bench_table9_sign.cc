@@ -2,7 +2,8 @@
 
 #include "bench/generalization_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  nai::bench::ApplyThreadsFlag(argc, argv);
   nai::bench::RunGeneralization(nai::models::ModelKind::kSign, 5,
                                 "Table IX");
   return 0;

@@ -5,8 +5,18 @@
 #include <string>
 
 #include "src/eval/harness.h"
+#include "src/runtime/flags.h"
 
 namespace nai::bench {
+
+/// Shared CLI entry for every bench target: consumes the `--threads N`
+/// flag (default-pool size; NAI_THREADS is the env-side equivalent) and
+/// prints the pool size so logged runs are self-describing.
+inline int ApplyThreadsFlag(int& argc, char** argv) {
+  const int threads = runtime::ApplyThreadsFlag(argc, argv);
+  std::printf("threads: %d\n", threads);
+  return threads;
+}
 
 /// Training budgets used by the bench binaries: smaller than the library
 /// defaults so a full `for b in build/bench/*` sweep stays in minutes, but

@@ -10,6 +10,7 @@
 
 #include "src/eval/datasets.h"
 #include "src/eval/harness.h"
+#include "src/runtime/flags.h"
 
 namespace {
 
@@ -51,8 +52,9 @@ LatencyStats Stream(core::NaiEngine& engine, const eval::PreparedDataset& ds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nai;
+  runtime::ApplyThreadsFlag(argc, argv);  // shared --threads flag (or NAI_THREADS)
   // The "account graph": heavy-tailed degrees like a payments network.
   // Suspicious-account class = one of the generator's planted classes.
   const eval::PreparedDataset ds = eval::Prepare(eval::ProductsSim(0.3));

@@ -12,9 +12,11 @@
 
 #include "src/eval/datasets.h"
 #include "src/eval/harness.h"
+#include "src/runtime/flags.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nai;
+  runtime::ApplyThreadsFlag(argc, argv);  // shared --threads flag (or NAI_THREADS)
 
   // 1-2. A small dataset with the inductive split already prepared.
   //      (Real deployments construct graph::Graph from their own edges and

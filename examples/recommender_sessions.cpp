@@ -9,9 +9,11 @@
 
 #include "src/eval/datasets.h"
 #include "src/eval/harness.h"
+#include "src/runtime/flags.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nai;
+  runtime::ApplyThreadsFlag(argc, argv);  // shared --threads flag (or NAI_THREADS)
 
   const eval::PreparedDataset ds = eval::Prepare(eval::FlickrSim(0.5));
   std::printf("interaction graph: %lld nodes, %lld edges; %zu live "

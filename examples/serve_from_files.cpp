@@ -12,9 +12,11 @@
 #include "src/eval/harness.h"
 #include "src/io/checkpoint.h"
 #include "src/io/graph_io.h"
+#include "src/runtime/flags.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nai;
+  runtime::ApplyThreadsFlag(argc, argv);  // shared --threads flag (or NAI_THREADS)
   namespace fs = std::filesystem;
   const fs::path dir = fs::temp_directory_path() / "nai_example";
   fs::create_directories(dir);

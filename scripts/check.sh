@@ -1,10 +1,17 @@
 #!/usr/bin/env bash
-# CI gate: configure (Release + ASan/UBSan), build everything, run every
-# CTest suite. Exits nonzero on any configure/build/test failure.
+# CI gate, three stages:
+#   1. configure (Release + ASan/UBSan), build everything, run every CTest
+#      suite — then re-run the threading-sensitive suites with NAI_THREADS=1
+#      so the pool's inline/serial path stays exercised.
+#   2. a ThreadSanitizer configuration (separate build dir; TSan cannot be
+#      combined with ASan) building and running the runtime + engine +
+#      parallel-kernel suites.
+# Exits nonzero on any configure/build/test failure.
 #
 # Usage:
-#   scripts/check.sh             # sanitized Release build into build-check/
-#   NAI_SANITIZE=""    scripts/check.sh   # disable sanitizers
+#   scripts/check.sh             # full gate
+#   NAI_SANITIZE=""    scripts/check.sh   # disable ASan/UBSan stage sanitizers
+#   NAI_TSAN=0         scripts/check.sh   # skip the ThreadSanitizer stage
 #   NAI_BUILD_DIR=foo  scripts/check.sh   # custom build directory
 set -euo pipefail
 
@@ -12,6 +19,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${NAI_BUILD_DIR:-build-check}"
 SANITIZE="${NAI_SANITIZE-address,undefined}"
+TSAN="${NAI_TSAN:-1}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B "${BUILD_DIR}" -S . \
@@ -21,3 +29,24 @@ cmake -B "${BUILD_DIR}" -S . \
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+# Serial-path pass: the same parallel-sensitive suites with a 1-thread pool.
+NAI_THREADS=1 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
+  -R 'runtime/|tensor/ops|graph/csr|core/inference|integration/algorithm1'
+
+# ThreadSanitizer stage: runtime + engine + parallel kernels only (the other
+# suites are single-threaded; building everything under TSan doubles CI time
+# for no coverage).
+if [ "${TSAN}" != "0" ]; then
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "${TSAN_DIR}" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DNAI_SANITIZE=thread \
+    -DNAI_BUILD_BENCH=OFF \
+    -DNAI_BUILD_EXAMPLES=OFF
+  cmake --build "${TSAN_DIR}" -j "${JOBS}" --target \
+    runtime_thread_pool_test tensor_ops_test graph_csr_test \
+    core_inference_test core_inference_edge_test core_inference_parallel_test
+  ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" \
+    -R 'runtime/thread_pool|tensor/ops|graph/csr|core/inference'
+fi

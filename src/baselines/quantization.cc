@@ -6,6 +6,7 @@
 
 #include "src/graph/normalize.h"
 #include "src/graph/sampler.h"
+#include "src/runtime/thread_pool.h"
 #include "src/tensor/ops.h"
 
 namespace nai::baselines {
@@ -54,7 +55,9 @@ tensor::Matrix QuantizedLinear::Forward(const tensor::Matrix& x) const {
 
   tensor::Matrix out(rows, out_dim_);
   const float dequant = act_scale * weight_scale_;
-  tensor::ParallelFor(rows, [&](std::size_t r0, std::size_t r1) {
+  // Grain: one output row is an in_dim x out_dim int8 dot-product sweep.
+  runtime::ParallelFor(0, rows, in_dim_ * out_dim_,
+                       [&](std::size_t r0, std::size_t r1) {
     std::vector<std::int32_t> acc(out_dim_);
     for (std::size_t i = r0; i < r1; ++i) {
       std::fill(acc.begin(), acc.end(), 0);

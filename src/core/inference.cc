@@ -77,20 +77,40 @@ double InferenceStats::average_depth() const {
                     : static_cast<double>(weighted) / static_cast<double>(total);
 }
 
+void InferenceStats::Accumulate(const InferenceStats& other) {
+  propagation_macs += other.propagation_macs;
+  nap_macs += other.nap_macs;
+  stationary_macs += other.stationary_macs;
+  classification_macs += other.classification_macs;
+  fp_time_ms += other.fp_time_ms;
+  sample_time_ms += other.sample_time_ms;
+  stationary_time_ms += other.stationary_time_ms;
+  classify_time_ms += other.classify_time_ms;
+  if (exits_at_depth.size() < other.exits_at_depth.size()) {
+    exits_at_depth.resize(other.exits_at_depth.size(), 0);
+  }
+  for (std::size_t l = 0; l < other.exits_at_depth.size(); ++l) {
+    exits_at_depth[l] += other.exits_at_depth[l];
+  }
+}
+
 NaiEngine::NaiEngine(const graph::Graph& full_graph,
                      const tensor::Matrix& features, float gamma,
                      ClassifierStack& classifiers,
-                     const StationaryState* stationary, const GateStack* gates)
+                     const StationaryState* stationary, const GateStack* gates,
+                     runtime::ExecContext ctx)
     : graph_(&full_graph),
       features_(&features),
       classifiers_(&classifiers),
       stationary_(stationary),
       gates_(gates),
+      ctx_(ctx),
       norm_adj_(graph::NormalizedAdjacency(full_graph, gamma)),
       sampler_(norm_adj_) {}
 
 InferenceResult NaiEngine::Infer(const std::vector<std::int32_t>& nodes,
                                  const InferenceConfig& config) {
+  const auto run_start = Clock::now();
   const int k = classifiers_->depth();
   int t_max = config.t_max <= 0 ? k : std::min(config.t_max, k);
   assert(t_max >= 1);
@@ -109,25 +129,71 @@ InferenceResult NaiEngine::Infer(const std::vector<std::int32_t>& nodes,
   result.stats.exits_at_depth.assign(t_max, 0);
 
   const std::size_t bs = std::max<std::size_t>(1, config.batch_size);
-  std::vector<std::int32_t> batch_pred;
-  std::vector<std::int32_t> batch_depth;
-  for (std::size_t begin = 0; begin < nodes.size(); begin += bs) {
-    const std::size_t end = std::min(nodes.size(), begin + bs);
-    const std::vector<std::int32_t> batch(nodes.begin() + begin,
-                                          nodes.begin() + end);
-    batch_pred.assign(batch.size(), -1);
-    batch_depth.assign(batch.size(), -1);
-    InferBatch(batch, config, t_max, batch_pred, batch_depth, result.stats);
-    std::copy(batch_pred.begin(), batch_pred.end(),
-              result.predictions.begin() + begin);
-    std::copy(batch_depth.begin(), batch_depth.end(),
-              result.exit_depths.begin() + begin);
+  const std::size_t num_batches = (nodes.size() + bs - 1) / bs;
+
+  // Pin the whole run — including kernels deep in the classifier forward
+  // pass that only see default ExecContexts — to this engine's pool.
+  runtime::ThreadPool& pool = ctx_.pool_or_default();
+  runtime::ScopedDefaultPool scoped_pool(pool);
+  std::size_t shards = config.inter_batch_parallelism == 0
+                           ? static_cast<std::size_t>(pool.num_threads())
+                           : static_cast<std::size_t>(std::max(
+                                 config.inter_batch_parallelism, 1));
+  shards = std::min(shards, num_batches);
+
+  // Shared batch protocol of the sequential and parallel paths: every
+  // batch writes its predictions/exit depths into disjoint pre-sized slots
+  // of the result, so the outcome is bit-identical regardless of how batch
+  // ranges are scheduled.
+  auto run_batches = [&](std::size_t first_batch, std::size_t last_batch,
+                         graph::SupportSampler& sampler,
+                         InferenceStats& stats) {
+    std::vector<std::int32_t> batch_pred;
+    std::vector<std::int32_t> batch_depth;
+    for (std::size_t b = first_batch; b < last_batch; ++b) {
+      const std::size_t begin = b * bs;
+      const std::size_t end = std::min(nodes.size(), begin + bs);
+      const std::vector<std::int32_t> batch(nodes.begin() + begin,
+                                            nodes.begin() + end);
+      batch_pred.assign(batch.size(), -1);
+      batch_depth.assign(batch.size(), -1);
+      InferBatch(batch, config, t_max, sampler, batch_pred, batch_depth,
+                 stats);
+      std::copy(batch_pred.begin(), batch_pred.end(),
+                result.predictions.begin() + begin);
+      std::copy(batch_depth.begin(), batch_depth.end(),
+                result.exit_depths.begin() + begin);
+    }
+  };
+
+  if (shards <= 1) {
+    run_batches(0, num_batches, sampler_, result.stats);
+  } else {
+    // Contiguous shards of batches, one sampler and one local stats block
+    // per shard; shard stats are merged in shard order afterwards.
+    const std::size_t batches_per_shard = (num_batches + shards - 1) / shards;
+    std::vector<InferenceStats> shard_stats(shards);
+    for (InferenceStats& st : shard_stats) st.exits_at_depth.assign(t_max, 0);
+
+    // Grain >= kMinChunkWork forces one shard per dispatched chunk.
+    pool.ParallelFor(0, shards, runtime::ThreadPool::kMinChunkWork,
+                     [&](std::size_t s0, std::size_t s1) {
+      for (std::size_t s = s0; s < s1; ++s) {
+        graph::SupportSampler sampler(norm_adj_);
+        const std::size_t first = s * batches_per_shard;
+        run_batches(first, std::min(num_batches, first + batches_per_shard),
+                    sampler, shard_stats[s]);
+      }
+    });
+    for (const InferenceStats& st : shard_stats) result.stats.Accumulate(st);
   }
+  result.stats.wall_time_ms = MsSince(run_start);
   return result;
 }
 
 void NaiEngine::InferBatch(const std::vector<std::int32_t>& batch,
                            const InferenceConfig& config, int t_max,
+                           graph::SupportSampler& sampler,
                            std::vector<std::int32_t>& out_predictions,
                            std::vector<std::int32_t>& out_depths,
                            InferenceStats& stats) {
@@ -140,8 +206,8 @@ void NaiEngine::InferBatch(const std::vector<std::int32_t>& batch,
   // skips the induced-submatrix build; propagation reads the global
   // adjacency through the support mapping.
   auto t0 = Clock::now();
-  graph::BatchSupport support = sampler_.SampleMapped(batch, t_max);
-  const std::vector<std::int32_t>& g2l = sampler_.global_to_local();
+  graph::BatchSupport support = sampler.SampleMapped(batch, t_max);
+  const std::vector<std::int32_t>& g2l = sampler.global_to_local();
   tensor::Matrix cur = features_->GatherRows(support.nodes);
   // Cumulative touched-edge counts per local prefix, for MAC accounting.
   std::vector<std::int64_t> prefix_nnz(support.nodes.size() + 1, 0);
@@ -201,14 +267,14 @@ void NaiEngine::InferBatch(const std::vector<std::int32_t>& batch,
     auto tf = Clock::now();
     if (use_row_list) {
       graph::SpMMMappedRows(norm_adj_, support.nodes, g2l, cur,
-                            rows_to_compute, next);
+                            rows_to_compute, next, ctx_);
       stats.propagation_macs +=
           RowListNnz(norm_adj_, support.nodes, rows_to_compute) *
           static_cast<std::int64_t>(f);
     } else {
       const std::int64_t limit = support.layer_counts[t_max - l];
       graph::SpMMMappedPrefix(norm_adj_, support.nodes, g2l, cur, limit,
-                              next);
+                              next, ctx_);
       stats.propagation_macs +=
           prefix_nnz[limit] * static_cast<std::int64_t>(f);
     }

@@ -11,6 +11,7 @@
 #include "src/graph/graph.h"
 #include "src/graph/normalize.h"
 #include "src/graph/sampler.h"
+#include "src/runtime/exec_context.h"
 #include "src/tensor/matrix.h"
 
 namespace nai::core {
@@ -35,6 +36,12 @@ struct InferenceConfig {
   /// Re-derive the supporting set from the still-active nodes after each
   /// exit round (saves propagation work; disable to ablate).
   bool shrink_active_support = true;
+  /// Maximum number of independent batches executed concurrently on the
+  /// engine's thread pool: 1 (or negative) runs batches sequentially (the
+  /// default), 0 means one shard per pool thread, n > 1 caps the shards at
+  /// n. Results are bit-identical to the sequential run for every value
+  /// (see NaiEngine::Infer).
+  int inter_batch_parallelism = 1;
 };
 
 /// Cost and behaviour counters for one inference run. MACs are
@@ -45,10 +52,15 @@ struct InferenceStats {
   std::int64_t nap_macs = 0;            ///< distance or gate decisions
   std::int64_t stationary_macs = 0;     ///< X^(∞) rows (rank-1 form)
   std::int64_t classification_macs = 0; ///< classifier forward passes
+  /// Per-stage timers are *busy* times summed over batches (and over
+  /// concurrent shards when inter_batch_parallelism > 1), so their sum can
+  /// exceed the run's elapsed time; use wall_time_ms for latency.
   double fp_time_ms = 0.0;              ///< propagation + NAP decisions
   double sample_time_ms = 0.0;          ///< supporting-node sampling
   double stationary_time_ms = 0.0;
   double classify_time_ms = 0.0;
+  /// Elapsed wall-clock of the whole Infer call (never summed per shard).
+  double wall_time_ms = 0.0;
   /// exits_at_depth[l-1] = nodes predicted by f^(l) (Table VI rows).
   std::vector<std::int64_t> exits_at_depth;
 
@@ -62,6 +74,13 @@ struct InferenceStats {
            classify_time_ms;
   }
   double average_depth() const;
+
+  /// Adds `other`'s counters, stage timers and per-depth exit histogram
+  /// into this one (num_nodes and wall_time_ms excluded — they describe
+  /// the whole run, not a shard). Used to merge per-shard stats
+  /// deterministically after parallel batch execution; all integer
+  /// counters are order-independent.
+  void Accumulate(const InferenceStats& other);
 };
 
 struct InferenceResult {
@@ -82,11 +101,19 @@ struct InferenceResult {
 /// induced subgraph, and after every hop in [T_min, T_max) the NAP module
 /// retires nodes whose features are smooth enough, which shrinks the
 /// remaining propagation frontier.
+///
+/// Threading: kernels run on the pool of the engine's ExecContext, and
+/// `InferenceConfig::inter_batch_parallelism` additionally executes the
+/// independent batches concurrently (each shard gets its own sampler and
+/// local stats; predictions/exit_depths are written to pre-sized slots and
+/// stats merged in shard order, so results are bit-exact and
+/// order-independent for every thread count).
 class NaiEngine {
  public:
   NaiEngine(const graph::Graph& full_graph, const tensor::Matrix& features,
             float gamma, ClassifierStack& classifiers,
-            const StationaryState* stationary, const GateStack* gates);
+            const StationaryState* stationary, const GateStack* gates,
+            runtime::ExecContext ctx = {});
 
   /// Classifies `nodes` (global ids in the full graph). Thread-compatible
   /// but not thread-safe (shared sampler scratch).
@@ -95,9 +122,12 @@ class NaiEngine {
 
   const graph::Csr& norm_adj() const { return norm_adj_; }
 
+  const runtime::ExecContext& exec_context() const { return ctx_; }
+
  private:
   void InferBatch(const std::vector<std::int32_t>& batch,
                   const InferenceConfig& config, int t_max,
+                  graph::SupportSampler& sampler,
                   std::vector<std::int32_t>& out_predictions,
                   std::vector<std::int32_t>& out_depths,
                   InferenceStats& stats);
@@ -107,6 +137,7 @@ class NaiEngine {
   ClassifierStack* classifiers_;
   const StationaryState* stationary_;
   const GateStack* gates_;
+  runtime::ExecContext ctx_;
   graph::Csr norm_adj_;
   graph::SupportSampler sampler_;
 };

@@ -13,6 +13,7 @@
 #include "src/eval/datasets.h"
 #include "src/eval/metrics.h"
 #include "src/models/scalable_gnn.h"
+#include "src/runtime/exec_context.h"
 
 namespace nai::eval {
 
@@ -50,9 +51,12 @@ TrainedPipeline TrainPipeline(const PreparedDataset& ds,
                               const PipelineConfig& config);
 
 /// Builds the inference engine over the full graph (training + unseen
-/// nodes) for a trained pipeline.
-std::unique_ptr<core::NaiEngine> MakeEngine(TrainedPipeline& pipeline,
-                                            const PreparedDataset& ds);
+/// nodes) for a trained pipeline. `ctx` selects the thread pool the
+/// engine's kernels and inter-batch parallelism run on (default pool —
+/// NAI_THREADS / --threads — when omitted).
+std::unique_ptr<core::NaiEngine> MakeEngine(
+    TrainedPipeline& pipeline, const PreparedDataset& ds,
+    const runtime::ExecContext& ctx = {});
 
 /// One named inference configuration (the paper's NAI^1, NAI^2, NAI^3).
 struct NaiSetting {

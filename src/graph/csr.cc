@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "src/tensor/ops.h"
-
 namespace nai::graph {
 
 bool Csr::Validate() const {
@@ -58,6 +56,15 @@ Csr CsrFromTriplets(std::int64_t rows, std::int64_t cols,
 
 namespace {
 
+/// Approximate scalar-op cost of one SpMM output row: average stored
+/// entries per row times the dense width. A heuristic for chunk sizing
+/// only — correctness never depends on it.
+std::size_t SpMMGrain(const Csr& csr, std::size_t f) {
+  const std::int64_t avg =
+      csr.rows > 0 ? csr.nnz() / csr.rows + 1 : 1;
+  return static_cast<std::size_t>(avg) * std::max<std::size_t>(1, f);
+}
+
 void SpMMRowRange(const Csr& csr, const tensor::Matrix& dense,
                   std::int64_t r0, std::int64_t r1, tensor::Matrix& out) {
   const std::size_t f = dense.cols();
@@ -74,10 +81,12 @@ void SpMMRowRange(const Csr& csr, const tensor::Matrix& dense,
 
 }  // namespace
 
-tensor::Matrix SpMM(const Csr& csr, const tensor::Matrix& dense) {
+tensor::Matrix SpMM(const Csr& csr, const tensor::Matrix& dense,
+                    const runtime::ExecContext& ctx) {
   assert(static_cast<std::int64_t>(dense.rows()) == csr.cols);
   tensor::Matrix out(csr.rows, dense.cols());
-  tensor::ParallelFor(csr.rows, [&](std::size_t r0, std::size_t r1) {
+  ctx.ParallelFor(0, csr.rows, SpMMGrain(csr, dense.cols()),
+                  [&](std::size_t r0, std::size_t r1) {
     SpMMRowRange(csr, dense, static_cast<std::int64_t>(r0),
                  static_cast<std::int64_t>(r1), out);
   });
@@ -85,12 +94,14 @@ tensor::Matrix SpMM(const Csr& csr, const tensor::Matrix& dense) {
 }
 
 void SpMMPrefix(const Csr& csr, const tensor::Matrix& dense,
-                std::int64_t limit, tensor::Matrix& out) {
+                std::int64_t limit, tensor::Matrix& out,
+                const runtime::ExecContext& ctx) {
   assert(static_cast<std::int64_t>(dense.rows()) == csr.cols);
   assert(static_cast<std::int64_t>(out.rows()) == csr.rows);
   assert(out.cols() == dense.cols());
   assert(limit <= csr.rows);
-  tensor::ParallelFor(limit, [&](std::size_t r0, std::size_t r1) {
+  ctx.ParallelFor(0, limit, SpMMGrain(csr, dense.cols()),
+                  [&](std::size_t r0, std::size_t r1) {
     SpMMRowRange(csr, dense, static_cast<std::int64_t>(r0),
                  static_cast<std::int64_t>(r1), out);
   });
@@ -98,11 +109,11 @@ void SpMMPrefix(const Csr& csr, const tensor::Matrix& dense,
 
 void SpMMRows(const Csr& csr, const tensor::Matrix& dense,
               const std::vector<std::int32_t>& rows_to_compute,
-              tensor::Matrix& out) {
+              tensor::Matrix& out, const runtime::ExecContext& ctx) {
   assert(static_cast<std::int64_t>(dense.rows()) == csr.cols);
   const std::size_t f = dense.cols();
-  tensor::ParallelFor(rows_to_compute.size(), [&](std::size_t i0,
-                                                  std::size_t i1) {
+  ctx.ParallelFor(0, rows_to_compute.size(), SpMMGrain(csr, f),
+                  [&](std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i) {
       const std::int64_t r = rows_to_compute[i];
       float* orow = out.row(r);
@@ -141,10 +152,11 @@ void SpMMMappedPrefix(const Csr& global,
                       const std::vector<std::int32_t>& nodes,
                       const std::vector<std::int32_t>& global_to_local,
                       const tensor::Matrix& dense_local, std::int64_t limit,
-                      tensor::Matrix& out) {
+                      tensor::Matrix& out, const runtime::ExecContext& ctx) {
   assert(limit <= static_cast<std::int64_t>(nodes.size()));
   assert(out.rows() == dense_local.rows());
-  tensor::ParallelFor(limit, [&](std::size_t r0, std::size_t r1) {
+  ctx.ParallelFor(0, limit, SpMMGrain(global, dense_local.cols()),
+                  [&](std::size_t r0, std::size_t r1) {
     for (std::size_t r = r0; r < r1; ++r) {
       SpMMMappedRow(global, nodes, global_to_local, dense_local,
                     static_cast<std::int64_t>(r), out);
@@ -157,9 +169,10 @@ void SpMMMappedRows(const Csr& global,
                     const std::vector<std::int32_t>& global_to_local,
                     const tensor::Matrix& dense_local,
                     const std::vector<std::int32_t>& rows_to_compute,
-                    tensor::Matrix& out) {
-  tensor::ParallelFor(
-      rows_to_compute.size(), [&](std::size_t i0, std::size_t i1) {
+                    tensor::Matrix& out, const runtime::ExecContext& ctx) {
+  ctx.ParallelFor(
+      0, rows_to_compute.size(), SpMMGrain(global, dense_local.cols()),
+      [&](std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) {
           SpMMMappedRow(global, nodes, global_to_local, dense_local,
                         rows_to_compute[i], out);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/runtime/exec_context.h"
 #include "src/tensor/matrix.h"
 
 namespace nai::graph {
@@ -48,21 +49,24 @@ Csr CsrFromTriplets(std::int64_t rows, std::int64_t cols,
                     std::vector<Triplet> triplets);
 
 /// Sparse-dense multiply: out = csr * dense.
-/// Shapes: (rows x cols) * (cols x f) -> (rows x f). Parallel over rows.
-tensor::Matrix SpMM(const Csr& csr, const tensor::Matrix& dense);
+/// Shapes: (rows x cols) * (cols x f) -> (rows x f). Parallel over rows on
+/// the context's pool; bit-exact for any thread count.
+tensor::Matrix SpMM(const Csr& csr, const tensor::Matrix& dense,
+                    const runtime::ExecContext& ctx = {});
 
 /// Computes `out` rows [0, limit) of csr * dense, leaving other rows of
 /// `out` untouched. `out` must already be (csr.rows x dense.cols).
 /// Used by the layered batch propagation where only a prefix of local node
 /// ids needs fresh values at each hop.
 void SpMMPrefix(const Csr& csr, const tensor::Matrix& dense,
-                std::int64_t limit, tensor::Matrix& out);
+                std::int64_t limit, tensor::Matrix& out,
+                const runtime::ExecContext& ctx = {});
 
 /// Like SpMMPrefix but only recomputes the rows listed in `rows_to_compute`
 /// (all < csr.rows). Rows not listed keep their previous contents.
 void SpMMRows(const Csr& csr, const tensor::Matrix& dense,
               const std::vector<std::int32_t>& rows_to_compute,
-              tensor::Matrix& out);
+              tensor::Matrix& out, const runtime::ExecContext& ctx = {});
 
 /// Batch propagation against the *global* matrix through a local-id
 /// mapping, avoiding the cost of materializing an induced submatrix per
@@ -78,7 +82,8 @@ void SpMMMappedPrefix(const Csr& global,
                       const std::vector<std::int32_t>& nodes,
                       const std::vector<std::int32_t>& global_to_local,
                       const tensor::Matrix& dense_local, std::int64_t limit,
-                      tensor::Matrix& out);
+                      tensor::Matrix& out,
+                      const runtime::ExecContext& ctx = {});
 
 /// Row-list variant of SpMMMappedPrefix: recomputes only the listed local
 /// rows.
@@ -87,7 +92,7 @@ void SpMMMappedRows(const Csr& global,
                     const std::vector<std::int32_t>& global_to_local,
                     const tensor::Matrix& dense_local,
                     const std::vector<std::int32_t>& rows_to_compute,
-                    tensor::Matrix& out);
+                    tensor::Matrix& out, const runtime::ExecContext& ctx = {});
 
 /// Transpose. O(nnz).
 Csr Transpose(const Csr& csr);

@@ -14,20 +14,23 @@ VectorAttention::VectorAttention(std::size_t num_views, std::size_t dim,
 }
 
 tensor::Matrix VectorAttention::Forward(
-    const std::vector<const tensor::Matrix*>& views, bool train) {
+    const std::vector<const tensor::Matrix*>& views, bool train,
+    tensor::Matrix* weights_out) {
   const std::size_t L = num_views();
   assert(views.size() == L);
   const std::size_t n = views[0]->rows();
   const std::size_t d = views[0]->cols();
   assert(d == dim());
 
-  scores_.Resize(n, L);
-  weights_.Resize(n, L);
+  // Local scratch: inference-mode Forward must not touch shared members —
+  // the engine classifies concurrent batches on the same head.
+  tensor::Matrix scores(n, L);
+  tensor::Matrix weights(n, L);
   tensor::Matrix out(n, d);
 
   for (std::size_t i = 0; i < n; ++i) {
     // q_i^l = sigmoid(V_l[i] . s_l)
-    float* qrow = scores_.row(i);
+    float* qrow = scores.row(i);
     for (std::size_t l = 0; l < L; ++l) {
       const float* v = views[l]->row(i);
       const float* s = reference_.value.row(l);
@@ -39,7 +42,7 @@ tensor::Matrix VectorAttention::Forward(
     float maxq = qrow[0];
     for (std::size_t l = 1; l < L; ++l) maxq = std::max(maxq, qrow[l]);
     float sum = 0.0f;
-    float* wrow = weights_.row(i);
+    float* wrow = weights.row(i);
     for (std::size_t l = 0; l < L; ++l) {
       wrow[l] = std::exp(qrow[l] - maxq);
       sum += wrow[l];
@@ -54,7 +57,10 @@ tensor::Matrix VectorAttention::Forward(
     }
   }
 
+  if (weights_out != nullptr) *weights_out = weights;
   if (train) {
+    scores_ = std::move(scores);
+    weights_ = std::move(weights);
     cached_views_.clear();
     cached_views_.reserve(L);
     for (const auto* v : views) cached_views_.push_back(*v);

@@ -26,9 +26,13 @@ class VectorAttention {
   VectorAttention() = default;
   VectorAttention(std::size_t num_views, std::size_t dim, tensor::Rng& rng);
 
-  /// Combines the views. With `train` true, caches intermediates.
+  /// Combines the views. With `train` true, caches intermediates; with
+  /// `train` false no member state is touched, so concurrent inference
+  /// forwards on the same instance are safe. `weights_out`, when non-null,
+  /// receives the per-node attention weights (n x L) of this call — the
+  /// race-free way to observe them in inference mode.
   tensor::Matrix Forward(const std::vector<const tensor::Matrix*>& views,
-                         bool train);
+                         bool train, tensor::Matrix* weights_out = nullptr);
 
   /// Backward from dLoss/dOut. Accumulates the gradient of the reference
   /// vectors; if `grad_views` is non-null it receives dLoss/dV_l for each
@@ -36,7 +40,9 @@ class VectorAttention {
   void Backward(const tensor::Matrix& grad_out,
                 std::vector<tensor::Matrix>* grad_views);
 
-  /// Per-node attention weights from the last forward (n x L).
+  /// Per-node attention weights from the last *train-mode* forward (n x L);
+  /// inference-mode forwards deliberately leave this untouched (use the
+  /// `weights_out` parameter instead).
   const tensor::Matrix& last_weights() const { return weights_; }
 
   Parameter& reference() { return reference_; }

@@ -1,0 +1,32 @@
+#ifndef NAI_RUNTIME_EXEC_CONTEXT_H_
+#define NAI_RUNTIME_EXEC_CONTEXT_H_
+
+#include "src/runtime/thread_pool.h"
+
+namespace nai::runtime {
+
+/// The execution handle layers pass down instead of ad-hoc thread counts.
+///
+/// A default-constructed context routes to the process-wide default pool
+/// (NAI_THREADS / hardware concurrency); deployments that want isolated
+/// resources (e.g. one pool per serving shard) point `pool` at their own.
+/// Copyable and cheap: it owns nothing.
+struct ExecContext {
+  ThreadPool* pool = nullptr;  ///< nullptr = ThreadPool::Default()
+
+  ThreadPool& pool_or_default() const {
+    return pool != nullptr ? *pool : ThreadPool::Default();
+  }
+
+  int num_threads() const { return pool_or_default().num_threads(); }
+
+  /// Pool-backed loop over [begin, end); see ThreadPool::ParallelFor.
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& fn) const {
+    pool_or_default().ParallelFor(begin, end, grain, fn);
+  }
+};
+
+}  // namespace nai::runtime
+
+#endif  // NAI_RUNTIME_EXEC_CONTEXT_H_

@@ -1,0 +1,54 @@
+#ifndef NAI_RUNTIME_FLAGS_H_
+#define NAI_RUNTIME_FLAGS_H_
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/runtime/thread_pool.h"
+
+namespace nai::runtime {
+
+/// Consumes a `--threads N` / `--threads=N` argument shared by every bench
+/// and example binary: resizes the default pool accordingly and removes the
+/// flag from argv (so wrapped argument parsers like google-benchmark never
+/// see it). Invalid or absent values leave the NAI_THREADS / hardware
+/// default in place. Returns the resulting default-pool thread count.
+inline int ApplyThreadsFlag(int& argc, char** argv) {
+  int requested = 0;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    bool consume = false;
+    if (std::strncmp(arg, "--threads", 9) == 0) {
+      if (arg[9] == '\0') {
+        consume = true;
+        // Take the next token as the value only when it isn't another flag,
+        // so `--threads --benchmark_filter=...` doesn't swallow the filter.
+        if (i + 1 < argc && argv[i + 1][0] != '-') value = argv[++i];
+      } else if (arg[9] == '=') {
+        consume = true;
+        value = arg + 10;
+      }
+    }
+    if (consume) {  // flag (and its value, if any) removed either way
+      if (value != nullptr) {
+        char* end = nullptr;
+        const long v = std::strtol(value, &end, 10);
+        if (end != value && *end == '\0' && v > 0) {
+          requested = static_cast<int>(v);
+        }
+      }
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  argv[w] = nullptr;  // keep the argv[argc] == NULL invariant for wrappees
+  argc = w;
+  if (requested > 0) ThreadPool::SetDefaultThreads(requested);
+  return ThreadPool::Default().num_threads();
+}
+
+}  // namespace nai::runtime
+
+#endif  // NAI_RUNTIME_FLAGS_H_

@@ -4,45 +4,18 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <thread>
 
 namespace nai::tensor {
 
-void ParallelFor(std::size_t total,
-                 const std::function<void(std::size_t, std::size_t)>& fn,
-                 int max_threads) {
-  if (total == 0) return;
-  unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
-  std::size_t workers = max_threads > 0
-                            ? static_cast<std::size_t>(max_threads)
-                            : static_cast<std::size_t>(hw);
-  // Thread spawn costs ~10us; below this chunk size it is pure overhead.
-  constexpr std::size_t kMinChunk = 2048;
-  workers = std::min(workers, (total + kMinChunk - 1) / kMinChunk);
-  if (workers <= 1) {
-    fn(0, total);
-    return;
-  }
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  const std::size_t chunk = (total + workers - 1) / workers;
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t begin = w * chunk;
-    const std::size_t end = std::min(total, begin + chunk);
-    if (begin >= end) break;
-    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
-  }
-  for (auto& t : threads) t.join();
-}
-
-Matrix MatMul(const Matrix& a, const Matrix& b) {
+Matrix MatMul(const Matrix& a, const Matrix& b,
+              const runtime::ExecContext& ctx) {
   assert(a.cols() == b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   Matrix out(m, n);
   // ikj loop order: the inner loop streams over contiguous rows of `b` and
-  // `out`, which vectorizes well and avoids a transpose.
-  ParallelFor(m, [&](std::size_t r0, std::size_t r1) {
+  // `out`, which vectorizes well and avoids a transpose. Grain: one output
+  // row costs k*n MACs, so wide products fan out even with few rows.
+  ctx.ParallelFor(0, m, k * n, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t i = r0; i < r1; ++i) {
       const float* arow = a.row(i);
       float* orow = out.row(i);
@@ -57,11 +30,12 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   return out;
 }
 
-Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b,
+                        const runtime::ExecContext& ctx) {
   assert(a.cols() == b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   Matrix out(m, n);
-  ParallelFor(m, [&](std::size_t r0, std::size_t r1) {
+  ctx.ParallelFor(0, m, k * n, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t i = r0; i < r1; ++i) {
       const float* arow = a.row(i);
       float* orow = out.row(i);
@@ -155,10 +129,13 @@ void SigmoidInPlace(Matrix& m) {
   }
 }
 
-Matrix SoftmaxRows(const Matrix& m, float temperature) {
+Matrix SoftmaxRows(const Matrix& m, float temperature,
+                   const runtime::ExecContext& ctx) {
   assert(temperature > 0.0f);
   Matrix out(m.rows(), m.cols());
-  ParallelFor(m.rows(), [&](std::size_t r0, std::size_t r1) {
+  // exp() dominates; weight the per-row cost well above `cols` plain flops.
+  ctx.ParallelFor(0, m.rows(), m.cols() * 8, [&](std::size_t r0,
+                                                 std::size_t r1) {
     for (std::size_t i = r0; i < r1; ++i) {
       const float* in = m.row(i);
       float* o = out.row(i);
@@ -178,9 +155,10 @@ Matrix SoftmaxRows(const Matrix& m, float temperature) {
   return out;
 }
 
-Matrix LogSoftmaxRows(const Matrix& m) {
+Matrix LogSoftmaxRows(const Matrix& m, const runtime::ExecContext& ctx) {
   Matrix out(m.rows(), m.cols());
-  ParallelFor(m.rows(), [&](std::size_t r0, std::size_t r1) {
+  ctx.ParallelFor(0, m.rows(), m.cols() * 8, [&](std::size_t r0,
+                                                 std::size_t r1) {
     for (std::size_t i = r0; i < r1; ++i) {
       const float* in = m.row(i);
       float* o = out.row(i);
@@ -236,10 +214,12 @@ Matrix Mean(const std::vector<const Matrix*>& parts) {
   return out;
 }
 
-std::vector<float> RowL2Distance(const Matrix& a, const Matrix& b) {
+std::vector<float> RowL2Distance(const Matrix& a, const Matrix& b,
+                                 const runtime::ExecContext& ctx) {
   assert(a.SameShape(b));
   std::vector<float> out(a.rows());
-  ParallelFor(a.rows(), [&](std::size_t r0, std::size_t r1) {
+  ctx.ParallelFor(0, a.rows(), a.cols() * 3, [&](std::size_t r0,
+                                                 std::size_t r1) {
     for (std::size_t i = r0; i < r1; ++i) {
       const float* pa = a.row(i);
       const float* pb = b.row(i);

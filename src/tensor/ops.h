@@ -5,23 +5,20 @@
 #include <functional>
 #include <vector>
 
+#include "src/runtime/exec_context.h"
 #include "src/tensor/matrix.h"
 
 namespace nai::tensor {
 
-/// Runs `fn(begin, end)` over [0, total) split into contiguous chunks across
-/// up to `max_threads` worker threads (hardware concurrency by default).
-/// Falls back to a single inline call for small `total`.
-void ParallelFor(std::size_t total,
-                 const std::function<void(std::size_t, std::size_t)>& fn,
-                 int max_threads = 0);
-
 /// out = a * b. Shapes: (m x k) * (k x n) -> (m x n).
-/// Blocked, multi-threaded over rows of `a`.
-Matrix MatMul(const Matrix& a, const Matrix& b);
+/// Rows of `out` are computed in parallel on the context's thread pool;
+/// results are bit-exact for any thread count.
+Matrix MatMul(const Matrix& a, const Matrix& b,
+              const runtime::ExecContext& ctx = {});
 
 /// out = a * b^T. Shapes: (m x k) * (n x k)^T -> (m x n).
-Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b,
+                        const runtime::ExecContext& ctx = {});
 
 /// out = a^T * b. Shapes: (k x m)^T * (k x n) -> (m x n).
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
@@ -52,10 +49,11 @@ void ReluBackwardInPlace(const Matrix& z, Matrix& grad);
 void SigmoidInPlace(Matrix& m);
 
 /// Row-wise softmax with optional temperature: softmax(m[i] / temperature).
-Matrix SoftmaxRows(const Matrix& m, float temperature = 1.0f);
+Matrix SoftmaxRows(const Matrix& m, float temperature = 1.0f,
+                   const runtime::ExecContext& ctx = {});
 
 /// Row-wise log-softmax (numerically stable).
-Matrix LogSoftmaxRows(const Matrix& m);
+Matrix LogSoftmaxRows(const Matrix& m, const runtime::ExecContext& ctx = {});
 
 /// Argmax of each row.
 std::vector<std::int32_t> ArgmaxRows(const Matrix& m);
@@ -68,7 +66,8 @@ Matrix Mean(const std::vector<const Matrix*>& parts);
 
 /// Per-row L2 distance between equally-shaped a and b:
 /// out[i] = ||a[i] - b[i]||_2.
-std::vector<float> RowL2Distance(const Matrix& a, const Matrix& b);
+std::vector<float> RowL2Distance(const Matrix& a, const Matrix& b,
+                                 const runtime::ExecContext& ctx = {});
 
 /// Per-row L2 norms.
 std::vector<float> RowL2Norms(const Matrix& m);

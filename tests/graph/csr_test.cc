@@ -187,6 +187,72 @@ TEST(CsrTest, InducedSubmatrix) {
   EXPECT_FLOAT_EQ(d.at(1, 1), 4.0f);
 }
 
+// Serial-vs-parallel bit-exactness across every SpMM variant: chunking the
+// row loop must never change the per-row accumulation order, so results are
+// bit-identical for any thread count.
+TEST(CsrTest, AllSpMMVariantsBitExactAcrossThreadCounts) {
+  const std::int64_t n = 257;
+  std::vector<Triplet> triplets;
+  std::uint32_t state = 12345;
+  auto next = [&state] {
+    state = state * 1664525u + 1013904223u;
+    return state;
+  };
+  for (int e = 0; e < 2500; ++e) {
+    Triplet t;
+    t.row = static_cast<std::int32_t>(next() % n);
+    t.col = static_cast<std::int32_t>(next() % n);
+    t.value = static_cast<float>(next() % 1000) / 250.0f - 2.0f;
+    triplets.push_back(t);
+  }
+  const Csr c = CsrFromTriplets(n, n, std::move(triplets));
+  const tensor::Matrix dense = RandomMatrix(n, 19, 404);
+
+  // Identity mapping makes the mapped variants exercise the same math.
+  std::vector<std::int32_t> nodes(n), g2l(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    nodes[i] = static_cast<std::int32_t>(i);
+    g2l[i] = static_cast<std::int32_t>(i);
+  }
+  std::vector<std::int32_t> row_list;
+  for (std::int64_t i = 0; i < n; i += 3) {
+    row_list.push_back(static_cast<std::int32_t>(i));
+  }
+  const std::int64_t limit = n - 40;
+
+  auto run_all = [&] {
+    std::vector<tensor::Matrix> out;
+    out.push_back(SpMM(c, dense));
+    tensor::Matrix prefix(n, dense.cols());
+    SpMMPrefix(c, dense, limit, prefix);
+    out.push_back(std::move(prefix));
+    tensor::Matrix rows(n, dense.cols());
+    SpMMRows(c, dense, row_list, rows);
+    out.push_back(std::move(rows));
+    tensor::Matrix mapped_prefix(n, dense.cols());
+    SpMMMappedPrefix(c, nodes, g2l, dense, limit, mapped_prefix);
+    out.push_back(std::move(mapped_prefix));
+    tensor::Matrix mapped_rows(n, dense.cols());
+    SpMMMappedRows(c, nodes, g2l, dense, row_list, mapped_rows);
+    out.push_back(std::move(mapped_rows));
+    return out;
+  };
+
+  runtime::ThreadPool::SetDefaultThreads(1);
+  const std::vector<tensor::Matrix> serial = run_all();
+  for (const int threads : {2, 8}) {
+    runtime::ThreadPool::SetDefaultThreads(threads);
+    const std::vector<tensor::Matrix> parallel = run_all();
+    for (std::size_t v = 0; v < serial.size(); ++v) {
+      for (std::size_t i = 0; i < serial[v].size(); ++i) {
+        ASSERT_EQ(parallel[v].data()[i], serial[v].data()[i])
+            << "variant " << v << " threads " << threads;
+      }
+    }
+  }
+  runtime::ThreadPool::SetDefaultThreads(0);
+}
+
 TEST(CsrTest, InducedSubmatrixNonMonotoneOrder) {
   const Csr c = SmallCsr();
   const std::vector<std::int32_t> ids = {2, 0, 1};  // permuted

@@ -17,10 +17,10 @@ TEST(AttentionTest, OutputIsConvexCombination) {
   const tensor::Matrix v0 = RandomMatrix(5, 4, 2);
   const tensor::Matrix v1 = RandomMatrix(5, 4, 3);
   const tensor::Matrix v2 = RandomMatrix(5, 4, 4);
-  const tensor::Matrix out = att.Forward({&v0, &v1, &v2}, false);
+  tensor::Matrix w;
+  const tensor::Matrix out = att.Forward({&v0, &v1, &v2}, false, &w);
   EXPECT_EQ(out.rows(), 5u);
   EXPECT_EQ(out.cols(), 4u);
-  const tensor::Matrix& w = att.last_weights();
   for (std::size_t i = 0; i < 5; ++i) {
     float sum = 0.0f;
     for (std::size_t l = 0; l < 3; ++l) {
@@ -113,10 +113,11 @@ TEST(AttentionTest, SingleViewIsIdentity) {
   tensor::Rng rng(20);
   VectorAttention att(1, 5, rng);
   const tensor::Matrix v = RandomMatrix(6, 5, 21);
-  const tensor::Matrix out = att.Forward({&v}, false);
+  tensor::Matrix w;
+  const tensor::Matrix out = att.Forward({&v}, false, &w);
   nai::testing::ExpectMatrixNear(out, v, 1e-6f);
   for (std::size_t i = 0; i < 6; ++i) {
-    EXPECT_FLOAT_EQ(att.last_weights().at(i, 0), 1.0f);
+    EXPECT_FLOAT_EQ(w.at(i, 0), 1.0f);
   }
 }
 

@@ -80,18 +80,55 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(64, 32, 16),
                       std::make_tuple(100, 1, 100)));
 
-TEST(OpsTest, ParallelForCoversRangeExactlyOnce) {
-  std::vector<std::atomic<int>> hits(10000);
-  ParallelFor(hits.size(), [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
-  });
-  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+// Serial-vs-parallel bit-exactness: the pool-backed MatMul family must
+// produce bit-identical results for every thread count, because chunking
+// never changes the per-output-row summation order.
+TEST(OpsTest, MatMulBitExactAcrossThreadCounts) {
+  const Matrix a = RandomMatrix(67, 48, 11);
+  const Matrix b = RandomMatrix(48, 33, 12);
+  const Matrix bt = RandomMatrix(33, 48, 13);
+  const Matrix at = RandomMatrix(48, 67, 14);
+  runtime::ThreadPool::SetDefaultThreads(1);
+  const Matrix serial = MatMul(a, b);
+  const Matrix serial_tb = MatMulTransposeB(a, bt);
+  const Matrix serial_ta = MatMulTransposeA(at, b);
+  for (const int threads : {2, 8}) {
+    runtime::ThreadPool::SetDefaultThreads(threads);
+    const Matrix par = MatMul(a, b);
+    const Matrix par_tb = MatMulTransposeB(a, bt);
+    const Matrix par_ta = MatMulTransposeA(at, b);
+    ASSERT_EQ(par.rows(), serial.rows());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(par.data()[i], serial.data()[i]) << "threads=" << threads;
+    }
+    for (std::size_t i = 0; i < serial_tb.size(); ++i) {
+      ASSERT_EQ(par_tb.data()[i], serial_tb.data()[i]);
+    }
+    for (std::size_t i = 0; i < serial_ta.size(); ++i) {
+      ASSERT_EQ(par_ta.data()[i], serial_ta.data()[i]);
+    }
+  }
+  runtime::ThreadPool::SetDefaultThreads(0);
 }
 
-TEST(OpsTest, ParallelForZeroIsNoop) {
-  bool called = false;
-  ParallelFor(0, [&](std::size_t, std::size_t) { called = true; });
-  EXPECT_FALSE(called);
+TEST(OpsTest, SoftmaxAndRowDistanceBitExactAcrossThreadCounts) {
+  const Matrix m = RandomMatrix(200, 24, 21);
+  const Matrix m2 = RandomMatrix(200, 24, 22);
+  runtime::ThreadPool::SetDefaultThreads(1);
+  const Matrix soft = SoftmaxRows(m, 1.3f);
+  const Matrix logsoft = LogSoftmaxRows(m);
+  const std::vector<float> dist = RowL2Distance(m, m2);
+  for (const int threads : {2, 8}) {
+    runtime::ThreadPool::SetDefaultThreads(threads);
+    const Matrix soft_p = SoftmaxRows(m, 1.3f);
+    const Matrix logsoft_p = LogSoftmaxRows(m);
+    for (std::size_t i = 0; i < soft.size(); ++i) {
+      ASSERT_EQ(soft_p.data()[i], soft.data()[i]);
+      ASSERT_EQ(logsoft_p.data()[i], logsoft.data()[i]);
+    }
+    EXPECT_EQ(RowL2Distance(m, m2), dist);
+  }
+  runtime::ThreadPool::SetDefaultThreads(0);
 }
 
 TEST(OpsTest, AddAxpyScaleSubtract) {
