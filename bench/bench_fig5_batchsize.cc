@@ -19,6 +19,7 @@ using namespace nai;
 
 int main(int argc, char** argv) {
   nai::bench::ApplyThreadsFlag(argc, argv);
+  const int shards = nai::bench::ApplyShardsFlag(argc, argv);
   using namespace nai;
   const double scale = eval::EnvScale();
   bench::Banner("Figure 5 — batch-size sweep on flickr-sim");
@@ -26,6 +27,16 @@ int main(int argc, char** argv) {
   eval::TrainedPipeline pipeline =
       eval::TrainPipeline(ds, bench::BenchPipelineConfig());
   auto engine = eval::MakeEngine(pipeline, ds);
+  // --shards N > 1: NAI rows (the only graph-serving methods) come from the
+  // partitioned engine; batch size then applies per shard queue.
+  std::unique_ptr<core::ShardedNaiEngine> sharded_engine;
+  if (shards > 1) sharded_engine = eval::MakeShardedEngine(pipeline, ds, shards);
+  auto run_nai = [&](const core::InferenceConfig& cfg, const char* name) {
+    return sharded_engine != nullptr
+               ? eval::RunShardedNai(*sharded_engine, ds, ds.split.test_nodes,
+                                     cfg, name)
+               : eval::RunNai(*engine, ds, ds.split.test_nodes, cfg, name);
+  };
   const auto& test = ds.split.test_nodes;
 
   // Baselines whose inference is batch-independent are trained once.
@@ -49,13 +60,13 @@ int main(int argc, char** argv) {
         eval::MakeDefaultSettings(pipeline, ds, core::NapKind::kDistance);
     core::InferenceConfig cfg_d = napd_settings[0].config;
     cfg_d.batch_size = bs;
-    const auto naid = eval::RunNai(*engine, ds, test, cfg_d, "NAId");
+    const auto naid = run_nai(cfg_d, "NAId");
     std::printf("%-8zu %-14s %14.3f %12.1f\n", bs, "NAId",
                 naid.row.mmacs_per_node, naid.row.time_ms);
 
     core::InferenceConfig cfg_g = cfg_d;
     cfg_g.nap = core::NapKind::kGate;
-    const auto naig = eval::RunNai(*engine, ds, test, cfg_g, "NAIg");
+    const auto naig = run_nai(cfg_g, "NAIg");
     std::printf("%-8zu %-14s %14.3f %12.1f\n", bs, "NAIg",
                 naig.row.mmacs_per_node, naig.row.time_ms);
   }

@@ -1,0 +1,108 @@
+// Shard-count scaling of the serving engine: the same trained NAI
+// deployment served unsharded and from {1, 2, 4, 8} graph shards, each
+// shard on its own thread-pool slice, with inter-batch parallelism filling
+// every slice on both sides (so the comparison is core-for-core fair).
+// Reports the partition build cost, halo overhead (how much of each shard
+// is replicated neighborhood), NAId and vanilla serving latency per shard
+// count, and verifies that every sharded run predicts bit-identically to
+// the unsharded engine.
+//
+// What sharding buys is *isolation* — disjoint pools, zero cross-shard
+// traffic, per-shard admission — not single-stream latency: this bench
+// quantifies its price on one mixed query stream. Two costs grow with the
+// shard count: the halo fraction (boundary neighborhoods replicated into
+// each shard), and the batch split (queries co-batched in the unsharded
+// engine land in different shards, so shared supporting-set work is
+// recomputed per shard — visible as the propagation-MAC ratio).
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/eval/datasets.h"
+#include "src/eval/harness.h"
+
+namespace {
+
+using namespace nai;
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads = bench::ApplyThreadsFlag(argc, argv);
+  const double scale = eval::EnvScale();
+  bench::Banner("Shard scaling — arxiv-sim serving graph");
+  const eval::PreparedDataset ds = eval::Prepare(eval::ArxivSim(scale));
+  eval::TrainedPipeline pipeline =
+      eval::TrainPipeline(ds, bench::BenchPipelineConfig());
+  const auto& test = ds.split.test_nodes;
+  std::printf("n=%lld m=%lld | %zu test nodes | %d pool threads\n",
+              static_cast<long long>(ds.data.graph.num_nodes()),
+              static_cast<long long>(ds.data.graph.num_edges()), test.size(),
+              threads);
+
+  auto engine = eval::MakeEngine(pipeline, ds);
+  const auto napd =
+      eval::MakeDefaultSettings(pipeline, ds, core::NapKind::kDistance);
+  core::InferenceConfig naid_cfg = napd[0].config;
+  naid_cfg.batch_size = 500;
+  naid_cfg.inter_batch_parallelism = 0;  // one batch shard per pool thread
+  core::InferenceConfig vanilla_cfg;
+  vanilla_cfg.nap = core::NapKind::kNone;
+  vanilla_cfg.t_max = 0;
+  vanilla_cfg.batch_size = 500;
+  vanilla_cfg.inter_batch_parallelism = 0;
+  const eval::MethodResult ref_naid =
+      eval::RunNai(*engine, ds, test, naid_cfg, "NAId");
+  const eval::MethodResult ref_vanilla =
+      eval::RunNai(*engine, ds, test, vanilla_cfg, "SGC");
+  std::printf("unsharded:  NAId %.1f ms   SGC %.1f ms\n",
+              ref_naid.row.time_ms, ref_vanilla.row.time_ms);
+
+  std::printf("\n%-7s %-9s %-10s %-10s %-12s %-12s %-12s %s\n", "shards",
+              "thr/shard", "halo %", "build ms", "NAId ms", "SGC ms",
+              "prop-MACs x", "exact?");
+  for (const int num_shards : {1, 2, 4, 8}) {
+    if (num_shards > ds.data.graph.num_nodes()) break;
+    const auto build_start = Clock::now();
+    auto sharded = eval::MakeShardedEngine(pipeline, ds, num_shards);
+    const double build_ms = MsSince(build_start);
+
+    std::int64_t shard_nodes = 0, halo_nodes = 0;
+    for (const auto& shard : sharded->sharded_graph().shards) {
+      shard_nodes += static_cast<std::int64_t>(shard.nodes.size());
+      halo_nodes += shard.num_halo();
+    }
+    const double halo_pct =
+        shard_nodes == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(halo_nodes) /
+                  static_cast<double>(shard_nodes);
+
+    const eval::MethodResult naid =
+        eval::RunShardedNai(*sharded, ds, test, naid_cfg, "NAId");
+    const eval::MethodResult vanilla =
+        eval::RunShardedNai(*sharded, ds, test, vanilla_cfg, "SGC");
+
+    const bool exact = naid.predictions == ref_naid.predictions &&
+                       vanilla.predictions == ref_vanilla.predictions;
+    // > 1 when the shard split broke up co-batched queries and their shared
+    // supporting-set work is recomputed per shard.
+    const double prop_ratio = bench::Ratio(
+        static_cast<double>(naid.stats.propagation_macs),
+        static_cast<double>(ref_naid.stats.propagation_macs));
+    std::printf("%-7d %-9d %-10.1f %-10.1f %-12.1f %-12.1f %-12.2f %s\n",
+                num_shards, sharded->threads_per_shard(), halo_pct, build_ms,
+                naid.row.time_ms, vanilla.row.time_ms, prop_ratio,
+                exact ? "yes" : "NO — MISMATCH");
+    if (!exact) return 1;
+  }
+  return 0;
+}

@@ -14,7 +14,7 @@ namespace {
 
 using namespace nai;
 
-void RunDataset(const eval::DatasetSpec& spec) {
+void RunDataset(const eval::DatasetSpec& spec, int shards) {
   bench::Banner("Table V — " + spec.name + " (base model SGC)");
   const eval::PreparedDataset ds = eval::Prepare(spec);
   std::printf("n=%lld m=%lld f=%zu c=%d | train=%zu labeled=%zu val=%zu test=%zu\n",
@@ -27,6 +27,22 @@ void RunDataset(const eval::DatasetSpec& spec) {
   eval::TrainedPipeline pipeline =
       eval::TrainPipeline(ds, bench::BenchPipelineConfig());
   auto engine = eval::MakeEngine(pipeline, ds);
+  // --shards N > 1 serves the NAI rows from the partitioned graph (same
+  // predictions, per-shard pools); the non-NAI baselines have no graph at
+  // inference time and always run unsharded.
+  std::unique_ptr<core::ShardedNaiEngine> sharded;
+  if (shards > 1) {
+    sharded = eval::MakeShardedEngine(pipeline, ds, shards);
+    std::printf("serving NAI rows from %zu shards (%d threads each)\n",
+                sharded->num_shards(), sharded->threads_per_shard());
+  }
+  auto run_nai = [&](const core::InferenceConfig& config,
+                     const std::string& name) {
+    return sharded != nullptr
+               ? eval::RunShardedNai(*sharded, ds, ds.split.test_nodes,
+                                     config, name)
+               : eval::RunNai(*engine, ds, ds.split.test_nodes, config, name);
+  };
   const auto& test = ds.split.test_nodes;
   const std::size_t batch = 500;
 
@@ -44,16 +60,14 @@ void RunDataset(const eval::DatasetSpec& spec) {
       eval::MakeDefaultSettings(pipeline, ds, core::NapKind::kDistance);
   core::InferenceConfig napd = napd_settings[0].config;
   napd.batch_size = batch;
-  const eval::MethodResult naid =
-      eval::RunNai(*engine, ds, test, napd, "NAId");
+  const eval::MethodResult naid = run_nai(napd, "NAId");
   rows.push_back(naid.row);
 
   const auto napg_settings =
       eval::MakeDefaultSettings(pipeline, ds, core::NapKind::kGate);
   core::InferenceConfig napg = napg_settings[0].config;
   napg.batch_size = batch;
-  const eval::MethodResult naig =
-      eval::RunNai(*engine, ds, test, napg, "NAIg");
+  const eval::MethodResult naig = run_nai(napg, "NAIg");
   rows.push_back(naig.row);
 
   eval::PrintTable("inference comparison", rows);
@@ -77,9 +91,10 @@ void RunDataset(const eval::DatasetSpec& spec) {
 
 int main(int argc, char** argv) {
   nai::bench::ApplyThreadsFlag(argc, argv);
+  const int shards = nai::bench::ApplyShardsFlag(argc, argv);
   const double scale = nai::eval::EnvScale();
-  RunDataset(nai::eval::FlickrSim(scale));
-  RunDataset(nai::eval::ArxivSim(scale));
-  RunDataset(nai::eval::ProductsSim(scale));
+  RunDataset(nai::eval::FlickrSim(scale), shards);
+  RunDataset(nai::eval::ArxivSim(scale), shards);
+  RunDataset(nai::eval::ProductsSim(scale), shards);
   return 0;
 }

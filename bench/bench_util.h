@@ -18,6 +18,15 @@ inline int ApplyThreadsFlag(int& argc, char** argv) {
   return threads;
 }
 
+/// Consumes the `--shards N` flag (serving-graph shard count, default 1 =
+/// unsharded). Announced only when sharding is on so unsharded logs stay
+/// byte-identical to previous releases.
+inline int ApplyShardsFlag(int& argc, char** argv) {
+  const int shards = runtime::ShardsFlag(argc, argv);
+  if (shards > 1) std::printf("shards: %d\n", shards);
+  return shards;
+}
+
 /// Training budgets used by the bench binaries: smaller than the library
 /// defaults so a full `for b in build/bench/*` sweep stays in minutes, but
 /// large enough for the paper's qualitative results to reproduce.

@@ -8,8 +8,10 @@
 #include <filesystem>
 #include <fstream>
 
+#include "src/core/sharded_inference.h"
 #include "src/eval/datasets.h"
 #include "src/eval/harness.h"
+#include "src/graph/shard.h"
 #include "src/io/checkpoint.h"
 #include "src/io/graph_io.h"
 #include "src/runtime/flags.h"
@@ -17,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace nai;
   runtime::ApplyThreadsFlag(argc, argv);  // shared --threads flag (or NAI_THREADS)
+  const int num_shards = runtime::ShardsFlag(argc, argv);  // --shards N (default 1)
   namespace fs = std::filesystem;
   const fs::path dir = fs::temp_directory_path() / "nai_example";
   fs::create_directories(dir);
@@ -97,5 +100,29 @@ int main(int argc, char** argv) {
   std::printf("accuracy on unseen nodes: %.2f%%\n",
               100.0f * eval::AccuracyOnNodes(b.predictions, labels,
                                              ds.split.test_nodes));
-  return agree == a.predictions.size() ? 0 : 1;
+
+  // --- Optional: shard the restored deployment (--shards N). ---------------
+  // The same checkpointed artifacts serve from a partitioned graph: each
+  // shard holds an induced subgraph with a k-hop halo and its own thread
+  // pool, and the merged predictions must stay bit-identical.
+  std::size_t sharded_agree = a.predictions.size();
+  if (num_shards > 1) {
+    core::ShardedNaiEngine sharded(
+        graph, graph::MakeShards(graph, num_shards,
+                                 pipeline.model_config.depth),
+        features, pipeline.model_config.gamma, restored_cls, &restored_st,
+        &restored_gates);
+    const auto c = sharded.Infer(ds.split.test_nodes, icfg);
+    sharded_agree = 0;
+    for (std::size_t i = 0; i < a.predictions.size(); ++i) {
+      if (a.predictions[i] == c.predictions[i]) ++sharded_agree;
+    }
+    std::printf("%d-shard serving agrees on %zu / %zu predictions (%s)\n",
+                num_shards, sharded_agree, a.predictions.size(),
+                sharded_agree == a.predictions.size() ? "exact" : "MISMATCH");
+  }
+  return agree == a.predictions.size() &&
+                 sharded_agree == a.predictions.size()
+             ? 0
+             : 1;
 }

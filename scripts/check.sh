@@ -30,9 +30,10 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-# Serial-path pass: the same parallel-sensitive suites with a 1-thread pool.
+# Serial-path pass: the same parallel-sensitive suites with a 1-thread pool
+# (the sharded engine then runs one worker per shard pool).
 NAI_THREADS=1 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-  -R 'runtime/|tensor/ops|graph/csr|core/inference|integration/algorithm1'
+  -R 'runtime/|tensor/ops|graph/csr|graph/shard|core/inference|core/sharded|integration/algorithm1'
 
 # ThreadSanitizer stage: runtime + engine + parallel kernels only (the other
 # suites are single-threaded; building everything under TSan doubles CI time
@@ -46,7 +47,9 @@ if [ "${TSAN}" != "0" ]; then
     -DNAI_BUILD_EXAMPLES=OFF
   cmake --build "${TSAN_DIR}" -j "${JOBS}" --target \
     runtime_thread_pool_test tensor_ops_test graph_csr_test \
-    core_inference_test core_inference_edge_test core_inference_parallel_test
+    core_inference_test core_inference_edge_test \
+    core_inference_parallel_test core_sharded_inference_test \
+    graph_shard_test
   ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" \
-    -R 'runtime/thread_pool|tensor/ops|graph/csr|core/inference'
+    -R 'runtime/thread_pool|tensor/ops|graph/csr|graph/shard|core/inference|core/sharded'
 fi

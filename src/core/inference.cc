@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <utility>
 
 #include "src/tensor/ops.h"
 
@@ -99,8 +100,7 @@ NaiEngine::NaiEngine(const graph::Graph& full_graph,
                      ClassifierStack& classifiers,
                      const StationaryState* stationary, const GateStack* gates,
                      runtime::ExecContext ctx)
-    : graph_(&full_graph),
-      features_(&features),
+    : features_(&features),
       classifiers_(&classifiers),
       stationary_(stationary),
       gates_(gates),
@@ -108,11 +108,23 @@ NaiEngine::NaiEngine(const graph::Graph& full_graph,
       norm_adj_(graph::NormalizedAdjacency(full_graph, gamma)),
       sampler_(norm_adj_) {}
 
+NaiEngine::NaiEngine(graph::Csr norm_adj, const tensor::Matrix& features,
+                     ClassifierStack& classifiers,
+                     const StationaryState* stationary, const GateStack* gates,
+                     runtime::ExecContext ctx)
+    : features_(&features),
+      classifiers_(&classifiers),
+      stationary_(stationary),
+      gates_(gates),
+      ctx_(ctx),
+      norm_adj_(std::move(norm_adj)),
+      sampler_(norm_adj_) {}
+
 InferenceResult NaiEngine::Infer(const std::vector<std::int32_t>& nodes,
                                  const InferenceConfig& config) {
   const auto run_start = Clock::now();
   const int k = classifiers_->depth();
-  int t_max = config.t_max <= 0 ? k : std::min(config.t_max, k);
+  const int t_max = config.effective_t_max(k);
   assert(t_max >= 1);
   if (config.nap == NapKind::kDistance) {
     assert(stationary_ != nullptr && "NAPd requires a stationary state");

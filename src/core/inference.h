@@ -42,6 +42,15 @@ struct InferenceConfig {
   /// n. Results are bit-identical to the sequential run for every value
   /// (see NaiEngine::Infer).
   int inter_batch_parallelism = 1;
+
+  /// The depth the engine actually propagates to for a classifier bank of
+  /// depth `k` (t_max = 0 means "use k"; larger values clamp to k). The one
+  /// resolution rule shared by NaiEngine and ShardedNaiEngine — the latter's
+  /// halo-sufficiency check must validate exactly the depth the shard
+  /// engines will BFS with.
+  int effective_t_max(int k) const {
+    return t_max <= 0 || t_max > k ? k : t_max;
+  }
 };
 
 /// Cost and behaviour counters for one inference run. MACs are
@@ -115,6 +124,18 @@ class NaiEngine {
             const StationaryState* stationary, const GateStack* gates,
             runtime::ExecContext ctx = {});
 
+  /// Variant that takes the normalized adjacency directly instead of
+  /// computing it from a graph. This is how ShardedNaiEngine builds its
+  /// per-shard engines: the shard's adjacency is a submatrix of the *full
+  /// graph's* normalized adjacency, so edge weights reflect global degrees
+  /// (re-normalizing the induced subgraph would distort halo-boundary
+  /// weights and break bit-exactness with the unsharded engine).
+  /// `features` rows and `stationary` node ids are in the adjacency's id
+  /// space.
+  NaiEngine(graph::Csr norm_adj, const tensor::Matrix& features,
+            ClassifierStack& classifiers, const StationaryState* stationary,
+            const GateStack* gates, runtime::ExecContext ctx = {});
+
   /// Classifies `nodes` (global ids in the full graph). Thread-compatible
   /// but not thread-safe (shared sampler scratch).
   InferenceResult Infer(const std::vector<std::int32_t>& nodes,
@@ -132,7 +153,6 @@ class NaiEngine {
                   std::vector<std::int32_t>& out_depths,
                   InferenceStats& stats);
 
-  const graph::Graph* graph_;
   const tensor::Matrix* features_;
   ClassifierStack* classifiers_;
   const StationaryState* stationary_;

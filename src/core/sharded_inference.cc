@@ -1,0 +1,172 @@
+#include "src/core/sharded_inference.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "src/graph/normalize.h"
+
+namespace nai::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ShardedNaiEngine::ShardedNaiEngine(const graph::Graph& full_graph,
+                                   graph::ShardedGraph sharded,
+                                   const tensor::Matrix& features, float gamma,
+                                   ClassifierStack& classifiers,
+                                   const StationaryState* stationary,
+                                   const GateStack* gates, int total_threads)
+    : sharded_(std::move(sharded)), classifiers_(&classifiers) {
+  const std::size_t num_shards = sharded_.num_shards();
+  if (num_shards == 0) {
+    throw std::invalid_argument("ShardedNaiEngine: no shards");
+  }
+  if (static_cast<std::int64_t>(sharded_.owner.size()) !=
+      full_graph.num_nodes()) {
+    throw std::invalid_argument(
+        "ShardedNaiEngine: sharding covers " +
+        std::to_string(sharded_.owner.size()) + " nodes but the graph has " +
+        std::to_string(full_graph.num_nodes()));
+  }
+
+  // Custom owner vectors may leave shards empty; those can never receive a
+  // query, so they get no pool, engine, or thread slice.
+  int active_shards = 0;
+  for (const graph::GraphShard& shard : sharded_.shards) {
+    if (shard.num_owned() > 0) ++active_shards;
+  }
+  const int total = total_threads > 0
+                        ? total_threads
+                        : runtime::ThreadPool::Default().num_threads();
+  threads_per_shard_ = std::max(1, total / std::max(1, active_shards));
+
+  // Shard adjacencies are cut from the full graph's normalized adjacency so
+  // halo-boundary edges keep their global-degree weights.
+  const graph::Csr global_norm = graph::NormalizedAdjacency(full_graph, gamma);
+
+  shard_features_.reserve(num_shards);
+  shard_stationary_.reserve(num_shards);
+  pools_.reserve(num_shards);
+  engines_.reserve(num_shards);
+  for (const graph::GraphShard& shard : sharded_.shards) {
+    if (shard.num_owned() == 0) {
+      shard_features_.emplace_back();
+      shard_stationary_.push_back(nullptr);
+      continue;
+    }
+    shard_features_.push_back(features.GatherRows(shard.nodes));
+    // Shard-local stationary view: same pooled vector, degrees from the
+    // shard graph. Owned nodes (the only ones ever queried) keep their full
+    // neighbor list whenever halo_hops >= 1, so their rows are identical to
+    // the full-graph state.
+    shard_stationary_.push_back(
+        stationary == nullptr
+            ? nullptr
+            : std::make_unique<StationaryState>(StationaryState::FromPooled(
+                  shard.graph, stationary->pooled(), stationary->gamma())));
+  }
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (sharded_.shards[s].num_owned() == 0) {
+      pools_.push_back(nullptr);
+      engines_.push_back(nullptr);
+      continue;
+    }
+    pools_.push_back(
+        std::make_unique<runtime::ThreadPool>(threads_per_shard_));
+    runtime::ExecContext ctx;
+    ctx.pool = pools_.back().get();
+    engines_.push_back(std::make_unique<NaiEngine>(
+        graph::InducedSubmatrix(global_norm, sharded_.shards[s].nodes,
+                                sharded_.shards[s].global_to_local),
+        shard_features_[s], *classifiers_, shard_stationary_[s].get(), gates,
+        ctx));
+  }
+}
+
+InferenceResult ShardedNaiEngine::Infer(const std::vector<std::int32_t>& nodes,
+                                        const InferenceConfig& config) {
+  const auto run_start = Clock::now();
+  // The depth the shard engines will resolve for themselves — validated
+  // against the halo via the shared InferenceConfig rule.
+  const int t_max = config.effective_t_max(classifiers_->depth());
+  if (t_max > sharded_.halo_hops) {
+    throw std::invalid_argument(
+        "ShardedNaiEngine: T_max " + std::to_string(t_max) +
+        " exceeds the shard halo of " + std::to_string(sharded_.halo_hops) +
+        " hops; rebuild the shards with halo_hops >= T_max");
+  }
+
+  const std::size_t num_shards = sharded_.num_shards();
+  const std::int64_t n = static_cast<std::int64_t>(sharded_.owner.size());
+
+  // Route every query to its owning shard, remembering its slot in the
+  // caller's order. Relative order within a shard is preserved, so each
+  // shard's batches are a deterministic function of the query list alone.
+  std::vector<std::vector<std::int32_t>> shard_queries(num_shards);
+  std::vector<std::vector<std::size_t>> shard_slots(num_shards);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::int32_t v = nodes[i];
+    if (v < 0 || static_cast<std::int64_t>(v) >= n) {
+      throw std::out_of_range("ShardedNaiEngine: query node " +
+                              std::to_string(v) + " outside [0, " +
+                              std::to_string(n) + ")");
+    }
+    const std::int32_t s = sharded_.owner[v];
+    shard_queries[s].push_back(sharded_.shards[s].global_to_local[v]);
+    shard_slots[s].push_back(i);
+  }
+
+  InferenceResult result;
+  result.predictions.resize(nodes.size());
+  result.exit_depths.resize(nodes.size());
+  result.stats.num_nodes = static_cast<std::int64_t>(nodes.size());
+  result.stats.exits_at_depth.assign(t_max, 0);
+
+  // One task per non-empty shard, run concurrently on plain threads (shard
+  // pools are distinct, so a pool-dispatched loop would inline the nested
+  // kernels instead — see runtime::RunConcurrently): each task pins its
+  // engine's dedicated pool, so shard kernels fan out on disjoint workers.
+  // Writes go to the caller-order slots of this shard's queries only
+  // (disjoint), and the join inside RunConcurrently orders them before the
+  // merge; a shard failure is rethrown on the calling thread.
+  std::vector<InferenceStats> shard_stats(num_shards);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (shard_queries[s].empty()) continue;
+    tasks.push_back([this, s, &config, &shard_queries, &shard_slots, &result,
+                     &shard_stats] {
+      InferenceResult local = engines_[s]->Infer(shard_queries[s], config);
+      const std::vector<std::size_t>& slots = shard_slots[s];
+      for (std::size_t j = 0; j < slots.size(); ++j) {
+        result.predictions[slots[j]] = local.predictions[j];
+        result.exit_depths[slots[j]] = local.exit_depths[j];
+      }
+      shard_stats[s] = std::move(local.stats);
+    });
+  }
+  runtime::RunConcurrently(tasks);
+
+  // Deterministic merge in shard order. Accumulate excludes num_nodes and
+  // wall_time_ms by design: both describe the whole run and are set exactly
+  // once here, never summed over shards.
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (!shard_queries[s].empty()) result.stats.Accumulate(shard_stats[s]);
+  }
+  result.stats.wall_time_ms = MsSince(run_start);
+  return result;
+}
+
+}  // namespace nai::core

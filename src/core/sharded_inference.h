@@ -1,0 +1,89 @@
+#ifndef NAI_CORE_SHARDED_INFERENCE_H_
+#define NAI_CORE_SHARDED_INFERENCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/inference.h"
+#include "src/graph/shard.h"
+#include "src/runtime/thread_pool.h"
+
+namespace nai::core {
+
+/// Serves Algorithm-1 inference from a partitioned graph: one NaiEngine per
+/// shard, each with a dedicated thread pool (an equal slice of the total),
+/// queries routed to their owning shard and all shards running concurrently.
+///
+/// Each shard engine sees only its shard's nodes — an induced subgraph with
+/// a halo of every node within ShardedGraph::halo_hops hops of an owned
+/// node — so its supporting-set BFS never leaves the shard. Three
+/// constructions make the merged result match the unsharded engine exactly:
+///   * shard adjacencies are submatrices of the *full graph's* normalized
+///     adjacency, so edge weights use global degrees;
+///   * shard node lists are sorted by global id, so each row's neighbors
+///     accumulate in the same order as in the full graph;
+///   * shard stationary views reuse the full graph's pooled vector and the
+///     shard-local degrees of owned nodes (equal to global degrees when
+///     halo_hops >= 1).
+///
+/// Determinism contract (bit-exact, any shard count, any thread count):
+/// predictions, exit depths, the exit histogram and the nap/stationary/
+/// classification MAC counters all equal the unsharded engine's on the same
+/// query list — they are per-node quantities. propagation_macs counts the
+/// *shared* supporting-set work of each batch and is therefore a function
+/// of the batch decomposition: each shard batches its routed sub-list with
+/// config.batch_size, so it equals the unsharded engine run on those same
+/// batches — exactly equal to the unsharded run of the original list
+/// whenever batch boundaries align with shard boundaries (one shard,
+/// batch_size 1, or a partition-aligned query order).
+///
+/// Per-shard stats are merged in shard order via InferenceStats::Accumulate;
+/// num_nodes and wall_time_ms are set exactly once by this class (the
+/// per-shard values describe sub-runs and are never summed).
+class ShardedNaiEngine {
+ public:
+  /// `full_graph` must be the graph `sharded` was built from; `features`,
+  /// `classifiers`, `stationary` and `gates` are full-graph-scoped, exactly
+  /// as for NaiEngine (this class gathers per-shard views internally).
+  /// `total_threads` is divided evenly across shard pools (minimum one
+  /// thread each); <= 0 uses the default pool's size.
+  /// Throws std::invalid_argument when `sharded` does not match
+  /// `full_graph` or has no shards.
+  ShardedNaiEngine(const graph::Graph& full_graph, graph::ShardedGraph sharded,
+                   const tensor::Matrix& features, float gamma,
+                   ClassifierStack& classifiers,
+                   const StationaryState* stationary, const GateStack* gates,
+                   int total_threads = 0);
+
+  /// Classifies `nodes` (global ids). Thread-compatible but not
+  /// thread-safe, like NaiEngine::Infer. Throws std::invalid_argument when
+  /// the effective T_max exceeds halo_hops (the shards cannot support a
+  /// deeper BFS) and std::out_of_range for query ids outside the graph.
+  InferenceResult Infer(const std::vector<std::int32_t>& nodes,
+                        const InferenceConfig& config);
+
+  std::size_t num_shards() const { return sharded_.num_shards(); }
+  int halo_hops() const { return sharded_.halo_hops; }
+  int threads_per_shard() const { return threads_per_shard_; }
+  const graph::ShardedGraph& sharded_graph() const { return sharded_; }
+  /// `s` must own at least one node: shards a custom owner vector left
+  /// empty can never be queried and get no engine (or pool, or thread
+  /// slice).
+  NaiEngine& shard_engine(std::size_t s) { return *engines_[s]; }
+
+ private:
+  graph::ShardedGraph sharded_;
+  ClassifierStack* classifiers_;
+  int threads_per_shard_;
+  /// Per-shard gathered feature rows and stationary views; referenced by
+  /// the shard engines, so they live here (declaration order matters).
+  std::vector<tensor::Matrix> shard_features_;
+  std::vector<std::unique_ptr<StationaryState>> shard_stationary_;
+  std::vector<std::unique_ptr<runtime::ThreadPool>> pools_;
+  std::vector<std::unique_ptr<NaiEngine>> engines_;
+};
+
+}  // namespace nai::core
+
+#endif  // NAI_CORE_SHARDED_INFERENCE_H_

@@ -9,6 +9,7 @@
 #include "src/baselines/quantization.h"
 #include "src/baselines/tinygnn.h"
 #include "src/graph/normalize.h"
+#include "src/graph/shard.h"
 #include "src/tensor/ops.h"
 
 namespace nai::eval {
@@ -89,6 +90,17 @@ std::unique_ptr<core::NaiEngine> MakeEngine(TrainedPipeline& pipeline,
       pipeline.gates.get(), ctx);
 }
 
+std::unique_ptr<core::ShardedNaiEngine> MakeShardedEngine(
+    TrainedPipeline& pipeline, const PreparedDataset& ds, int num_shards,
+    int halo_hops, int total_threads) {
+  const int halo =
+      halo_hops > 0 ? halo_hops : pipeline.model_config.depth;
+  return std::make_unique<core::ShardedNaiEngine>(
+      ds.data.graph, graph::MakeShards(ds.data.graph, num_shards, halo),
+      ds.data.features, pipeline.model_config.gamma, *pipeline.classifiers,
+      pipeline.full_stationary.get(), pipeline.gates.get(), total_threads);
+}
+
 std::vector<NaiSetting> MakeDefaultSettings(TrainedPipeline& pipeline,
                                             const PreparedDataset& ds,
                                             core::NapKind nap) {
@@ -152,25 +164,46 @@ std::vector<NaiSetting> MakeDefaultSettings(TrainedPipeline& pipeline,
   return settings;
 }
 
-MethodResult RunNai(core::NaiEngine& engine, const PreparedDataset& ds,
-                    const std::vector<std::int32_t>& nodes,
-                    const core::InferenceConfig& config,
-                    const std::string& name) {
+namespace {
+
+/// Scores one engine run: NAI cost counters + accuracy row. Shared by the
+/// plain and sharded paths so both report identically.
+MethodResult ScoreNaiRun(core::InferenceResult result,
+                         const PreparedDataset& ds,
+                         const std::vector<std::int32_t>& nodes,
+                         const std::string& name) {
   MethodResult out;
-  core::InferenceResult result = engine.Infer(nodes, config);
   out.stats = result.stats;
   out.predictions = std::move(result.predictions);
   CostCounters cost;
   cost.total_macs = out.stats.total_macs();
   cost.fp_macs = out.stats.fp_macs();
   // Wall-clock, not the sum of stage timers: with inter-batch parallelism
-  // the per-shard busy times overlap and their sum would overstate latency.
+  // or sharding the per-shard busy times overlap and their sum would
+  // overstate latency.
   cost.total_time_ms = out.stats.wall_time_ms;
   cost.fp_time_ms = out.stats.fp_time_ms;
   out.row = MakeRow(name,
                     AccuracyOnNodes(out.predictions, ds.data.labels, nodes),
                     cost, static_cast<std::int64_t>(nodes.size()));
   return out;
+}
+
+}  // namespace
+
+MethodResult RunNai(core::NaiEngine& engine, const PreparedDataset& ds,
+                    const std::vector<std::int32_t>& nodes,
+                    const core::InferenceConfig& config,
+                    const std::string& name) {
+  return ScoreNaiRun(engine.Infer(nodes, config), ds, nodes, name);
+}
+
+MethodResult RunShardedNai(core::ShardedNaiEngine& engine,
+                           const PreparedDataset& ds,
+                           const std::vector<std::int32_t>& nodes,
+                           const core::InferenceConfig& config,
+                           const std::string& name) {
+  return ScoreNaiRun(engine.Infer(nodes, config), ds, nodes, name);
 }
 
 MethodResult RunVanilla(core::NaiEngine& engine, const PreparedDataset& ds,

@@ -9,6 +9,7 @@
 #include "src/core/distillation.h"
 #include "src/core/inference.h"
 #include "src/core/nap_gate.h"
+#include "src/core/sharded_inference.h"
 #include "src/core/stationary.h"
 #include "src/eval/datasets.h"
 #include "src/eval/metrics.h"
@@ -58,6 +59,16 @@ std::unique_ptr<core::NaiEngine> MakeEngine(
     TrainedPipeline& pipeline, const PreparedDataset& ds,
     const runtime::ExecContext& ctx = {});
 
+/// Builds the sharded serving engine (`--shards` flag path): partitions the
+/// full graph into `num_shards` balanced shards with a `halo_hops`-hop halo
+/// (0 = the pipeline's depth k, the deepest T_max the engine can serve) and
+/// gives each shard an equal slice of `total_threads` (<= 0 = default-pool
+/// size). Results are bit-identical to MakeEngine's (see
+/// core::ShardedNaiEngine).
+std::unique_ptr<core::ShardedNaiEngine> MakeShardedEngine(
+    TrainedPipeline& pipeline, const PreparedDataset& ds, int num_shards,
+    int halo_hops = 0, int total_threads = 0);
+
 /// One named inference configuration (the paper's NAI^1, NAI^2, NAI^3).
 struct NaiSetting {
   std::string name;
@@ -85,6 +96,14 @@ MethodResult RunNai(core::NaiEngine& engine, const PreparedDataset& ds,
                     const std::vector<std::int32_t>& nodes,
                     const core::InferenceConfig& config,
                     const std::string& name);
+
+/// Sharded-serving counterpart of RunNai: same scoring, queries routed
+/// across the engine's shards.
+MethodResult RunShardedNai(core::ShardedNaiEngine& engine,
+                           const PreparedDataset& ds,
+                           const std::vector<std::int32_t>& nodes,
+                           const core::InferenceConfig& config,
+                           const std::string& name);
 
 /// Vanilla fixed-depth Scalable GNN (no NAP, no stationary computation).
 MethodResult RunVanilla(core::NaiEngine& engine, const PreparedDataset& ds,

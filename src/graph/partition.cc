@@ -1,32 +1,69 @@
 #include "src/graph/partition.h"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "src/tensor/random.h"
 
 namespace nai::graph {
 
+namespace {
+
+/// Validation is negated ("!(x > 0)") so NaN fractions fail every check.
+/// These used to be asserts, which NDEBUG builds compile out — an invalid
+/// labeled_fraction + val_fraction would then silently slice past the end
+/// of the shuffled train buffer.
+void ValidateFractions(std::int64_t num_nodes, double train_fraction,
+                       double labeled_fraction, double val_fraction) {
+  if (num_nodes <= 0) {
+    throw std::invalid_argument("MakeInductiveSplit: graph has no nodes");
+  }
+  if (!(train_fraction > 0.0) || !(train_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "MakeInductiveSplit: train_fraction must be in (0, 1], got " +
+        std::to_string(train_fraction));
+  }
+  if (!(labeled_fraction > 0.0) || !(labeled_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "MakeInductiveSplit: labeled_fraction must be in (0, 1], got " +
+        std::to_string(labeled_fraction));
+  }
+  if (!(val_fraction >= 0.0) ||
+      !(labeled_fraction + val_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "MakeInductiveSplit: need val_fraction >= 0 and labeled_fraction + "
+        "val_fraction <= 1, got labeled " +
+        std::to_string(labeled_fraction) + " + val " +
+        std::to_string(val_fraction));
+  }
+}
+
+}  // namespace
+
 InductiveSplit MakeInductiveSplit(const Graph& graph, double train_fraction,
                                   double labeled_fraction,
                                   double val_fraction, std::uint64_t seed) {
-  assert(train_fraction > 0.0 && train_fraction < 1.0);
-  assert(labeled_fraction > 0.0 && labeled_fraction <= 1.0);
-  assert(val_fraction >= 0.0 && labeled_fraction + val_fraction <= 1.0);
-
   const std::int64_t n = graph.num_nodes();
+  ValidateFractions(n, train_fraction, labeled_fraction, val_fraction);
+
   std::vector<std::int32_t> perm(n);
   for (std::int64_t i = 0; i < n; ++i) perm[i] = static_cast<std::int32_t>(i);
   tensor::Rng rng(seed);
   rng.Shuffle(perm);
 
-  const std::int64_t n_train =
-      std::max<std::int64_t>(1, static_cast<std::int64_t>(n * train_fraction));
-  const std::int64_t n_labeled = std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(n_train * labeled_fraction));
-  const std::int64_t n_val =
-      static_cast<std::int64_t>(n_train * val_fraction);
-  assert(n_labeled + n_val <= n_train);
+  // The max(1, ...) floors guarantee non-empty train/labeled sets on tiny
+  // graphs; the clamps keep labeled + val within n_train even when the
+  // floors or floating-point rounding push the raw counts past it.
+  const std::int64_t n_train = std::min<std::int64_t>(
+      n,
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(n * train_fraction)));
+  const std::int64_t n_labeled = std::min<std::int64_t>(
+      n_train, std::max<std::int64_t>(
+                   1, static_cast<std::int64_t>(n_train * labeled_fraction)));
+  const std::int64_t n_val = std::min<std::int64_t>(
+      n_train - n_labeled,
+      static_cast<std::int64_t>(n_train * val_fraction));
 
   InductiveSplit split;
   split.train_nodes.assign(perm.begin(), perm.begin() + n_train);

@@ -38,7 +38,14 @@ struct InductiveSplit {
 ///   train_fraction: |V_train| / |V|  (rest is V_test)
 ///   labeled_fraction: |V_l| / |V_train|
 ///   val_fraction: |V_val| / |V_train| (drawn from the unlabeled part)
-/// Fractions must satisfy labeled + val <= 1 and train_fraction in (0, 1).
+///
+/// Requirements, enforced with std::invalid_argument (not assert, so
+/// release builds cannot read past the shuffled node buffers on bad
+/// input): the graph is non-empty, train_fraction and labeled_fraction lie
+/// in (0, 1], val_fraction >= 0, and labeled_fraction + val_fraction <= 1.
+/// train_fraction = 1 keeps every node in V_train (V_test empty); on tiny
+/// graphs the train and labeled sets are at least one node each and the
+/// validation set never overflows the unlabeled remainder.
 InductiveSplit MakeInductiveSplit(const Graph& graph, double train_fraction,
                                   double labeled_fraction,
                                   double val_fraction, std::uint64_t seed);

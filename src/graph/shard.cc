@@ -1,0 +1,128 @@
+#include "src/graph/shard.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace nai::graph {
+
+namespace {
+
+/// Builds one shard from its owned set: halo BFS over the full adjacency,
+/// sorted node list, id maps, induced subgraph. `visited` is caller scratch
+/// sized num_nodes, all zero on entry and restored to all zero on exit.
+GraphShard BuildShard(const Graph& graph, std::vector<std::int32_t> owned,
+                      int halo_hops, std::vector<char>& visited) {
+  GraphShard shard;
+  shard.owned = std::move(owned);
+
+  std::vector<std::int32_t> reached = shard.owned;
+  for (const std::int32_t v : reached) visited[v] = 1;
+  std::size_t frontier_begin = 0;
+  for (int hop = 0; hop < halo_hops; ++hop) {
+    const std::size_t frontier_end = reached.size();
+    for (std::size_t i = frontier_begin; i < frontier_end; ++i) {
+      const std::int32_t v = reached[i];
+      for (const auto* it = graph.neighbors_begin(v);
+           it != graph.neighbors_end(v); ++it) {
+        if (!visited[*it]) {
+          visited[*it] = 1;
+          reached.push_back(*it);
+        }
+      }
+    }
+    frontier_begin = frontier_end;
+  }
+  for (const std::int32_t v : reached) visited[v] = 0;
+
+  std::sort(reached.begin(), reached.end());
+  shard.nodes = std::move(reached);
+  shard.global_to_local.assign(graph.num_nodes(), -1);
+  for (std::size_t i = 0; i < shard.nodes.size(); ++i) {
+    shard.global_to_local[shard.nodes[i]] = static_cast<std::int32_t>(i);
+  }
+  shard.graph = graph.InducedSubgraph(shard.nodes);
+  return shard;
+}
+
+ShardedGraph BuildSharded(const Graph& graph,
+                          std::vector<std::int32_t> owner,
+                          std::int32_t num_shards, int halo_hops) {
+  ShardedGraph sharded;
+  sharded.halo_hops = halo_hops;
+  sharded.owner = std::move(owner);
+
+  std::vector<std::vector<std::int32_t>> owned(num_shards);
+  for (std::int64_t v = 0; v < graph.num_nodes(); ++v) {
+    owned[sharded.owner[v]].push_back(static_cast<std::int32_t>(v));
+  }
+
+  std::vector<char> visited(graph.num_nodes(), 0);
+  sharded.shards.reserve(num_shards);
+  for (std::int32_t s = 0; s < num_shards; ++s) {
+    sharded.shards.push_back(
+        BuildShard(graph, std::move(owned[s]), halo_hops, visited));
+  }
+  return sharded;
+}
+
+void ValidateHalo(int halo_hops) {
+  if (halo_hops < 0) {
+    throw std::invalid_argument("MakeShards: halo_hops must be >= 0, got " +
+                                std::to_string(halo_hops));
+  }
+}
+
+}  // namespace
+
+ShardedGraph MakeShards(const Graph& graph, int num_shards, int halo_hops) {
+  ValidateHalo(halo_hops);
+  const std::int64_t n = graph.num_nodes();
+  if (n == 0) {
+    throw std::invalid_argument("MakeShards: graph has no nodes");
+  }
+  if (num_shards < 1 || static_cast<std::int64_t>(num_shards) > n) {
+    throw std::invalid_argument(
+        "MakeShards: num_shards must be in [1, num_nodes], got " +
+        std::to_string(num_shards) + " for " + std::to_string(n) + " nodes");
+  }
+
+  // Balanced contiguous ranges: the first (n % num_shards) shards own one
+  // node more. Contiguity keeps owner lookup trivial and the routed order
+  // of an ascending query list identical to its original order.
+  std::vector<std::int32_t> owner(n);
+  const std::int64_t base = n / num_shards;
+  const std::int64_t extra = n % num_shards;
+  std::int64_t v = 0;
+  for (std::int32_t s = 0; s < num_shards; ++s) {
+    const std::int64_t size = base + (s < extra ? 1 : 0);
+    for (std::int64_t i = 0; i < size; ++i) {
+      owner[v++] = s;
+    }
+  }
+  return BuildSharded(graph, std::move(owner), num_shards, halo_hops);
+}
+
+ShardedGraph MakeShards(const Graph& graph, std::vector<std::int32_t> owner,
+                        int halo_hops) {
+  ValidateHalo(halo_hops);
+  const std::int64_t n = graph.num_nodes();
+  if (n == 0) {
+    throw std::invalid_argument("MakeShards: graph has no nodes");
+  }
+  if (static_cast<std::int64_t>(owner.size()) != n) {
+    throw std::invalid_argument(
+        "MakeShards: owner vector size " + std::to_string(owner.size()) +
+        " does not match node count " + std::to_string(n));
+  }
+  std::int32_t max_owner = 0;
+  for (const std::int32_t s : owner) {
+    if (s < 0) {
+      throw std::invalid_argument("MakeShards: negative shard id in owner");
+    }
+    max_owner = std::max(max_owner, s);
+  }
+  return BuildSharded(graph, std::move(owner), max_owner + 1, halo_hops);
+}
+
+}  // namespace nai::graph

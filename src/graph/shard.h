@@ -1,0 +1,78 @@
+#ifndef NAI_GRAPH_SHARD_H_
+#define NAI_GRAPH_SHARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace nai::graph {
+
+/// One serving shard of a partitioned graph: the nodes it owns, plus a halo
+/// of every node within `ShardedGraph::halo_hops` hops of an owned node.
+///
+/// The halo is what makes shards self-sufficient for inference: the
+/// supporting-set BFS of Algorithm 1 walks at most T_max hops from a query
+/// node, so as long as T_max <= halo_hops and queries are routed to their
+/// owning shard, the BFS never needs a node outside the shard.
+///
+/// Local ids are positions in `nodes`, which is sorted by global id. Because
+/// the ordering is monotone, the induced adjacency keeps each row's
+/// neighbors in the same relative order as the full graph — the property
+/// that makes sharded propagation bit-identical to unsharded (float
+/// accumulation order per row is preserved).
+struct GraphShard {
+  /// Global ids owned by this shard (sorted). Queries route here.
+  std::vector<std::int32_t> owned;
+  /// Global ids present in the shard: owned plus halo (sorted).
+  std::vector<std::int32_t> nodes;
+  /// global id -> local id in `nodes`; -1 when absent. Sized to the full
+  /// graph's node count.
+  std::vector<std::int32_t> global_to_local;
+  /// Subgraph induced on `nodes` (local node i is nodes[i] globally).
+  /// Note: halo-boundary nodes lose their out-of-shard edges here, so their
+  /// *local* degree undercounts the global one; owned nodes keep all
+  /// neighbors whenever halo_hops >= 1.
+  Graph graph;
+
+  std::int64_t num_owned() const {
+    return static_cast<std::int64_t>(owned.size());
+  }
+  std::int64_t num_halo() const {
+    return static_cast<std::int64_t>(nodes.size() - owned.size());
+  }
+  bool contains(std::int32_t global_id) const {
+    return global_to_local[global_id] >= 0;
+  }
+};
+
+/// A disjoint partition of a graph's nodes into shards with overlapping
+/// halos. Owned sets partition V; `owner[v]` names v's shard.
+struct ShardedGraph {
+  int halo_hops = 0;
+  /// owner[v] = shard owning global node v (size = num_nodes of the source).
+  std::vector<std::int32_t> owner;
+  std::vector<GraphShard> shards;
+
+  std::size_t num_shards() const { return shards.size(); }
+};
+
+/// Partitions `graph` into `num_shards` balanced contiguous ranges of node
+/// ids (sizes differ by at most one) and builds each shard's halo_hops-hop
+/// halo by BFS over the full adjacency.
+///
+/// Throws std::invalid_argument when num_shards < 1, num_shards exceeds the
+/// node count, halo_hops < 0, or the graph is empty.
+ShardedGraph MakeShards(const Graph& graph, int num_shards, int halo_hops);
+
+/// Same, but with an explicit owner assignment (e.g. by connected component
+/// or a min-cut partitioner): owner[v] in [0, num_shards) with
+/// num_shards = max(owner) + 1. Empty shards are permitted. Throws
+/// std::invalid_argument when owner's size mismatches the graph or an
+/// entry is negative.
+ShardedGraph MakeShards(const Graph& graph, std::vector<std::int32_t> owner,
+                        int halo_hops);
+
+}  // namespace nai::graph
+
+#endif  // NAI_GRAPH_SHARD_H_

@@ -8,36 +8,35 @@
 
 namespace nai::runtime {
 
-/// Consumes a `--threads N` / `--threads=N` argument shared by every bench
-/// and example binary: resizes the default pool accordingly and removes the
-/// flag from argv (so wrapped argument parsers like google-benchmark never
-/// see it). Invalid or absent values leave the NAI_THREADS / hardware
-/// default in place. Returns the resulting default-pool thread count.
-inline int ApplyThreadsFlag(int& argc, char** argv) {
-  int requested = 0;
+/// Consumes one `--name N` / `--name=N` integer flag shared by the bench
+/// and example binaries, removing it from argv (so wrapped argument parsers
+/// like google-benchmark never see it). Returns the parsed value, or 0 when
+/// the flag is absent or its value is missing, unparseable, or
+/// non-positive — the flag is removed either way.
+inline long ConsumeIntFlag(int& argc, char** argv, const char* name) {
+  const std::size_t name_len = std::strlen(name);
+  long parsed = 0;
   int w = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     const char* value = nullptr;
     bool consume = false;
-    if (std::strncmp(arg, "--threads", 9) == 0) {
-      if (arg[9] == '\0') {
+    if (std::strncmp(arg, name, name_len) == 0) {
+      if (arg[name_len] == '\0') {
         consume = true;
         // Take the next token as the value only when it isn't another flag,
         // so `--threads --benchmark_filter=...` doesn't swallow the filter.
         if (i + 1 < argc && argv[i + 1][0] != '-') value = argv[++i];
-      } else if (arg[9] == '=') {
+      } else if (arg[name_len] == '=') {
         consume = true;
-        value = arg + 10;
+        value = arg + name_len + 1;
       }
     }
     if (consume) {  // flag (and its value, if any) removed either way
       if (value != nullptr) {
         char* end = nullptr;
         const long v = std::strtol(value, &end, 10);
-        if (end != value && *end == '\0' && v > 0) {
-          requested = static_cast<int>(v);
-        }
+        if (end != value && *end == '\0' && v > 0) parsed = v;
       }
       continue;
     }
@@ -45,8 +44,26 @@ inline int ApplyThreadsFlag(int& argc, char** argv) {
   }
   argv[w] = nullptr;  // keep the argv[argc] == NULL invariant for wrappees
   argc = w;
-  if (requested > 0) ThreadPool::SetDefaultThreads(requested);
+  return parsed;
+}
+
+/// Consumes a `--threads N` / `--threads=N` argument: resizes the default
+/// pool accordingly. Invalid or absent values leave the NAI_THREADS /
+/// hardware default in place. Returns the resulting default-pool thread
+/// count.
+inline int ApplyThreadsFlag(int& argc, char** argv) {
+  const long requested = ConsumeIntFlag(argc, argv, "--threads");
+  if (requested > 0) ThreadPool::SetDefaultThreads(static_cast<int>(requested));
   return ThreadPool::Default().num_threads();
+}
+
+/// Consumes a `--shards N` / `--shards=N` argument: how many serving-graph
+/// shards to partition into (see core::ShardedNaiEngine). Returns 1 —
+/// unsharded — when absent or invalid. Purely a parse: the caller decides
+/// what to build from it.
+inline int ShardsFlag(int& argc, char** argv) {
+  const long requested = ConsumeIntFlag(argc, argv, "--shards");
+  return requested > 0 ? static_cast<int>(requested) : 1;
 }
 
 }  // namespace nai::runtime

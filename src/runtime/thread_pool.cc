@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <exception>
 #include <memory>
 
 namespace nai::runtime {
@@ -173,5 +174,24 @@ ScopedDefaultPool::ScopedDefaultPool(ThreadPool& pool)
 }
 
 ScopedDefaultPool::~ScopedDefaultPool() { tls_default_override = prev_; }
+
+void RunConcurrently(const std::vector<std::function<void()>>& tasks) {
+  std::vector<std::exception_ptr> errors(tasks.size());
+  std::vector<std::thread> threads;
+  threads.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    threads.emplace_back([&tasks, &errors, i] {
+      try {
+        tasks[i]();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
 
 }  // namespace nai::runtime

@@ -122,6 +122,18 @@ inline void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
   ThreadPool::Default().ParallelFor(begin, end, grain, fn);
 }
 
+/// Runs each task on its own plain thread and joins them all before
+/// returning; the first task exception (lowest index) is rethrown on the
+/// caller after every task has finished.
+///
+/// This is the coarse fan-out primitive for work that must land on
+/// *different pools* — e.g. one serving shard per task, each pinning its
+/// own pool — where ParallelFor cannot help: a loop dispatched on one pool
+/// would run the tasks' nested ParallelFors inline instead of on their
+/// shards' pools. Thread spawn cost (~tens of µs) only suits callers whose
+/// tasks run for milliseconds; per-row work belongs on a ThreadPool.
+void RunConcurrently(const std::vector<std::function<void()>>& tasks);
+
 }  // namespace nai::runtime
 
 #endif  // NAI_RUNTIME_THREAD_POOL_H_

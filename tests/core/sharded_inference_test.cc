@@ -1,0 +1,305 @@
+// Bit-exactness suite for the sharded serving engine: ShardedNaiEngine must
+// reproduce the unsharded NaiEngine exactly — predictions, exit depths, the
+// exit histogram and every MAC counter — across shard counts {1, 2, 4} for
+// NAPd, NAPg and the vanilla fixed-depth path, mirroring
+// tests/core/inference_parallel_test.cc.
+//
+// Workload note: predictions, exit depths and the nap/stationary/
+// classification counters are per-node quantities, equal for ANY query
+// order. propagation_macs counts the shared supporting-set work per batch,
+// so full-stats equality is asserted on a partition-aligned workload
+// (ascending queries over a contiguous partition with the batch size
+// dividing every shard's owned count — shard batches then equal unsharded
+// batches); the scrambled-order tests pin the documented contract instead:
+// sharded propagation MACs == the unsharded engine run on the same routed
+// per-shard sub-lists.
+
+#include "src/core/sharded_inference.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "gtest/gtest.h"
+#include "src/graph/shard.h"
+#include "src/tensor/random.h"
+#include "tests/core/core_fixtures.h"
+
+namespace nai::core {
+namespace {
+
+using nai::testing::MakeSmallWorld;
+using nai::testing::SmallWorld;
+
+constexpr int kDepth = 3;
+
+NaiEngine MakePlainEngine(SmallWorld& w, const GateStack* gates) {
+  return NaiEngine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), gates);
+}
+
+ShardedNaiEngine MakeSharded(SmallWorld& w, const GateStack* gates,
+                             int num_shards, int halo_hops = kDepth,
+                             int total_threads = 0) {
+  return ShardedNaiEngine(
+      w.data.graph, graph::MakeShards(w.data.graph, num_shards, halo_hops),
+      w.data.features, w.config.gamma, *w.classifiers, w.stationary.get(),
+      gates, total_threads);
+}
+
+void ExpectSamePerNode(const InferenceResult& got, const InferenceResult& want,
+                       const std::string& label) {
+  EXPECT_EQ(got.predictions, want.predictions) << label;
+  EXPECT_EQ(got.exit_depths, want.exit_depths) << label;
+  EXPECT_EQ(got.stats.num_nodes, want.stats.num_nodes) << label;
+  EXPECT_EQ(got.stats.exits_at_depth, want.stats.exits_at_depth) << label;
+  EXPECT_EQ(got.stats.nap_macs, want.stats.nap_macs) << label;
+  EXPECT_EQ(got.stats.stationary_macs, want.stats.stationary_macs) << label;
+  EXPECT_EQ(got.stats.classification_macs, want.stats.classification_macs)
+      << label;
+}
+
+void ExpectSameResult(const InferenceResult& got, const InferenceResult& want,
+                      const std::string& label) {
+  ExpectSamePerNode(got, want, label);
+  EXPECT_EQ(got.stats.propagation_macs, want.stats.propagation_macs) << label;
+}
+
+/// Aligned-workload equality: ascending queries over the contiguous default
+/// partition with batch_size dividing every shard's owned count, so shard
+/// batches coincide with unsharded batches and the FULL stats block must
+/// match bit-for-bit for shard counts {1, 2, 4}.
+void CheckShardedBitExact(SmallWorld& w, const GateStack* gates,
+                          InferenceConfig cfg) {
+  cfg.batch_size = 20;  // divides 400/1, 400/2 and 400/4 owned nodes
+  NaiEngine plain = MakePlainEngine(w, gates);
+  const InferenceResult reference = plain.Infer(w.all_nodes, cfg);
+
+  for (const int shards : {1, 2, 4}) {
+    ShardedNaiEngine sharded = MakeSharded(w, gates, shards);
+    const InferenceResult run = sharded.Infer(w.all_nodes, cfg);
+    ExpectSameResult(run, reference, "shards=" + std::to_string(shards));
+  }
+}
+
+TEST(ShardedInferenceTest, NapDistanceBitExact) {
+  auto w = MakeSmallWorld(kDepth);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.threshold = 0.3f;
+  CheckShardedBitExact(w, nullptr, cfg);
+}
+
+TEST(ShardedInferenceTest, NapGateBitExact) {
+  auto w = MakeSmallWorld(kDepth);
+  GateStack gates(kDepth, w.config.feature_dim, 77);
+  const tensor::Matrix stationary = w.stationary->RowsForNodes(w.all_nodes);
+  GateTrainConfig gcfg;
+  gcfg.epochs = 20;
+  gates.Train(w.stack, stationary, *w.classifiers, w.all_nodes, w.data.labels,
+              gcfg);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kGate;
+  CheckShardedBitExact(w, &gates, cfg);
+}
+
+TEST(ShardedInferenceTest, VanillaBitExact) {
+  auto w = MakeSmallWorld(kDepth);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kNone;
+  CheckShardedBitExact(w, nullptr, cfg);
+}
+
+TEST(ShardedInferenceTest, PoolSizeAndInterBatchParallelismInvariant) {
+  // The shard pools' sizes and per-shard inter-batch parallelism must not
+  // change a single bit of the result.
+  auto w = MakeSmallWorld(kDepth);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.threshold = 0.3f;
+  cfg.batch_size = 20;
+  NaiEngine plain = MakePlainEngine(w, nullptr);
+  const InferenceResult reference = plain.Infer(w.all_nodes, cfg);
+  for (const int total_threads : {1, 5}) {
+    ShardedNaiEngine sharded =
+        MakeSharded(w, nullptr, 2, kDepth, total_threads);
+    for (const int ibp : {1, 4}) {
+      cfg.inter_batch_parallelism = ibp;
+      const InferenceResult run = sharded.Infer(w.all_nodes, cfg);
+      ExpectSameResult(run, reference,
+                       "threads=" + std::to_string(total_threads) +
+                           " ibp=" + std::to_string(ibp));
+    }
+  }
+}
+
+/// Scrambled-order contract: per-node quantities equal the unsharded run of
+/// the same list; propagation MACs equal the unsharded engine run on the
+/// routed per-shard sub-lists (batch decompositions then agree).
+void CheckScrambledContract(SmallWorld& w, ShardedNaiEngine& sharded,
+                            const std::vector<std::int32_t>& queries,
+                            InferenceConfig cfg) {
+  NaiEngine plain = MakePlainEngine(w, nullptr);
+  const InferenceResult reference = plain.Infer(queries, cfg);
+  const InferenceResult run = sharded.Infer(queries, cfg);
+  ExpectSamePerNode(run, reference, "scrambled");
+
+  const graph::ShardedGraph& sg = sharded.sharded_graph();
+  std::int64_t routed_propagation = 0;
+  for (std::size_t s = 0; s < sg.num_shards(); ++s) {
+    std::vector<std::int32_t> sub;
+    for (const std::int32_t v : queries) {
+      if (sg.owner[v] == static_cast<std::int32_t>(s)) sub.push_back(v);
+    }
+    if (sub.empty()) continue;
+    routed_propagation += plain.Infer(sub, cfg).stats.propagation_macs;
+  }
+  EXPECT_EQ(run.stats.propagation_macs, routed_propagation);
+}
+
+TEST(ShardedInferenceTest, ScrambledQueryOrderMatchesPerNode) {
+  auto w = MakeSmallWorld(kDepth);
+  std::vector<std::int32_t> queries = w.all_nodes;
+  tensor::Rng rng(2024);
+  rng.Shuffle(queries);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.threshold = 0.3f;
+  cfg.batch_size = 37;
+  ShardedNaiEngine sharded = MakeSharded(w, nullptr, 4);
+  CheckScrambledContract(w, sharded, queries, cfg);
+}
+
+TEST(ShardedInferenceTest, UnevenShardCountAndCustomOwnerRoute) {
+  // 400 nodes over 3 shards (134/133/133) plus a round-robin custom owner:
+  // routing must stay exact whatever the partition shape.
+  auto w = MakeSmallWorld(kDepth);
+  std::vector<std::int32_t> queries = w.all_nodes;
+  tensor::Rng rng(7);
+  rng.Shuffle(queries);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.threshold = 0.3f;
+  cfg.batch_size = 37;
+
+  ShardedNaiEngine uneven = MakeSharded(w, nullptr, 3);
+  CheckScrambledContract(w, uneven, queries, cfg);
+
+  std::vector<std::int32_t> owner(w.all_nodes.size());
+  for (std::size_t v = 0; v < owner.size(); ++v) {
+    owner[v] = static_cast<std::int32_t>(v % 2);
+  }
+  ShardedNaiEngine round_robin(
+      w.data.graph, graph::MakeShards(w.data.graph, owner, kDepth),
+      w.data.features, w.config.gamma, *w.classifiers, w.stationary.get(),
+      nullptr);
+  CheckScrambledContract(w, round_robin, queries, cfg);
+}
+
+TEST(ShardedInferenceTest, EmptyShardGetsNoEngineButServingStaysExact) {
+  // A custom owner vector with a gap (ids 0 and 2 only): shard 1 owns
+  // nothing, is skipped at construction, and the remaining shards still
+  // serve every query bit-exactly.
+  auto w = MakeSmallWorld(kDepth);
+  std::vector<std::int32_t> owner(w.all_nodes.size());
+  for (std::size_t v = 0; v < owner.size(); ++v) {
+    owner[v] = (v % 2 == 0) ? 0 : 2;
+  }
+  ShardedNaiEngine sharded(
+      w.data.graph, graph::MakeShards(w.data.graph, owner, kDepth),
+      w.data.features, w.config.gamma, *w.classifiers, w.stationary.get(),
+      nullptr);
+  ASSERT_EQ(sharded.num_shards(), 3u);
+
+  std::vector<std::int32_t> queries = w.all_nodes;
+  tensor::Rng rng(13);
+  rng.Shuffle(queries);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.threshold = 0.3f;
+  cfg.batch_size = 37;
+  CheckScrambledContract(w, sharded, queries, cfg);
+}
+
+TEST(ShardedInferenceTest, StatsSetExactlyOnceAcrossShards) {
+  // num_nodes and wall_time_ms describe the whole run: the merge must not
+  // sum the per-shard values (num_nodes would double) nor drop them (zero).
+  auto w = MakeSmallWorld(2, models::ModelKind::kSgc, 120);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.threshold = 0.3f;
+  cfg.batch_size = 25;
+  ShardedNaiEngine sharded = MakeSharded(w, nullptr, 3, 2);
+  const InferenceResult run = sharded.Infer(w.all_nodes, cfg);
+  EXPECT_EQ(run.stats.num_nodes, 120);
+  EXPECT_GT(run.stats.wall_time_ms, 0.0);
+  const std::int64_t exited =
+      std::accumulate(run.stats.exits_at_depth.begin(),
+                      run.stats.exits_at_depth.end(), std::int64_t{0});
+  EXPECT_EQ(exited, 120);
+  for (const std::int32_t d : run.exit_depths) EXPECT_GE(d, 1);
+}
+
+TEST(ShardedInferenceTest, AccumulateExcludesNumNodesAndWallTime) {
+  InferenceStats a, b;
+  a.num_nodes = 5;
+  a.wall_time_ms = 1.5;
+  a.propagation_macs = 10;
+  b.num_nodes = 7;
+  b.wall_time_ms = 2.5;
+  b.propagation_macs = 32;
+  a.Accumulate(b);
+  EXPECT_EQ(a.num_nodes, 5);          // untouched, set once by the caller
+  EXPECT_DOUBLE_EQ(a.wall_time_ms, 1.5);  // ditto
+  EXPECT_EQ(a.propagation_macs, 42);
+}
+
+TEST(ShardedInferenceTest, EmptyQueryList) {
+  auto w = MakeSmallWorld(2, models::ModelKind::kSgc, 120);
+  ShardedNaiEngine sharded = MakeSharded(w, nullptr, 2, 2);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  const InferenceResult r = sharded.Infer({}, cfg);
+  EXPECT_TRUE(r.predictions.empty());
+  EXPECT_TRUE(r.exit_depths.empty());
+  EXPECT_EQ(r.stats.num_nodes, 0);
+  EXPECT_EQ(r.stats.exits_at_depth.size(), 2u);  // t_max slots, all zero
+  EXPECT_EQ(r.stats.propagation_macs, 0);
+}
+
+TEST(ShardedInferenceTest, HaloTooShallowThrows) {
+  auto w = MakeSmallWorld(kDepth);
+  ShardedNaiEngine sharded = MakeSharded(w, nullptr, 2, /*halo_hops=*/1);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;  // default t_max = 0 resolves to k = 3 > 1
+  EXPECT_THROW(sharded.Infer(w.all_nodes, cfg), std::invalid_argument);
+
+  // A T_max within the halo must serve fine and match the plain engine.
+  cfg.t_max = 1;
+  cfg.batch_size = 20;
+  NaiEngine plain = MakePlainEngine(w, nullptr);
+  ExpectSameResult(sharded.Infer(w.all_nodes, cfg),
+                   plain.Infer(w.all_nodes, cfg), "t_max=1 halo=1");
+}
+
+TEST(ShardedInferenceTest, QueryOutOfRangeThrows) {
+  auto w = MakeSmallWorld(2, models::ModelKind::kSgc, 120);
+  ShardedNaiEngine sharded = MakeSharded(w, nullptr, 2, 2);
+  InferenceConfig cfg;
+  EXPECT_THROW(sharded.Infer({-1}, cfg), std::out_of_range);
+  EXPECT_THROW(sharded.Infer({120}, cfg), std::out_of_range);
+}
+
+TEST(ShardedInferenceTest, MismatchedShardingRejected) {
+  auto w = MakeSmallWorld(2, models::ModelKind::kSgc, 120);
+  auto other = MakeSmallWorld(2, models::ModelKind::kSgc, 60);
+  EXPECT_THROW(
+      ShardedNaiEngine(w.data.graph,
+                       graph::MakeShards(other.data.graph, 2, 2),
+                       w.data.features, w.config.gamma, *w.classifiers,
+                       w.stationary.get(), nullptr),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nai::core

@@ -1,6 +1,8 @@
 #include "src/graph/partition.h"
 
+#include <limits>
 #include <set>
+#include <stdexcept>
 
 #include "gtest/gtest.h"
 #include "src/graph/generators.h"
@@ -94,6 +96,111 @@ TEST_F(PartitionTest, AllNodesTrainFraction) {
   EXPECT_EQ(s.train_nodes.size(), 500u);
   EXPECT_TRUE(s.test_nodes.empty());
   EXPECT_EQ(s.train_graph.num_edges(), ds_.graph.num_edges());
+}
+
+// --- Release-mode hardening: invalid fractions must throw, never read past
+// --- the shuffled buffers. These used to be asserts (no-ops under NDEBUG).
+
+TEST_F(PartitionTest, InvalidTrainFractionThrows) {
+  EXPECT_THROW(MakeInductiveSplit(ds_.graph, 0.0, 0.5, 0.1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(MakeInductiveSplit(ds_.graph, -0.3, 0.5, 0.1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(MakeInductiveSplit(ds_.graph, 1.5, 0.5, 0.1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(MakeInductiveSplit(
+                   ds_.graph, std::numeric_limits<double>::quiet_NaN(), 0.5,
+                   0.1, 1),
+               std::invalid_argument);
+}
+
+TEST_F(PartitionTest, InvalidLabeledOrValFractionThrows) {
+  EXPECT_THROW(MakeInductiveSplit(ds_.graph, 0.6, 0.0, 0.1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(MakeInductiveSplit(ds_.graph, 0.6, 1.2, 0.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(MakeInductiveSplit(ds_.graph, 0.6, 0.5, -0.1, 1),
+               std::invalid_argument);
+  // The NDEBUG out-of-range reproducer: labeled + val > 1 used to slice
+  // train_shuffled past its end in release builds.
+  EXPECT_THROW(MakeInductiveSplit(ds_.graph, 0.6, 0.7, 0.7, 1),
+               std::invalid_argument);
+  EXPECT_THROW(MakeInductiveSplit(
+                   ds_.graph, 0.6, 0.5,
+                   std::numeric_limits<double>::quiet_NaN(), 1),
+               std::invalid_argument);
+}
+
+TEST_F(PartitionTest, EmptyGraphThrows) {
+  EXPECT_THROW(MakeInductiveSplit(Graph(), 0.6, 0.5, 0.1, 1),
+               std::invalid_argument);
+}
+
+// --- Degenerate-split safety: tiny graphs and exact boundaries.
+
+TEST_F(PartitionTest, SingleNodeGraphSplitsSanely) {
+  // n = 1: the max(1, ...) floors leave one train node (= the labeled
+  // node), no test nodes, no val nodes.
+  const Graph g = Graph::FromEdges(1, {});
+  const InductiveSplit s = MakeInductiveSplit(g, 0.5, 1.0, 0.0, 7);
+  EXPECT_EQ(s.train_nodes, (std::vector<std::int32_t>{0}));
+  EXPECT_EQ(s.labeled_nodes, (std::vector<std::int32_t>{0}));
+  EXPECT_TRUE(s.test_nodes.empty());
+  EXPECT_TRUE(s.val_nodes.empty());
+  EXPECT_EQ(s.train_graph.num_nodes(), 1);
+  EXPECT_EQ(s.labeled_local, (std::vector<std::int32_t>{0}));
+}
+
+TEST_F(PartitionTest, TinyGraphValNeverOverflowsTrain) {
+  // n_train = 1 with a large val_fraction: the raw n_val floor could only
+  // fit by eating into the labeled node — it must clamp to zero instead.
+  const Graph g = Graph::FromEdges(2, {{0, 1}});
+  const InductiveSplit s = MakeInductiveSplit(g, 0.5, 0.2, 0.8, 3);
+  EXPECT_EQ(s.train_nodes.size(), 1u);
+  EXPECT_EQ(s.labeled_nodes.size(), 1u);
+  EXPECT_TRUE(s.val_nodes.empty());
+  EXPECT_EQ(s.test_nodes.size(), 1u);
+}
+
+TEST_F(PartitionTest, LabeledPlusValBoundaryExactlyFillsTrain) {
+  // labeled + val == 1: every train node is labeled or validation, and the
+  // two sets stay disjoint.
+  const InductiveSplit s = MakeInductiveSplit(ds_.graph, 0.6, 0.5, 0.5, 17);
+  EXPECT_EQ(s.train_nodes.size(), 300u);
+  EXPECT_EQ(s.labeled_nodes.size() + s.val_nodes.size(), 300u);
+  std::set<std::int32_t> labeled(s.labeled_nodes.begin(),
+                                 s.labeled_nodes.end());
+  for (const auto v : s.val_nodes) EXPECT_FALSE(labeled.count(v));
+}
+
+TEST_F(PartitionTest, TinyGraphSweepNeverBreaksInvariants) {
+  // Property sweep over small n and a fraction grid (including the exact
+  // 1.0 boundaries): sizes always partition, subsets never overflow. Run
+  // under ASan in scripts/check.sh this doubles as the regression for the
+  // release-mode out-of-range read.
+  for (std::int64_t n = 1; n <= 7; ++n) {
+    std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+    for (std::int32_t v = 1; v < n; ++v) edges.push_back({v - 1, v});
+    const Graph g = Graph::FromEdges(n, edges);
+    for (const double tf : {0.2, 0.5, 0.9, 1.0}) {
+      for (const double lf : {0.25, 0.5, 1.0}) {
+        for (const double vf : {0.0, 0.25, 0.5}) {
+          if (lf + vf > 1.0) continue;  // invalid combos throw; tested above
+          const InductiveSplit s = MakeInductiveSplit(g, tf, lf, vf, 11);
+          const std::int64_t n_train =
+              static_cast<std::int64_t>(s.train_nodes.size());
+          EXPECT_GE(n_train, 1);
+          EXPECT_EQ(n_train + static_cast<std::int64_t>(s.test_nodes.size()),
+                    n);
+          EXPECT_GE(s.labeled_nodes.size(), 1u);
+          EXPECT_LE(static_cast<std::int64_t>(s.labeled_nodes.size() +
+                                              s.val_nodes.size()),
+                    n_train);
+          EXPECT_EQ(s.train_graph.num_nodes(), n_train);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,215 @@
+// Property tests for the serving-graph partitioner: owned sets partition V,
+// halos are exactly the halo_hops-hop neighborhoods, induced structure and
+// id maps round-trip, and the BFS-never-leaves-the-shard guarantee holds
+// for every owned node.
+
+#include "src/graph/shard.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "gtest/gtest.h"
+#include "src/graph/generators.h"
+
+namespace nai::graph {
+namespace {
+
+class ShardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorConfig cfg;
+    cfg.num_nodes = 300;
+    cfg.num_edges = 1200;
+    cfg.seed = 11;
+    ds_ = GenerateDataset(cfg);
+  }
+
+  /// Global ids within `hops` of `seeds`, by reference BFS on the full graph.
+  std::set<std::int32_t> Neighborhood(const std::vector<std::int32_t>& seeds,
+                                      int hops) const {
+    std::set<std::int32_t> reached(seeds.begin(), seeds.end());
+    std::vector<std::int32_t> frontier(seeds.begin(), seeds.end());
+    for (int h = 0; h < hops; ++h) {
+      std::vector<std::int32_t> next;
+      for (const std::int32_t v : frontier) {
+        for (const auto* it = ds_.graph.neighbors_begin(v);
+             it != ds_.graph.neighbors_end(v); ++it) {
+          if (reached.insert(*it).second) next.push_back(*it);
+        }
+      }
+      frontier = std::move(next);
+    }
+    return reached;
+  }
+
+  SyntheticDataset ds_;
+};
+
+TEST_F(ShardTest, OwnedSetsPartitionAllNodes) {
+  const ShardedGraph sharded = MakeShards(ds_.graph, 4, 2);
+  ASSERT_EQ(sharded.num_shards(), 4u);
+  std::set<std::int32_t> seen;
+  std::size_t total = 0;
+  for (const GraphShard& shard : sharded.shards) {
+    total += shard.owned.size();
+    seen.insert(shard.owned.begin(), shard.owned.end());
+  }
+  EXPECT_EQ(total, 300u);
+  EXPECT_EQ(seen.size(), 300u);  // no node owned twice
+  for (std::size_t s = 0; s < sharded.num_shards(); ++s) {
+    for (const std::int32_t v : sharded.shards[s].owned) {
+      EXPECT_EQ(sharded.owner[v], static_cast<std::int32_t>(s));
+    }
+  }
+}
+
+TEST_F(ShardTest, DefaultPartitionIsBalancedContiguous) {
+  const ShardedGraph sharded = MakeShards(ds_.graph, 7, 1);  // 300 = 7*42 + 6
+  std::size_t min_size = 301, max_size = 0;
+  std::int32_t expected_start = 0;
+  for (const GraphShard& shard : sharded.shards) {
+    min_size = std::min(min_size, shard.owned.size());
+    max_size = std::max(max_size, shard.owned.size());
+    // Contiguous range starting where the previous shard ended.
+    EXPECT_EQ(shard.owned.front(), expected_start);
+    EXPECT_EQ(shard.owned.back(),
+              expected_start + static_cast<std::int32_t>(shard.owned.size()) - 1);
+    expected_start += static_cast<std::int32_t>(shard.owned.size());
+  }
+  EXPECT_EQ(expected_start, 300);
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST_F(ShardTest, ShardNodesAreExactlyTheHaloNeighborhood) {
+  for (const int halo : {0, 1, 3}) {
+    const ShardedGraph sharded = MakeShards(ds_.graph, 3, halo);
+    for (const GraphShard& shard : sharded.shards) {
+      const std::set<std::int32_t> want = Neighborhood(shard.owned, halo);
+      const std::set<std::int32_t> got(shard.nodes.begin(),
+                                       shard.nodes.end());
+      EXPECT_EQ(got, want) << "halo=" << halo;
+      EXPECT_EQ(shard.num_halo(),
+                static_cast<std::int64_t>(want.size() - shard.owned.size()));
+    }
+  }
+}
+
+TEST_F(ShardTest, SupportBfsNeverLeavesShard) {
+  // The serving guarantee: every owned node's halo_hops-hop neighborhood is
+  // inside the shard, so a supporting-set BFS from any routed query (or
+  // batch of them) stays local.
+  const int halo = 2;
+  const ShardedGraph sharded = MakeShards(ds_.graph, 5, halo);
+  for (const GraphShard& shard : sharded.shards) {
+    for (const std::int32_t v : shard.owned) {
+      for (const std::int32_t u : Neighborhood({v}, halo)) {
+        EXPECT_TRUE(shard.contains(u))
+            << "node " << u << " within " << halo << " hops of owned " << v
+            << " missing from shard";
+      }
+    }
+  }
+}
+
+TEST_F(ShardTest, GlobalToLocalRoundTripsAndNodesSorted) {
+  const ShardedGraph sharded = MakeShards(ds_.graph, 4, 2);
+  for (const GraphShard& shard : sharded.shards) {
+    EXPECT_TRUE(std::is_sorted(shard.nodes.begin(), shard.nodes.end()));
+    EXPECT_TRUE(std::is_sorted(shard.owned.begin(), shard.owned.end()));
+    ASSERT_EQ(shard.global_to_local.size(), 300u);
+    std::size_t present = 0;
+    for (std::int32_t g = 0; g < 300; ++g) {
+      const std::int32_t local = shard.global_to_local[g];
+      if (local >= 0) {
+        ++present;
+        ASSERT_LT(static_cast<std::size_t>(local), shard.nodes.size());
+        EXPECT_EQ(shard.nodes[local], g);
+      }
+    }
+    EXPECT_EQ(present, shard.nodes.size());
+  }
+}
+
+TEST_F(ShardTest, InducedGraphMatchesGlobalEdgesAndOwnedDegrees) {
+  const ShardedGraph sharded = MakeShards(ds_.graph, 3, 1);
+  for (const GraphShard& shard : sharded.shards) {
+    ASSERT_EQ(shard.graph.num_nodes(),
+              static_cast<std::int64_t>(shard.nodes.size()));
+    // Every shard edge exists globally.
+    for (std::int32_t v = 0; v < shard.graph.num_nodes(); ++v) {
+      for (const auto* it = shard.graph.neighbors_begin(v);
+           it != shard.graph.neighbors_end(v); ++it) {
+        EXPECT_TRUE(ds_.graph.HasEdge(shard.nodes[v], shard.nodes[*it]));
+      }
+    }
+    // Owned nodes keep their full neighbor lists (halo >= 1), so their
+    // shard-local degree equals the global one — what keeps per-shard
+    // stationary rows and normalized weights of owned nodes exact.
+    for (const std::int32_t g : shard.owned) {
+      EXPECT_EQ(shard.graph.degree(shard.global_to_local[g]),
+                ds_.graph.degree(g));
+    }
+  }
+}
+
+TEST_F(ShardTest, CustomOwnerVectorRoundRobin) {
+  std::vector<std::int32_t> owner(300);
+  for (int v = 0; v < 300; ++v) owner[v] = v % 3;
+  const ShardedGraph sharded = MakeShards(ds_.graph, owner, 1);
+  ASSERT_EQ(sharded.num_shards(), 3u);
+  EXPECT_EQ(sharded.owner, owner);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(sharded.shards[s].owned.size(), 100u);
+    for (const std::int32_t v : sharded.shards[s].owned) {
+      EXPECT_EQ(v % 3, static_cast<std::int32_t>(s));
+    }
+  }
+}
+
+TEST_F(ShardTest, SingleShardOwnsEverythingWithNoHalo) {
+  const ShardedGraph sharded = MakeShards(ds_.graph, 1, 3);
+  ASSERT_EQ(sharded.num_shards(), 1u);
+  EXPECT_EQ(sharded.shards[0].owned.size(), 300u);
+  EXPECT_EQ(sharded.shards[0].num_halo(), 0);
+  EXPECT_EQ(sharded.shards[0].graph.num_edges(), ds_.graph.num_edges());
+}
+
+TEST_F(ShardTest, DeterministicAcrossCalls) {
+  const ShardedGraph a = MakeShards(ds_.graph, 4, 2);
+  const ShardedGraph b = MakeShards(ds_.graph, 4, 2);
+  ASSERT_EQ(a.num_shards(), b.num_shards());
+  for (std::size_t s = 0; s < a.num_shards(); ++s) {
+    EXPECT_EQ(a.shards[s].owned, b.shards[s].owned);
+    EXPECT_EQ(a.shards[s].nodes, b.shards[s].nodes);
+  }
+}
+
+TEST_F(ShardTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(MakeShards(ds_.graph, 0, 1), std::invalid_argument);
+  EXPECT_THROW(MakeShards(ds_.graph, -2, 1), std::invalid_argument);
+  EXPECT_THROW(MakeShards(ds_.graph, 301, 1), std::invalid_argument);
+  EXPECT_THROW(MakeShards(ds_.graph, 2, -1), std::invalid_argument);
+  EXPECT_THROW(MakeShards(Graph(), 1, 1), std::invalid_argument);
+  std::vector<std::int32_t> short_owner(299, 0);
+  EXPECT_THROW(MakeShards(ds_.graph, short_owner, 1), std::invalid_argument);
+  std::vector<std::int32_t> negative_owner(300, 0);
+  negative_owner[7] = -1;
+  EXPECT_THROW(MakeShards(ds_.graph, negative_owner, 1),
+               std::invalid_argument);
+}
+
+TEST_F(ShardTest, EmptyShardFromCustomOwnerIsAllowed) {
+  // Shard 1 owns nothing (ids 0 and 2 only): it must come out empty but
+  // well-formed, not crash.
+  std::vector<std::int32_t> owner(300);
+  for (int v = 0; v < 300; ++v) owner[v] = (v % 2) * 2;
+  const ShardedGraph sharded = MakeShards(ds_.graph, owner, 1);
+  ASSERT_EQ(sharded.num_shards(), 3u);
+  EXPECT_EQ(sharded.shards[1].owned.size(), 0u);
+  EXPECT_EQ(sharded.shards[1].nodes.size(), 0u);
+  EXPECT_EQ(sharded.shards[1].graph.num_nodes(), 0);
+}
+
+}  // namespace
+}  // namespace nai::graph

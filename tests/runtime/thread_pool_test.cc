@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -222,6 +224,47 @@ TEST(FlagsTest, BareTrailingThreadsFlagConsumed) {
   EXPECT_EQ(ApplyThreadsFlag(argc, argv), 2);
   EXPECT_EQ(argc, 1);  // consumed even without a value
   ThreadPool::SetDefaultThreads(0);
+}
+
+TEST(FlagsTest, ShardsFlagParsedAndDefaultsToOne) {
+  char prog[] = "prog";
+  char flag[] = "--shards=4";
+  char* argv[] = {prog, flag, nullptr};
+  int argc = 2;
+  EXPECT_EQ(ShardsFlag(argc, argv), 4);
+  EXPECT_EQ(argc, 1);
+
+  char bad[] = "--shards=-3";
+  char* argv2[] = {prog, bad, nullptr};
+  argc = 2;
+  EXPECT_EQ(ShardsFlag(argc, argv2), 1);  // invalid -> unsharded
+  EXPECT_EQ(argc, 1);
+
+  char* argv3[] = {prog, nullptr};
+  argc = 1;
+  EXPECT_EQ(ShardsFlag(argc, argv3), 1);  // absent -> unsharded
+}
+
+TEST(RunConcurrentlyTest, RunsEveryTaskExactlyOnce) {
+  std::vector<int> hits(16, 0);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back([&hits, i] { ++hits[i]; });
+  }
+  RunConcurrently(tasks);
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  RunConcurrently({});  // empty task list is a no-op
+}
+
+TEST(RunConcurrentlyTest, RethrowsFirstTaskError) {
+  // All tasks run to completion before the lowest-index error is rethrown.
+  std::atomic<int> completed{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&] { ++completed; });
+  tasks.push_back([] { throw std::runtime_error("shard 1 failed"); });
+  tasks.push_back([&] { ++completed; });
+  EXPECT_THROW(RunConcurrently(tasks), std::runtime_error);
+  EXPECT_EQ(completed.load(), 2);
 }
 
 }  // namespace
