@@ -1,0 +1,179 @@
+// Streaming serving with QoS classes: the same sharded NAI deployment
+// serving speed-first (NAI^1 config, tight deadline) and accuracy-first
+// (NAI^3 config, loose deadline) traffic concurrently through the
+// src/serve/ front-end — admission queues, dynamic batching, per-request
+// deadlines.
+//
+// Three stages:
+//   1. Exactness gate (closed loop, mixed classes): every response must be
+//      bit-identical to a direct routed Infer of the same node under that
+//      class's config — the serving stack may never change a prediction.
+//   2. Closed-loop capacity: the saturated throughput at the requested
+//      QoS mix, with per-class latency percentiles.
+//   3. Open-loop sweep: Poisson arrivals at increasing fractions of the
+//      closed-loop capacity x {speed-only, mixed, accuracy-only} traffic —
+//      the latency/deadline-miss/shedding picture vs offered load.
+//
+// Flags: --threads N, --shards N, --qos {speed,accuracy,mix,0..100}
+// (percent speed-first, default 50), --arrival-rate N (fix stage 3 to one
+// offered load in qps instead of the sweep). NAI_SCALE shrinks the graph.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/eval/datasets.h"
+#include "src/eval/harness.h"
+#include "src/serve/serving_engine.h"
+
+namespace {
+
+using namespace nai;
+
+void PrintClassLine(const char* label, const serve::LatencySummary& lat,
+                    std::int64_t misses) {
+  std::printf("  %-15s %6lld served   p50 %7.2f ms   p95 %7.2f ms   "
+              "p99 %7.2f ms   max %7.2f ms   %lld deadline misses\n",
+              label, static_cast<long long>(lat.count), lat.p50_ms, lat.p95_ms,
+              lat.p99_ms, lat.max_ms, static_cast<long long>(misses));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads = bench::ApplyThreadsFlag(argc, argv);
+  const int num_shards = bench::ApplyShardsFlag(argc, argv);
+  const int qos_mix = runtime::QosMixFlag(argc, argv, 50);
+  const long fixed_rate = runtime::ArrivalRateFlag(argc, argv);
+  const double scale = eval::EnvScale();
+
+  bench::Banner("Streaming serving with QoS classes — arxiv-sim");
+  const eval::PreparedDataset ds = eval::Prepare(eval::ArxivSim(scale));
+  eval::TrainedPipeline pipeline =
+      eval::TrainPipeline(ds, bench::BenchPipelineConfig());
+  const std::vector<std::int32_t>& test = ds.split.test_nodes;
+  std::printf("n=%lld | %zu test nodes | %d threads | %d shards | "
+              "%d%% speed-first\n",
+              static_cast<long long>(ds.data.graph.num_nodes()), test.size(),
+              threads, num_shards, qos_mix);
+
+  auto sharded = eval::MakeShardedEngine(pipeline, ds, num_shards);
+  const serve::QosPolicyTable policies =
+      eval::MakeQosPolicyTable(pipeline, ds, core::NapKind::kDistance);
+
+  // Per-class references: what a direct routed Infer answers for every
+  // test node under each class's config. Serving must reproduce these bits.
+  const core::InferenceResult ref_speed =
+      sharded->Infer(test, policies.For(serve::QosClass::kSpeedFirst).config);
+  const core::InferenceResult ref_accuracy = sharded->Infer(
+      test, policies.For(serve::QosClass::kAccuracyFirst).config);
+
+  serve::ServingOptions options;
+  options.queue_capacity = 4096;
+  options.batcher.max_batch = 64;
+  options.batcher.max_wait_us = 200;
+
+  // --- Stages 1+2: closed-loop mixed traffic, exactness-gated. -------------
+  double closed_qps = 0.0;
+  bool exact = true;
+  {
+    serve::ServingEngine server(*sharded, policies, options);
+    eval::ServingLoadConfig load;
+    load.arrival_rate_qps = 0.0;  // closed loop
+    load.closed_loop_clients = std::max(4, 2 * threads);
+    load.speed_first_fraction = qos_mix / 100.0;
+    const eval::ServingRunReport report =
+        eval::RunServing(server, test, load);
+    closed_qps = report.achieved_qps;
+
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      const std::int32_t want =
+          report.classes[i] == serve::QosClass::kSpeedFirst
+              ? ref_speed.predictions[i]
+              : ref_accuracy.predictions[i];
+      if (report.predictions[i] != want) ++mismatches;
+    }
+    exact = mismatches == 0;
+
+    std::printf("\nclosed loop (%d clients, %d%% speed-first): %.0f q/s, "
+                "mean batch %.1f, %s\n",
+                load.closed_loop_clients, qos_mix, closed_qps,
+                report.stats.mean_batch_size,
+                exact ? "bit-exact vs direct Infer"
+                      : "PREDICTION MISMATCH");
+    PrintClassLine(
+        "speed-first",
+        report.stats.per_class[static_cast<std::size_t>(
+            serve::QosClass::kSpeedFirst)],
+        report.stats.per_class_misses[static_cast<std::size_t>(
+            serve::QosClass::kSpeedFirst)]);
+    PrintClassLine(
+        "accuracy-first",
+        report.stats.per_class[static_cast<std::size_t>(
+            serve::QosClass::kAccuracyFirst)],
+        report.stats.per_class_misses[static_cast<std::size_t>(
+            serve::QosClass::kAccuracyFirst)]);
+  }
+
+  // --- Stage 3: open-loop Poisson sweep. -----------------------------------
+  // Offered loads as fractions of the measured closed-loop capacity (or the
+  // one --arrival-rate), a bounded query list per cell so every row runs in
+  // seconds.
+  const std::size_t open_n = std::min<std::size_t>(test.size(), 1000);
+  const std::vector<std::int32_t> open_nodes(test.begin(),
+                                             test.begin() + open_n);
+  std::vector<double> rates;
+  if (fixed_rate > 0) {
+    rates.push_back(static_cast<double>(fixed_rate));
+  } else {
+    for (const double f : {0.25, 0.5, 0.9}) {
+      const double r = f * closed_qps;
+      if (r >= 1.0) rates.push_back(r);
+    }
+    if (rates.empty()) rates.push_back(1.0);
+  }
+
+  std::printf("\nopen loop (Poisson arrivals, %zu queries per cell):\n",
+              open_n);
+  std::printf("%-12s %-6s %-10s %-6s %-9s %-9s %-9s %-8s %-6s\n",
+              "offered q/s", "mix%", "achieved", "shed", "p50 ms", "p95 ms",
+              "p99 ms", "miss%", "batch");
+  std::vector<int> mixes = {100, qos_mix, 0};
+  mixes.erase(std::unique(mixes.begin(), mixes.end()), mixes.end());
+  for (const double rate : rates) {
+    for (const int mix : mixes) {
+      serve::ServingEngine server(*sharded, policies, options);
+      eval::ServingLoadConfig load;
+      load.arrival_rate_qps = rate;
+      load.speed_first_fraction = mix / 100.0;
+      load.seed = 42 + static_cast<std::uint64_t>(mix);
+      const eval::ServingRunReport report =
+          eval::RunServing(server, open_nodes, load);
+      const std::int64_t offered =
+          static_cast<std::int64_t>(open_nodes.size());
+      const double miss_pct =
+          report.stats.completed + report.stats.dropped == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(report.stats.deadline_misses) /
+                    static_cast<double>(report.stats.completed +
+                                        report.stats.dropped);
+      std::printf("%-12.0f %-6d %-10.0f %-6lld %-9.2f %-9.2f %-9.2f "
+                  "%-8.1f %-6.1f\n",
+                  rate, mix, report.achieved_qps,
+                  static_cast<long long>(offered - report.stats.completed -
+                                         report.stats.dropped),
+                  report.stats.latency.p50_ms, report.stats.latency.p95_ms,
+                  report.stats.latency.p99_ms, miss_pct,
+                  report.stats.mean_batch_size);
+    }
+  }
+
+  if (!exact) {
+    std::printf("\nFAIL: serving responses diverged from direct Infer\n");
+    return 1;
+  }
+  std::printf("\nall serving responses bit-identical to direct Infer\n");
+  return 0;
+}

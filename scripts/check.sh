@@ -5,8 +5,9 @@
 #      so the pool's inline/serial path stays exercised.
 #   2. a ThreadSanitizer configuration (separate build dir; TSan cannot be
 #      combined with ASan) building and running the runtime + engine +
-#      parallel-kernel suites.
-# Exits nonzero on any configure/build/test failure.
+#      serving + parallel-kernel suites.
+#   3. a docs-link check (dead relative links in README.md / docs/ fail).
+# Exits nonzero on any configure/build/test/link failure.
 #
 # Usage:
 #   scripts/check.sh             # full gate
@@ -33,7 +34,7 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 # Serial-path pass: the same parallel-sensitive suites with a 1-thread pool
 # (the sharded engine then runs one worker per shard pool).
 NAI_THREADS=1 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-  -R 'runtime/|tensor/ops|graph/csr|graph/shard|core/inference|core/sharded|integration/algorithm1'
+  -R 'runtime/|tensor/ops|graph/csr|graph/shard|core/inference|core/sharded|serve/|integration/algorithm1'
 
 # ThreadSanitizer stage: runtime + engine + parallel kernels only (the other
 # suites are single-threaded; building everything under TSan doubles CI time
@@ -49,7 +50,11 @@ if [ "${TSAN}" != "0" ]; then
     runtime_thread_pool_test tensor_ops_test graph_csr_test \
     core_inference_test core_inference_edge_test \
     core_inference_parallel_test core_sharded_inference_test \
-    graph_shard_test
+    graph_shard_test serve_request_queue_test serve_batcher_test \
+    serve_serving_engine_test
   ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" \
-    -R 'runtime/thread_pool|tensor/ops|graph/csr|graph/shard|core/inference|core/sharded'
+    -R 'runtime/thread_pool|tensor/ops|graph/csr|graph/shard|core/inference|core/sharded|serve/'
 fi
+
+# Docs stage: every relative link in README.md and docs/ must resolve.
+scripts/check_docs_links.sh

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Docs-link checker: fails on dead *relative* links in README.md and every
+# docs/*.md file. A link is checked when it is a markdown inline link
+# [text](target) whose target is not an absolute URL (scheme://... or
+# mailto:) and not a pure in-page anchor (#...). Anchors on relative links
+# are stripped before the existence check; targets resolve against the
+# directory of the file containing the link.
+#
+# Fenced code blocks (``` ... ```) are skipped — C++ lambdas like
+# `[](const T&)` would otherwise parse as links.
+#
+# Usage: scripts/check_docs_links.sh   (exits nonzero listing dead links)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=(README.md)
+if [ -d docs ]; then
+  while IFS= read -r f; do files+=("$f"); done < <(find docs -name '*.md' | sort)
+fi
+
+dead=0
+for file in "${files[@]}"; do
+  dir="$(dirname "$file")"
+  # Pull every inline-link target out of the file. The grep intentionally
+  # stops at the first ')' so "[a](x) [b](y)" yields both targets.
+  while IFS= read -r target; do
+    case "$target" in
+      ''|'#'*|*'://'*|mailto:*) continue ;;
+    esac
+    path="${target%%#*}"           # strip an anchor suffix
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "DEAD LINK: $file -> $target"
+      dead=1
+    fi
+  done < <(awk '/^[[:space:]]*```/ { in_code = !in_code; next } !in_code' \
+               "$file" \
+             | grep -o '\[[^]]*\]([^)]*)' 2>/dev/null \
+             | sed 's/^\[[^]]*\](\([^)]*\))$/\1/' || true)
+done
+
+if [ "$dead" -ne 0 ]; then
+  echo "docs link check FAILED"
+  exit 1
+fi
+echo "docs link check OK (${#files[@]} files)"

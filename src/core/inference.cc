@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "src/tensor/ops.h"
@@ -198,6 +200,51 @@ InferenceResult NaiEngine::Infer(const std::vector<std::int32_t>& nodes,
       }
     });
     for (const InferenceStats& st : shard_stats) result.stats.Accumulate(st);
+  }
+  result.stats.wall_time_ms = MsSince(run_start);
+  return result;
+}
+
+InferenceResult NaiEngine::InferMixed(
+    const std::vector<ConfiguredQuery>& queries) {
+  const auto run_start = Clock::now();
+  // Stable grouping by config identity: groups in first-appearance order,
+  // caller order preserved within each group. The linear scan is fine — the
+  // serving front-end resolves QoS classes to a handful of shared configs.
+  std::vector<const InferenceConfig*> group_configs;
+  std::vector<std::vector<std::int32_t>> group_nodes;
+  std::vector<std::vector<std::size_t>> group_slots;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const ConfiguredQuery& q = queries[i];
+    if (q.config == nullptr) {
+      throw std::invalid_argument("NaiEngine::InferMixed: query " +
+                                  std::to_string(i) + " has no config");
+    }
+    std::size_t g = 0;
+    while (g < group_configs.size() && group_configs[g] != q.config) ++g;
+    if (g == group_configs.size()) {
+      group_configs.push_back(q.config);
+      group_nodes.emplace_back();
+      group_slots.emplace_back();
+    }
+    group_nodes[g].push_back(q.node);
+    group_slots[g].push_back(i);
+  }
+
+  InferenceResult result;
+  result.predictions.resize(queries.size());
+  result.exit_depths.resize(queries.size());
+  result.stats.num_nodes = static_cast<std::int64_t>(queries.size());
+  for (std::size_t g = 0; g < group_configs.size(); ++g) {
+    InferenceResult local = Infer(group_nodes[g], *group_configs[g]);
+    const std::vector<std::size_t>& slots = group_slots[g];
+    for (std::size_t j = 0; j < slots.size(); ++j) {
+      result.predictions[slots[j]] = local.predictions[j];
+      result.exit_depths[slots[j]] = local.exit_depths[j];
+    }
+    // Accumulate excludes num_nodes and wall_time_ms by design; both
+    // describe this whole call and are set exactly once here.
+    result.stats.Accumulate(local.stats);
   }
   result.stats.wall_time_ms = MsSince(run_start);
   return result;

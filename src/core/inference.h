@@ -92,6 +92,16 @@ struct InferenceStats {
   void Accumulate(const InferenceStats& other);
 };
 
+/// One query bound to the inference configuration it must be served with —
+/// the unit of work of the streaming front-end (src/serve/), where QoS
+/// classes resolve to per-request configs. `config` is borrowed and must
+/// outlive the InferMixed call; queries sharing a config pointer are
+/// co-batched.
+struct ConfiguredQuery {
+  std::int32_t node = 0;
+  const InferenceConfig* config = nullptr;
+};
+
 struct InferenceResult {
   std::vector<std::int32_t> predictions;  ///< aligned with the query nodes
   /// Personalized propagation depth L(v_i) actually used per query node
@@ -140,6 +150,17 @@ class NaiEngine {
   /// but not thread-safe (shared sampler scratch).
   InferenceResult Infer(const std::vector<std::int32_t>& nodes,
                         const InferenceConfig& config);
+
+  /// Per-query-config entry point: classifies queries that each carry their
+  /// own InferenceConfig. Queries are grouped by config pointer (stable:
+  /// first-appearance group order, caller order within a group) and every
+  /// group runs through Infer, so each group's predictions/exit depths are
+  /// bit-identical to a direct Infer call on that group's node list.
+  /// Results are scattered back into caller order; stats are the groups'
+  /// merged via InferenceStats::Accumulate (num_nodes / wall_time_ms set
+  /// once for the whole call). Throws std::invalid_argument on a null
+  /// config pointer.
+  InferenceResult InferMixed(const std::vector<ConfiguredQuery>& queries);
 
   const graph::Csr& norm_adj() const { return norm_adj_; }
 

@@ -95,9 +95,7 @@ ShardedNaiEngine::ShardedNaiEngine(const graph::Graph& full_graph,
   }
 }
 
-InferenceResult ShardedNaiEngine::Infer(const std::vector<std::int32_t>& nodes,
-                                        const InferenceConfig& config) {
-  const auto run_start = Clock::now();
+void ShardedNaiEngine::ValidateConfig(const InferenceConfig& config) const {
   // The depth the shard engines will resolve for themselves — validated
   // against the halo via the shared InferenceConfig rule.
   const int t_max = config.effective_t_max(classifiers_->depth());
@@ -107,6 +105,13 @@ InferenceResult ShardedNaiEngine::Infer(const std::vector<std::int32_t>& nodes,
         " exceeds the shard halo of " + std::to_string(sharded_.halo_hops) +
         " hops; rebuild the shards with halo_hops >= T_max");
   }
+}
+
+InferenceResult ShardedNaiEngine::Infer(const std::vector<std::int32_t>& nodes,
+                                        const InferenceConfig& config) {
+  const auto run_start = Clock::now();
+  ValidateConfig(config);
+  const int t_max = config.effective_t_max(classifiers_->depth());
 
   const std::size_t num_shards = sharded_.num_shards();
   const std::int64_t n = static_cast<std::int64_t>(sharded_.owner.size());
@@ -162,6 +167,74 @@ InferenceResult ShardedNaiEngine::Infer(const std::vector<std::int32_t>& nodes,
   // Deterministic merge in shard order. Accumulate excludes num_nodes and
   // wall_time_ms by design: both describe the whole run and are set exactly
   // once here, never summed over shards.
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (!shard_queries[s].empty()) result.stats.Accumulate(shard_stats[s]);
+  }
+  result.stats.wall_time_ms = MsSince(run_start);
+  return result;
+}
+
+InferenceResult ShardedNaiEngine::InferMixed(
+    const std::vector<ConfiguredQuery>& queries) {
+  const auto run_start = Clock::now();
+  // Every distinct config must survive the halo check before any shard
+  // starts serving (the linear scan mirrors NaiEngine::InferMixed).
+  std::vector<const InferenceConfig*> seen;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const InferenceConfig* c = queries[i].config;
+    if (c == nullptr) {
+      throw std::invalid_argument("ShardedNaiEngine::InferMixed: query " +
+                                  std::to_string(i) + " has no config");
+    }
+    if (std::find(seen.begin(), seen.end(), c) == seen.end()) {
+      ValidateConfig(*c);
+      seen.push_back(c);
+    }
+  }
+
+  const std::size_t num_shards = sharded_.num_shards();
+  const std::int64_t n = static_cast<std::int64_t>(sharded_.owner.size());
+
+  // Route by owning shard exactly as Infer does, but carry each query's
+  // config along (shard-local node ids, caller-order slots).
+  std::vector<std::vector<ConfiguredQuery>> shard_queries(num_shards);
+  std::vector<std::vector<std::size_t>> shard_slots(num_shards);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const std::int32_t v = queries[i].node;
+    if (v < 0 || static_cast<std::int64_t>(v) >= n) {
+      throw std::out_of_range("ShardedNaiEngine: query node " +
+                              std::to_string(v) + " outside [0, " +
+                              std::to_string(n) + ")");
+    }
+    const std::int32_t s = sharded_.owner[v];
+    shard_queries[s].push_back(
+        {sharded_.shards[s].global_to_local[v], queries[i].config});
+    shard_slots[s].push_back(i);
+  }
+
+  InferenceResult result;
+  result.predictions.resize(queries.size());
+  result.exit_depths.resize(queries.size());
+  result.stats.num_nodes = static_cast<std::int64_t>(queries.size());
+
+  std::vector<InferenceStats> shard_stats(num_shards);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (shard_queries[s].empty()) continue;
+    tasks.push_back([this, s, &shard_queries, &shard_slots, &result,
+                     &shard_stats] {
+      InferenceResult local = engines_[s]->InferMixed(shard_queries[s]);
+      const std::vector<std::size_t>& slots = shard_slots[s];
+      for (std::size_t j = 0; j < slots.size(); ++j) {
+        result.predictions[slots[j]] = local.predictions[j];
+        result.exit_depths[slots[j]] = local.exit_depths[j];
+      }
+      shard_stats[s] = std::move(local.stats);
+    });
+  }
+  runtime::RunConcurrently(tasks);
+
   for (std::size_t s = 0; s < num_shards; ++s) {
     if (!shard_queries[s].empty()) result.stats.Accumulate(shard_stats[s]);
   }

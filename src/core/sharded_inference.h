@@ -63,6 +63,25 @@ class ShardedNaiEngine {
   InferenceResult Infer(const std::vector<std::int32_t>& nodes,
                         const InferenceConfig& config);
 
+  /// Per-query-config counterpart of Infer (see NaiEngine::InferMixed):
+  /// routes each query to its owning shard, where queries sharing a config
+  /// are co-batched. Same determinism contract as Infer per config group;
+  /// same thread-compatibility and throws, applied to every distinct
+  /// config.
+  InferenceResult InferMixed(const std::vector<ConfiguredQuery>& queries);
+
+  /// Checks that this engine's shards can serve `config`: its effective
+  /// T_max must not exceed halo_hops (the shard BFS would leave the shard).
+  /// Throws std::invalid_argument otherwise. Infer/InferMixed call this on
+  /// every config; the serving front-end calls it once per QoS policy at
+  /// construction, because it bypasses the routed entry points and pumps
+  /// shard_engine(s) directly.
+  void ValidateConfig(const InferenceConfig& config) const;
+
+  /// The classifier bank's depth k — the deepest T_max any config can
+  /// resolve to (InferenceConfig::effective_t_max).
+  int depth() const { return classifiers_->depth(); }
+
   std::size_t num_shards() const { return sharded_.num_shards(); }
   int halo_hops() const { return sharded_.halo_hops; }
   int threads_per_shard() const { return threads_per_shard_; }

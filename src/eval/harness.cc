@@ -1,8 +1,14 @@
 #include "src/eval/harness.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <future>
+#include <thread>
+#include <utility>
 
 #include "src/baselines/glnn.h"
 #include "src/baselines/nosmog.h"
@@ -11,6 +17,7 @@
 #include "src/graph/normalize.h"
 #include "src/graph/shard.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/random.h"
 
 namespace nai::eval {
 
@@ -162,6 +169,103 @@ std::vector<NaiSetting> MakeDefaultSettings(TrainedPipeline& pipeline,
     settings.push_back(s);
   }
   return settings;
+}
+
+serve::QosPolicyTable MakeQosPolicyTable(TrainedPipeline& pipeline,
+                                         const PreparedDataset& ds,
+                                         core::NapKind nap,
+                                         double speed_deadline_ms,
+                                         double accuracy_deadline_ms) {
+  // Reuse the validation-calibrated trade-off settings: NAI^1 is the
+  // speed-first operating point, NAI^3 the accuracy-first one.
+  const std::vector<NaiSetting> settings =
+      MakeDefaultSettings(pipeline, ds, nap);
+  serve::QosPolicyTable table;
+  serve::QosPolicy& speed = table.For(serve::QosClass::kSpeedFirst);
+  speed.config = settings.front().config;
+  speed.default_deadline_ms = speed_deadline_ms;
+  serve::QosPolicy& accuracy = table.For(serve::QosClass::kAccuracyFirst);
+  accuracy.config = settings.back().config;
+  accuracy.default_deadline_ms = accuracy_deadline_ms;
+  return table;
+}
+
+ServingRunReport RunServing(serve::ServingEngine& server,
+                            const std::vector<std::int32_t>& nodes,
+                            const ServingLoadConfig& load) {
+  using Clock = std::chrono::steady_clock;
+  ServingRunReport report;
+  const std::size_t n = nodes.size();
+  report.predictions.assign(n, -1);
+  report.classes.resize(n);
+  tensor::Rng rng(load.seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    report.classes[i] = rng.NextDouble() < load.speed_first_fraction
+                            ? serve::QosClass::kSpeedFirst
+                            : serve::QosClass::kAccuracyFirst;
+  }
+  if (n == 0) {
+    report.stats = server.Stats();
+    return report;
+  }
+
+  const Clock::time_point start = Clock::now();
+  if (load.arrival_rate_qps > 0.0) {
+    // Open loop: one generator thread paces Poisson arrivals against the
+    // wall clock (sleep_until, so service time never stretches the
+    // schedule) and never blocks on admission — a full queue sheds the
+    // request, keeping the offered load honest under overload.
+    std::vector<std::pair<std::size_t, std::future<serve::Response>>>
+        in_flight;
+    in_flight.reserve(n);
+    double arrival_us = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      arrival_us += -std::log(1.0 - rng.NextDouble()) * 1e6 /
+                    load.arrival_rate_qps;
+      std::this_thread::sleep_until(
+          start + std::chrono::microseconds(
+                      static_cast<std::int64_t>(arrival_us)));
+      std::optional<std::future<serve::Response>> future =
+          server.TrySubmit(nodes[i], report.classes[i]);
+      if (future.has_value()) in_flight.emplace_back(i, std::move(*future));
+    }
+    for (auto& [i, future] : in_flight) {
+      const serve::Response response = future.get();
+      if (response.served) report.predictions[i] = response.prediction;
+    }
+  } else {
+    // Closed loop: each client keeps exactly one request in flight.
+    // Workers write disjoint slots of report.predictions (one per claimed
+    // index), so no synchronization beyond the claim counter is needed.
+    const int clients = std::max(1, load.closed_loop_clients);
+    std::atomic<std::size_t> next{0};
+    auto client = [&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        const serve::Response response =
+            server.Submit(nodes[i], report.classes[i]).get();
+        if (response.served) report.predictions[i] = response.prediction;
+      }
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (int c = 0; c < clients; ++c) workers.emplace_back(client);
+    for (std::thread& w : workers) w.join();
+  }
+  report.duration_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+
+  std::int64_t served = 0;
+  for (const std::int32_t p : report.predictions) served += p >= 0 ? 1 : 0;
+  report.achieved_qps = report.duration_ms > 0.0
+                            ? 1000.0 * static_cast<double>(served) /
+                                  report.duration_ms
+                            : 0.0;
+  report.offered_qps = load.arrival_rate_qps > 0.0 ? load.arrival_rate_qps
+                                                   : report.achieved_qps;
+  report.stats = server.Stats();
+  return report;
 }
 
 namespace {

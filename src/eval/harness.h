@@ -15,6 +15,8 @@
 #include "src/eval/metrics.h"
 #include "src/models/scalable_gnn.h"
 #include "src/runtime/exec_context.h"
+#include "src/serve/qos.h"
+#include "src/serve/serving_engine.h"
 
 namespace nai::eval {
 
@@ -83,6 +85,51 @@ struct NaiSetting {
 std::vector<NaiSetting> MakeDefaultSettings(TrainedPipeline& pipeline,
                                             const PreparedDataset& ds,
                                             core::NapKind nap);
+
+/// Builds the streaming front-end's QoS table the way a user would: from
+/// the pipeline's validation-calibrated settings (MakeDefaultSettings).
+/// The speed-first class gets the NAI^1 config under `speed_deadline_ms`;
+/// accuracy-first gets the NAI^3 config under `accuracy_deadline_ms`.
+serve::QosPolicyTable MakeQosPolicyTable(TrainedPipeline& pipeline,
+                                         const PreparedDataset& ds,
+                                         core::NapKind nap,
+                                         double speed_deadline_ms = 20.0,
+                                         double accuracy_deadline_ms = 200.0);
+
+/// How RunServing offers `nodes` to a ServingEngine.
+struct ServingLoadConfig {
+  /// > 0: open loop — requests arrive by a Poisson process at this rate
+  /// (exponential inter-arrival gaps, non-blocking admission: a full queue
+  /// sheds the request, which is the open-loop contract). 0: closed loop —
+  /// `closed_loop_clients` workers each keep exactly one request in flight
+  /// (blocking admission, no shedding).
+  double arrival_rate_qps = 0.0;
+  int closed_loop_clients = 4;
+  /// Probability a request is submitted speed-first (the rest go
+  /// accuracy-first). Classes are drawn per node up front from `seed`, so
+  /// the same seed targets the same mix in either loop mode.
+  double speed_first_fraction = 1.0;
+  std::uint64_t seed = 42;
+};
+
+/// What one serving run produced. `predictions[i]` answers `nodes[i]`
+/// (-1 when that request was shed or dropped); `classes[i]` is the QoS
+/// class it was submitted under.
+struct ServingRunReport {
+  serve::ServingStatsSnapshot stats;
+  double duration_ms = 0.0;   ///< first submission -> last completion
+  double offered_qps = 0.0;   ///< open loop: the Poisson rate; closed: achieved
+  double achieved_qps = 0.0;  ///< served requests / duration
+  std::vector<std::int32_t> predictions;
+  std::vector<serve::QosClass> classes;
+};
+
+/// Drives one load-generation pass of `nodes` through the serving engine
+/// and waits for every response. The engine is not shut down — callers can
+/// run several passes (the stats snapshot is cumulative across them).
+ServingRunReport RunServing(serve::ServingEngine& server,
+                            const std::vector<std::int32_t>& nodes,
+                            const ServingLoadConfig& load);
 
 /// Result of running one method on the test set.
 struct MethodResult {

@@ -8,14 +8,18 @@
 
 namespace nai::runtime {
 
-/// Consumes one `--name N` / `--name=N` integer flag shared by the bench
-/// and example binaries, removing it from argv (so wrapped argument parsers
-/// like google-benchmark never see it). Returns the parsed value, or 0 when
-/// the flag is absent or its value is missing, unparseable, or
-/// non-positive — the flag is removed either way.
-inline long ConsumeIntFlag(int& argc, char** argv, const char* name) {
+/// Consumes one `--name V` / `--name=V` flag shared by the bench and
+/// example binaries, removing every occurrence from argv (so wrapped
+/// argument parsers like google-benchmark never see it). Returns the last
+/// occurrence's value — a pointer into argv, stable for the program's
+/// lifetime — or nullptr when the flag is absent or has no value. A
+/// separate value token starting with '-' is not consumed, so
+/// `--threads --benchmark_filter=...` doesn't swallow the filter. This is
+/// the one argv scan; the typed flag helpers below parse on top of it.
+inline const char* ConsumeStringFlag(int& argc, char** argv,
+                                     const char* name) {
   const std::size_t name_len = std::strlen(name);
-  long parsed = 0;
+  const char* parsed = nullptr;
   int w = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -24,8 +28,6 @@ inline long ConsumeIntFlag(int& argc, char** argv, const char* name) {
     if (std::strncmp(arg, name, name_len) == 0) {
       if (arg[name_len] == '\0') {
         consume = true;
-        // Take the next token as the value only when it isn't another flag,
-        // so `--threads --benchmark_filter=...` doesn't swallow the filter.
         if (i + 1 < argc && argv[i + 1][0] != '-') value = argv[++i];
       } else if (arg[name_len] == '=') {
         consume = true;
@@ -33,11 +35,7 @@ inline long ConsumeIntFlag(int& argc, char** argv, const char* name) {
       }
     }
     if (consume) {  // flag (and its value, if any) removed either way
-      if (value != nullptr) {
-        char* end = nullptr;
-        const long v = std::strtol(value, &end, 10);
-        if (end != value && *end == '\0' && v > 0) parsed = v;
-      }
+      if (value != nullptr) parsed = value;
       continue;
     }
     argv[w++] = argv[i];
@@ -45,6 +43,17 @@ inline long ConsumeIntFlag(int& argc, char** argv, const char* name) {
   argv[w] = nullptr;  // keep the argv[argc] == NULL invariant for wrappees
   argc = w;
   return parsed;
+}
+
+/// Integer variant: returns the parsed value of the last occurrence, or 0
+/// when the flag is absent or its value is missing, unparseable, or
+/// non-positive — the flag is removed either way.
+inline long ConsumeIntFlag(int& argc, char** argv, const char* name) {
+  const char* value = ConsumeStringFlag(argc, argv, name);
+  if (value == nullptr) return 0;
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  return end != value && *end == '\0' && v > 0 ? v : 0;
 }
 
 /// Consumes a `--threads N` / `--threads=N` argument: resizes the default
@@ -64,6 +73,31 @@ inline int ApplyThreadsFlag(int& argc, char** argv) {
 inline int ShardsFlag(int& argc, char** argv) {
   const long requested = ConsumeIntFlag(argc, argv, "--shards");
   return requested > 0 ? static_cast<int>(requested) : 1;
+}
+
+/// Consumes a `--qos V` argument: the percentage of serving traffic
+/// submitted speed-first (the rest is accuracy-first). Accepts the class
+/// names "speed" (100), "accuracy" (0), "mix" (50), or an integer in
+/// [0, 100]. Returns `def` when absent or invalid. Purely a parse.
+inline int QosMixFlag(int& argc, char** argv, int def = 50) {
+  const char* value = ConsumeStringFlag(argc, argv, "--qos");
+  if (value == nullptr) return def;
+  if (std::strcmp(value, "speed") == 0) return 100;
+  if (std::strcmp(value, "accuracy") == 0) return 0;
+  if (std::strcmp(value, "mix") == 0) return 50;
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (end != value && *end == '\0' && v >= 0 && v <= 100) {
+    return static_cast<int>(v);
+  }
+  return def;
+}
+
+/// Consumes an `--arrival-rate N` argument: the open-loop offered load in
+/// queries/second for the serving load generator. Returns 0 — closed-loop
+/// — when absent or invalid. Purely a parse.
+inline long ArrivalRateFlag(int& argc, char** argv) {
+  return ConsumeIntFlag(argc, argv, "--arrival-rate");
 }
 
 }  // namespace nai::runtime

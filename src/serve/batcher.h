@@ -1,0 +1,50 @@
+#ifndef NAI_SERVE_BATCHER_H_
+#define NAI_SERVE_BATCHER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/serve/request_queue.h"
+
+namespace nai::serve {
+
+/// Coalescing knobs of one shard's batcher.
+struct BatcherConfig {
+  /// Largest batch one engine call serves. Bigger batches amortize the
+  /// supporting-set BFS across co-located queries; smaller ones bound the
+  /// head-of-line latency a request can add to its neighbors.
+  std::size_t max_batch = 64;
+  /// How long to hold an incomplete batch open for stragglers, measured
+  /// from the moment its *first* request is popped. 0 = serve whatever is
+  /// immediately available (latency-optimal, throughput-pessimal).
+  std::int64_t max_wait_us = 200;
+};
+
+/// Coalesces queued requests into engine batches: blocks for the first
+/// request, then keeps gathering until the batch is full or the window
+/// since that first pop expires. One batcher per shard queue, driven by
+/// that shard's pump thread.
+///
+/// The batcher is deliberately QoS-agnostic — a batch can mix classes, and
+/// the engine's per-query-config entry point (core::ConfiguredQuery)
+/// splits it by resolved config downstream. Keeping the pop order FIFO
+/// here means no class can starve the other at the queue.
+class DynamicBatcher {
+ public:
+  DynamicBatcher(RequestQueue& queue, BatcherConfig config);
+
+  /// Returns the next batch (1..max_batch requests), or an empty vector
+  /// when the queue is closed and fully drained — the pump's exit signal.
+  std::vector<Request> NextBatch();
+
+  const BatcherConfig& config() const { return config_; }
+
+ private:
+  RequestQueue& queue_;
+  BatcherConfig config_;
+};
+
+}  // namespace nai::serve
+
+#endif  // NAI_SERVE_BATCHER_H_

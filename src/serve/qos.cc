@@ -1,0 +1,43 @@
+#include "src/serve/qos.h"
+
+#include <algorithm>
+
+namespace nai::serve {
+
+const char* QosClassName(QosClass qos) {
+  switch (qos) {
+    case QosClass::kSpeedFirst:
+      return "speed-first";
+    case QosClass::kAccuracyFirst:
+      return "accuracy-first";
+  }
+  return "unknown";
+}
+
+QosPolicyTable DefaultQosPolicyTable(int k) {
+  QosPolicyTable table;
+
+  // Mirrors the harness's NAI^1 shape (speed-first): shallow depth cap and
+  // a permissive exit threshold retire most nodes at the first NAP check.
+  QosPolicy& speed = table.For(QosClass::kSpeedFirst);
+  speed.config.nap = core::NapKind::kDistance;
+  speed.config.relative_distance = true;
+  speed.config.threshold = 0.25f;
+  speed.config.t_min = 1;
+  speed.config.t_max = std::min(2, std::max(1, k));
+  speed.default_deadline_ms = 20.0;
+
+  // NAI^3 shape (accuracy-first): the full classifier bank is available and
+  // only very smooth nodes exit early.
+  QosPolicy& accuracy = table.For(QosClass::kAccuracyFirst);
+  accuracy.config.nap = core::NapKind::kDistance;
+  accuracy.config.relative_distance = true;
+  accuracy.config.threshold = 0.05f;
+  accuracy.config.t_min = std::min(2, std::max(1, k));
+  accuracy.config.t_max = 0;  // resolve to k
+  accuracy.default_deadline_ms = 200.0;
+
+  return table;
+}
+
+}  // namespace nai::serve

@@ -1,0 +1,59 @@
+#ifndef NAI_SERVE_QOS_H_
+#define NAI_SERVE_QOS_H_
+
+#include <array>
+#include <cstddef>
+
+#include "src/core/inference.h"
+
+namespace nai::serve {
+
+/// The traffic classes one serving graph handles concurrently. A request's
+/// class resolves — through the deployment's QosPolicyTable — to the
+/// InferenceConfig it is served with, so speed-first traffic takes
+/// aggressive NAP thresholds and a shallow T_max while accuracy-first
+/// traffic runs the full-depth configuration, on the same engine.
+enum class QosClass {
+  kSpeedFirst = 0,
+  kAccuracyFirst = 1,
+};
+
+inline constexpr std::size_t kNumQosClasses = 2;
+
+const char* QosClassName(QosClass qos);
+
+/// How one QoS class is served: the inference configuration every request
+/// of the class resolves to, and the latency budget a request gets when it
+/// does not bring its own.
+struct QosPolicy {
+  core::InferenceConfig config;
+  double default_deadline_ms = 50.0;
+};
+
+/// The per-deployment class -> policy map. Requests only name a QosClass;
+/// the table is the single place the serving engine resolves it, so all
+/// requests of a class share one InferenceConfig object and co-batch in the
+/// engine's per-query-config entry point (core::ConfiguredQuery groups by
+/// config identity).
+struct QosPolicyTable {
+  std::array<QosPolicy, kNumQosClasses> policies;
+
+  const QosPolicy& For(QosClass qos) const {
+    return policies[static_cast<std::size_t>(qos)];
+  }
+  QosPolicy& For(QosClass qos) {
+    return policies[static_cast<std::size_t>(qos)];
+  }
+};
+
+/// A structure-only default table for a depth-k classifier bank: speed-first
+/// is NAPd with a permissive relative threshold and T_max = min(2, k) under
+/// a tight deadline; accuracy-first is full-depth NAPd with a strict
+/// threshold and a loose deadline. Deployments with a validation set should
+/// prefer thresholds calibrated from its distance distribution
+/// (eval::MakeQosPolicyTable).
+QosPolicyTable DefaultQosPolicyTable(int k);
+
+}  // namespace nai::serve
+
+#endif  // NAI_SERVE_QOS_H_

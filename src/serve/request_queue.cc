@@ -1,0 +1,87 @@
+#include "src/serve/request_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nai::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("RequestQueue: capacity must be positive");
+  }
+}
+
+bool RequestQueue::TryPush(Request&& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(request));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::Push(Request&& request) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(request));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<Request> RequestQueue::Pop() {
+  std::optional<Request> out;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    out.emplace(std::move(items_.front()));
+    items_.pop_front();
+  }
+  not_full_.notify_one();
+  return out;
+}
+
+std::optional<Request> RequestQueue::TryPop() {
+  std::optional<Request> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    out.emplace(std::move(items_.front()));
+    items_.pop_front();
+  }
+  not_full_.notify_one();
+  return out;
+}
+
+bool RequestQueue::WaitForItem(ServeClock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait_until(lock, deadline,
+                        [this] { return closed_ || !items_.empty(); });
+  return !items_.empty();
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+}  // namespace nai::serve

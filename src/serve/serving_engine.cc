@@ -1,0 +1,349 @@
+#include "src/serve/serving_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace nai::serve {
+
+namespace {
+
+double MsBetween(ServeClock::time_point from, ServeClock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+LatencySummary Summarize(std::vector<double> latencies) {
+  LatencySummary out;
+  out.count = static_cast<std::int64_t>(latencies.size());
+  if (latencies.empty()) return out;
+  std::sort(latencies.begin(), latencies.end());
+  double sum = 0.0;
+  for (const double v : latencies) sum += v;
+  out.mean_ms = sum / static_cast<double>(latencies.size());
+  // Nearest-rank percentile: the smallest value with at least q*n values
+  // at or below it.
+  auto rank = [&](double q) {
+    const std::size_t r = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(q * static_cast<double>(latencies.size()))));
+    return latencies[r - 1];
+  };
+  out.p50_ms = rank(0.50);
+  out.p95_ms = rank(0.95);
+  out.p99_ms = rank(0.99);
+  out.max_ms = latencies.back();
+  return out;
+}
+
+}  // namespace
+
+/// Shared counters, written by client threads (admission) and pump threads
+/// (completion). One mutex is plenty: per-event work is O(1) and the
+/// engine call dominates by orders of magnitude. Latency samples live in a
+/// bounded per-class ring (the kLatencyWindow most recent), so memory is
+/// O(1) no matter how long the deployment runs; exact totals are plain
+/// counters.
+struct ServingEngine::Counters {
+  std::mutex mu;
+  std::int64_t submitted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t dropped = 0;
+  std::int64_t deadline_misses = 0;
+  std::array<std::vector<double>, kNumQosClasses> latency_window;
+  std::array<std::size_t, kNumQosClasses> latency_next{};  // ring cursor
+  std::array<std::int64_t, kNumQosClasses> completed{};
+  std::array<std::int64_t, kNumQosClasses> misses{};
+  std::vector<std::int64_t> batch_size_hist;
+  std::int64_t num_batches = 0;
+  std::int64_t batched_requests = 0;
+  core::InferenceStats engine_stats;
+  std::atomic<std::int64_t> next_id{0};
+
+  void RecordLatency(std::size_t qos, double latency_ms) {
+    ++completed[qos];
+    std::vector<double>& window = latency_window[qos];
+    if (window.size() < ServingEngine::kLatencyWindow) {
+      window.push_back(latency_ms);
+    } else {
+      window[latency_next[qos]] = latency_ms;
+      latency_next[qos] = (latency_next[qos] + 1) % window.size();
+    }
+  }
+};
+
+ServingEngine::ServingEngine(core::ShardedNaiEngine& engine,
+                             QosPolicyTable policies, ServingOptions options)
+    : engine_(&engine),
+      policies_(std::move(policies)),
+      options_(options),
+      stats_(std::make_unique<Counters>()) {
+  for (std::size_t c = 0; c < kNumQosClasses; ++c) {
+    // The pumps call shard engines directly, bypassing the routed entry
+    // points and their halo check — so every policy is validated here,
+    // before any request can be admitted.
+    engine_->ValidateConfig(policies_.policies[c].config);
+  }
+  stats_->batch_size_hist.assign(options_.batcher.max_batch, 0);
+
+  // Queue and batcher construction validates queue_capacity and the
+  // BatcherConfig here, on the caller's thread — a degenerate option must
+  // throw from this constructor, not abort a pump thread.
+  const graph::ShardedGraph& sharded = engine_->sharded_graph();
+  queues_.resize(sharded.num_shards());
+  batchers_.resize(sharded.num_shards());
+  for (std::size_t s = 0; s < sharded.num_shards(); ++s) {
+    if (sharded.shards[s].num_owned() == 0) continue;
+    queues_[s] = std::make_unique<RequestQueue>(options_.queue_capacity);
+    batchers_[s] =
+        std::make_unique<DynamicBatcher>(*queues_[s], options_.batcher);
+  }
+  for (std::size_t s = 0; s < queues_.size(); ++s) {
+    if (queues_[s] == nullptr) continue;
+    pumps_.emplace_back([this, s] { PumpShard(s); });
+  }
+}
+
+ServingEngine::~ServingEngine() { Shutdown(); }
+
+Request ServingEngine::MakeRequest(std::int32_t node, QosClass qos,
+                                   double deadline_ms) {
+  const QosPolicy& policy = policies_.For(qos);
+  const double budget_ms =
+      deadline_ms > 0.0 ? deadline_ms : policy.default_deadline_ms;
+  Request request;
+  request.id = stats_->next_id.fetch_add(1, std::memory_order_relaxed);
+  request.node = node;
+  request.qos = qos;
+  request.admitted = ServeClock::now();
+  request.deadline =
+      request.admitted + std::chrono::duration_cast<ServeClock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 budget_ms));
+  return request;
+}
+
+std::size_t ServingEngine::ShardFor(std::int32_t node) const {
+  const graph::ShardedGraph& sharded = engine_->sharded_graph();
+  if (node < 0 ||
+      static_cast<std::size_t>(node) >= sharded.owner.size()) {
+    throw std::out_of_range("ServingEngine: query node " +
+                            std::to_string(node) + " outside [0, " +
+                            std::to_string(sharded.owner.size()) + ")");
+  }
+  return static_cast<std::size_t>(sharded.owner[node]);
+}
+
+void ServingEngine::Complete(Request& request, Response response) {
+  request.promise.set_value(response);
+  if (request.callback) request.callback(response);
+}
+
+void ServingEngine::Reject(Request& request) {
+  {
+    std::lock_guard<std::mutex> lock(stats_->mu);
+    ++stats_->rejected;
+  }
+  Response response;
+  response.qos = request.qos;
+  response.served = false;
+  Complete(request, response);
+}
+
+std::future<Response> ServingEngine::Submit(std::int32_t node, QosClass qos,
+                                            double deadline_ms) {
+  const std::size_t s = ShardFor(node);
+  Request request = MakeRequest(node, qos, deadline_ms);
+  std::future<Response> future = request.promise.get_future();
+  // `submitted` is counted before the push so a concurrent Stats()
+  // snapshot can never observe completed > submitted; a failed push
+  // (queue closed) takes the count back and becomes a rejection. Push
+  // only moves the request on success, so the caller-side object — and
+  // its promise — is still ours to reject.
+  {
+    std::lock_guard<std::mutex> lock(stats_->mu);
+    ++stats_->submitted;
+  }
+  if (!queues_[s]->Push(std::move(request))) {
+    {
+      std::lock_guard<std::mutex> lock(stats_->mu);
+      --stats_->submitted;
+    }
+    Reject(request);
+  }
+  return future;
+}
+
+std::optional<std::future<Response>> ServingEngine::TrySubmit(
+    std::int32_t node, QosClass qos, double deadline_ms) {
+  const std::size_t s = ShardFor(node);
+  Request request = MakeRequest(node, qos, deadline_ms);
+  std::future<Response> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(stats_->mu);
+    ++stats_->submitted;
+  }
+  if (!queues_[s]->TryPush(std::move(request))) {
+    std::lock_guard<std::mutex> lock(stats_->mu);
+    --stats_->submitted;
+    ++stats_->rejected;
+    return std::nullopt;
+  }
+  return future;
+}
+
+bool ServingEngine::SubmitWithCallback(
+    std::int32_t node, QosClass qos,
+    std::function<void(const Response&)> callback, double deadline_ms) {
+  const std::size_t s = ShardFor(node);
+  Request request = MakeRequest(node, qos, deadline_ms);
+  request.callback = std::move(callback);
+  {
+    std::lock_guard<std::mutex> lock(stats_->mu);
+    ++stats_->submitted;
+  }
+  if (queues_[s]->Push(std::move(request))) return true;
+  {
+    std::lock_guard<std::mutex> lock(stats_->mu);
+    --stats_->submitted;
+  }
+  Reject(request);
+  return false;
+}
+
+void ServingEngine::PumpShard(std::size_t shard) {
+  DynamicBatcher& batcher = *batchers_[shard];
+  core::NaiEngine& engine = engine_->shard_engine(shard);
+  const std::vector<std::int32_t>& global_to_local =
+      engine_->sharded_graph().shards[shard].global_to_local;
+
+  while (true) {
+    std::vector<Request> batch = batcher.NextBatch();
+    if (batch.empty()) return;  // closed and drained
+
+    const ServeClock::time_point formed = ServeClock::now();
+    std::vector<Request> serve;
+    serve.reserve(batch.size());
+    for (Request& request : batch) {
+      if (options_.drop_expired && formed >= request.deadline) {
+        Response response;
+        response.qos = request.qos;
+        response.served = false;
+        response.deadline_missed = true;
+        response.queue_ms = MsBetween(request.admitted, formed);
+        response.latency_ms = response.queue_ms;
+        {
+          std::lock_guard<std::mutex> lock(stats_->mu);
+          ++stats_->dropped;
+          ++stats_->deadline_misses;
+          ++stats_->misses[static_cast<std::size_t>(request.qos)];
+        }
+        Complete(request, response);
+      } else {
+        serve.push_back(std::move(request));
+      }
+    }
+    if (serve.empty()) continue;
+
+    // One engine call for the whole (possibly QoS-mixed) batch: queries
+    // sharing a policy config group together inside InferMixed, and the
+    // shard engine's ExecContext pins the work to this shard's pool.
+    std::vector<core::ConfiguredQuery> queries;
+    queries.reserve(serve.size());
+    for (const Request& request : serve) {
+      queries.push_back({global_to_local[request.node],
+                         &policies_.For(request.qos).config});
+    }
+    core::InferenceResult result = engine.InferMixed(queries);
+    const ServeClock::time_point done = ServeClock::now();
+
+    {
+      std::lock_guard<std::mutex> lock(stats_->mu);
+      ++stats_->num_batches;
+      stats_->batched_requests += static_cast<std::int64_t>(serve.size());
+      ++stats_->batch_size_hist[serve.size() - 1];
+      stats_->engine_stats.Accumulate(result.stats);
+      stats_->engine_stats.num_nodes += result.stats.num_nodes;
+      stats_->engine_stats.wall_time_ms += result.stats.wall_time_ms;
+    }
+
+    for (std::size_t i = 0; i < serve.size(); ++i) {
+      Request& request = serve[i];
+      Response response;
+      response.prediction = result.predictions[i];
+      response.exit_depth = result.exit_depths[i];
+      response.qos = request.qos;
+      response.served = true;
+      response.deadline_missed = done > request.deadline;
+      response.queue_ms = MsBetween(request.admitted, formed);
+      response.latency_ms = MsBetween(request.admitted, done);
+      {
+        std::lock_guard<std::mutex> lock(stats_->mu);
+        const std::size_t c = static_cast<std::size_t>(request.qos);
+        stats_->RecordLatency(c, response.latency_ms);
+        if (response.deadline_missed) {
+          ++stats_->deadline_misses;
+          ++stats_->misses[c];
+        }
+      }
+      Complete(request, response);
+    }
+  }
+}
+
+void ServingEngine::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  for (const std::unique_ptr<RequestQueue>& queue : queues_) {
+    if (queue != nullptr) queue->Close();
+  }
+  for (std::thread& pump : pumps_) pump.join();
+  pumps_.clear();
+}
+
+ServingStatsSnapshot ServingEngine::Stats() const {
+  ServingStatsSnapshot snap;
+  std::array<std::vector<double>, kNumQosClasses> windows;
+  std::array<std::int64_t, kNumQosClasses> completed{};
+  {
+    std::lock_guard<std::mutex> lock(stats_->mu);
+    snap.submitted = stats_->submitted;
+    snap.rejected = stats_->rejected;
+    snap.dropped = stats_->dropped;
+    snap.deadline_misses = stats_->deadline_misses;
+    snap.per_class_misses = stats_->misses;
+    snap.batch_size_hist = stats_->batch_size_hist;
+    snap.num_batches = stats_->num_batches;
+    snap.mean_batch_size =
+        stats_->num_batches == 0
+            ? 0.0
+            : static_cast<double>(stats_->batched_requests) /
+                  static_cast<double>(stats_->num_batches);
+    snap.engine_stats = stats_->engine_stats;
+    windows = stats_->latency_window;
+    completed = stats_->completed;
+  }
+  // Percentiles come from the bounded recent window; counts are the exact
+  // all-time totals (equal while fewer than kLatencyWindow requests of a
+  // class have completed).
+  std::vector<double> all;
+  for (std::size_t c = 0; c < kNumQosClasses; ++c) {
+    snap.per_class[c] = Summarize(windows[c]);
+    snap.per_class[c].count = completed[c];
+    snap.completed += completed[c];
+    all.insert(all.end(), windows[c].begin(), windows[c].end());
+  }
+  snap.latency = Summarize(std::move(all));
+  snap.latency.count = snap.completed;
+  for (const std::unique_ptr<RequestQueue>& queue : queues_) {
+    if (queue != nullptr) snap.queue_depth += queue->size();
+  }
+  return snap;
+}
+
+}  // namespace nai::serve

@@ -1,0 +1,170 @@
+#ifndef NAI_SERVE_SERVING_ENGINE_H_
+#define NAI_SERVE_SERVING_ENGINE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "src/core/sharded_inference.h"
+#include "src/serve/batcher.h"
+#include "src/serve/qos.h"
+#include "src/serve/request_queue.h"
+
+namespace nai::serve {
+
+/// Front-end tuning knobs (the per-shard queue and batcher are replicated
+/// from these for every shard that owns nodes).
+struct ServingOptions {
+  /// Admission-queue capacity per shard; TrySubmit sheds above it.
+  std::size_t queue_capacity = 1024;
+  BatcherConfig batcher;
+  /// When true, requests whose deadline already passed at batch formation
+  /// are completed unserved (prediction -1) instead of burning engine time
+  /// on an answer nobody is waiting for.
+  bool drop_expired = false;
+};
+
+/// Latency distribution of one request population (milliseconds,
+/// admission -> completion). Percentiles are nearest-rank, computed over a
+/// sliding window of the most recent kLatencyWindow samples per class so a
+/// long-running deployment's stats stay O(1) in memory; `count` is the
+/// exact all-time served total.
+struct LatencySummary {
+  std::int64_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// A point-in-time copy of the serving counters. Consistent within one
+/// snapshot (taken under the stats lock); queue_depth is sampled at
+/// snapshot time.
+struct ServingStatsSnapshot {
+  std::int64_t submitted = 0;        ///< admitted into a shard queue
+  std::int64_t rejected = 0;         ///< shed at admission (full / shut down)
+  std::int64_t completed = 0;        ///< served through the engine
+  std::int64_t dropped = 0;          ///< expired in queue (drop_expired)
+  std::int64_t deadline_misses = 0;  ///< completed or dropped past deadline
+  std::size_t queue_depth = 0;       ///< waiting requests across all shards
+
+  LatencySummary latency;  ///< all served requests
+  std::array<LatencySummary, kNumQosClasses> per_class;
+  std::array<std::int64_t, kNumQosClasses> per_class_misses{};
+
+  /// batch_size_hist[s-1] = engine calls that served exactly s requests.
+  std::vector<std::int64_t> batch_size_hist;
+  std::int64_t num_batches = 0;
+  double mean_batch_size = 0.0;
+
+  /// The engine counters of every served batch, merged via
+  /// InferenceStats::Accumulate (num_nodes = served requests; wall_time_ms
+  /// is the summed per-batch engine time, not elapsed time).
+  core::InferenceStats engine_stats;
+};
+
+/// The streaming serving front-end: admission queues, dynamic batching and
+/// QoS-class resolution over a sharded NAI engine.
+///
+/// One RequestQueue + DynamicBatcher + pump thread per shard that owns
+/// nodes. Submit routes a request to its owning shard's queue; the shard's
+/// pump coalesces queued requests into batches and serves each batch with
+/// one per-query-config engine call (NaiEngine::InferMixed) on that shard's
+/// dedicated thread pool, so traffic classes co-exist in a batch yet are
+/// each served with their own InferenceConfig. Completion fulfils the
+/// request's future and invokes its callback on the pump thread.
+///
+/// Determinism: a request's prediction and exit depth are per-node
+/// quantities of its resolved config — bit-identical to a direct
+/// (Sharded)NaiEngine::Infer of the same node under that config, no matter
+/// how requests were batched or interleaved with other traffic.
+///
+/// Shutdown is graceful: queues close (new submissions are rejected), every
+/// admitted request is still served, pumps drain and join. The destructor
+/// calls Shutdown(). The wrapped engine must outlive this object, and
+/// direct Infer calls on it must not overlap in-flight requests (the shard
+/// engines' samplers are not thread-safe).
+class ServingEngine {
+ public:
+  /// Latency samples retained per QoS class for the percentile window.
+  static constexpr std::size_t kLatencyWindow = 16384;
+
+  /// Throws std::invalid_argument when a policy's config cannot be served
+  /// by the engine's shards (ShardedNaiEngine::ValidateConfig — the pumps
+  /// bypass the routed entry points, so the halo check happens here, once)
+  /// or when `options` is degenerate (zero queue capacity or batch size,
+  /// negative wait) — everything is validated on the caller's thread
+  /// before any pump spawns.
+  ServingEngine(core::ShardedNaiEngine& engine, QosPolicyTable policies,
+                ServingOptions options = {});
+  ~ServingEngine();
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Blocking admission (backpressure): waits for queue space, returns the
+  /// response future. After Shutdown the future is immediately ready with
+  /// served = false. `deadline_ms` <= 0 uses the class policy's default.
+  /// Throws std::out_of_range for nodes outside the graph.
+  std::future<Response> Submit(std::int32_t node, QosClass qos,
+                               double deadline_ms = 0.0);
+
+  /// Non-blocking admission: nullopt when the shard queue is full (shed
+  /// load upstream) or the engine is shut down.
+  std::optional<std::future<Response>> TrySubmit(std::int32_t node,
+                                                 QosClass qos,
+                                                 double deadline_ms = 0.0);
+
+  /// Blocking admission with a completion callback (invoked on the pump
+  /// thread after the future is fulfilled). False when rejected; the
+  /// callback still fires with the unserved response.
+  bool SubmitWithCallback(std::int32_t node, QosClass qos,
+                          std::function<void(const Response&)> callback,
+                          double deadline_ms = 0.0);
+
+  /// Closes admission, serves everything already queued, joins the pump
+  /// threads. Idempotent.
+  void Shutdown();
+
+  ServingStatsSnapshot Stats() const;
+
+  const QosPolicyTable& policies() const { return policies_; }
+  const ServingOptions& options() const { return options_; }
+  core::ShardedNaiEngine& engine() { return *engine_; }
+
+ private:
+  struct Counters;
+
+  Request MakeRequest(std::int32_t node, QosClass qos, double deadline_ms);
+  std::size_t ShardFor(std::int32_t node) const;
+  void Complete(Request& request, Response response);
+  void Reject(Request& request);
+  void PumpShard(std::size_t shard);
+
+  core::ShardedNaiEngine* engine_;
+  QosPolicyTable policies_;
+  ServingOptions options_;
+
+  /// Indexed by shard id; nullptr for shards that own no nodes (routing can
+  /// never target them). Batchers are built in the constructor so a
+  /// degenerate BatcherConfig throws to the caller, not on a pump thread.
+  std::vector<std::unique_ptr<RequestQueue>> queues_;
+  std::vector<std::unique_ptr<DynamicBatcher>> batchers_;
+  std::vector<std::thread> pumps_;
+
+  std::mutex shutdown_mu_;
+  bool shut_down_ = false;
+
+  std::unique_ptr<Counters> stats_;
+};
+
+}  // namespace nai::serve
+
+#endif  // NAI_SERVE_SERVING_ENGINE_H_

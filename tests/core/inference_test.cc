@@ -1,6 +1,7 @@
 #include "src/core/inference.h"
 
 #include <numeric>
+#include <stdexcept>
 
 #include "gtest/gtest.h"
 #include "src/tensor/ops.h"
@@ -207,6 +208,79 @@ TEST(InferenceTest, TminOneTmaxOne) {
   EXPECT_EQ(r.stats.exits_at_depth[0],
             static_cast<std::int64_t>(w.all_nodes.size()));
   EXPECT_EQ(r.predictions, TransductivePredictions(w, 1));
+}
+
+TEST(InferenceTest, InferMixedMatchesPerConfigInferCalls) {
+  // The per-query-config entry point groups queries by config identity;
+  // each group must answer bit-identically to a direct Infer of that
+  // group's node list, scattered back into caller order, with the groups'
+  // counters merged.
+  auto w = MakeSmallWorld(3, models::ModelKind::kSgc, 200);
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), nullptr);
+  InferenceConfig speed;
+  speed.nap = NapKind::kDistance;
+  speed.relative_distance = true;
+  speed.threshold = 0.3f;
+  speed.t_max = 2;
+  InferenceConfig full;
+  full.nap = NapKind::kNone;
+  full.t_max = 0;
+
+  std::vector<ConfiguredQuery> queries;
+  std::vector<std::int32_t> speed_nodes;
+  std::vector<std::int32_t> full_nodes;
+  for (std::int32_t v = 0; v < 100; ++v) {
+    const bool is_speed = v % 2 == 0;
+    queries.push_back({v, is_speed ? &speed : &full});
+    (is_speed ? speed_nodes : full_nodes).push_back(v);
+  }
+  const auto mixed = engine.InferMixed(queries);
+  const auto ref_speed = engine.Infer(speed_nodes, speed);
+  const auto ref_full = engine.Infer(full_nodes, full);
+
+  ASSERT_EQ(mixed.predictions.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const bool is_speed = i % 2 == 0;
+    const auto& ref = is_speed ? ref_speed : ref_full;
+    const std::size_t j = i / 2;
+    EXPECT_EQ(mixed.predictions[i], ref.predictions[j]) << "query " << i;
+    EXPECT_EQ(mixed.exit_depths[i], ref.exit_depths[j]) << "query " << i;
+  }
+  EXPECT_EQ(mixed.stats.num_nodes, static_cast<std::int64_t>(queries.size()));
+  EXPECT_EQ(mixed.stats.propagation_macs,
+            ref_speed.stats.propagation_macs +
+                ref_full.stats.propagation_macs);
+  EXPECT_EQ(mixed.stats.classification_macs,
+            ref_speed.stats.classification_macs +
+                ref_full.stats.classification_macs);
+  // The merged exit histogram covers the deeper group's depth range.
+  ASSERT_EQ(mixed.stats.exits_at_depth.size(),
+            ref_full.stats.exits_at_depth.size());
+}
+
+TEST(InferenceTest, InferMixedSingleConfigEqualsInfer) {
+  auto w = MakeSmallWorld(3, models::ModelKind::kSgc, 200);
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), nullptr);
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.threshold = 0.4f;
+  std::vector<ConfiguredQuery> queries;
+  for (const std::int32_t v : w.all_nodes) queries.push_back({v, &cfg});
+  const auto mixed = engine.InferMixed(queries);
+  const auto ref = engine.Infer(w.all_nodes, cfg);
+  EXPECT_EQ(mixed.predictions, ref.predictions);
+  EXPECT_EQ(mixed.exit_depths, ref.exit_depths);
+  EXPECT_EQ(mixed.stats.propagation_macs, ref.stats.propagation_macs);
+  EXPECT_EQ(mixed.stats.exits_at_depth, ref.stats.exits_at_depth);
+}
+
+TEST(InferenceTest, InferMixedNullConfigThrows) {
+  auto w = MakeSmallWorld(2, models::ModelKind::kSgc, 120);
+  NaiEngine engine(w.data.graph, w.data.features, w.config.gamma,
+                   *w.classifiers, w.stationary.get(), nullptr);
+  EXPECT_THROW(engine.InferMixed({{0, nullptr}}), std::invalid_argument);
 }
 
 TEST(InferenceTest, QueryOrderPermutesResultsConsistently) {

@@ -290,6 +290,70 @@ TEST(ShardedInferenceTest, QueryOutOfRangeThrows) {
   EXPECT_THROW(sharded.Infer({120}, cfg), std::out_of_range);
 }
 
+TEST(ShardedInferenceTest, InferMixedRoutesAndGroupsBitExact) {
+  // Routed per-query-config serving: every (shard, config) group must
+  // answer exactly like the unsharded engine's per-config runs on the same
+  // nodes, scattered back into caller order.
+  auto w = MakeSmallWorld(kDepth);
+  InferenceConfig speed;
+  speed.nap = NapKind::kDistance;
+  speed.relative_distance = true;
+  speed.threshold = 0.3f;
+  speed.t_max = 2;
+  InferenceConfig full;
+  full.nap = NapKind::kNone;
+  full.t_max = 0;
+
+  std::vector<ConfiguredQuery> queries;
+  std::vector<std::int32_t> speed_nodes;
+  std::vector<std::int32_t> full_nodes;
+  for (const std::int32_t v : w.all_nodes) {
+    const bool is_speed = v % 3 != 0;
+    queries.push_back({v, is_speed ? &speed : &full});
+    (is_speed ? speed_nodes : full_nodes).push_back(v);
+  }
+  NaiEngine plain = MakePlainEngine(w, nullptr);
+  const InferenceResult ref_speed = plain.Infer(speed_nodes, speed);
+  const InferenceResult ref_full = plain.Infer(full_nodes, full);
+
+  for (const int shards : {1, 2, 4}) {
+    ShardedNaiEngine sharded = MakeSharded(w, nullptr, shards);
+    const InferenceResult mixed = sharded.InferMixed(queries);
+    ASSERT_EQ(mixed.predictions.size(), queries.size());
+    std::size_t si = 0, fi = 0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const bool is_speed = w.all_nodes[i] % 3 != 0;
+      const InferenceResult& ref = is_speed ? ref_speed : ref_full;
+      const std::size_t j = is_speed ? si++ : fi++;
+      EXPECT_EQ(mixed.predictions[i], ref.predictions[j])
+          << "shards=" << shards << " query " << i;
+      EXPECT_EQ(mixed.exit_depths[i], ref.exit_depths[j])
+          << "shards=" << shards << " query " << i;
+    }
+    EXPECT_EQ(mixed.stats.num_nodes,
+              static_cast<std::int64_t>(queries.size()));
+  }
+}
+
+TEST(ShardedInferenceTest, InferMixedValidatesEveryConfig) {
+  auto w = MakeSmallWorld(kDepth);
+  ShardedNaiEngine sharded = MakeSharded(w, nullptr, 2, /*halo_hops=*/1);
+  InferenceConfig shallow;
+  shallow.nap = NapKind::kDistance;
+  shallow.t_max = 1;
+  InferenceConfig deep;
+  deep.nap = NapKind::kDistance;
+  deep.t_max = 0;  // resolves to k = 3 > halo 1
+  // One offending config anywhere in the list rejects the whole call
+  // before any shard runs.
+  EXPECT_THROW(sharded.InferMixed({{0, &shallow}, {1, &deep}}),
+               std::invalid_argument);
+  EXPECT_THROW(sharded.InferMixed({{0, &shallow}, {1, nullptr}}),
+               std::invalid_argument);
+  const InferenceResult ok = sharded.InferMixed({{0, &shallow}});
+  EXPECT_EQ(ok.predictions.size(), 1u);
+}
+
 TEST(ShardedInferenceTest, MismatchedShardingRejected) {
   auto w = MakeSmallWorld(2, models::ModelKind::kSgc, 120);
   auto other = MakeSmallWorld(2, models::ModelKind::kSgc, 60);

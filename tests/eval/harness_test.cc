@@ -108,5 +108,82 @@ TEST_F(HarnessTest, RunNaiGateProducesFullCoverage) {
   EXPECT_EQ(exited, static_cast<std::int64_t>(ds_->split.test_nodes.size()));
 }
 
+TEST_F(HarnessTest, MakeQosPolicyTableMirrorsDefaultSettings) {
+  const auto settings =
+      MakeDefaultSettings(*pipeline_, *ds_, core::NapKind::kDistance);
+  const serve::QosPolicyTable table =
+      MakeQosPolicyTable(*pipeline_, *ds_, core::NapKind::kDistance,
+                         /*speed_deadline_ms=*/15.0,
+                         /*accuracy_deadline_ms=*/150.0);
+  const serve::QosPolicy& speed =
+      table.For(serve::QosClass::kSpeedFirst);
+  const serve::QosPolicy& accuracy =
+      table.For(serve::QosClass::kAccuracyFirst);
+  EXPECT_EQ(speed.config.t_max, settings.front().config.t_max);
+  EXPECT_EQ(accuracy.config.t_max, settings.back().config.t_max);
+  EXPECT_FLOAT_EQ(speed.config.threshold, settings.front().config.threshold);
+  EXPECT_FLOAT_EQ(accuracy.config.threshold,
+                  settings.back().config.threshold);
+  EXPECT_FLOAT_EQ(speed.default_deadline_ms, 15.0);
+  EXPECT_FLOAT_EQ(accuracy.default_deadline_ms, 150.0);
+}
+
+TEST_F(HarnessTest, RunServingClosedLoopServesEveryNodeBitExact) {
+  auto sharded = MakeShardedEngine(*pipeline_, *ds_, 2);
+  const serve::QosPolicyTable table =
+      MakeQosPolicyTable(*pipeline_, *ds_, core::NapKind::kDistance);
+  const core::InferenceResult ref_speed = sharded->Infer(
+      ds_->split.test_nodes, table.For(serve::QosClass::kSpeedFirst).config);
+  const core::InferenceResult ref_accuracy = sharded->Infer(
+      ds_->split.test_nodes,
+      table.For(serve::QosClass::kAccuracyFirst).config);
+
+  serve::ServingEngine server(*sharded, table);
+  ServingLoadConfig load;
+  load.closed_loop_clients = 4;
+  load.speed_first_fraction = 0.5;
+  const ServingRunReport report =
+      RunServing(server, ds_->split.test_nodes, load);
+
+  ASSERT_EQ(report.predictions.size(), ds_->split.test_nodes.size());
+  ASSERT_EQ(report.classes.size(), ds_->split.test_nodes.size());
+  for (std::size_t i = 0; i < report.predictions.size(); ++i) {
+    const core::InferenceResult& ref =
+        report.classes[i] == serve::QosClass::kSpeedFirst ? ref_speed
+                                                          : ref_accuracy;
+    EXPECT_EQ(report.predictions[i], ref.predictions[i]) << "node " << i;
+  }
+  EXPECT_EQ(report.stats.completed,
+            static_cast<std::int64_t>(ds_->split.test_nodes.size()));
+  EXPECT_EQ(report.stats.rejected, 0);  // closed loop never sheds
+  EXPECT_GT(report.achieved_qps, 0.0);
+  // Both classes actually appeared (seeded mix at 0.5 over 100+ nodes).
+  EXPECT_GT(report.stats.per_class[0].count, 0);
+  EXPECT_GT(report.stats.per_class[1].count, 0);
+}
+
+TEST_F(HarnessTest, RunServingOpenLoopPacesAndReportsOfferedLoad) {
+  auto sharded = MakeShardedEngine(*pipeline_, *ds_, 2);
+  const serve::QosPolicyTable table =
+      MakeQosPolicyTable(*pipeline_, *ds_, core::NapKind::kDistance);
+  serve::ServingEngine server(*sharded, table);
+
+  // A modest rate over a small node list keeps the pass under a second
+  // while still exercising the Poisson pacing + TrySubmit path.
+  const std::vector<std::int32_t> nodes(ds_->split.test_nodes.begin(),
+                                        ds_->split.test_nodes.begin() + 50);
+  ServingLoadConfig load;
+  load.arrival_rate_qps = 500.0;
+  load.speed_first_fraction = 1.0;
+  const ServingRunReport report = RunServing(server, nodes, load);
+
+  EXPECT_FLOAT_EQ(report.offered_qps, 500.0);
+  EXPECT_EQ(report.stats.completed + report.stats.rejected +
+                report.stats.dropped,
+            static_cast<std::int64_t>(nodes.size()));
+  // Poisson pacing means the run takes at least in the order of n/rate.
+  EXPECT_GT(report.duration_ms, 10.0);
+}
+
 }  // namespace
 }  // namespace nai::eval

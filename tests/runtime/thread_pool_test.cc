@@ -245,6 +245,60 @@ TEST(FlagsTest, ShardsFlagParsedAndDefaultsToOne) {
   EXPECT_EQ(ShardsFlag(argc, argv3), 1);  // absent -> unsharded
 }
 
+TEST(FlagsTest, StringFlagConsumedLastOccurrenceWins) {
+  char prog[] = "prog";
+  char a[] = "--qos=speed";
+  char b[] = "--qos";
+  char v[] = "accuracy";
+  char other[] = "--keep-me";
+  char* argv[] = {prog, a, other, b, v, nullptr};
+  int argc = 5;
+  const char* parsed = ConsumeStringFlag(argc, argv, "--qos");
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(std::string(parsed), "accuracy");
+  ASSERT_EQ(argc, 2);  // every occurrence removed, unrelated args kept
+  EXPECT_EQ(std::string(argv[1]), "--keep-me");
+  EXPECT_EQ(argv[2], nullptr);
+}
+
+TEST(FlagsTest, QosMixFlagNamesNumbersAndGarbage) {
+  char prog[] = "prog";
+  auto parse = [&](const char* text, int def) {
+    std::string owned(text);
+    char* argv[] = {prog, owned.data(), nullptr};
+    int argc = 2;
+    const int got = QosMixFlag(argc, argv, def);
+    EXPECT_EQ(argc, 1) << text;  // always consumed
+    return got;
+  };
+  EXPECT_EQ(parse("--qos=speed", 50), 100);
+  EXPECT_EQ(parse("--qos=accuracy", 50), 0);
+  EXPECT_EQ(parse("--qos=mix", 7), 50);
+  EXPECT_EQ(parse("--qos=25", 50), 25);
+  EXPECT_EQ(parse("--qos=0", 50), 0);      // 0 is meaningful, not invalid
+  EXPECT_EQ(parse("--qos=101", 50), 50);   // out of range -> default
+  EXPECT_EQ(parse("--qos=fast", 50), 50);  // garbage -> default
+  char* argv[] = {prog, nullptr};
+  int argc = 1;
+  EXPECT_EQ(QosMixFlag(argc, argv, 33), 33);  // absent -> default
+}
+
+TEST(FlagsTest, ArrivalRateFlagDefaultsToClosedLoop) {
+  char prog[] = "prog";
+  char flag[] = "--arrival-rate=250";
+  char* argv[] = {prog, flag, nullptr};
+  int argc = 2;
+  EXPECT_EQ(ArrivalRateFlag(argc, argv), 250);
+  EXPECT_EQ(argc, 1);
+  char bad[] = "--arrival-rate=-5";
+  char* argv2[] = {prog, bad, nullptr};
+  argc = 2;
+  EXPECT_EQ(ArrivalRateFlag(argc, argv2), 0);  // invalid -> closed loop
+  char* argv3[] = {prog, nullptr};
+  argc = 1;
+  EXPECT_EQ(ArrivalRateFlag(argc, argv3), 0);  // absent -> closed loop
+}
+
 TEST(RunConcurrentlyTest, RunsEveryTaskExactlyOnce) {
   std::vector<int> hits(16, 0);
   std::vector<std::function<void()>> tasks;

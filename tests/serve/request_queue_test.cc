@@ -1,0 +1,190 @@
+// RequestQueue contract: bounded capacity with non-blocking backpressure,
+// FIFO order, close semantics (pushes fail, pops drain), and MPMC safety —
+// the contention tests run under TSan in scripts/check.sh.
+
+#include "src/serve/request_queue.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace nai::serve {
+namespace {
+
+Request MakeRequest(std::int64_t id) {
+  Request r;
+  r.id = id;
+  r.node = static_cast<std::int32_t>(id);
+  return r;
+}
+
+TEST(RequestQueueTest, ZeroCapacityThrows) {
+  EXPECT_THROW(RequestQueue(0), std::invalid_argument);
+}
+
+TEST(RequestQueueTest, TryPushBackpressureAtCapacity) {
+  RequestQueue q(2);
+  EXPECT_TRUE(q.TryPush(MakeRequest(0)));
+  EXPECT_TRUE(q.TryPush(MakeRequest(1)));
+  EXPECT_EQ(q.size(), 2u);
+  // Full: admission control says no, without blocking.
+  EXPECT_FALSE(q.TryPush(MakeRequest(2)));
+  EXPECT_EQ(q.size(), 2u);
+
+  auto popped = q.TryPop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_TRUE(q.TryPush(MakeRequest(3)));
+}
+
+TEST(RequestQueueTest, FifoOrder) {
+  RequestQueue q(8);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.TryPush(MakeRequest(i)));
+  }
+  for (std::int64_t i = 0; i < 5; ++i) {
+    auto r = q.Pop();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->id, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(RequestQueueTest, CloseFailsPushesButDrainsPops) {
+  RequestQueue q(4);
+  ASSERT_TRUE(q.TryPush(MakeRequest(1)));
+  ASSERT_TRUE(q.TryPush(MakeRequest(2)));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.TryPush(MakeRequest(3)));
+  EXPECT_FALSE(q.Push(MakeRequest(4)));
+  // Everything admitted before the close still comes out...
+  EXPECT_EQ(q.Pop()->id, 1);
+  EXPECT_EQ(q.Pop()->id, 2);
+  // ...and a drained closed queue reports shutdown, not blocking.
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(RequestQueueTest, CloseWakesBlockedPop) {
+  RequestQueue q(2);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(q.Pop().has_value());  // blocks until Close
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(RequestQueueTest, CloseWakesBlockedPush) {
+  RequestQueue q(1);
+  ASSERT_TRUE(q.TryPush(MakeRequest(0)));
+  std::atomic<bool> accepted{true};
+  std::thread producer([&] { accepted.store(q.Push(MakeRequest(1))); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  producer.join();
+  EXPECT_FALSE(accepted.load());
+}
+
+TEST(RequestQueueTest, WaitForItemTimesOut) {
+  RequestQueue q(2);
+  const auto deadline =
+      ServeClock::now() + std::chrono::milliseconds(10);
+  EXPECT_FALSE(q.WaitForItem(deadline));
+  ASSERT_TRUE(q.TryPush(MakeRequest(7)));
+  EXPECT_TRUE(q.WaitForItem(ServeClock::now() +
+                            std::chrono::milliseconds(10)));
+}
+
+TEST(RequestQueueTest, BlockingPushDeliversThroughBackpressure) {
+  // A capacity-1 queue forces every producer push to wait for the consumer:
+  // the full producer/consumer handshake, single-threaded on each side.
+  RequestQueue q(1);
+  constexpr std::int64_t kCount = 200;
+  std::thread producer([&] {
+    for (std::int64_t i = 0; i < kCount; ++i) {
+      ASSERT_TRUE(q.Push(MakeRequest(i)));
+    }
+  });
+  std::vector<std::int64_t> seen;
+  for (std::int64_t i = 0; i < kCount; ++i) {
+    auto r = q.Pop();
+    ASSERT_TRUE(r.has_value());
+    seen.push_back(r->id);
+  }
+  producer.join();
+  for (std::int64_t i = 0; i < kCount; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(RequestQueueTest, MpmcEveryRequestPoppedExactlyOnce) {
+  // The TSan centerpiece: several producers and consumers hammer one small
+  // queue; every id must come out exactly once, across all consumers.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr std::int64_t kPerProducer = 250;
+  RequestQueue q(8);
+
+  std::vector<std::vector<std::int64_t>> consumed(kConsumers);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      while (true) {
+        auto r = q.Pop();
+        if (!r.has_value()) return;  // closed and drained
+        consumed[c].push_back(r->id);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::int64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(MakeRequest(p * kPerProducer + i)));
+      }
+    });
+  }
+  for (std::size_t t = kConsumers; t < threads.size(); ++t) {
+    threads[t].join();  // producers first
+  }
+  q.Close();
+  for (int c = 0; c < kConsumers; ++c) threads[c].join();
+
+  std::set<std::int64_t> ids;
+  std::size_t total = 0;
+  for (const auto& v : consumed) {
+    total += v.size();
+    ids.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kProducers * kPerProducer));
+  EXPECT_EQ(ids.size(), total);  // no duplicates
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), kProducers * kPerProducer - 1);
+}
+
+TEST(RequestQueueTest, PromiseSurvivesQueuePassage) {
+  // The queue carries live promises; fulfilling one after a round trip must
+  // reach the future taken before admission.
+  RequestQueue q(2);
+  Request r = MakeRequest(11);
+  std::future<Response> fut = r.promise.get_future();
+  ASSERT_TRUE(q.Push(std::move(r)));
+  auto popped = q.Pop();
+  ASSERT_TRUE(popped.has_value());
+  Response resp;
+  resp.prediction = 3;
+  resp.served = true;
+  popped->promise.set_value(resp);
+  EXPECT_EQ(fut.get().prediction, 3);
+}
+
+}  // namespace
+}  // namespace nai::serve
