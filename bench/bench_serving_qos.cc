@@ -4,7 +4,7 @@
 // src/serve/ front-end — admission queues, dynamic batching, per-request
 // deadlines.
 //
-// Three stages:
+// Four stages:
 //   1. Exactness gate (closed loop, mixed classes): every response must be
 //      bit-identical to a direct routed Infer of the same node under that
 //      class's config — the serving stack may never change a prediction.
@@ -13,13 +13,20 @@
 //   3. Open-loop sweep: Poisson arrivals at increasing fractions of the
 //      closed-loop capacity x {speed-only, mixed, accuracy-only} traffic —
 //      the latency/deadline-miss/shedding picture vs offered load.
+//   4. Skewed-load scheduler A/B: the same shard-skewed bursty load with
+//      priority + work stealing off and on (admission control off in both
+//      cells so the coalescing window matches) — also exactness-gated, so
+//      the steal path proves its bit-identity under real contention.
 //
 // Flags: --threads N, --shards N, --qos {speed,accuracy,mix,0..100}
 // (percent speed-first, default 50), --arrival-rate N (fix stage 3 to one
-// offered load in qps instead of the sweep). NAI_SCALE shrinks the graph.
+// offered load in qps instead of the sweep), --json PATH (write the smoke
+// summary — p50/p95, throughput, deadline-miss rate, scheduler A/B — as
+// JSON, the BENCH_serving.json CI artifact). NAI_SCALE shrinks the graph.
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -39,6 +46,69 @@ void PrintClassLine(const char* label, const serve::LatencySummary& lat,
               lat.p99_ms, lat.max_ms, static_cast<long long>(misses));
 }
 
+double MissRate(const serve::ServingStatsSnapshot& stats) {
+  const std::int64_t finished = stats.completed + stats.dropped;
+  return finished == 0 ? 0.0
+                       : static_cast<double>(stats.deadline_misses) /
+                             static_cast<double>(finished);
+}
+
+/// One skewed-load A/B cell: shard-phased bursty arrivals, exactness
+/// checked against the per-class references.
+struct SkewedCell {
+  double achieved_qps = 0.0;
+  double speed_p95_ms = 0.0;
+  double miss_rate = 0.0;
+  std::int64_t stolen_requests = 0;
+  std::size_t mismatches = 0;
+};
+
+SkewedCell RunSkewedCell(core::ShardedNaiEngine& sharded,
+                         const serve::QosPolicyTable& policies,
+                         const serve::ServingOptions& base_options,
+                         bool scheduler_on,
+                         const std::vector<std::int32_t>& nodes,
+                         const core::InferenceResult& ref_speed,
+                         const core::InferenceResult& ref_accuracy,
+                         double rate_qps, int qos_mix) {
+  // The A/B isolates priority + stealing (the mechanisms the skewed load
+  // exercises); the admission controller stays off in both cells so the
+  // coalescing window is identical and the comparison is apples-to-apples.
+  serve::ServingOptions options = base_options;
+  options.scheduler.priority = scheduler_on;
+  options.scheduler.stealing = scheduler_on;
+  options.scheduler.adaptive = false;
+  serve::ServingEngine server(sharded, policies, options);
+
+  eval::ServingLoadConfig load;
+  load.arrival_rate_qps = rate_qps;
+  load.speed_first_fraction = qos_mix / 100.0;
+  load.skew_by_shard = true;
+  load.burst_on_ms = 20.0;
+  load.burst_off_ms = 20.0;
+  load.seed = 1234;  // same arrivals and classes in both cells
+  const eval::ServingRunReport report =
+      eval::RunServing(server, nodes, load);
+
+  SkewedCell cell;
+  cell.achieved_qps = report.achieved_qps;
+  cell.speed_p95_ms =
+      report.stats
+          .per_class[static_cast<std::size_t>(serve::QosClass::kSpeedFirst)]
+          .p95_ms;
+  cell.miss_rate = MissRate(report.stats);
+  cell.stolen_requests = report.stats.stolen_requests;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (report.predictions[i] < 0) continue;  // shed under overload
+    const std::int32_t want =
+        report.classes[i] == serve::QosClass::kSpeedFirst
+            ? ref_speed.predictions[i]
+            : ref_accuracy.predictions[i];
+    if (report.predictions[i] != want) ++cell.mismatches;
+  }
+  return cell;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -46,6 +116,7 @@ int main(int argc, char** argv) {
   const int num_shards = bench::ApplyShardsFlag(argc, argv);
   const int qos_mix = runtime::QosMixFlag(argc, argv, 50);
   const long fixed_rate = runtime::ArrivalRateFlag(argc, argv);
+  const char* json_path = runtime::ConsumeStringFlag(argc, argv, "--json");
   const double scale = eval::EnvScale();
 
   bench::Banner("Streaming serving with QoS classes — arxiv-sim");
@@ -77,6 +148,7 @@ int main(int argc, char** argv) {
   // --- Stages 1+2: closed-loop mixed traffic, exactness-gated. -------------
   double closed_qps = 0.0;
   bool exact = true;
+  serve::ServingStatsSnapshot closed_stats;
   {
     serve::ServingEngine server(*sharded, policies, options);
     eval::ServingLoadConfig load;
@@ -86,6 +158,7 @@ int main(int argc, char** argv) {
     const eval::ServingRunReport report =
         eval::RunServing(server, test, load);
     closed_qps = report.achieved_qps;
+    closed_stats = report.stats;
 
     std::size_t mismatches = 0;
     for (std::size_t i = 0; i < test.size(); ++i) {
@@ -168,6 +241,96 @@ int main(int argc, char** argv) {
                   report.stats.latency.p99_ms, miss_pct,
                   report.stats.mean_batch_size);
     }
+  }
+
+  // --- Stage 4: skewed-load scheduler A/B. ---------------------------------
+  // All arrivals phase through one shard at a time in 20ms bursts at a
+  // rate past the closed-loop capacity — head-of-line blocking, idle
+  // sibling pumps and queue buildup all at once. The same seeded load
+  // runs with the adaptive scheduler off and on; both must stay bit-exact
+  // (this is where the steal path earns its determinism contract).
+  const double skew_rate =
+      std::max(20.0, fixed_rate > 0 ? static_cast<double>(fixed_rate)
+                                    : 2.0 * closed_qps);
+  serve::ServingOptions skew_options = options;
+  skew_options.batcher.max_batch = 16;  // deeper backlogs: steals matter
+  const SkewedCell off =
+      RunSkewedCell(*sharded, policies, skew_options, /*scheduler_on=*/false,
+                    open_nodes, ref_speed, ref_accuracy, skew_rate, qos_mix);
+  const SkewedCell on =
+      RunSkewedCell(*sharded, policies, skew_options, /*scheduler_on=*/true,
+                    open_nodes, ref_speed, ref_accuracy, skew_rate, qos_mix);
+  exact = exact && off.mismatches == 0 && on.mismatches == 0;
+
+  std::printf("\nskewed bursty load (%.0f q/s peak, shard-phased, %d%% "
+              "speed-first, %zu queries):\n",
+              skew_rate, qos_mix, open_nodes.size());
+  std::printf("  %-18s %-10s %-14s %-8s %-8s\n", "scheduler",
+              "achieved", "speed p95 ms", "miss%", "stolen");
+  std::printf("  %-18s %-10.0f %-14.2f %-8.1f %-8lld\n", "off (FIFO)",
+              off.achieved_qps, off.speed_p95_ms, 100.0 * off.miss_rate,
+              static_cast<long long>(0));
+  std::printf("  %-18s %-10.0f %-14.2f %-8.1f %-8lld\n", "on (pri+steal)",
+              on.achieved_qps, on.speed_p95_ms, 100.0 * on.miss_rate,
+              static_cast<long long>(on.stolen_requests));
+  const bool improved = on.speed_p95_ms < off.speed_p95_ms ||
+                        on.achieved_qps > off.achieved_qps;
+  std::printf("  -> scheduler %s (speed p95 %.2f -> %.2f ms, throughput "
+              "%.0f -> %.0f q/s)\n",
+              improved ? "improves the skewed tail" : "did NOT improve",
+              off.speed_p95_ms, on.speed_p95_ms, off.achieved_qps,
+              on.achieved_qps);
+
+  // --- Optional JSON artifact (the CI bench-smoke trajectory). -------------
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::printf("FAIL: cannot write %s\n", json_path);
+      return 1;
+    }
+    const auto speed_idx =
+        static_cast<std::size_t>(serve::QosClass::kSpeedFirst);
+    const auto acc_idx =
+        static_cast<std::size_t>(serve::QosClass::kAccuracyFirst);
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"bench_serving_qos\",\n");
+    std::fprintf(f, "  \"scale\": %.4f,\n", scale);
+    std::fprintf(f, "  \"threads\": %d,\n", threads);
+    std::fprintf(f, "  \"shards\": %d,\n", num_shards);
+    std::fprintf(f, "  \"qos_mix_percent\": %d,\n", qos_mix);
+    std::fprintf(f, "  \"exact\": %s,\n", exact ? "true" : "false");
+    std::fprintf(f,
+                 "  \"closed_loop\": {\"throughput_qps\": %.2f, "
+                 "\"p50_ms\": %.4f, \"p95_ms\": %.4f, "
+                 "\"deadline_miss_rate\": %.6f, \"mean_batch\": %.2f,\n",
+                 closed_qps, closed_stats.latency.p50_ms,
+                 closed_stats.latency.p95_ms, MissRate(closed_stats),
+                 closed_stats.mean_batch_size);
+    std::fprintf(f,
+                 "    \"speed_first\": {\"p50_ms\": %.4f, \"p95_ms\": "
+                 "%.4f},\n",
+                 closed_stats.per_class[speed_idx].p50_ms,
+                 closed_stats.per_class[speed_idx].p95_ms);
+    std::fprintf(f,
+                 "    \"accuracy_first\": {\"p50_ms\": %.4f, \"p95_ms\": "
+                 "%.4f}},\n",
+                 closed_stats.per_class[acc_idx].p50_ms,
+                 closed_stats.per_class[acc_idx].p95_ms);
+    std::fprintf(f,
+                 "  \"skewed\": {\"offered_peak_qps\": %.2f,\n"
+                 "    \"scheduler_off\": {\"achieved_qps\": %.2f, "
+                 "\"speed_p95_ms\": %.4f, \"deadline_miss_rate\": %.6f},\n"
+                 "    \"scheduler_on\": {\"achieved_qps\": %.2f, "
+                 "\"speed_p95_ms\": %.4f, \"deadline_miss_rate\": %.6f, "
+                 "\"stolen_requests\": %lld},\n"
+                 "    \"improved\": %s}\n",
+                 skew_rate, off.achieved_qps, off.speed_p95_ms,
+                 off.miss_rate, on.achieved_qps, on.speed_p95_ms,
+                 on.miss_rate, static_cast<long long>(on.stolen_requests),
+                 improved ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
   }
 
   if (!exact) {

@@ -2,10 +2,12 @@
 // sharded deployment and push one-at-a-time queries through it — first a
 // handful of callback-completed requests (the "online API" shape), then a
 // mixed-QoS burst through futures, finishing with the serving stats
-// snapshot and a bit-exactness self-check against direct Infer calls.
+// snapshot (including the adaptive scheduler's steal/shed counters and
+// adaptation trace) and a bit-exactness self-check against direct Infer.
 //
 // Flags: --threads N (pool size), --shards N (default 2 here — the
-// front-end pumps one admission queue per shard).
+// front-end pumps one admission queue per shard, and the idle pump can
+// steal the other's backlog).
 
 #include <cstdio>
 #include <future>
@@ -36,6 +38,15 @@ int main(int argc, char** argv) {
   serve::ServingOptions options;
   options.batcher.max_batch = 32;
   options.batcher.max_wait_us = 500;
+  // The adaptive scheduler defaults on; spelled out here as the knobs a
+  // deployment would tune. Speed-first bypasses queued accuracy-first work
+  // (bounded at 5ms of bypassing), idle shard pumps steal backlogged
+  // batches, and the admission controller retunes the 500us window to the
+  // observed arrival rate within [0, 2ms].
+  options.scheduler.priority = true;
+  options.scheduler.priority_aging_us = 5000;
+  options.scheduler.stealing = true;
+  options.scheduler.adaptive = true;
   serve::ServingEngine server(*sharded, policies, options);
   std::printf("serving %lld nodes from %d shards "
               "(speed-first: T_max %d, %.0f ms budget | accuracy-first: "
@@ -120,6 +131,30 @@ int main(int argc, char** argv) {
                 stats.per_class[c].p50_ms, stats.per_class[c].p95_ms,
                 stats.per_class[c].p99_ms,
                 static_cast<long long>(stats.per_class[c].count));
+  }
+
+  // What the scheduler did: cross-shard steals, controller sheds, and the
+  // per-shard adaptation state the controller converged to.
+  std::printf("\nscheduler: %lld batches stolen (%lld requests, %lld via "
+              "owner fallback), %lld adaptive sheds\n",
+              static_cast<long long>(stats.stolen_batches),
+              static_cast<long long>(stats.stolen_requests),
+              static_cast<long long>(stats.steal_fallback_requests),
+              static_cast<long long>(stats.shed_adaptive));
+  for (const serve::SchedulerShardSnapshot& shard : stats.scheduler) {
+    std::printf("  shard %zu: arrival %.0f q/s, service %.0f q/s, window "
+                "%lld us, stolen by/from %lld/%lld\n",
+                shard.shard, shard.arrival_qps, shard.service_qps,
+                static_cast<long long>(shard.batch_wait_us),
+                static_cast<long long>(shard.batches_stolen_by),
+                static_cast<long long>(shard.batches_stolen_from));
+  }
+  if (!stats.adaptation_trace.empty()) {
+    const serve::SchedulerTraceEvent& last = stats.adaptation_trace.back();
+    std::printf("  adaptation trace: %zu events, last at %.1f ms (shard "
+                "%zu -> window %lld us)\n",
+                stats.adaptation_trace.size(), last.t_ms, last.shard,
+                static_cast<long long>(last.batch_wait_us));
   }
 
   server.Shutdown();

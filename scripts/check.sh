@@ -1,19 +1,31 @@
 #!/usr/bin/env bash
-# CI gate, three stages:
-#   1. configure (Release + ASan/UBSan), build everything, run every CTest
-#      suite — then re-run the threading-sensitive suites with NAI_THREADS=1
-#      so the pool's inline/serial path stays exercised.
-#   2. a ThreadSanitizer configuration (separate build dir; TSan cannot be
-#      combined with ASan) building and running the runtime + engine +
-#      serving + parallel-kernel suites.
-#   3. a docs-link check (dead relative links in README.md / docs/ fail).
-# Exits nonzero on any configure/build/test/link failure.
+# The repo's quality gate, split into named stages so CI jobs and local
+# runs invoke exactly the same commands:
+#
+#   release   Plain Release configure + build + full CTest run.
+#   asan      Release + ASan/UBSan build, full CTest run, then a
+#             NAI_THREADS=1 serial-path pass of the threading-sensitive
+#             suites.
+#   tsan      ThreadSanitizer configuration (separate build dir; TSan
+#             cannot combine with ASan) for the runtime + engine + serving
+#             + parallel-kernel suites.
+#   format    clang-format check over the actively formatted subset
+#             (scripts/format.sh --check).
+#   docs      Dead-relative-link check over README.md and docs/.
+#   bench     Exactness-gated serving bench smoke at a fixed load/mix;
+#             writes BENCH_serving.json to the repo root (the CI perf
+#             artifact).
 #
 # Usage:
-#   scripts/check.sh             # full gate
-#   NAI_SANITIZE=""    scripts/check.sh   # disable ASan/UBSan stage sanitizers
-#   NAI_TSAN=0         scripts/check.sh   # skip the ThreadSanitizer stage
-#   NAI_BUILD_DIR=foo  scripts/check.sh   # custom build directory
+#   scripts/check.sh                      # default gate: asan tsan format docs
+#   NAI_CHECK_STAGE=tsan scripts/check.sh # one stage (mirrors the CI jobs)
+#   NAI_CHECK_STAGE="release bench" scripts/check.sh   # any subset, in order
+#   NAI_SANITIZE=""    scripts/check.sh   # disable the asan stage sanitizers
+#   NAI_TSAN=0         scripts/check.sh   # drop tsan from the default gate
+#   NAI_BUILD_DIR=foo  scripts/check.sh   # custom build directory prefix
+#
+# Every stage prints its wall-clock time; a failure names the stage that
+# broke instead of dying on a bare `set -e` exit.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,38 +35,94 @@ SANITIZE="${NAI_SANITIZE-address,undefined}"
 TSAN="${NAI_TSAN:-1}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-cmake -B "${BUILD_DIR}" -S . \
-  -DCMAKE_BUILD_TYPE=Release \
-  -DNAI_SANITIZE="${SANITIZE}"
+DEFAULT_STAGES="asan tsan format docs"
+if [ "${TSAN}" = "0" ]; then
+  DEFAULT_STAGES="asan format docs"
+fi
+STAGES="${NAI_CHECK_STAGE:-${DEFAULT_STAGES}}"
 
-cmake --build "${BUILD_DIR}" -j "${JOBS}"
+# ---------------------------------------------------------------------------
+# Stage bodies. Each runs in a `set -euo pipefail` subshell via run_stage,
+# so any failing command aborts just that stage with its name attached.
+# ---------------------------------------------------------------------------
 
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+stage_release() {
+  cmake -B "${BUILD_DIR}-release" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${BUILD_DIR}-release" -j "${JOBS}"
+  ctest --test-dir "${BUILD_DIR}-release" --output-on-failure -j "${JOBS}"
+}
 
-# Serial-path pass: the same parallel-sensitive suites with a 1-thread pool
-# (the sharded engine then runs one worker per shard pool).
-NAI_THREADS=1 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-  -R 'runtime/|tensor/ops|graph/csr|graph/shard|core/inference|core/sharded|serve/|integration/algorithm1'
+stage_asan() {
+  cmake -B "${BUILD_DIR}" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DNAI_SANITIZE="${SANITIZE}"
+  cmake --build "${BUILD_DIR}" -j "${JOBS}"
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+  # Serial-path pass: the same parallel-sensitive suites with a 1-thread
+  # pool (the sharded engine then runs one worker per shard pool).
+  NAI_THREADS=1 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+    -j "${JOBS}" \
+    -R 'runtime/|tensor/ops|graph/csr|graph/shard|core/inference|core/sharded|serve/|integration/algorithm1'
+}
 
-# ThreadSanitizer stage: runtime + engine + parallel kernels only (the other
-# suites are single-threaded; building everything under TSan doubles CI time
-# for no coverage).
-if [ "${TSAN}" != "0" ]; then
-  TSAN_DIR="${BUILD_DIR}-tsan"
-  cmake -B "${TSAN_DIR}" -S . \
+stage_tsan() {
+  # Runtime + engine + serving + parallel kernels only: the other suites
+  # are single-threaded, and building everything under TSan doubles CI
+  # time for no coverage.
+  local tsan_dir="${BUILD_DIR}-tsan"
+  cmake -B "${tsan_dir}" -S . \
     -DCMAKE_BUILD_TYPE=Release \
     -DNAI_SANITIZE=thread \
     -DNAI_BUILD_BENCH=OFF \
     -DNAI_BUILD_EXAMPLES=OFF
-  cmake --build "${TSAN_DIR}" -j "${JOBS}" --target \
+  cmake --build "${tsan_dir}" -j "${JOBS}" --target \
     runtime_thread_pool_test tensor_ops_test graph_csr_test \
     core_inference_test core_inference_edge_test \
     core_inference_parallel_test core_sharded_inference_test \
     graph_shard_test serve_request_queue_test serve_batcher_test \
-    serve_serving_engine_test
-  ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" \
+    serve_scheduler_test serve_serving_engine_test
+  ctest --test-dir "${tsan_dir}" --output-on-failure -j "${JOBS}" \
     -R 'runtime/thread_pool|tensor/ops|graph/csr|graph/shard|core/inference|core/sharded|serve/'
-fi
+}
 
-# Docs stage: every relative link in README.md and docs/ must resolve.
-scripts/check_docs_links.sh
+stage_format() {
+  scripts/format.sh --check
+}
+
+stage_docs() {
+  scripts/check_docs_links.sh
+}
+
+stage_bench() {
+  # Fixed load/mix smoke: exactness-gated (nonzero exit on any prediction
+  # divergence, including down the steal path) and the source of the
+  # BENCH_serving.json perf trajectory at the repo root.
+  cmake -B "${BUILD_DIR}-release" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${BUILD_DIR}-release" -j "${JOBS}" --target bench_serving_qos
+  NAI_SCALE="${NAI_BENCH_SCALE:-0.1}" "${BUILD_DIR}-release/bench_serving_qos" \
+    --shards 2 --threads 2 --qos 50 --json BENCH_serving.json
+  echo "bench smoke wrote $(pwd)/BENCH_serving.json"
+}
+
+run_stage() {
+  local name="$1"
+  local start="${SECONDS}"
+  echo "=== check.sh stage: ${name} ==="
+  if ! (set -euo pipefail; "stage_${name}"); then
+    echo "check.sh: FAILED in stage '${name}' after $((SECONDS - start))s" >&2
+    exit 1
+  fi
+  echo "=== check.sh stage: ${name} ok in $((SECONDS - start))s ==="
+}
+
+TOTAL_START="${SECONDS}"
+for stage in ${STAGES}; do
+  case "${stage}" in
+    release|asan|tsan|format|docs|bench) run_stage "${stage}" ;;
+    *)
+      echo "check.sh: unknown stage '${stage}' (expected release|asan|tsan|format|docs|bench)" >&2
+      exit 2
+      ;;
+  esac
+done
+echo "check.sh: all stages (${STAGES}) passed in $((SECONDS - TOTAL_START))s"

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# clang-format over the actively formatted subset of the tree: the serving
+# and runtime layers plus the files the scheduler/CI PR touched. The rest
+# of the tree is close to (but not byte-exact with) .clang-format, and a
+# whole-tree reformat would bury real history — widen NAI_FORMAT_PATHS
+# deliberately, one layer per PR.
+#
+# Usage:
+#   scripts/format.sh          # rewrite files in place
+#   scripts/format.sh --check  # fail (exit 1) if anything would change; CI
+#
+# When clang-format is not installed the script reports and exits 0: the
+# formatting gate is enforced by the CI `format` job (which installs it),
+# not silently re-implemented on machines without the tool.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE="${1:-apply}"
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [ -z "${CLANG_FORMAT}" ]; then
+  for candidate in clang-format clang-format-18 clang-format-17 \
+                   clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      CLANG_FORMAT="${candidate}"
+      break
+    fi
+  done
+fi
+if [ -z "${CLANG_FORMAT}" ]; then
+  echo "format.sh: clang-format not found; skipping (CI enforces this)"
+  exit 0
+fi
+
+# The formatted subset: whole serving + runtime layers, plus the files the
+# adaptive-scheduler / CI PR touched elsewhere in the tree. nullglob makes
+# a group that stops matching a silent skip, not a fatal ls error.
+shopt -s nullglob
+FILES=(
+  src/serve/*.h src/serve/*.cc
+  src/runtime/*.h src/runtime/*.cc
+  src/core/sharded_inference.h src/core/sharded_inference.cc
+  bench/bench_serving_qos.cc
+  examples/serve_streaming.cpp
+  tests/serve/*.cc
+  tests/runtime/*.cc
+)
+shopt -u nullglob
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "format.sh: no files matched the formatted subset" >&2
+  exit 2
+fi
+
+case "${MODE}" in
+  --check)
+    echo "format.sh: checking ${#FILES[@]} files with ${CLANG_FORMAT}"
+    # --dry-run --Werror: nonzero exit + a diff-style report per violation.
+    "${CLANG_FORMAT}" --style=file --dry-run --Werror "${FILES[@]}"
+    echo "format.sh: clean"
+    ;;
+  apply)
+    echo "format.sh: formatting ${#FILES[@]} files with ${CLANG_FORMAT}"
+    "${CLANG_FORMAT}" --style=file -i "${FILES[@]}"
+    ;;
+  *)
+    echo "format.sh: unknown mode '${MODE}' (expected --check or nothing)" >&2
+    exit 2
+    ;;
+esac

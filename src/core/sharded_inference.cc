@@ -58,9 +58,39 @@ ShardedNaiEngine::ShardedNaiEngine(const graph::Graph& full_graph,
 
   shard_features_.reserve(num_shards);
   shard_stationary_.reserve(num_shards);
+  halo_depth_.reserve(num_shards);
   pools_.reserve(num_shards);
   engines_.reserve(num_shards);
   for (const graph::GraphShard& shard : sharded_.shards) {
+    // Hop distance of every shard node from the owned set, by BFS over the
+    // shard subgraph. A shortest path from the owned set to a node at halo
+    // depth d <= halo_hops runs entirely through the halo, so the induced
+    // subgraph preserves the global distances — this is exactly the
+    // steal-eligibility data CanServeFromShard needs.
+    std::vector<std::int32_t> depth(shard.nodes.size(), -1);
+    std::vector<std::int32_t> frontier;
+    for (const std::int32_t global : shard.owned) {
+      const std::int32_t local = shard.global_to_local[global];
+      depth[local] = 0;
+      frontier.push_back(local);
+    }
+    std::int32_t level = 0;
+    while (!frontier.empty()) {
+      ++level;
+      std::vector<std::int32_t> next;
+      for (const std::int32_t u : frontier) {
+        for (const std::int32_t* it = shard.graph.neighbors_begin(u);
+             it != shard.graph.neighbors_end(u); ++it) {
+          if (depth[*it] < 0) {
+            depth[*it] = level;
+            next.push_back(*it);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    halo_depth_.push_back(std::move(depth));
+
     if (shard.num_owned() == 0) {
       shard_features_.emplace_back();
       shard_stationary_.push_back(nullptr);
@@ -105,6 +135,28 @@ void ShardedNaiEngine::ValidateConfig(const InferenceConfig& config) const {
         " exceeds the shard halo of " + std::to_string(sharded_.halo_hops) +
         " hops; rebuild the shards with halo_hops >= T_max");
   }
+}
+
+bool ShardedNaiEngine::CanServeFromShard(std::size_t s, std::int32_t v,
+                                         const InferenceConfig& config) const {
+  if (v < 0 ||
+      static_cast<std::size_t>(v) >= sharded_.owner.size()) {
+    throw std::out_of_range("ShardedNaiEngine: query node " +
+                            std::to_string(v) + " outside [0, " +
+                            std::to_string(sharded_.owner.size()) + ")");
+  }
+  if (s >= sharded_.num_shards() || engines_[s] == nullptr) return false;
+  if (static_cast<std::size_t>(sharded_.owner[v]) == s) return true;
+  const std::int32_t local = sharded_.shards[s].global_to_local[v];
+  if (local < 0) return false;
+  // T-hop BFS membership needs depth(v) + T <= halo_hops; the rows it
+  // aggregates (nodes within T-1 of v) then sit strictly inside the halo,
+  // where every row is complete. T >= 1 keeps v itself off the outermost
+  // ring, whose local degrees (stationary view) undercount the global ones.
+  const std::int64_t needed = std::max(
+      1, config.effective_t_max(classifiers_->depth()));
+  return static_cast<std::int64_t>(halo_depth_[s][local]) + needed <=
+         static_cast<std::int64_t>(sharded_.halo_hops);
 }
 
 InferenceResult ShardedNaiEngine::Infer(const std::vector<std::int32_t>& nodes,

@@ -78,6 +78,24 @@ class ShardedNaiEngine {
   /// shard_engine(s) directly.
   void ValidateConfig(const InferenceConfig& config) const;
 
+  /// True when shard `s` can serve global node `v` under `config` with
+  /// results bit-identical to routing through v's owner — the steal-path
+  /// check of the serving scheduler. Trivially true when s owns v.
+  /// Otherwise v must sit deep enough inside s's halo that the whole
+  /// T-hop supporting BFS (T = effective T_max, at least 1 so v's own
+  /// degree-dependent quantities are exact) stays inside the shard *and*
+  /// every adjacency row it aggregates is complete:
+  ///   halo_depth(v) + max(1, T) <= halo_hops,
+  /// where halo_depth(v) is v's hop distance from s's owned set (0 for
+  /// owned nodes). Rows of nodes strictly inside the halo are exact
+  /// submatrix rows of the global normalized adjacency in global-id
+  /// order, which is what makes the thief's answer bit-identical (see the
+  /// class determinism contract). False for shards that own no nodes
+  /// (they have no engine) and for nodes outside the shard; throws
+  /// std::out_of_range for nodes outside the graph.
+  bool CanServeFromShard(std::size_t s, std::int32_t v,
+                         const InferenceConfig& config) const;
+
   /// The classifier bank's depth k — the deepest T_max any config can
   /// resolve to (InferenceConfig::effective_t_max).
   int depth() const { return classifiers_->depth(); }
@@ -95,6 +113,11 @@ class ShardedNaiEngine {
   graph::ShardedGraph sharded_;
   ClassifierStack* classifiers_;
   int threads_per_shard_;
+  /// halo_depth_[s][local] = hop distance of shard s's local node from the
+  /// shard's owned set (0 = owned, halo_hops = outermost halo ring).
+  /// Computed once at construction by BFS over the shard subgraph — the
+  /// steal-path eligibility data of CanServeFromShard.
+  std::vector<std::vector<std::int32_t>> halo_depth_;
   /// Per-shard gathered feature rows and stationary views; referenced by
   /// the shard engines, so they live here (declaration order matters).
   std::vector<tensor::Matrix> shard_features_;

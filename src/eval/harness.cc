@@ -209,22 +209,48 @@ ServingRunReport RunServing(serve::ServingEngine& server,
     return report;
   }
 
+  // Submission order: caller order, or phased through one shard at a time
+  // (skewed load — the steal scenario). The stable sort keeps the
+  // caller's relative order within a shard, so runs stay reproducible.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  if (load.skew_by_shard) {
+    const std::vector<std::int32_t>& owner =
+        server.engine().sharded_graph().owner;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return owner[nodes[a]] < owner[nodes[b]];
+                     });
+  }
+
   const Clock::time_point start = Clock::now();
   if (load.arrival_rate_qps > 0.0) {
     // Open loop: one generator thread paces Poisson arrivals against the
     // wall clock (sleep_until, so service time never stretches the
     // schedule) and never blocks on admission — a full queue sheds the
     // request, keeping the offered load honest under overload.
+    //
+    // Bursty modulation maps the Poisson "busy clock" onto the wall
+    // clock: every burst_on_ms of arrivals is followed by burst_off_ms of
+    // silence, so within a burst the instantaneous rate is the full
+    // arrival_rate_qps.
+    const bool bursty = load.burst_on_ms > 0.0 && load.burst_off_ms > 0.0;
     std::vector<std::pair<std::size_t, std::future<serve::Response>>>
         in_flight;
     in_flight.reserve(n);
     double arrival_us = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t i : order) {
       arrival_us += -std::log(1.0 - rng.NextDouble()) * 1e6 /
                     load.arrival_rate_qps;
+      double wall_us = arrival_us;
+      if (bursty) {
+        const double on_us = 1e3 * load.burst_on_ms;
+        const double off_us = 1e3 * load.burst_off_ms;
+        wall_us += std::floor(arrival_us / on_us) * off_us;
+      }
       std::this_thread::sleep_until(
           start + std::chrono::microseconds(
-                      static_cast<std::int64_t>(arrival_us)));
+                      static_cast<std::int64_t>(wall_us)));
       std::optional<std::future<serve::Response>> future =
           server.TrySubmit(nodes[i], report.classes[i]);
       if (future.has_value()) in_flight.emplace_back(i, std::move(*future));
@@ -241,8 +267,9 @@ ServingRunReport RunServing(serve::ServingEngine& server,
     std::atomic<std::size_t> next{0};
     auto client = [&] {
       while (true) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= n) return;
+        const std::size_t slot = next.fetch_add(1);
+        if (slot >= n) return;
+        const std::size_t i = order[slot];
         const serve::Response response =
             server.Submit(nodes[i], report.classes[i]).get();
         if (response.served) report.predictions[i] = response.prediction;

@@ -110,6 +110,20 @@ struct ServingLoadConfig {
   /// the same seed targets the same mix in either loop mode.
   double speed_first_fraction = 1.0;
   std::uint64_t seed = 42;
+
+  /// Shard-skewed arrivals: submission order is stable-sorted by owning
+  /// shard, so the load phases through one shard's queue at a time while
+  /// the other pumps sit idle — the work-stealing scenario. Off = caller
+  /// order (shard-uniform for a shuffled node list).
+  bool skew_by_shard = false;
+  /// On/off bursty arrivals (open loop only): Poisson arrivals at
+  /// `arrival_rate_qps` during each `burst_on_ms` window, silence for the
+  /// following `burst_off_ms` — the mean offered load is
+  /// rate * on / (on + off), and each burst stresses the admission
+  /// controller at the full peak rate. Either value <= 0 disables
+  /// modulation (steady Poisson arrivals).
+  double burst_on_ms = 0.0;
+  double burst_off_ms = 0.0;
 };
 
 /// What one serving run produced. `predictions[i]` answers `nodes[i]`

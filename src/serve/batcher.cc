@@ -7,7 +7,7 @@
 namespace nai::serve {
 
 DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatcherConfig config)
-    : queue_(queue), config_(config) {
+    : queue_(queue), config_(config), window_us_(config.max_wait_us) {
   if (config_.max_batch == 0) {
     throw std::invalid_argument("DynamicBatcher: max_batch must be positive");
   }
@@ -18,8 +18,16 @@ DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatcherConfig config)
 }
 
 std::vector<Request> DynamicBatcher::NextBatch() {
+  return Gather(queue_.Pop());  // blocks; nullopt = shutdown
+}
+
+std::vector<Request> DynamicBatcher::NextBatch(
+    ServeClock::time_point first_deadline) {
+  return Gather(queue_.PopUntil(first_deadline));
+}
+
+std::vector<Request> DynamicBatcher::Gather(std::optional<Request> first) {
   std::vector<Request> batch;
-  std::optional<Request> first = queue_.Pop();  // blocks; nullopt = shutdown
   if (!first.has_value()) return batch;
   batch.reserve(config_.max_batch);
   batch.push_back(std::move(*first));
@@ -27,7 +35,8 @@ std::vector<Request> DynamicBatcher::NextBatch() {
   // The coalescing window opens at the first pop, not per straggler: a
   // steady trickle cannot hold a batch open forever.
   const ServeClock::time_point window_end =
-      ServeClock::now() + std::chrono::microseconds(config_.max_wait_us);
+      ServeClock::now() +
+      std::chrono::microseconds(window_us_.load(std::memory_order_relaxed));
   while (batch.size() < config_.max_batch) {
     std::optional<Request> next = queue_.TryPop();
     if (next.has_value()) {

@@ -1,8 +1,10 @@
 #ifndef NAI_SERVE_BATCHER_H_
 #define NAI_SERVE_BATCHER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/serve/request_queue.h"
@@ -17,7 +19,9 @@ struct BatcherConfig {
   std::size_t max_batch = 64;
   /// How long to hold an incomplete batch open for stragglers, measured
   /// from the moment its *first* request is popped. 0 = serve whatever is
-  /// immediately available (latency-optimal, throughput-pessimal).
+  /// immediately available (latency-optimal, throughput-pessimal). This is
+  /// the *initial* window: the admission controller may retune it at run
+  /// time through set_max_wait_us.
   std::int64_t max_wait_us = 200;
 };
 
@@ -26,10 +30,10 @@ struct BatcherConfig {
 /// since that first pop expires. One batcher per shard queue, driven by
 /// that shard's pump thread.
 ///
-/// The batcher is deliberately QoS-agnostic — a batch can mix classes, and
-/// the engine's per-query-config entry point (core::ConfiguredQuery)
-/// splits it by resolved config downstream. Keeping the pop order FIFO
-/// here means no class can starve the other at the queue.
+/// The batcher drains the queue in the queue's policy order (FIFO, or
+/// priority with aging) and is otherwise QoS-agnostic — a batch can mix
+/// classes, and the engine's per-query-config entry point
+/// (core::ConfiguredQuery) splits it by resolved config downstream.
 class DynamicBatcher {
  public:
   DynamicBatcher(RequestQueue& queue, BatcherConfig config);
@@ -38,11 +42,31 @@ class DynamicBatcher {
   /// when the queue is closed and fully drained — the pump's exit signal.
   std::vector<Request> NextBatch();
 
+  /// Like NextBatch, but gives up waiting for the *first* request at
+  /// `first_deadline` (empty batch — check RequestQueue::drained() to tell
+  /// a timeout from shutdown). The work-stealing pump uses this so an idle
+  /// shard wakes up to scan sibling queues instead of blocking forever on
+  /// its own.
+  std::vector<Request> NextBatch(ServeClock::time_point first_deadline);
+
+  /// The coalescing window currently in force. Initially
+  /// config.max_wait_us; the admission controller retunes it (thread-safe,
+  /// takes effect at the next batch).
+  std::int64_t max_wait_us() const {
+    return window_us_.load(std::memory_order_relaxed);
+  }
+  void set_max_wait_us(std::int64_t wait_us) {
+    window_us_.store(wait_us < 0 ? 0 : wait_us, std::memory_order_relaxed);
+  }
+
   const BatcherConfig& config() const { return config_; }
 
  private:
+  std::vector<Request> Gather(std::optional<Request> first);
+
   RequestQueue& queue_;
   BatcherConfig config_;
+  std::atomic<std::int64_t> window_us_;
 };
 
 }  // namespace nai::serve

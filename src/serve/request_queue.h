@@ -1,6 +1,7 @@
 #ifndef NAI_SERVE_REQUEST_QUEUE_H_
 #define NAI_SERVE_REQUEST_QUEUE_H_
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -10,6 +11,7 @@
 #include <future>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "src/serve/qos.h"
 
@@ -24,8 +26,8 @@ struct Response {
   std::int32_t exit_depth = -1;  ///< personalized depth L(v) actually used
   QosClass qos = QosClass::kSpeedFirst;
   /// False when the request was shed instead of served: rejected at
-  /// admission (queue full / engine shut down) or expired in the queue
-  /// under ServingOptions::drop_expired.
+  /// admission (queue full / admission controller / engine shut down) or
+  /// expired in the queue under ServingOptions::drop_expired.
   bool served = false;
   /// True when completion happened after the request's deadline (always
   /// true for expired-dropped requests).
@@ -49,18 +51,36 @@ struct Request {
   std::function<void(const Response&)> callback;
 };
 
+/// The pop discipline of one shard queue.
+///
+/// With `priority` off, pops follow global arrival order (FIFO). With it
+/// on, speed-first requests bypass queued accuracy-first work — but only
+/// while the oldest accuracy-first request has been waiting less than
+/// `aging_us` since its admission. Once that bound is exceeded the oldest
+/// request wins regardless of class, so the bypassed class's extra
+/// queueing delay is capped at aging_us plus one batch: it can be
+/// overtaken, never starved. `aging_us = 0` therefore degenerates to FIFO.
+struct QueuePolicy {
+  bool priority = false;
+  std::int64_t aging_us = 5000;
+};
+
 /// A bounded MPMC queue of requests — the admission point of the serving
 /// front-end. Producers are client threads (Submit/TrySubmit), consumers
-/// are the shard pump threads (via DynamicBatcher).
+/// are the shard pump threads (via DynamicBatcher) and, when work stealing
+/// is on, sibling pump threads draining a backlog via TryPopBatch.
 ///
 /// Admission control: TryPush never blocks and returns false when the queue
 /// is at capacity (backpressure — the caller sheds or retries), Push blocks
 /// until space frees up. Close() makes every subsequent push fail while
 /// pops keep draining what was admitted, which is what makes shutdown
 /// graceful: nothing accepted is ever dropped on the floor.
+///
+/// Ordering: within a QoS class pops are always FIFO; across classes the
+/// QueuePolicy decides (see above).
 class RequestQueue {
  public:
-  explicit RequestQueue(std::size_t capacity);
+  explicit RequestQueue(std::size_t capacity, QueuePolicy policy = {});
 
   /// Non-blocking admission; false when full or closed.
   bool TryPush(Request&& request);
@@ -68,12 +88,21 @@ class RequestQueue {
   /// Blocking admission; false when the queue is (or gets) closed.
   bool Push(Request&& request);
 
-  /// Pops the oldest request, blocking until one is available or the queue
-  /// is closed *and* drained (nullopt).
+  /// Pops the next request under the queue's policy, blocking until one is
+  /// available or the queue is closed *and* drained (nullopt).
   std::optional<Request> Pop();
+
+  /// Like Pop, but gives up at `deadline`: nullopt on timeout as well as
+  /// on closed-and-drained (disambiguate via drained()).
+  std::optional<Request> PopUntil(ServeClock::time_point deadline);
 
   /// Non-blocking pop; nullopt when currently empty.
   std::optional<Request> TryPop();
+
+  /// Non-blocking bulk pop of up to `max` requests in policy order — the
+  /// work-stealing entry point: a sibling pump takes a whole coalesced
+  /// batch in one lock acquisition.
+  std::vector<Request> TryPopBatch(std::size_t max);
 
   /// Blocks until an item is available or `deadline` passes. True when an
   /// item is (probably) available; false on timeout or closed-and-drained.
@@ -84,15 +113,35 @@ class RequestQueue {
   void Close();
 
   bool closed() const;
+  /// Closed with nothing left to pop — the consumer's exit signal.
+  bool drained() const;
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
+  const QueuePolicy& policy() const { return policy_; }
 
  private:
+  /// A queued request plus its global arrival sequence (assigned under the
+  /// queue lock, so FIFO comparisons across the per-class deques are
+  /// exact even when producers race).
+  struct Slot {
+    Request request;
+    std::uint64_t seq = 0;
+  };
+
+  std::size_t TotalLocked() const;
+  /// Which class deque the next pop should take from under the policy
+  /// (-1 when empty). Caller holds mu_.
+  int PickClassLocked(ServeClock::time_point now) const;
+  Request PopPickedLocked(int cls);
+
   const std::size_t capacity_;
+  const QueuePolicy policy_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<Request> items_;
+  /// One FIFO deque per QoS class, in class order (kSpeedFirst first).
+  std::array<std::deque<Slot>, kNumQosClasses> items_;
+  std::uint64_t next_seq_ = 0;
   bool closed_ = false;
 };
 

@@ -52,6 +52,13 @@ struct ServingEngine::Counters {
   std::int64_t rejected = 0;
   std::int64_t dropped = 0;
   std::int64_t deadline_misses = 0;
+  std::int64_t shed_adaptive = 0;
+  std::int64_t stolen_batches = 0;
+  std::int64_t stolen_requests = 0;
+  std::int64_t steal_fallback_requests = 0;
+  std::vector<std::int64_t> shed_adaptive_per_shard;
+  std::vector<std::int64_t> stolen_from;  ///< batches taken out of shard s
+  std::vector<std::int64_t> stolen_by;    ///< batches shard s's pump stole
   std::array<std::vector<double>, kNumQosClasses> latency_window;
   std::array<std::size_t, kNumQosClasses> latency_next{};  // ring cursor
   std::array<std::int64_t, kNumQosClasses> completed{};
@@ -86,19 +93,31 @@ ServingEngine::ServingEngine(core::ShardedNaiEngine& engine,
     // before any request can be admitted.
     engine_->ValidateConfig(policies_.policies[c].config);
   }
-  stats_->batch_size_hist.assign(options_.batcher.max_batch, 0);
-
-  // Queue and batcher construction validates queue_capacity and the
-  // BatcherConfig here, on the caller's thread — a degenerate option must
-  // throw from this constructor, not abort a pump thread.
   const graph::ShardedGraph& sharded = engine_->sharded_graph();
+  stats_->batch_size_hist.assign(options_.batcher.max_batch, 0);
+  stats_->shed_adaptive_per_shard.assign(sharded.num_shards(), 0);
+  stats_->stolen_from.assign(sharded.num_shards(), 0);
+  stats_->stolen_by.assign(sharded.num_shards(), 0);
+
+  // The controller constructor validates every scheduler knob; queue and
+  // batcher construction validates queue_capacity and the BatcherConfig.
+  // All of it happens here, on the caller's thread — a degenerate option
+  // must throw from this constructor, not abort a pump thread.
+  controller_ = std::make_unique<AdmissionController>(
+      sharded.num_shards(), options_.scheduler, options_.batcher.max_batch,
+      options_.batcher.max_wait_us);
+  const QueuePolicy queue_policy{options_.scheduler.priority,
+                                 options_.scheduler.priority_aging_us};
   queues_.resize(sharded.num_shards());
   batchers_.resize(sharded.num_shards());
+  engine_mu_.resize(sharded.num_shards());
   for (std::size_t s = 0; s < sharded.num_shards(); ++s) {
     if (sharded.shards[s].num_owned() == 0) continue;
-    queues_[s] = std::make_unique<RequestQueue>(options_.queue_capacity);
+    queues_[s] =
+        std::make_unique<RequestQueue>(options_.queue_capacity, queue_policy);
     batchers_[s] =
         std::make_unique<DynamicBatcher>(*queues_[s], options_.batcher);
+    engine_mu_[s] = std::make_unique<std::mutex>();
   }
   for (std::size_t s = 0; s < queues_.size(); ++s) {
     if (queues_[s] == nullptr) continue;
@@ -108,11 +127,14 @@ ServingEngine::ServingEngine(core::ShardedNaiEngine& engine,
 
 ServingEngine::~ServingEngine() { Shutdown(); }
 
+double ServingEngine::BudgetMs(QosClass qos, double deadline_ms) const {
+  return deadline_ms > 0.0 ? deadline_ms
+                           : policies_.For(qos).default_deadline_ms;
+}
+
 Request ServingEngine::MakeRequest(std::int32_t node, QosClass qos,
                                    double deadline_ms) {
-  const QosPolicy& policy = policies_.For(qos);
-  const double budget_ms =
-      deadline_ms > 0.0 ? deadline_ms : policy.default_deadline_ms;
+  const double budget_ms = BudgetMs(qos, deadline_ms);
   Request request;
   request.id = stats_->next_id.fetch_add(1, std::memory_order_relaxed);
   request.node = node;
@@ -156,6 +178,7 @@ std::future<Response> ServingEngine::Submit(std::int32_t node, QosClass qos,
                                             double deadline_ms) {
   const std::size_t s = ShardFor(node);
   Request request = MakeRequest(node, qos, deadline_ms);
+  controller_->RecordArrival(s, request.admitted);
   std::future<Response> future = request.promise.get_future();
   // `submitted` is counted before the push so a concurrent Stats()
   // snapshot can never observe completed > submitted; a failed push
@@ -180,6 +203,19 @@ std::optional<std::future<Response>> ServingEngine::TrySubmit(
     std::int32_t node, QosClass qos, double deadline_ms) {
   const std::size_t s = ShardFor(node);
   Request request = MakeRequest(node, qos, deadline_ms);
+  controller_->RecordArrival(s, request.admitted);
+  // Adaptive shedding: if the queue ahead of this request already implies
+  // a wait past its deadline budget, admitting it only manufactures a
+  // deadline miss and delays everyone behind it. Admit owns the decision
+  // entirely (it is a no-op yes when the controller is not adaptive).
+  if (!controller_->Admit(s, queues_[s]->size(),
+                          BudgetMs(qos, deadline_ms))) {
+    std::lock_guard<std::mutex> lock(stats_->mu);
+    ++stats_->rejected;
+    ++stats_->shed_adaptive;
+    ++stats_->shed_adaptive_per_shard[s];
+    return std::nullopt;
+  }
   std::future<Response> future = request.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(stats_->mu);
@@ -199,6 +235,7 @@ bool ServingEngine::SubmitWithCallback(
     std::function<void(const Response&)> callback, double deadline_ms) {
   const std::size_t s = ShardFor(node);
   Request request = MakeRequest(node, qos, deadline_ms);
+  controller_->RecordArrival(s, request.admitted);
   request.callback = std::move(callback);
   {
     std::lock_guard<std::mutex> lock(stats_->mu);
@@ -213,82 +250,165 @@ bool ServingEngine::SubmitWithCallback(
   return false;
 }
 
-void ServingEngine::PumpShard(std::size_t shard) {
-  DynamicBatcher& batcher = *batchers_[shard];
-  core::NaiEngine& engine = engine_->shard_engine(shard);
+void ServingEngine::ServeBatch(std::size_t engine_shard,
+                               std::vector<Request> batch) {
   const std::vector<std::int32_t>& global_to_local =
-      engine_->sharded_graph().shards[shard].global_to_local;
+      engine_->sharded_graph().shards[engine_shard].global_to_local;
 
-  while (true) {
-    std::vector<Request> batch = batcher.NextBatch();
-    if (batch.empty()) return;  // closed and drained
-
-    const ServeClock::time_point formed = ServeClock::now();
-    std::vector<Request> serve;
-    serve.reserve(batch.size());
-    for (Request& request : batch) {
-      if (options_.drop_expired && formed >= request.deadline) {
-        Response response;
-        response.qos = request.qos;
-        response.served = false;
-        response.deadline_missed = true;
-        response.queue_ms = MsBetween(request.admitted, formed);
-        response.latency_ms = response.queue_ms;
-        {
-          std::lock_guard<std::mutex> lock(stats_->mu);
-          ++stats_->dropped;
-          ++stats_->deadline_misses;
-          ++stats_->misses[static_cast<std::size_t>(request.qos)];
-        }
-        Complete(request, response);
-      } else {
-        serve.push_back(std::move(request));
-      }
-    }
-    if (serve.empty()) continue;
-
-    // One engine call for the whole (possibly QoS-mixed) batch: queries
-    // sharing a policy config group together inside InferMixed, and the
-    // shard engine's ExecContext pins the work to this shard's pool.
-    std::vector<core::ConfiguredQuery> queries;
-    queries.reserve(serve.size());
-    for (const Request& request : serve) {
-      queries.push_back({global_to_local[request.node],
-                         &policies_.For(request.qos).config});
-    }
-    core::InferenceResult result = engine.InferMixed(queries);
-    const ServeClock::time_point done = ServeClock::now();
-
-    {
-      std::lock_guard<std::mutex> lock(stats_->mu);
-      ++stats_->num_batches;
-      stats_->batched_requests += static_cast<std::int64_t>(serve.size());
-      ++stats_->batch_size_hist[serve.size() - 1];
-      stats_->engine_stats.Accumulate(result.stats);
-      stats_->engine_stats.num_nodes += result.stats.num_nodes;
-      stats_->engine_stats.wall_time_ms += result.stats.wall_time_ms;
-    }
-
-    for (std::size_t i = 0; i < serve.size(); ++i) {
-      Request& request = serve[i];
+  const ServeClock::time_point formed = ServeClock::now();
+  std::vector<Request> serve;
+  serve.reserve(batch.size());
+  for (Request& request : batch) {
+    if (options_.drop_expired && formed >= request.deadline) {
       Response response;
-      response.prediction = result.predictions[i];
-      response.exit_depth = result.exit_depths[i];
       response.qos = request.qos;
-      response.served = true;
-      response.deadline_missed = done > request.deadline;
+      response.served = false;
+      response.deadline_missed = true;
       response.queue_ms = MsBetween(request.admitted, formed);
-      response.latency_ms = MsBetween(request.admitted, done);
+      response.latency_ms = response.queue_ms;
       {
         std::lock_guard<std::mutex> lock(stats_->mu);
-        const std::size_t c = static_cast<std::size_t>(request.qos);
-        stats_->RecordLatency(c, response.latency_ms);
-        if (response.deadline_missed) {
-          ++stats_->deadline_misses;
-          ++stats_->misses[c];
-        }
+        ++stats_->dropped;
+        ++stats_->deadline_misses;
+        ++stats_->misses[static_cast<std::size_t>(request.qos)];
       }
       Complete(request, response);
+    } else {
+      serve.push_back(std::move(request));
+    }
+  }
+  if (serve.empty()) return;
+
+  // One engine call for the whole (possibly QoS-mixed) batch: queries
+  // sharing a policy config group together inside InferMixed, and the
+  // shard engine's ExecContext pins the work to this shard's pool. The
+  // per-shard mutex serializes the owner pump against thieves routing
+  // their fallback requests through this engine (exactly one lock held,
+  // so steal paths can never deadlock).
+  std::vector<core::ConfiguredQuery> queries;
+  queries.reserve(serve.size());
+  for (const Request& request : serve) {
+    queries.push_back({global_to_local[request.node],
+                       &policies_.For(request.qos).config});
+  }
+  core::InferenceResult result;
+  {
+    std::lock_guard<std::mutex> lock(*engine_mu_[engine_shard]);
+    result = engine_->shard_engine(engine_shard).InferMixed(queries);
+  }
+  const ServeClock::time_point done = ServeClock::now();
+  controller_->RecordBatch(engine_shard, serve.size(),
+                           result.stats.wall_time_ms, done);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_->mu);
+    ++stats_->num_batches;
+    stats_->batched_requests += static_cast<std::int64_t>(serve.size());
+    ++stats_->batch_size_hist[serve.size() - 1];
+    stats_->engine_stats.Accumulate(result.stats);
+    stats_->engine_stats.num_nodes += result.stats.num_nodes;
+    stats_->engine_stats.wall_time_ms += result.stats.wall_time_ms;
+  }
+
+  for (std::size_t i = 0; i < serve.size(); ++i) {
+    Request& request = serve[i];
+    Response response;
+    response.prediction = result.predictions[i];
+    response.exit_depth = result.exit_depths[i];
+    response.qos = request.qos;
+    response.served = true;
+    response.deadline_missed = done > request.deadline;
+    response.queue_ms = MsBetween(request.admitted, formed);
+    response.latency_ms = MsBetween(request.admitted, done);
+    {
+      std::lock_guard<std::mutex> lock(stats_->mu);
+      const std::size_t c = static_cast<std::size_t>(request.qos);
+      stats_->RecordLatency(c, response.latency_ms);
+      if (response.deadline_missed) {
+        ++stats_->deadline_misses;
+        ++stats_->misses[c];
+      }
+    }
+    Complete(request, response);
+  }
+}
+
+bool ServingEngine::TrySteal(std::size_t thief) {
+  // Victim: the most backlogged sibling queue, if any qualifies.
+  std::size_t victim = queues_.size();
+  std::size_t best = options_.scheduler.steal_min_backlog;
+  for (std::size_t s = 0; s < queues_.size(); ++s) {
+    if (s == thief || queues_[s] == nullptr) continue;
+    const std::size_t depth = queues_[s]->size();
+    if (depth >= best && depth > 0) {
+      best = depth;
+      victim = s;
+    }
+  }
+  if (victim == queues_.size()) return false;
+
+  std::vector<Request> batch =
+      queues_[victim]->TryPopBatch(options_.batcher.max_batch);
+  if (batch.empty()) return false;
+
+  // Split the stolen batch: requests whose supporting sets the thief's
+  // halo covers run on the thief's engine (the parallelism win); the rest
+  // keep their bits by routing through the owner engine, serialized with
+  // the owner pump via the per-shard engine mutex.
+  std::vector<Request> local;
+  std::vector<Request> fallback;
+  local.reserve(batch.size());
+  for (Request& request : batch) {
+    const core::InferenceConfig& config = policies_.For(request.qos).config;
+    if (engine_->CanServeFromShard(thief, request.node, config)) {
+      local.push_back(std::move(request));
+    } else {
+      fallback.push_back(std::move(request));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_->mu);
+    ++stats_->stolen_batches;
+    stats_->stolen_requests +=
+        static_cast<std::int64_t>(local.size() + fallback.size());
+    stats_->steal_fallback_requests +=
+        static_cast<std::int64_t>(fallback.size());
+    ++stats_->stolen_by[thief];
+    ++stats_->stolen_from[victim];
+  }
+  if (!local.empty()) ServeBatch(thief, std::move(local));
+  if (!fallback.empty()) ServeBatch(victim, std::move(fallback));
+  return true;
+}
+
+void ServingEngine::PumpShard(std::size_t shard) {
+  DynamicBatcher& batcher = *batchers_[shard];
+  const bool stealing = options_.scheduler.stealing;
+  const bool adaptive = options_.scheduler.adaptive;
+  const std::int64_t poll_us = options_.scheduler.steal_poll_us;
+  // Idle pumps back off exponentially (up to 16x the base poll) so a quiet
+  // deployment is not a spin loop; any work — own or stolen — resets it.
+  std::int64_t idle_backoff = 1;
+
+  while (true) {
+    if (adaptive) batcher.set_max_wait_us(controller_->WaitUs(shard));
+    std::vector<Request> batch =
+        stealing ? batcher.NextBatch(ServeClock::now() +
+                                     std::chrono::microseconds(
+                                         poll_us * idle_backoff))
+                 : batcher.NextBatch();
+    if (!batch.empty()) {
+      idle_backoff = 1;
+      ServeBatch(shard, std::move(batch));
+      continue;
+    }
+    if (queues_[shard]->drained()) return;
+    if (stealing) {
+      if (TrySteal(shard)) {
+        idle_backoff = 1;
+      } else {
+        idle_backoff = std::min<std::int64_t>(idle_backoff * 2, 16);
+      }
     }
   }
 }
@@ -325,9 +445,25 @@ ServingStatsSnapshot ServingEngine::Stats() const {
             : static_cast<double>(stats_->batched_requests) /
                   static_cast<double>(stats_->num_batches);
     snap.engine_stats = stats_->engine_stats;
+    snap.shed_adaptive = stats_->shed_adaptive;
+    snap.stolen_batches = stats_->stolen_batches;
+    snap.stolen_requests = stats_->stolen_requests;
+    snap.steal_fallback_requests = stats_->steal_fallback_requests;
+    snap.scheduler.resize(queues_.size());
+    for (std::size_t s = 0; s < queues_.size(); ++s) {
+      if (queues_[s] == nullptr) {
+        snap.scheduler[s].shard = s;
+        continue;
+      }
+      snap.scheduler[s] = controller_->Snapshot(s);
+      snap.scheduler[s].adaptive_sheds = stats_->shed_adaptive_per_shard[s];
+      snap.scheduler[s].batches_stolen_from = stats_->stolen_from[s];
+      snap.scheduler[s].batches_stolen_by = stats_->stolen_by[s];
+    }
     windows = stats_->latency_window;
     completed = stats_->completed;
   }
+  snap.adaptation_trace = controller_->Trace();
   // Percentiles come from the bounded recent window; counts are the exact
   // all-time totals (equal while fewer than kLatencyWindow requests of a
   // class have completed).

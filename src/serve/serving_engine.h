@@ -16,6 +16,7 @@
 #include "src/serve/batcher.h"
 #include "src/serve/qos.h"
 #include "src/serve/request_queue.h"
+#include "src/serve/scheduler.h"
 
 namespace nai::serve {
 
@@ -29,6 +30,10 @@ struct ServingOptions {
   /// are completed unserved (prediction -1) instead of burning engine time
   /// on an answer nobody is waiting for.
   bool drop_expired = false;
+  /// The adaptive scheduler: per-class priority with aging, cross-shard
+  /// work stealing, and the admission controller (see SchedulerOptions —
+  /// each mechanism can be disabled independently).
+  SchedulerOptions scheduler;
 };
 
 /// Latency distribution of one request population (milliseconds,
@@ -50,7 +55,7 @@ struct LatencySummary {
 /// snapshot time.
 struct ServingStatsSnapshot {
   std::int64_t submitted = 0;        ///< admitted into a shard queue
-  std::int64_t rejected = 0;         ///< shed at admission (full / shut down)
+  std::int64_t rejected = 0;         ///< shed at admission (full / controller / shut down)
   std::int64_t completed = 0;        ///< served through the engine
   std::int64_t dropped = 0;          ///< expired in queue (drop_expired)
   std::int64_t deadline_misses = 0;  ///< completed or dropped past deadline
@@ -65,27 +70,59 @@ struct ServingStatsSnapshot {
   std::int64_t num_batches = 0;
   double mean_batch_size = 0.0;
 
+  /// Scheduler counters. `shed_adaptive` is the subset of `rejected` the
+  /// admission controller turned away with the queue below capacity
+  /// (predicted queue delay already past the request's budget).
+  /// `stolen_requests` counts requests served by a pump other than their
+  /// owner's; `steal_fallback_requests` is the subset the thief had to
+  /// route through the owner engine because its own halo could not cover
+  /// them bit-exactly.
+  std::int64_t shed_adaptive = 0;
+  std::int64_t stolen_batches = 0;
+  std::int64_t stolen_requests = 0;
+  std::int64_t steal_fallback_requests = 0;
+  /// Per-shard adaptation state (indexed by shard id; default-initialized
+  /// for shards that own no nodes) and the bounded adaptation trace —
+  /// how the controller moved each shard's window/admission limit as the
+  /// arrival process changed.
+  std::vector<SchedulerShardSnapshot> scheduler;
+  std::vector<SchedulerTraceEvent> adaptation_trace;
+
   /// The engine counters of every served batch, merged via
   /// InferenceStats::Accumulate (num_nodes = served requests; wall_time_ms
   /// is the summed per-batch engine time, not elapsed time).
   core::InferenceStats engine_stats;
 };
 
-/// The streaming serving front-end: admission queues, dynamic batching and
-/// QoS-class resolution over a sharded NAI engine.
+/// The streaming serving front-end: admission queues, dynamic batching,
+/// QoS-class resolution and adaptive scheduling over a sharded NAI engine.
 ///
 /// One RequestQueue + DynamicBatcher + pump thread per shard that owns
 /// nodes. Submit routes a request to its owning shard's queue; the shard's
-/// pump coalesces queued requests into batches and serves each batch with
-/// one per-query-config engine call (NaiEngine::InferMixed) on that shard's
-/// dedicated thread pool, so traffic classes co-exist in a batch yet are
-/// each served with their own InferenceConfig. Completion fulfils the
-/// request's future and invokes its callback on the pump thread.
+/// pump coalesces queued requests into batches (in the queue's priority
+/// order when SchedulerOptions::priority is on) and serves each batch with
+/// one per-query-config engine call (NaiEngine::InferMixed), so traffic
+/// classes co-exist in a batch yet are each served with their own
+/// InferenceConfig. Completion fulfils the request's future and invokes
+/// its callback on the serving pump thread.
+///
+/// Scheduling (see SchedulerOptions):
+///   * priority — speed-first bypasses queued accuracy-first work inside a
+///     shard queue, aging-bounded so the bypassed class cannot starve;
+///   * stealing — a pump whose queue stays empty for steal_poll_us scans
+///     the sibling queues and steals a whole coalesced batch from the most
+///     backlogged one; stolen requests covered by the thief's halo
+///     (ShardedNaiEngine::CanServeFromShard) run on the thief's engine,
+///     the rest on the owner's (serialized by a per-shard engine mutex);
+///   * admission control — per-shard arrival/service EWMAs retune every
+///     batcher's coalescing window and shed TrySubmits whose predicted
+///     queue delay already exceeds their deadline budget.
 ///
 /// Determinism: a request's prediction and exit depth are per-node
 /// quantities of its resolved config — bit-identical to a direct
 /// (Sharded)NaiEngine::Infer of the same node under that config, no matter
-/// how requests were batched or interleaved with other traffic.
+/// how requests were batched, interleaved with other traffic, bypassed by
+/// a higher class, or stolen across shards.
 ///
 /// Shutdown is graceful: queues close (new submissions are rejected), every
 /// admitted request is still served, pumps drain and join. The destructor
@@ -101,8 +138,8 @@ class ServingEngine {
   /// by the engine's shards (ShardedNaiEngine::ValidateConfig — the pumps
   /// bypass the routed entry points, so the halo check happens here, once)
   /// or when `options` is degenerate (zero queue capacity or batch size,
-  /// negative wait) — everything is validated on the caller's thread
-  /// before any pump spawns.
+  /// negative wait, out-of-range scheduler knobs) — everything is
+  /// validated on the caller's thread before any pump spawns.
   ServingEngine(core::ShardedNaiEngine& engine, QosPolicyTable policies,
                 ServingOptions options = {});
   ~ServingEngine();
@@ -116,8 +153,9 @@ class ServingEngine {
   std::future<Response> Submit(std::int32_t node, QosClass qos,
                                double deadline_ms = 0.0);
 
-  /// Non-blocking admission: nullopt when the shard queue is full (shed
-  /// load upstream) or the engine is shut down.
+  /// Non-blocking admission: nullopt when the shard queue is full, the
+  /// admission controller predicts the request would miss its deadline in
+  /// the queue (shed load upstream), or the engine is shut down.
   std::optional<std::future<Response>> TrySubmit(std::int32_t node,
                                                  QosClass qos,
                                                  double deadline_ms = 0.0);
@@ -143,10 +181,19 @@ class ServingEngine {
   struct Counters;
 
   Request MakeRequest(std::int32_t node, QosClass qos, double deadline_ms);
+  double BudgetMs(QosClass qos, double deadline_ms) const;
   std::size_t ShardFor(std::int32_t node) const;
   void Complete(Request& request, Response response);
   void Reject(Request& request);
   void PumpShard(std::size_t shard);
+  /// Serves `batch` on `engine_shard`'s engine (owner path: the shard the
+  /// requests were queued at; steal path: the thief). Handles
+  /// drop_expired, stats and completion.
+  void ServeBatch(std::size_t engine_shard, std::vector<Request> batch);
+  /// One steal attempt by `thief`: drains a coalesced batch from the most
+  /// backlogged sibling queue and serves it (thief engine where the halo
+  /// covers, owner engine otherwise). True when anything was stolen.
+  bool TrySteal(std::size_t thief);
 
   core::ShardedNaiEngine* engine_;
   QosPolicyTable policies_;
@@ -157,6 +204,11 @@ class ServingEngine {
   /// degenerate BatcherConfig throws to the caller, not on a pump thread.
   std::vector<std::unique_ptr<RequestQueue>> queues_;
   std::vector<std::unique_ptr<DynamicBatcher>> batchers_;
+  /// Serializes calls into each shard's engine: with stealing on, the
+  /// owner's pump and a thief's fallback path can otherwise race on the
+  /// engine's sampler scratch. One lock per engine call, never nested.
+  std::vector<std::unique_ptr<std::mutex>> engine_mu_;
+  std::unique_ptr<AdmissionController> controller_;
   std::vector<std::thread> pumps_;
 
   std::mutex shutdown_mu_;

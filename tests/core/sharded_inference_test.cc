@@ -365,5 +365,103 @@ TEST(ShardedInferenceTest, MismatchedShardingRejected) {
       std::invalid_argument);
 }
 
+/// Hop distances from shard s's owned set over the FULL graph — the
+/// independent reference for the steal-eligibility rule (the engine
+/// computes the same thing by BFS over the induced shard subgraph).
+std::vector<int> GlobalHaloDepths(const graph::Graph& g,
+                                  const graph::GraphShard& shard) {
+  std::vector<int> depth(g.num_nodes(), -1);
+  std::vector<std::int32_t> frontier;
+  for (const std::int32_t v : shard.owned) {
+    depth[v] = 0;
+    frontier.push_back(v);
+  }
+  int level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    std::vector<std::int32_t> next;
+    for (const std::int32_t u : frontier) {
+      for (const std::int32_t* it = g.neighbors_begin(u);
+           it != g.neighbors_end(u); ++it) {
+        if (depth[*it] < 0) {
+          depth[*it] = level;
+          next.push_back(*it);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return depth;
+}
+
+TEST(ShardedInferenceTest, CanServeFromShardMatchesGlobalHaloDepths) {
+  // The steal-path eligibility rule, checked against full-graph BFS
+  // distances: shard s may serve v iff v sits deep enough inside s's halo
+  // that the whole supporting BFS stays on complete adjacency rows.
+  auto w = MakeSmallWorld(kDepth);
+  ShardedNaiEngine sharded = MakeSharded(w, nullptr, 2, kDepth);
+  const graph::ShardedGraph& sg = sharded.sharded_graph();
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.t_max = 2;
+  for (std::size_t s = 0; s < sg.num_shards(); ++s) {
+    const std::vector<int> depth = GlobalHaloDepths(w.data.graph,
+                                                    sg.shards[s]);
+    for (const std::int32_t v : w.all_nodes) {
+      const bool in_shard = sg.shards[s].contains(v);
+      const bool want =
+          static_cast<std::size_t>(sg.owner[v]) == s ||
+          (in_shard && depth[v] >= 0 && depth[v] + 2 <= sg.halo_hops);
+      EXPECT_EQ(sharded.CanServeFromShard(s, v, cfg), want)
+          << "shard " << s << " node " << v;
+    }
+  }
+  EXPECT_THROW(sharded.CanServeFromShard(0, -1, cfg), std::out_of_range);
+  EXPECT_THROW(sharded.CanServeFromShard(
+                   0, static_cast<std::int32_t>(w.all_nodes.size()), cfg),
+               std::out_of_range);
+  // A shard index outside the partition can serve nothing.
+  EXPECT_FALSE(sharded.CanServeFromShard(7, w.all_nodes[0], cfg));
+}
+
+TEST(ShardedInferenceTest, StealEligibleNodesServeBitExactFromThief) {
+  // The property work stealing rests on: every steal-eligible (thief,
+  // node) pair answers bit-identically from the thief's engine and from
+  // the routed owner path — predictions and exit depths alike.
+  auto w = MakeSmallWorld(kDepth);
+  ShardedNaiEngine sharded = MakeSharded(w, nullptr, 4, kDepth);
+  const graph::ShardedGraph& sg = sharded.sharded_graph();
+  InferenceConfig cfg;
+  cfg.nap = NapKind::kDistance;
+  cfg.relative_distance = true;
+  cfg.threshold = 0.3f;
+  cfg.t_max = 2;
+  const InferenceResult ref = sharded.Infer(w.all_nodes, cfg);
+
+  std::size_t eligible = 0;
+  for (std::size_t s = 0; s < sg.num_shards(); ++s) {
+    std::vector<std::int32_t> locals;
+    std::vector<std::int32_t> globals;
+    for (const std::int32_t v : w.all_nodes) {
+      if (static_cast<std::size_t>(sg.owner[v]) == s) continue;
+      if (!sharded.CanServeFromShard(s, v, cfg)) continue;
+      locals.push_back(sg.shards[s].global_to_local[v]);
+      globals.push_back(v);
+    }
+    if (locals.empty()) continue;
+    eligible += locals.size();
+    const InferenceResult stolen = sharded.shard_engine(s).Infer(locals, cfg);
+    for (std::size_t i = 0; i < globals.size(); ++i) {
+      EXPECT_EQ(stolen.predictions[i], ref.predictions[globals[i]])
+          << "thief " << s << " node " << globals[i];
+      EXPECT_EQ(stolen.exit_depths[i], ref.exit_depths[globals[i]])
+          << "thief " << s << " node " << globals[i];
+    }
+  }
+  // The small world is dense enough that some cross-shard nodes qualify;
+  // a silently empty sweep would make this test vacuous.
+  EXPECT_GT(eligible, 0u);
+}
+
 }  // namespace
 }  // namespace nai::core

@@ -185,5 +185,44 @@ TEST_F(HarnessTest, RunServingOpenLoopPacesAndReportsOfferedLoad) {
   EXPECT_GT(report.duration_ms, 10.0);
 }
 
+TEST_F(HarnessTest, RunServingSkewedBurstyLoadStaysBitExact) {
+  // skew_by_shard phases all arrivals through one shard at a time and the
+  // on/off bursts modulate the Poisson clock — neither may change a
+  // prediction, and every request is still accounted for.
+  auto sharded = MakeShardedEngine(*pipeline_, *ds_, 2);
+  const serve::QosPolicyTable table =
+      MakeQosPolicyTable(*pipeline_, *ds_, core::NapKind::kDistance);
+  const core::InferenceResult ref_speed = sharded->Infer(
+      ds_->split.test_nodes, table.For(serve::QosClass::kSpeedFirst).config);
+  serve::ServingEngine server(*sharded, table);
+
+  const std::vector<std::int32_t> nodes(ds_->split.test_nodes.begin(),
+                                        ds_->split.test_nodes.begin() + 60);
+  ServingLoadConfig load;
+  load.arrival_rate_qps = 2000.0;
+  load.speed_first_fraction = 1.0;
+  load.skew_by_shard = true;
+  load.burst_on_ms = 5.0;
+  load.burst_off_ms = 5.0;
+  const ServingRunReport report = RunServing(server, nodes, load);
+
+  EXPECT_EQ(report.stats.completed + report.stats.rejected +
+                report.stats.dropped,
+            static_cast<std::int64_t>(nodes.size()));
+  std::int64_t served = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (report.predictions[i] < 0) continue;  // shed under burst overload
+    ++served;
+    // predictions[i] still answers nodes[i] (= test_nodes[i]) even though
+    // the submission order was shard-sorted.
+    EXPECT_EQ(report.predictions[i], ref_speed.predictions[i])
+        << "node index " << i;
+  }
+  EXPECT_EQ(served, report.stats.completed);
+  // The off periods at least double the schedule relative to steady
+  // arrivals at the same rate (60 requests at 2k q/s ≈ 30ms busy time).
+  EXPECT_GT(report.duration_ms, 30.0);
+}
+
 }  // namespace
 }  // namespace nai::eval

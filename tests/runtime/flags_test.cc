@@ -1,0 +1,139 @@
+// Flag-parsing contract of runtime/flags.h, with the rejection paths the
+// bench/example binaries rely on: out-of-range or garbage values must fall
+// back to the documented defaults (never crash, never half-parse), and
+// every occurrence of a flag must be consumed out of argv so wrapped
+// parsers (google-benchmark) see a clean command line.
+
+#include "src/runtime/flags.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace nai::runtime {
+namespace {
+
+/// argv builder: owns mutable copies of the tokens (flags.h writes argv).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) {
+    storage_ = std::move(args);
+    for (std::string& s : storage_) argv_.push_back(s.data());
+    argv_.push_back(nullptr);
+    argc_ = static_cast<int>(storage_.size());
+  }
+  int& argc() { return argc_; }
+  char** argv() { return argv_.data(); }
+  std::vector<std::string> Remaining() const {
+    std::vector<std::string> out;
+    for (int i = 0; i < argc_; ++i) out.emplace_back(argv_[i]);
+    return out;
+  }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> argv_;
+  int argc_ = 0;
+};
+
+TEST(FlagsTest, QosMixFlagParsesNamesAndPercentages) {
+  {
+    Argv a({"prog", "--qos", "speed"});
+    EXPECT_EQ(QosMixFlag(a.argc(), a.argv()), 100);
+  }
+  {
+    Argv a({"prog", "--qos=accuracy"});
+    EXPECT_EQ(QosMixFlag(a.argc(), a.argv()), 0);
+  }
+  {
+    Argv a({"prog", "--qos", "mix"});
+    EXPECT_EQ(QosMixFlag(a.argc(), a.argv()), 50);
+  }
+  {
+    Argv a({"prog", "--qos=37"});
+    EXPECT_EQ(QosMixFlag(a.argc(), a.argv()), 37);
+  }
+  {
+    Argv a({"prog", "--qos", "0"});
+    EXPECT_EQ(QosMixFlag(a.argc(), a.argv()), 0);
+  }
+  {
+    Argv a({"prog", "--qos", "100"});
+    EXPECT_EQ(QosMixFlag(a.argc(), a.argv()), 100);
+  }
+}
+
+TEST(FlagsTest, QosMixFlagRejectsOutOfRangeAndGarbage) {
+  for (const char* bad : {"101", "150", "999999999999", "abc", "5x",
+                          "speedy", ""}) {
+    Argv a({"prog", std::string("--qos=") + bad});
+    EXPECT_EQ(QosMixFlag(a.argc(), a.argv(), 50), 50) << "value " << bad;
+    // Rejected or not, the flag is consumed.
+    EXPECT_EQ(a.argc(), 1) << "value " << bad;
+  }
+  {
+    // A negative value arrives as a separate '-'-prefixed token, which is
+    // deliberately not consumed as a value: default wins and the token
+    // survives for the wrapped parser to complain about.
+    Argv a({"prog", "--qos", "-5"});
+    EXPECT_EQ(QosMixFlag(a.argc(), a.argv(), 50), 50);
+    EXPECT_EQ(a.Remaining(), (std::vector<std::string>{"prog", "-5"}));
+  }
+  {
+    Argv a({"prog"});  // absent entirely
+    EXPECT_EQ(QosMixFlag(a.argc(), a.argv(), 77), 77);
+  }
+  {
+    Argv a({"prog", "--qos"});  // flag with no value at all
+    EXPECT_EQ(QosMixFlag(a.argc(), a.argv(), 50), 50);
+    EXPECT_EQ(a.argc(), 1);
+  }
+}
+
+TEST(FlagsTest, ArrivalRateFlagRejectsGarbage) {
+  {
+    Argv a({"prog", "--arrival-rate", "250"});
+    EXPECT_EQ(ArrivalRateFlag(a.argc(), a.argv()), 250);
+  }
+  for (const char* bad : {"garbage", "1e3", "12qps", "0", ""}) {
+    Argv a({"prog", std::string("--arrival-rate=") + bad});
+    EXPECT_EQ(ArrivalRateFlag(a.argc(), a.argv()), 0) << "value " << bad;
+    EXPECT_EQ(a.argc(), 1) << "value " << bad;
+  }
+  {
+    Argv a({"prog"});
+    EXPECT_EQ(ArrivalRateFlag(a.argc(), a.argv()), 0);
+  }
+}
+
+TEST(FlagsTest, LastOccurrenceWinsAndAllAreConsumed) {
+  Argv a({"prog", "--qos=10", "keep", "--qos", "90", "--arrival-rate=5"});
+  EXPECT_EQ(QosMixFlag(a.argc(), a.argv()), 90);
+  EXPECT_EQ(ArrivalRateFlag(a.argc(), a.argv()), 5);
+  EXPECT_EQ(a.Remaining(), (std::vector<std::string>{"prog", "keep"}));
+  EXPECT_EQ(a.argv()[a.argc()], nullptr);  // argv[argc] invariant kept
+}
+
+TEST(FlagsTest, ShardsFlagRejectsNonPositive) {
+  {
+    Argv a({"prog", "--shards=4"});
+    EXPECT_EQ(ShardsFlag(a.argc(), a.argv()), 4);
+  }
+  for (const char* bad : {"0", "x", ""}) {
+    Argv a({"prog", std::string("--shards=") + bad});
+    EXPECT_EQ(ShardsFlag(a.argc(), a.argv()), 1) << "value " << bad;
+  }
+}
+
+TEST(FlagsTest, PrefixFlagsDoNotMatch) {
+  // "--qos-mix" shares the "--qos" prefix but is a different flag: it must
+  // survive untouched and not be mistaken for a value.
+  Argv a({"prog", "--qos-mix=10"});
+  EXPECT_EQ(QosMixFlag(a.argc(), a.argv(), 50), 50);
+  EXPECT_EQ(a.Remaining(), (std::vector<std::string>{"prog", "--qos-mix=10"}));
+}
+
+}  // namespace
+}  // namespace nai::runtime
