@@ -4,7 +4,7 @@
 // src/serve/ front-end — admission queues, dynamic batching, per-request
 // deadlines.
 //
-// Four stages:
+// Five stages:
 //   1. Exactness gate (closed loop, mixed classes): every response must be
 //      bit-identical to a direct routed Infer of the same node under that
 //      class's config — the serving stack may never change a prediction.
@@ -17,12 +17,19 @@
 //      priority + work stealing off and on (admission control off in both
 //      cells so the coalescing window matches) — also exactness-gated, so
 //      the steal path proves its bit-identity under real contention.
+//   5. Zipf-skew result-cache A/B: the same Zipf-sampled closed-loop
+//      request stream (draws with replacement, hot head nodes) with the
+//      result cache off and on, at two skew levels — hit ratio, p50 and
+//      throughput, exactness-gated (a cache hit must replay the same bits
+//      a cold Infer produces).
 //
 // Flags: --threads N, --shards N, --qos {speed,accuracy,mix,0..100}
 // (percent speed-first, default 50), --arrival-rate N (fix stage 3 to one
-// offered load in qps instead of the sweep), --json PATH (write the smoke
-// summary — p50/p95, throughput, deadline-miss rate, scheduler A/B — as
-// JSON, the BENCH_serving.json CI artifact). NAI_SCALE shrinks the graph.
+// offered load in qps instead of the sweep), --zipf A (Zipf-skew the stage
+// 3 sweep's node draws; stage 5 always runs its own two levels),
+// --json PATH (write the smoke summary — p50/p95, throughput,
+// deadline-miss rate, scheduler and cache A/Bs — as JSON, the
+// BENCH_serving.json CI artifact). NAI_SCALE shrinks the graph.
 
 #include <algorithm>
 #include <cstdio>
@@ -109,6 +116,54 @@ SkewedCell RunSkewedCell(core::ShardedNaiEngine& sharded,
   return cell;
 }
 
+/// One result-cache A/B cell: Zipf-skewed closed-loop traffic, exactness
+/// checked per request against the per-class references (request t answers
+/// nodes[request_indices[t]] — a cache hit must replay the cold bits).
+struct CacheCell {
+  double achieved_qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double hit_ratio = 0.0;
+  std::size_t mismatches = 0;
+};
+
+CacheCell RunCacheCell(core::ShardedNaiEngine& sharded,
+                       const serve::QosPolicyTable& policies,
+                       const serve::ServingOptions& base_options,
+                       bool cache_on, const std::vector<std::int32_t>& nodes,
+                       const core::InferenceResult& ref_speed,
+                       const core::InferenceResult& ref_accuracy,
+                       double zipf_alpha, int qos_mix, int threads) {
+  serve::ServingOptions options = base_options;
+  options.cache.enabled = cache_on;
+  serve::ServingEngine server(sharded, policies, options);
+
+  eval::ServingLoadConfig load;
+  load.arrival_rate_qps = 0.0;  // closed loop: same work in both cells
+  load.closed_loop_clients = std::max(4, 2 * threads);
+  load.speed_first_fraction = qos_mix / 100.0;
+  load.zipf_alpha = zipf_alpha;
+  load.num_requests = 2 * nodes.size();  // repeats are the whole point
+  load.seed = 4242;  // same draws and classes in both cells
+  const eval::ServingRunReport report = eval::RunServing(server, nodes, load);
+
+  CacheCell cell;
+  cell.achieved_qps = report.achieved_qps;
+  cell.p50_ms = report.stats.latency.p50_ms;
+  cell.p95_ms = report.stats.latency.p95_ms;
+  cell.hit_ratio = report.stats.cache_hit_ratio;
+  for (std::size_t t = 0; t < report.predictions.size(); ++t) {
+    if (report.predictions[t] < 0) continue;
+    const std::size_t i = report.request_indices[t];
+    const std::int32_t want =
+        report.classes[t] == serve::QosClass::kSpeedFirst
+            ? ref_speed.predictions[i]
+            : ref_accuracy.predictions[i];
+    if (report.predictions[t] != want) ++cell.mismatches;
+  }
+  return cell;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,6 +171,7 @@ int main(int argc, char** argv) {
   const int num_shards = bench::ApplyShardsFlag(argc, argv);
   const int qos_mix = runtime::QosMixFlag(argc, argv, 50);
   const long fixed_rate = runtime::ArrivalRateFlag(argc, argv);
+  const double sweep_zipf = runtime::ZipfFlag(argc, argv);
   const char* json_path = runtime::ConsumeStringFlag(argc, argv, "--json");
   const double scale = eval::EnvScale();
 
@@ -221,6 +277,7 @@ int main(int argc, char** argv) {
       eval::ServingLoadConfig load;
       load.arrival_rate_qps = rate;
       load.speed_first_fraction = mix / 100.0;
+      load.zipf_alpha = sweep_zipf;  // 0 unless --zipf skews the sweep
       load.seed = 42 + static_cast<std::uint64_t>(mix);
       const eval::ServingRunReport report =
           eval::RunServing(server, open_nodes, load);
@@ -281,6 +338,45 @@ int main(int argc, char** argv) {
               off.speed_p95_ms, on.speed_p95_ms, off.achieved_qps,
               on.achieved_qps);
 
+  // --- Stage 5: Zipf-skew result-cache A/B. --------------------------------
+  // The same Zipf-sampled closed-loop request stream (2x draws with
+  // replacement from the bounded node list) with the result cache off and
+  // on, at a mild and a heavy skew. The cache-on cell is exactness-gated
+  // per request: a hit must replay exactly what a cold Infer answers.
+  struct CacheAb {
+    double alpha = 0.0;
+    CacheCell off;
+    CacheCell on;
+  };
+  std::vector<CacheAb> cache_abs;
+  std::printf("\nzipf result-cache A/B (closed loop, %zu draws over %zu "
+              "nodes, %d%% speed-first):\n",
+              2 * open_nodes.size(), open_nodes.size(), qos_mix);
+  std::printf("  %-8s %-8s %-10s %-9s %-9s %-10s\n", "alpha", "cache",
+              "achieved", "p50 ms", "p95 ms", "hit ratio");
+  for (const double alpha : {0.5, 1.0}) {
+    CacheAb ab;
+    ab.alpha = alpha;
+    ab.off = RunCacheCell(*sharded, policies, options, /*cache_on=*/false,
+                          open_nodes, ref_speed, ref_accuracy, alpha, qos_mix,
+                          threads);
+    ab.on = RunCacheCell(*sharded, policies, options, /*cache_on=*/true,
+                         open_nodes, ref_speed, ref_accuracy, alpha, qos_mix,
+                         threads);
+    exact = exact && ab.off.mismatches == 0 && ab.on.mismatches == 0;
+    std::printf("  %-8.2f %-8s %-10.0f %-9.3f %-9.3f %-10s\n", alpha, "off",
+                ab.off.achieved_qps, ab.off.p50_ms, ab.off.p95_ms, "-");
+    std::printf("  %-8.2f %-8s %-10.0f %-9.3f %-9.3f %-10.3f\n", alpha, "on",
+                ab.on.achieved_qps, ab.on.p50_ms, ab.on.p95_ms,
+                ab.on.hit_ratio);
+    std::printf("  -> cache %s at alpha %.2f (p50 %.3f -> %.3f ms, "
+                "hit ratio %.1f%%)\n",
+                ab.on.p50_ms < ab.off.p50_ms ? "improves p50"
+                                             : "did NOT improve p50",
+                alpha, ab.off.p50_ms, ab.on.p50_ms, 100.0 * ab.on.hit_ratio);
+    cache_abs.push_back(ab);
+  }
+
   // --- Optional JSON artifact (the CI bench-smoke trajectory). -------------
   if (json_path != nullptr) {
     std::FILE* f = std::fopen(json_path, "w");
@@ -328,7 +424,22 @@ int main(int argc, char** argv) {
                  off.miss_rate, on.achieved_qps, on.speed_p95_ms,
                  on.miss_rate, static_cast<long long>(on.stolen_requests),
                  improved ? "true" : "false");
-    std::fprintf(f, "}\n");
+    std::fprintf(f, ",\n  \"cache_ab\": [");
+    for (std::size_t k = 0; k < cache_abs.size(); ++k) {
+      const CacheAb& ab = cache_abs[k];
+      std::fprintf(
+          f,
+          "%s\n    {\"zipf_alpha\": %.2f,\n"
+          "     \"cache_off\": {\"achieved_qps\": %.2f, \"p50_ms\": %.4f, "
+          "\"p95_ms\": %.4f},\n"
+          "     \"cache_on\": {\"achieved_qps\": %.2f, \"p50_ms\": %.4f, "
+          "\"p95_ms\": %.4f, \"hit_ratio\": %.4f},\n"
+          "     \"p50_improved\": %s}",
+          k == 0 ? "" : ",", ab.alpha, ab.off.achieved_qps, ab.off.p50_ms,
+          ab.off.p95_ms, ab.on.achieved_qps, ab.on.p50_ms, ab.on.p95_ms,
+          ab.on.hit_ratio, ab.on.p50_ms < ab.off.p50_ms ? "true" : "false");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", json_path);
   }

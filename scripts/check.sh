@@ -80,7 +80,7 @@ stage_tsan() {
     core_inference_test core_inference_edge_test \
     core_inference_parallel_test core_sharded_inference_test \
     graph_shard_test serve_request_queue_test serve_batcher_test \
-    serve_scheduler_test serve_serving_engine_test
+    serve_scheduler_test serve_serving_engine_test serve_result_cache_test
   ctest --test-dir "${tsan_dir}" --output-on-failure -j "${JOBS}" \
     -R 'runtime/thread_pool|tensor/ops|graph/csr|graph/shard|core/inference|core/sharded|serve/'
 }

@@ -196,30 +196,58 @@ ServingRunReport RunServing(serve::ServingEngine& server,
   using Clock = std::chrono::steady_clock;
   ServingRunReport report;
   const std::size_t n = nodes.size();
-  report.predictions.assign(n, -1);
-  report.classes.resize(n);
   tensor::Rng rng(load.seed);
-  for (std::size_t i = 0; i < n; ++i) {
-    report.classes[i] = rng.NextDouble() < load.speed_first_fraction
+
+  // The request plan: one request per node in caller order, or — under
+  // Zipf skew — draws *with replacement*, head-weighted by caller order
+  // (inverse-CDF over the normalized (j+1)^-alpha weights). Everything
+  // downstream is request-aligned through report.request_indices, which
+  // is the identity in the one-per-node mode.
+  std::vector<std::size_t>& idx = report.request_indices;
+  if (load.zipf_alpha > 0.0 && n > 0) {
+    const std::size_t m = load.num_requests > 0 ? load.num_requests : n;
+    std::vector<double> cdf(n);
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      total += std::pow(static_cast<double>(j + 1), -load.zipf_alpha);
+      cdf[j] = total;
+    }
+    idx.reserve(m);
+    for (std::size_t t = 0; t < m; ++t) {
+      const double u = rng.NextDouble() * total;
+      std::size_t j = static_cast<std::size_t>(
+          std::upper_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+      if (j >= n) j = n - 1;  // u landed exactly on the total
+      idx.push_back(j);
+    }
+  } else {
+    idx.resize(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  }
+  const std::size_t m = idx.size();
+  report.predictions.assign(m, -1);
+  report.classes.resize(m);
+  for (std::size_t t = 0; t < m; ++t) {
+    report.classes[t] = rng.NextDouble() < load.speed_first_fraction
                             ? serve::QosClass::kSpeedFirst
                             : serve::QosClass::kAccuracyFirst;
   }
-  if (n == 0) {
+  if (m == 0) {
     report.stats = server.Stats();
     return report;
   }
 
-  // Submission order: caller order, or phased through one shard at a time
+  // Submission order: request order, or phased through one shard at a time
   // (skewed load — the steal scenario). The stable sort keeps the
-  // caller's relative order within a shard, so runs stay reproducible.
-  std::vector<std::size_t> order(n);
-  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  // requests' relative order within a shard, so runs stay reproducible.
+  std::vector<std::size_t> order(m);
+  for (std::size_t t = 0; t < m; ++t) order[t] = t;
   if (load.skew_by_shard) {
     const std::vector<std::int32_t>& owner =
         server.engine().sharded_graph().owner;
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t a, std::size_t b) {
-                       return owner[nodes[a]] < owner[nodes[b]];
+                       return owner[nodes[idx[a]]] < owner[nodes[idx[b]]];
                      });
   }
 
@@ -237,9 +265,9 @@ ServingRunReport RunServing(serve::ServingEngine& server,
     const bool bursty = load.burst_on_ms > 0.0 && load.burst_off_ms > 0.0;
     std::vector<std::pair<std::size_t, std::future<serve::Response>>>
         in_flight;
-    in_flight.reserve(n);
+    in_flight.reserve(m);
     double arrival_us = 0.0;
-    for (const std::size_t i : order) {
+    for (const std::size_t t : order) {
       arrival_us += -std::log(1.0 - rng.NextDouble()) * 1e6 /
                     load.arrival_rate_qps;
       double wall_us = arrival_us;
@@ -252,12 +280,12 @@ ServingRunReport RunServing(serve::ServingEngine& server,
           start + std::chrono::microseconds(
                       static_cast<std::int64_t>(wall_us)));
       std::optional<std::future<serve::Response>> future =
-          server.TrySubmit(nodes[i], report.classes[i]);
-      if (future.has_value()) in_flight.emplace_back(i, std::move(*future));
+          server.TrySubmit(nodes[idx[t]], report.classes[t]);
+      if (future.has_value()) in_flight.emplace_back(t, std::move(*future));
     }
-    for (auto& [i, future] : in_flight) {
+    for (auto& [t, future] : in_flight) {
       const serve::Response response = future.get();
-      if (response.served) report.predictions[i] = response.prediction;
+      if (response.served) report.predictions[t] = response.prediction;
     }
   } else {
     // Closed loop: each client keeps exactly one request in flight.
@@ -268,11 +296,11 @@ ServingRunReport RunServing(serve::ServingEngine& server,
     auto client = [&] {
       while (true) {
         const std::size_t slot = next.fetch_add(1);
-        if (slot >= n) return;
-        const std::size_t i = order[slot];
+        if (slot >= m) return;
+        const std::size_t t = order[slot];
         const serve::Response response =
-            server.Submit(nodes[i], report.classes[i]).get();
-        if (response.served) report.predictions[i] = response.prediction;
+            server.Submit(nodes[idx[t]], report.classes[t]).get();
+        if (response.served) report.predictions[t] = response.prediction;
       }
     };
     std::vector<std::thread> workers;

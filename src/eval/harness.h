@@ -124,11 +124,25 @@ struct ServingLoadConfig {
   /// modulation (steady Poisson arrivals).
   double burst_on_ms = 0.0;
   double burst_off_ms = 0.0;
+
+  /// Zipf(alpha) query skew: when > 0, requests are drawn from `nodes`
+  /// *with replacement* — each draw targets nodes[j] with probability
+  /// proportional to (j+1)^-alpha over caller order — instead of visiting
+  /// every node exactly once. This is the hot-node scenario the result
+  /// cache exists for: at alpha ~ 1 a handful of head nodes dominate the
+  /// traffic. 0 (default) keeps the one-request-per-node sweep.
+  double zipf_alpha = 0.0;
+  /// Number of Zipf draws (only meaningful with zipf_alpha > 0);
+  /// 0 = nodes.size().
+  std::size_t num_requests = 0;
 };
 
-/// What one serving run produced. `predictions[i]` answers `nodes[i]`
-/// (-1 when that request was shed or dropped); `classes[i]` is the QoS
-/// class it was submitted under.
+/// What one serving run produced. Vectors are request-aligned:
+/// `predictions[t]` answers `nodes[request_indices[t]]` (-1 when request t
+/// was shed or dropped) and `classes[t]` is the class it was submitted
+/// under. Without Zipf sampling there is exactly one request per node and
+/// `request_indices` is the identity, so `predictions[i]` answers
+/// `nodes[i]` as before.
 struct ServingRunReport {
   serve::ServingStatsSnapshot stats;
   double duration_ms = 0.0;   ///< first submission -> last completion
@@ -136,6 +150,7 @@ struct ServingRunReport {
   double achieved_qps = 0.0;  ///< served requests / duration
   std::vector<std::int32_t> predictions;
   std::vector<serve::QosClass> classes;
+  std::vector<std::size_t> request_indices;  ///< request t -> index into nodes
 };
 
 /// Drives one load-generation pass of `nodes` through the serving engine

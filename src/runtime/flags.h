@@ -1,6 +1,7 @@
 #ifndef NAI_RUNTIME_FLAGS_H_
 #define NAI_RUNTIME_FLAGS_H_
 
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -98,6 +99,21 @@ inline int QosMixFlag(int& argc, char** argv, int def = 50) {
 /// — when absent or invalid. Purely a parse.
 inline long ArrivalRateFlag(int& argc, char** argv) {
   return ConsumeIntFlag(argc, argv, "--arrival-rate");
+}
+
+/// Consumes a `--zipf A` argument: the Zipf skew exponent alpha for the
+/// serving load generator (eval::ServingLoadConfig::zipf_alpha; draws node
+/// j with probability proportional to (j+1)^-alpha). Returns 0.0 —
+/// unskewed, one request per node — when absent, or when the value is
+/// missing, unparseable, non-finite or negative. Purely a parse.
+inline double ZipfFlag(int& argc, char** argv) {
+  const char* value = ConsumeStringFlag(argc, argv, "--zipf");
+  if (value == nullptr) return 0.0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0') return 0.0;
+  if (!(v > 0.0) || !std::isfinite(v)) return 0.0;
+  return v;
 }
 
 }  // namespace nai::runtime

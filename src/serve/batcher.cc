@@ -33,10 +33,13 @@ std::vector<Request> DynamicBatcher::Gather(std::optional<Request> first) {
   batch.push_back(std::move(*first));
 
   // The coalescing window opens at the first pop, not per straggler: a
-  // steady trickle cannot hold a batch open forever.
+  // steady trickle cannot hold a batch open forever. It is read exactly
+  // once per batch — a retune mid-window affects the next batch, and
+  // last_window_us_ remembers what this batch really ran with.
+  const std::int64_t window_us = window_us_.load(std::memory_order_relaxed);
+  last_window_us_.store(window_us, std::memory_order_relaxed);
   const ServeClock::time_point window_end =
-      ServeClock::now() +
-      std::chrono::microseconds(window_us_.load(std::memory_order_relaxed));
+      ServeClock::now() + std::chrono::microseconds(window_us);
   while (batch.size() < config_.max_batch) {
     std::optional<Request> next = queue_.TryPop();
     if (next.has_value()) {

@@ -59,6 +59,16 @@ class DynamicBatcher {
     window_us_.store(wait_us < 0 ? 0 : wait_us, std::memory_order_relaxed);
   }
 
+  /// The window the most recent non-empty batch *actually* coalesced under
+  /// (-1 before any batch). The window is read once, when the batch's
+  /// first request is popped, so a set_max_wait_us landing mid-window is
+  /// invisible to the batch already open — this getter is what reports the
+  /// truth to the adaptation trace (SchedulerTraceEvent::applied_wait_us)
+  /// instead of the retuned value that never applied.
+  std::int64_t last_window_us() const {
+    return last_window_us_.load(std::memory_order_relaxed);
+  }
+
   const BatcherConfig& config() const { return config_; }
 
  private:
@@ -67,6 +77,7 @@ class DynamicBatcher {
   RequestQueue& queue_;
   BatcherConfig config_;
   std::atomic<std::int64_t> window_us_;
+  std::atomic<std::int64_t> last_window_us_{-1};
 };
 
 }  // namespace nai::serve

@@ -1,0 +1,101 @@
+#include "src/serve/result_cache.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nai::serve {
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("ResultCache: capacity must be positive");
+  }
+}
+
+std::optional<CachedResult> ResultCache::Lookup(
+    std::int32_t node, const core::InferenceConfig* config) {
+  const Key key{node, config};
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (it->second->epoch != epoch_) {
+    // Logically invalidated by a BumpEpoch: reclaim the slot now that we
+    // have touched it anyway, and report a miss.
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++misses_;
+    return std::nullopt;
+  }
+  // Splice moves the list node to the front without allocating — the
+  // whole hit path is allocation-free.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->result;
+}
+
+void ResultCache::Insert(std::int32_t node,
+                         const core::InferenceConfig* config,
+                         CachedResult result, std::uint64_t fill_epoch) {
+  const Key key{node, config};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fill_epoch != epoch_) {
+    // The result was computed against state the epoch bump invalidated;
+    // caching it would serve a stale answer forever after.
+    ++stale_fills_dropped_;
+    return;
+  }
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh (same-epoch refills are idempotent; a stale entry under this
+    // key is simply overwritten with the current-epoch result).
+    it->second->result = result;
+    it->second->epoch = fill_epoch;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++fills_;
+    return;
+  }
+  if (lru_.size() == capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, result, fill_epoch});
+  index_.emplace(key, lru_.begin());
+  ++fills_;
+}
+
+std::uint64_t ResultCache::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+void ResultCache::BumpEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_;
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResultCacheStats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.fills = fills_;
+  out.evictions = evictions_;
+  out.stale_fills_dropped = stale_fills_dropped_;
+  out.epoch = epoch_;
+  out.size = lru_.size();
+  const std::int64_t lookups = hits_ + misses_;
+  out.hit_ratio = lookups == 0 ? 0.0
+                               : static_cast<double>(hits_) /
+                                     static_cast<double>(lookups);
+  return out;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace nai::serve

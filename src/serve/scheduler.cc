@@ -15,6 +15,13 @@ namespace nai::serve {
 struct AdmissionController::ShardState {
   std::mutex mu;
   bool has_arrival = false;
+  /// Whether ewma_gap_us holds a real blend yet. Seeding must be tracked
+  /// explicitly: testing `ewma_gap_us <= 0.0` conflates "unseeded" with "a
+  /// zero inter-arrival gap", and a coarse monotone clock hands equal
+  /// stamps to back-to-back arrivals routinely — the zero gap would keep
+  /// the EWMA at 0 and let the *next* real gap overwrite history instead
+  /// of blending in.
+  bool ewma_gap_seeded = false;
   SchedClock::time_point last_arrival{};
   double ewma_gap_us = 0.0;         ///< inter-arrival EWMA; 0 until 2 arrivals
   double ewma_service_us = 0.0;     ///< per-request engine time; 0 until a batch
@@ -83,11 +90,16 @@ void AdmissionController::RecordArrival(std::size_t shard,
     const double gap_us =
         std::chrono::duration<double, std::micro>(now - state.last_arrival)
             .count();
-    state.ewma_gap_us =
-        state.ewma_gap_us <= 0.0
-            ? gap_us
-            : options_.ewma_alpha * gap_us +
-                  (1.0 - options_.ewma_alpha) * state.ewma_gap_us;
+    if (!state.ewma_gap_seeded) {
+      // First observed gap seeds the EWMA — even a zero gap: a burst of
+      // equal stamps is a legitimately infinite-rate observation, and
+      // later gaps blend into it instead of replacing it.
+      state.ewma_gap_us = gap_us;
+      state.ewma_gap_seeded = true;
+    } else {
+      state.ewma_gap_us = options_.ewma_alpha * gap_us +
+                          (1.0 - options_.ewma_alpha) * state.ewma_gap_us;
+    }
   }
   state.has_arrival = true;
   // A monotone clock can still hand equal stamps to back-to-back arrivals;
@@ -97,6 +109,7 @@ void AdmissionController::RecordArrival(std::size_t shard,
 
 void AdmissionController::RecordBatch(std::size_t shard, std::size_t served,
                                       double engine_ms,
+                                      std::int64_t applied_wait_us,
                                       SchedClock::time_point now) {
   if (served == 0) return;
   ShardState& state = *shards_[shard];
@@ -123,6 +136,7 @@ void AdmissionController::RecordBatch(std::size_t shard, std::size_t served,
     event.service_qps =
         state.ewma_service_us > 0.0 ? 1e6 / state.ewma_service_us : 0.0;
     event.batch_wait_us = state.wait_us.load(std::memory_order_relaxed);
+    event.applied_wait_us = applied_wait_us;
     event.admit_limit = state.last_admit_limit;
   }
   event.t_ms =

@@ -78,7 +78,16 @@ struct SchedulerTraceEvent {
   std::size_t shard = 0;
   double arrival_qps = 0.0;
   double service_qps = 0.0;
+  /// The window the controller derived at this step — what the *next*
+  /// batch will coalesce under.
   std::int64_t batch_wait_us = 0;
+  /// The window the recorded batch *actually* coalesced under (read at its
+  /// window-open). This is what distinguishes the trace from a guess: a
+  /// retune lands mid-window without affecting the batch already open, so
+  /// `applied_wait_us` of the next event typically equals `batch_wait_us`
+  /// of this one, not of itself. -1 when no window applied at all (stolen
+  /// batches are drained directly, never coalesced).
+  std::int64_t applied_wait_us = -1;
   std::int64_t admit_limit = -1;
 };
 
@@ -111,8 +120,11 @@ class AdmissionController {
 
   /// Records one completed engine batch: `served` requests in `engine_ms`.
   /// Re-derives the shard's window and appends a trace event.
+  /// `applied_wait_us` is the coalescing window the batch actually ran
+  /// with (DynamicBatcher::last_window_us(); -1 for stolen batches, which
+  /// bypass the batcher) — stamped into the trace event verbatim.
   void RecordBatch(std::size_t shard, std::size_t served, double engine_ms,
-                   SchedClock::time_point now);
+                   std::int64_t applied_wait_us, SchedClock::time_point now);
 
   /// The coalescing window shard's batcher should currently run with.
   /// Equals the base window until adaptation has seen arrivals.

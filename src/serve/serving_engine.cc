@@ -18,7 +18,11 @@ double MsBetween(ServeClock::time_point from, ServeClock::time_point to) {
 
 LatencySummary Summarize(std::vector<double> latencies) {
   LatencySummary out;
+  // `count` defaults to the sample count; callers with an all-time counter
+  // overwrite it (the ring forgets, the counter does not). `window` always
+  // says how many samples back the percentiles.
   out.count = static_cast<std::int64_t>(latencies.size());
+  out.window = static_cast<std::int64_t>(latencies.size());
   if (latencies.empty()) return out;
   std::sort(latencies.begin(), latencies.end());
   double sum = 0.0;
@@ -61,7 +65,14 @@ struct ServingEngine::Counters {
   std::vector<std::int64_t> stolen_by;    ///< batches shard s's pump stole
   std::array<std::vector<double>, kNumQosClasses> latency_window;
   std::array<std::size_t, kNumQosClasses> latency_next{};  // ring cursor
+  /// Hit/miss split of the same completions: a hit was replayed from the
+  /// result cache at submit time, a miss went the queue/batch/engine path.
+  std::array<std::vector<double>, kNumQosClasses> hit_window;
+  std::array<std::size_t, kNumQosClasses> hit_next{};
+  std::array<std::vector<double>, kNumQosClasses> miss_window;
+  std::array<std::size_t, kNumQosClasses> miss_next{};
   std::array<std::int64_t, kNumQosClasses> completed{};
+  std::array<std::int64_t, kNumQosClasses> completed_hits{};
   std::array<std::int64_t, kNumQosClasses> misses{};
   std::vector<std::int64_t> batch_size_hist;
   std::int64_t num_batches = 0;
@@ -69,14 +80,24 @@ struct ServingEngine::Counters {
   core::InferenceStats engine_stats;
   std::atomic<std::int64_t> next_id{0};
 
-  void RecordLatency(std::size_t qos, double latency_ms) {
-    ++completed[qos];
-    std::vector<double>& window = latency_window[qos];
+  static void PushSample(std::vector<double>& window, std::size_t& next,
+                         double latency_ms) {
     if (window.size() < ServingEngine::kLatencyWindow) {
       window.push_back(latency_ms);
     } else {
-      window[latency_next[qos]] = latency_ms;
-      latency_next[qos] = (latency_next[qos] + 1) % window.size();
+      window[next] = latency_ms;
+      next = (next + 1) % window.size();
+    }
+  }
+
+  void RecordLatency(std::size_t qos, double latency_ms, bool cache_hit) {
+    ++completed[qos];
+    PushSample(latency_window[qos], latency_next[qos], latency_ms);
+    if (cache_hit) {
+      ++completed_hits[qos];
+      PushSample(hit_window[qos], hit_next[qos], latency_ms);
+    } else {
+      PushSample(miss_window[qos], miss_next[qos], latency_ms);
     }
   }
 };
@@ -111,6 +132,7 @@ ServingEngine::ServingEngine(core::ShardedNaiEngine& engine,
   queues_.resize(sharded.num_shards());
   batchers_.resize(sharded.num_shards());
   engine_mu_.resize(sharded.num_shards());
+  caches_.resize(sharded.num_shards());
   for (std::size_t s = 0; s < sharded.num_shards(); ++s) {
     if (sharded.shards[s].num_owned() == 0) continue;
     queues_[s] =
@@ -118,6 +140,11 @@ ServingEngine::ServingEngine(core::ShardedNaiEngine& engine,
     batchers_[s] =
         std::make_unique<DynamicBatcher>(*queues_[s], options_.batcher);
     engine_mu_[s] = std::make_unique<std::mutex>();
+    if (options_.cache.enabled) {
+      // The ResultCache constructor rejects a zero capacity, so a
+      // degenerate cache option throws here like every other knob.
+      caches_[s] = std::make_unique<ResultCache>(options_.cache.capacity);
+    }
   }
   for (std::size_t s = 0; s < queues_.size(); ++s) {
     if (queues_[s] == nullptr) continue;
@@ -174,9 +201,64 @@ void ServingEngine::Reject(Request& request) {
   Complete(request, response);
 }
 
+std::optional<Response> ServingEngine::TryServeFromCache(std::size_t shard,
+                                                         std::int32_t node,
+                                                         QosClass qos,
+                                                         double deadline_ms) {
+  ResultCache* cache = caches_[shard].get();
+  if (cache == nullptr) return std::nullopt;
+  // The shutdown contract beats the cache: once the shard queue is closed
+  // every submission is rejected, warm or not.
+  if (queues_[shard]->closed()) return std::nullopt;
+  const ServeClock::time_point admitted = ServeClock::now();
+  const std::optional<CachedResult> cached =
+      cache->Lookup(node, &policies_.For(qos).config);
+  if (!cached.has_value()) return std::nullopt;
+  const ServeClock::time_point done = ServeClock::now();
+
+  Response response;
+  response.prediction = cached->prediction;
+  response.exit_depth = cached->exit_depth;
+  response.qos = qos;
+  response.served = true;
+  response.queue_ms = 0.0;  // never queued — that is the point
+  response.latency_ms = MsBetween(admitted, done);
+  response.deadline_missed = response.latency_ms > BudgetMs(qos, deadline_ms);
+  {
+    std::lock_guard<std::mutex> lock(stats_->mu);
+    ++stats_->submitted;
+    stats_->RecordLatency(static_cast<std::size_t>(qos), response.latency_ms,
+                          /*cache_hit=*/true);
+    if (response.deadline_missed) {
+      ++stats_->deadline_misses;
+      ++stats_->misses[static_cast<std::size_t>(qos)];
+    }
+  }
+  return response;
+}
+
+namespace {
+
+std::future<Response> ReadyFuture(Response response) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  promise.set_value(std::move(response));
+  return future;
+}
+
+}  // namespace
+
 std::future<Response> ServingEngine::Submit(std::int32_t node, QosClass qos,
                                             double deadline_ms) {
   const std::size_t s = ShardFor(node);
+  // A warm node never touches the queue, the batcher or the admission
+  // controller: the hit completes inline on the submitting thread. Hits
+  // are deliberately not RecordArrival'd — they carry no information about
+  // the queueing process the controller's EWMAs model.
+  if (std::optional<Response> hit =
+          TryServeFromCache(s, node, qos, deadline_ms)) {
+    return ReadyFuture(std::move(*hit));
+  }
   Request request = MakeRequest(node, qos, deadline_ms);
   controller_->RecordArrival(s, request.admitted);
   std::future<Response> future = request.promise.get_future();
@@ -202,6 +284,12 @@ std::future<Response> ServingEngine::Submit(std::int32_t node, QosClass qos,
 std::optional<std::future<Response>> ServingEngine::TrySubmit(
     std::int32_t node, QosClass qos, double deadline_ms) {
   const std::size_t s = ShardFor(node);
+  // Hits bypass admission entirely — in particular they cannot be shed:
+  // replaying a cached result is cheaper than the shed bookkeeping.
+  if (std::optional<Response> hit =
+          TryServeFromCache(s, node, qos, deadline_ms)) {
+    return ReadyFuture(std::move(*hit));
+  }
   Request request = MakeRequest(node, qos, deadline_ms);
   controller_->RecordArrival(s, request.admitted);
   // Adaptive shedding: if the queue ahead of this request already implies
@@ -234,6 +322,13 @@ bool ServingEngine::SubmitWithCallback(
     std::int32_t node, QosClass qos,
     std::function<void(const Response&)> callback, double deadline_ms) {
   const std::size_t s = ShardFor(node);
+  if (std::optional<Response> hit =
+          TryServeFromCache(s, node, qos, deadline_ms)) {
+    // On a hit the callback runs inline on the submitting thread (there is
+    // no pump involved), mirroring the inline-ready future of Submit.
+    if (callback) callback(*hit);
+    return true;
+  }
   Request request = MakeRequest(node, qos, deadline_ms);
   controller_->RecordArrival(s, request.admitted);
   request.callback = std::move(callback);
@@ -251,7 +346,8 @@ bool ServingEngine::SubmitWithCallback(
 }
 
 void ServingEngine::ServeBatch(std::size_t engine_shard,
-                               std::vector<Request> batch) {
+                               std::vector<Request> batch,
+                               std::int64_t applied_wait_us) {
   const std::vector<std::int32_t>& global_to_local =
       engine_->sharded_graph().shards[engine_shard].global_to_local;
 
@@ -291,14 +387,28 @@ void ServingEngine::ServeBatch(std::size_t engine_shard,
     queries.push_back({global_to_local[request.node],
                        &policies_.For(request.qos).config});
   }
+  // Every batch is single-owner (it was drained from one shard's queue —
+  // own pump, stolen-local or stolen-fallback), so a stolen batch's fills
+  // land in the *owner* shard's cache, where future lookups for these
+  // nodes route. The fill epoch is captured before the engine call: if a
+  // BumpEpoch lands while the batch computes, Insert drops the fills.
+  ResultCache* cache = caches_[ShardFor(serve.front().node)].get();
+  const std::uint64_t fill_epoch = cache != nullptr ? cache->epoch() : 0;
   core::InferenceResult result;
   {
     std::lock_guard<std::mutex> lock(*engine_mu_[engine_shard]);
     result = engine_->shard_engine(engine_shard).InferMixed(queries);
   }
   const ServeClock::time_point done = ServeClock::now();
+  if (cache != nullptr) {
+    for (std::size_t i = 0; i < serve.size(); ++i) {
+      cache->Insert(serve[i].node, &policies_.For(serve[i].qos).config,
+                    {result.predictions[i], result.exit_depths[i]},
+                    fill_epoch);
+    }
+  }
   controller_->RecordBatch(engine_shard, serve.size(),
-                           result.stats.wall_time_ms, done);
+                           result.stats.wall_time_ms, applied_wait_us, done);
 
   {
     std::lock_guard<std::mutex> lock(stats_->mu);
@@ -323,7 +433,7 @@ void ServingEngine::ServeBatch(std::size_t engine_shard,
     {
       std::lock_guard<std::mutex> lock(stats_->mu);
       const std::size_t c = static_cast<std::size_t>(request.qos);
-      stats_->RecordLatency(c, response.latency_ms);
+      stats_->RecordLatency(c, response.latency_ms, /*cache_hit=*/false);
       if (response.deadline_missed) {
         ++stats_->deadline_misses;
         ++stats_->misses[c];
@@ -376,8 +486,10 @@ bool ServingEngine::TrySteal(std::size_t thief) {
     ++stats_->stolen_by[thief];
     ++stats_->stolen_from[victim];
   }
-  if (!local.empty()) ServeBatch(thief, std::move(local));
-  if (!fallback.empty()) ServeBatch(victim, std::move(fallback));
+  // Stolen batches are drained directly (TryPopBatch), never coalesced —
+  // no window applied, so the trace records -1.
+  if (!local.empty()) ServeBatch(thief, std::move(local), -1);
+  if (!fallback.empty()) ServeBatch(victim, std::move(fallback), -1);
   return true;
 }
 
@@ -399,7 +511,9 @@ void ServingEngine::PumpShard(std::size_t shard) {
                  : batcher.NextBatch();
     if (!batch.empty()) {
       idle_backoff = 1;
-      ServeBatch(shard, std::move(batch));
+      // The batcher remembers the window this batch actually opened with;
+      // only this pump drives the batcher, so the read cannot race.
+      ServeBatch(shard, std::move(batch), batcher.last_window_us());
       continue;
     }
     if (queues_[shard]->drained()) return;
@@ -410,6 +524,12 @@ void ServingEngine::PumpShard(std::size_t shard) {
         idle_backoff = std::min<std::int64_t>(idle_backoff * 2, 16);
       }
     }
+  }
+}
+
+void ServingEngine::BumpEpoch() {
+  for (const std::unique_ptr<ResultCache>& cache : caches_) {
+    if (cache != nullptr) cache->BumpEpoch();
   }
 }
 
@@ -429,7 +549,10 @@ void ServingEngine::Shutdown() {
 ServingStatsSnapshot ServingEngine::Stats() const {
   ServingStatsSnapshot snap;
   std::array<std::vector<double>, kNumQosClasses> windows;
+  std::array<std::vector<double>, kNumQosClasses> hit_windows;
+  std::array<std::vector<double>, kNumQosClasses> miss_windows;
   std::array<std::int64_t, kNumQosClasses> completed{};
+  std::array<std::int64_t, kNumQosClasses> completed_hits{};
   {
     std::lock_guard<std::mutex> lock(stats_->mu);
     snap.submitted = stats_->submitted;
@@ -461,16 +584,25 @@ ServingStatsSnapshot ServingEngine::Stats() const {
       snap.scheduler[s].batches_stolen_by = stats_->stolen_by[s];
     }
     windows = stats_->latency_window;
+    hit_windows = stats_->hit_window;
+    miss_windows = stats_->miss_window;
     completed = stats_->completed;
+    completed_hits = stats_->completed_hits;
   }
   snap.adaptation_trace = controller_->Trace();
-  // Percentiles come from the bounded recent window; counts are the exact
-  // all-time totals (equal while fewer than kLatencyWindow requests of a
-  // class have completed).
+  // Percentiles come from the bounded recent window, whose size each
+  // summary reports as `window`; the `count` fields are then overwritten
+  // with the exact all-time totals from the plain counters, so they keep
+  // matching `completed` even after a class outgrows kLatencyWindow and
+  // the ring starts forgetting.
   std::vector<double> all;
   for (std::size_t c = 0; c < kNumQosClasses; ++c) {
     snap.per_class[c] = Summarize(windows[c]);
     snap.per_class[c].count = completed[c];
+    snap.per_class_hit[c] = Summarize(hit_windows[c]);
+    snap.per_class_hit[c].count = completed_hits[c];
+    snap.per_class_miss[c] = Summarize(miss_windows[c]);
+    snap.per_class_miss[c].count = completed[c] - completed_hits[c];
     snap.completed += completed[c];
     all.insert(all.end(), windows[c].begin(), windows[c].end());
   }
@@ -479,6 +611,18 @@ ServingStatsSnapshot ServingEngine::Stats() const {
   for (const std::unique_ptr<RequestQueue>& queue : queues_) {
     if (queue != nullptr) snap.queue_depth += queue->size();
   }
+  snap.caches.resize(caches_.size());
+  for (std::size_t s = 0; s < caches_.size(); ++s) {
+    if (caches_[s] == nullptr) continue;
+    snap.caches[s] = caches_[s]->Stats();
+    snap.cache_hits += snap.caches[s].hits;
+    snap.cache_misses += snap.caches[s].misses;
+  }
+  const std::int64_t lookups = snap.cache_hits + snap.cache_misses;
+  snap.cache_hit_ratio = lookups == 0
+                             ? 0.0
+                             : static_cast<double>(snap.cache_hits) /
+                                   static_cast<double>(lookups);
   return snap;
 }
 

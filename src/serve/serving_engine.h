@@ -16,6 +16,7 @@
 #include "src/serve/batcher.h"
 #include "src/serve/qos.h"
 #include "src/serve/request_queue.h"
+#include "src/serve/result_cache.h"
 #include "src/serve/scheduler.h"
 
 namespace nai::serve {
@@ -34,15 +35,24 @@ struct ServingOptions {
   /// work stealing, and the admission controller (see SchedulerOptions —
   /// each mechanism can be disabled independently).
   SchedulerOptions scheduler;
+  /// The per-shard, epoch-versioned prediction cache (see ResultCache).
+  /// Hits bypass the queue, the batcher and the admission controller
+  /// entirely; misses fill at batch completion. Disable for A/Bs or when
+  /// queries never repeat.
+  ResultCacheOptions cache;
 };
 
 /// Latency distribution of one request population (milliseconds,
 /// admission -> completion). Percentiles are nearest-rank, computed over a
 /// sliding window of the most recent kLatencyWindow samples per class so a
-/// long-running deployment's stats stay O(1) in memory; `count` is the
-/// exact all-time served total.
+/// long-running deployment's stats stay O(1) in memory. `count` is the
+/// exact all-time served total of the population; `window` is how many
+/// samples the percentile ring currently holds (equal to `count` until the
+/// population outgrows kLatencyWindow — after that the percentiles describe
+/// recent traffic while `count` keeps the true total).
 struct LatencySummary {
-  std::int64_t count = 0;
+  std::int64_t count = 0;   ///< all-time completions of this population
+  std::int64_t window = 0;  ///< samples behind the percentiles below
   double mean_ms = 0.0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
@@ -64,6 +74,19 @@ struct ServingStatsSnapshot {
   LatencySummary latency;  ///< all served requests
   std::array<LatencySummary, kNumQosClasses> per_class;
   std::array<std::int64_t, kNumQosClasses> per_class_misses{};
+
+  /// Result-cache view: completions split by how they were served — a hit
+  /// replays a cached result inline at submit time (its latency is the
+  /// lookup, microseconds), a miss goes the full queue/batch/engine path.
+  /// `per_class_hit[c].count + per_class_miss[c].count == per_class[c].count`.
+  std::array<LatencySummary, kNumQosClasses> per_class_hit;
+  std::array<LatencySummary, kNumQosClasses> per_class_miss;
+  std::int64_t cache_hits = 0;    ///< lookups answered inline, all shards
+  std::int64_t cache_misses = 0;  ///< lookups that fell through, all shards
+  double cache_hit_ratio = 0.0;   ///< hits / (hits + misses), 0 when none
+  /// Per-shard cache counters (indexed by shard id; default-initialized for
+  /// shards that own no nodes or when the cache is disabled).
+  std::vector<ResultCacheStats> caches;
 
   /// batch_size_hist[s-1] = engine calls that served exactly s requests.
   std::vector<std::int64_t> batch_size_hist;
@@ -147,22 +170,26 @@ class ServingEngine {
   ServingEngine& operator=(const ServingEngine&) = delete;
 
   /// Blocking admission (backpressure): waits for queue space, returns the
-  /// response future. After Shutdown the future is immediately ready with
-  /// served = false. `deadline_ms` <= 0 uses the class policy's default.
-  /// Throws std::out_of_range for nodes outside the graph.
+  /// response future. A current-epoch cache hit short-circuits all of that
+  /// and returns an already-ready future from the submitting thread. After
+  /// Shutdown the future is immediately ready with served = false.
+  /// `deadline_ms` <= 0 uses the class policy's default. Throws
+  /// std::out_of_range for nodes outside the graph.
   std::future<Response> Submit(std::int32_t node, QosClass qos,
                                double deadline_ms = 0.0);
 
   /// Non-blocking admission: nullopt when the shard queue is full, the
   /// admission controller predicts the request would miss its deadline in
-  /// the queue (shed load upstream), or the engine is shut down.
+  /// the queue (shed load upstream), or the engine is shut down. A cache
+  /// hit is consulted *before* admission, so a warm node can never be shed.
   std::optional<std::future<Response>> TrySubmit(std::int32_t node,
                                                  QosClass qos,
                                                  double deadline_ms = 0.0);
 
   /// Blocking admission with a completion callback (invoked on the pump
-  /// thread after the future is fulfilled). False when rejected; the
-  /// callback still fires with the unserved response.
+  /// thread after the future is fulfilled — or inline on the submitting
+  /// thread for a cache hit). False when rejected; the callback still
+  /// fires with the unserved response.
   bool SubmitWithCallback(std::int32_t node, QosClass qos,
                           std::function<void(const Response&)> callback,
                           double deadline_ms = 0.0);
@@ -170,6 +197,13 @@ class ServingEngine {
   /// Closes admission, serves everything already queued, joins the pump
   /// threads. Idempotent.
   void Shutdown();
+
+  /// Advances every shard cache's epoch, logically emptying them in O(1).
+  /// Call after mutating the wrapped engine's graph/model state (features,
+  /// classifier bank, gates) so no stale result is ever replayed; in-flight
+  /// batches computed under the old epoch will not fill (see
+  /// ResultCache::Insert). No-op when the cache is disabled.
+  void BumpEpoch();
 
   ServingStatsSnapshot Stats() const;
 
@@ -183,13 +217,24 @@ class ServingEngine {
   Request MakeRequest(std::int32_t node, QosClass qos, double deadline_ms);
   double BudgetMs(QosClass qos, double deadline_ms) const;
   std::size_t ShardFor(std::int32_t node) const;
+  /// The pre-admission cache probe shared by every submit entry point:
+  /// returns the inline Response for a current-epoch hit on `shard`'s
+  /// cache, nullopt on miss / cache disabled / shard shut down. A hit is
+  /// counted as submitted + completed (never as an arrival — it carries no
+  /// information about the queue/batch process the controller models).
+  std::optional<Response> TryServeFromCache(std::size_t shard,
+                                            std::int32_t node, QosClass qos,
+                                            double deadline_ms);
   void Complete(Request& request, Response response);
   void Reject(Request& request);
   void PumpShard(std::size_t shard);
   /// Serves `batch` on `engine_shard`'s engine (owner path: the shard the
   /// requests were queued at; steal path: the thief). Handles
-  /// drop_expired, stats and completion.
-  void ServeBatch(std::size_t engine_shard, std::vector<Request> batch);
+  /// drop_expired, stats, cache fills and completion. `applied_wait_us` is
+  /// the coalescing window the batch actually formed under (-1 for stolen
+  /// batches), forwarded into the adaptation trace.
+  void ServeBatch(std::size_t engine_shard, std::vector<Request> batch,
+                  std::int64_t applied_wait_us);
   /// One steal attempt by `thief`: drains a coalesced batch from the most
   /// backlogged sibling queue and serves it (thief engine where the halo
   /// covers, owner engine otherwise). True when anything was stolen.
@@ -208,6 +253,10 @@ class ServingEngine {
   /// owner's pump and a thief's fallback path can otherwise race on the
   /// engine's sampler scratch. One lock per engine call, never nested.
   std::vector<std::unique_ptr<std::mutex>> engine_mu_;
+  /// Per-owning-shard result caches (nullptr for non-owning shards or when
+  /// ServingOptions::cache.enabled is false). Client threads probe them in
+  /// the submit path; pump threads fill them at batch completion.
+  std::vector<std::unique_ptr<ResultCache>> caches_;
   std::unique_ptr<AdmissionController> controller_;
   std::vector<std::thread> pumps_;
 

@@ -224,5 +224,69 @@ TEST_F(HarnessTest, RunServingSkewedBurstyLoadStaysBitExact) {
   EXPECT_GT(report.duration_ms, 30.0);
 }
 
+TEST_F(HarnessTest, RunServingZipfLoadRepeatsHotNodesBitExact) {
+  // Zipf sampling draws nodes with replacement, so hot nodes repeat and
+  // report rows become request-aligned: request_indices[t] maps row t back
+  // to its node. Every repeated answer must still be bit-exact.
+  auto sharded = MakeShardedEngine(*pipeline_, *ds_, 2);
+  const serve::QosPolicyTable table =
+      MakeQosPolicyTable(*pipeline_, *ds_, core::NapKind::kDistance);
+  const core::InferenceResult ref_speed = sharded->Infer(
+      ds_->split.test_nodes, table.For(serve::QosClass::kSpeedFirst).config);
+  serve::ServingEngine server(*sharded, table);
+
+  const std::vector<std::int32_t> nodes(ds_->split.test_nodes.begin(),
+                                        ds_->split.test_nodes.begin() + 60);
+  ServingLoadConfig load;
+  load.closed_loop_clients = 4;
+  load.speed_first_fraction = 1.0;
+  load.zipf_alpha = 1.0;
+  load.num_requests = 3 * nodes.size();
+  const ServingRunReport report = RunServing(server, nodes, load);
+
+  ASSERT_EQ(report.request_indices.size(), load.num_requests);
+  ASSERT_EQ(report.predictions.size(), load.num_requests);
+  ASSERT_EQ(report.classes.size(), load.num_requests);
+  std::vector<std::int64_t> draws(nodes.size(), 0);
+  for (std::size_t t = 0; t < load.num_requests; ++t) {
+    const std::size_t i = report.request_indices[t];
+    ASSERT_LT(i, nodes.size()) << "request " << t;
+    ++draws[i];
+    EXPECT_EQ(report.predictions[t], ref_speed.predictions[i])
+        << "request " << t << " node index " << i;
+  }
+  EXPECT_EQ(report.stats.completed,
+            static_cast<std::int64_t>(load.num_requests));
+  // Skew direction: at alpha=1 over 60 nodes the head third of the
+  // caller's ordering must out-draw the tail third (expected ~2.9x; even
+  // an unlucky seed clears a plain >).
+  std::int64_t head = 0;
+  std::int64_t tail = 0;
+  for (std::size_t i = 0; i < 20; ++i) head += draws[i];
+  for (std::size_t i = 40; i < 60; ++i) tail += draws[i];
+  EXPECT_GT(head, tail);
+}
+
+TEST_F(HarnessTest, RunServingWithoutZipfReportsIdentityIndices) {
+  // The request-aligned contract degrades to the historical node-aligned
+  // one when Zipf is off: request_indices is the identity, so existing
+  // consumers that index reports by node stay valid.
+  auto sharded = MakeShardedEngine(*pipeline_, *ds_, 2);
+  const serve::QosPolicyTable table =
+      MakeQosPolicyTable(*pipeline_, *ds_, core::NapKind::kDistance);
+  serve::ServingEngine server(*sharded, table);
+
+  const std::vector<std::int32_t> nodes(ds_->split.test_nodes.begin(),
+                                        ds_->split.test_nodes.begin() + 40);
+  ServingLoadConfig load;
+  load.closed_loop_clients = 4;
+  const ServingRunReport report = RunServing(server, nodes, load);
+
+  ASSERT_EQ(report.request_indices.size(), nodes.size());
+  for (std::size_t t = 0; t < nodes.size(); ++t) {
+    EXPECT_EQ(report.request_indices[t], t);
+  }
+}
+
 }  // namespace
 }  // namespace nai::eval

@@ -108,6 +108,45 @@ TEST(FlagsTest, ArrivalRateFlagRejectsGarbage) {
   }
 }
 
+TEST(FlagsTest, ZipfFlagParsesPositiveFiniteAlpha) {
+  {
+    Argv a({"prog", "--zipf", "1.2"});
+    EXPECT_DOUBLE_EQ(ZipfFlag(a.argc(), a.argv()), 1.2);
+    EXPECT_EQ(a.argc(), 1);  // consumed out of argv
+  }
+  {
+    Argv a({"prog", "--zipf=0.8"});
+    EXPECT_DOUBLE_EQ(ZipfFlag(a.argc(), a.argv()), 0.8);
+    EXPECT_EQ(a.argc(), 1);
+  }
+}
+
+TEST(FlagsTest, ZipfFlagRejectsGarbageNonPositiveAndNonFinite) {
+  // 0.0 is the documented unskewed fallback for every rejection path. Note
+  // "0" itself rejects: alpha must be strictly positive to mean skew.
+  for (const char* bad : {"garbage", "1.5x", "", "0", "0.0", "inf", "nan"}) {
+    Argv a({"prog", std::string("--zipf=") + bad});
+    EXPECT_DOUBLE_EQ(ZipfFlag(a.argc(), a.argv()), 0.0) << "value " << bad;
+    EXPECT_EQ(a.argc(), 1) << "value " << bad;  // rejected but consumed
+  }
+  {
+    // Negative alpha arrives as a '-'-prefixed token, which is not consumed
+    // as a value: unskewed default, token survives for the wrapped parser.
+    Argv a({"prog", "--zipf", "-1.0"});
+    EXPECT_DOUBLE_EQ(ZipfFlag(a.argc(), a.argv()), 0.0);
+    EXPECT_EQ(a.Remaining(), (std::vector<std::string>{"prog", "-1.0"}));
+  }
+  {
+    Argv a({"prog"});  // absent entirely
+    EXPECT_DOUBLE_EQ(ZipfFlag(a.argc(), a.argv()), 0.0);
+  }
+  {
+    Argv a({"prog", "--zipf"});  // flag with no value
+    EXPECT_DOUBLE_EQ(ZipfFlag(a.argc(), a.argv()), 0.0);
+    EXPECT_EQ(a.argc(), 1);
+  }
+}
+
 TEST(FlagsTest, LastOccurrenceWinsAndAllAreConsumed) {
   Argv a({"prog", "--qos=10", "keep", "--qos", "90", "--arrival-rate=5"});
   EXPECT_EQ(QosMixFlag(a.argc(), a.argv()), 90);

@@ -57,6 +57,33 @@ TEST(BatcherTest, ZeroWaitServesWhatIsAvailable) {
   EXPECT_EQ(batcher.NextBatch().size(), 1u);
 }
 
+TEST(BatcherTest, LastWindowUsReportsTheWindowActuallyApplied) {
+  // Pins the mid-window-retune semantics: the window is read once when a
+  // batch's first request is popped, so a set_max_wait_us during or after
+  // that batch is invisible to it — last_window_us() reports the window
+  // the batch really coalesced under, which is what the adaptation trace
+  // stamps as applied_wait_us.
+  RequestQueue q(8);
+  DynamicBatcher batcher(q, BatcherConfig{8, 150});
+  EXPECT_EQ(batcher.last_window_us(), -1);  // no batch formed yet
+
+  ASSERT_TRUE(q.TryPush(MakeRequest(0)));
+  EXPECT_EQ(batcher.NextBatch().size(), 1u);
+  EXPECT_EQ(batcher.last_window_us(), 150);  // the configured base window
+
+  // Retune between batches: the next batch opens under the new window and
+  // reports it.
+  batcher.set_max_wait_us(0);
+  ASSERT_TRUE(q.TryPush(MakeRequest(1)));
+  EXPECT_EQ(batcher.NextBatch().size(), 1u);
+  EXPECT_EQ(batcher.last_window_us(), 0);
+
+  // A retune *after* window-open does not rewrite what the previous batch
+  // ran with.
+  batcher.set_max_wait_us(5000);
+  EXPECT_EQ(batcher.last_window_us(), 0);
+}
+
 TEST(BatcherTest, WindowWaitsForStragglers) {
   // The straggler lands well inside a generous window, so it must join the
   // first request's batch instead of forming its own.

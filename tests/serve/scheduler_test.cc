@@ -177,7 +177,7 @@ TEST(AdmissionControllerTest, ShedsWhenPredictedWaitExceedsBudget) {
   opts.ewma_alpha = 1.0;  // take each sample verbatim: deterministic EWMA
   AdmissionController c(1, opts, 64, 200);
   // 10 requests in 10ms -> 1ms per request.
-  c.RecordBatch(0, 10, 10.0, SchedClock::now());
+  c.RecordBatch(0, 10, 10.0, /*applied_wait_us=*/200, SchedClock::now());
   // Budget 2ms admits at most 2 queued ahead.
   EXPECT_TRUE(c.Admit(0, 1, 2.0));
   EXPECT_FALSE(c.Admit(0, 2, 2.0));
@@ -189,6 +189,38 @@ TEST(AdmissionControllerTest, ShedsWhenPredictedWaitExceedsBudget) {
   EXPECT_GT(snap.admit_limit, 0);
 }
 
+TEST(AdmissionControllerTest, EqualTimestampArrivalsDoNotResetTheEwma) {
+  // Regression: a coarse monotone clock hands equal stamps to back-to-back
+  // arrivals. The zero gap must *seed* the EWMA (an infinite-rate
+  // observation) that later gaps blend into — the old `ewma_gap_us <= 0`
+  // seeding test kept the EWMA at 0 and let the next real gap overwrite
+  // history instead of blending.
+  SchedulerOptions opts;
+  opts.ewma_alpha = 0.5;  // deterministic halves
+  AdmissionController c(1, opts, 8, 200);
+  const SchedClock::time_point now = SchedClock::now();
+  c.RecordArrival(0, now);
+  c.RecordArrival(0, now);  // injected equal stamp: gap 0 seeds
+  c.RecordArrival(0, now + std::chrono::microseconds(100));
+  // Blend, not overwrite: 0.5 * 100 + 0.5 * 0 = 50us gap -> 20k q/s. The
+  // buggy re-seed would have reported 100us -> 10k q/s.
+  EXPECT_NEAR(c.Snapshot(0).arrival_qps, 20000.0, 1.0);
+}
+
+TEST(AdmissionControllerTest, ZeroGapAfterSeedingBlendsIntoTheEwma) {
+  // The mirror case: a zero gap arriving *after* the EWMA formed must pull
+  // it down by the blend weight, not be mistaken for an unseeded state.
+  SchedulerOptions opts;
+  opts.ewma_alpha = 0.5;
+  AdmissionController c(1, opts, 8, 200);
+  const SchedClock::time_point now = SchedClock::now();
+  c.RecordArrival(0, now);
+  c.RecordArrival(0, now + std::chrono::microseconds(100));  // seeds 100us
+  const SchedClock::time_point burst = now + std::chrono::microseconds(100);
+  c.RecordArrival(0, burst);  // equal stamp: 0.5 * 0 + 0.5 * 100 = 50us
+  EXPECT_NEAR(c.Snapshot(0).arrival_qps, 20000.0, 1.0);
+}
+
 TEST(AdmissionControllerTest, TraceRecordsAdaptationSteps) {
   SchedulerOptions opts;
   opts.ewma_alpha = 0.5;
@@ -196,7 +228,8 @@ TEST(AdmissionControllerTest, TraceRecordsAdaptationSteps) {
   const SchedClock::time_point now = SchedClock::now();
   c.RecordArrival(1, now);
   c.RecordArrival(1, now + std::chrono::microseconds(100));
-  c.RecordBatch(1, 4, 2.0, now + std::chrono::microseconds(200));
+  c.RecordBatch(1, 4, 2.0, /*applied_wait_us=*/200,
+                now + std::chrono::microseconds(200));
   const std::vector<SchedulerTraceEvent> trace = c.Trace();
   ASSERT_EQ(trace.size(), 1u);
   EXPECT_EQ(trace[0].shard, 1u);
@@ -204,6 +237,9 @@ TEST(AdmissionControllerTest, TraceRecordsAdaptationSteps) {
   EXPECT_GT(trace[0].service_qps, 0.0);
   // 100us EWMA gaps with an 8-batch -> 700us window.
   EXPECT_EQ(trace[0].batch_wait_us, c.WaitUs(1));
+  // The event records the window the batch *ran* with, verbatim — here the
+  // base window it formed under, not the newly derived one.
+  EXPECT_EQ(trace[0].applied_wait_us, 200);
   // The untouched shard keeps the base window and no samples.
   const SchedulerShardSnapshot idle = c.Snapshot(0);
   EXPECT_EQ(idle.arrival_qps, 0.0);
@@ -286,6 +322,9 @@ TEST(SchedulerServingTest, SkewedLoadStealsAndStaysBitExact) {
   options.scheduler.stealing = true;
   options.scheduler.steal_min_backlog = 1;
   options.scheduler.steal_poll_us = 50;
+  // Cache off: the repeated waves below re-offer the same nodes, and a
+  // warm cache would answer them inline — no backlog, nothing to steal.
+  options.cache.enabled = false;
   ServingEngine server(engine, policies, options);
 
   // Whether the idle pump's poll lands while the backlog exists is up to
@@ -350,6 +389,9 @@ TEST(SchedulerServingTest, AdaptiveShedsAreAccounted) {
   options.batcher.max_batch = 1;  // serve one at a time: backlog persists
   options.batcher.max_wait_us = 0;
   options.scheduler.stealing = false;
+  // Cache off: the flood repeats warm nodes, and hits would bypass the
+  // admission controller this test exists to exercise.
+  options.cache.enabled = false;
   ServingEngine server(engine, policies, options);
 
   // Phase 1: a few served requests to form the EWMA.
