@@ -62,7 +62,7 @@ stage_asan() {
   # pool (the sharded engine then runs one worker per shard pool).
   NAI_THREADS=1 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
     -j "${JOBS}" \
-    -R 'runtime/|tensor/ops|graph/csr|graph/shard|core/inference|core/sharded|serve/|integration/algorithm1'
+    -R 'runtime/|tensor/ops|graph/csr|graph/shard|graph/delta|core/inference|core/sharded|serve/|integration/algorithm1'
 }
 
 stage_tsan() {
@@ -79,10 +79,11 @@ stage_tsan() {
     runtime_thread_pool_test tensor_ops_test graph_csr_test \
     core_inference_test core_inference_edge_test \
     core_inference_parallel_test core_sharded_inference_test \
-    graph_shard_test serve_request_queue_test serve_batcher_test \
-    serve_scheduler_test serve_serving_engine_test serve_result_cache_test
+    graph_shard_test graph_delta_test serve_request_queue_test \
+    serve_batcher_test serve_scheduler_test serve_serving_engine_test \
+    serve_result_cache_test serve_snapshot_swap_test
   ctest --test-dir "${tsan_dir}" --output-on-failure -j "${JOBS}" \
-    -R 'runtime/thread_pool|tensor/ops|graph/csr|graph/shard|core/inference|core/sharded|serve/'
+    -R 'runtime/thread_pool|tensor/ops|graph/csr|graph/shard|graph/delta|core/inference|core/sharded|serve/'
 }
 
 stage_format() {
@@ -96,11 +97,16 @@ stage_docs() {
 stage_bench() {
   # Fixed load/mix smoke: exactness-gated (nonzero exit on any prediction
   # divergence, including down the steal path) and the source of the
-  # BENCH_serving.json perf trajectory at the repo root.
+  # BENCH_serving.json perf trajectory at the repo root. bench_update_churn
+  # runs second: it splices its "update_churn" section into the artifact
+  # bench_serving_qos just wrote fresh.
   cmake -B "${BUILD_DIR}-release" -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build "${BUILD_DIR}-release" -j "${JOBS}" --target bench_serving_qos
+  cmake --build "${BUILD_DIR}-release" -j "${JOBS}" \
+    --target bench_serving_qos bench_update_churn
   NAI_SCALE="${NAI_BENCH_SCALE:-0.1}" "${BUILD_DIR}-release/bench_serving_qos" \
     --shards 2 --threads 2 --qos 50 --json BENCH_serving.json
+  NAI_SCALE="${NAI_BENCH_SCALE:-0.1}" "${BUILD_DIR}-release/bench_update_churn" \
+    --shards 2 --threads 2 --json BENCH_serving.json
   echo "bench smoke wrote $(pwd)/BENCH_serving.json"
 }
 

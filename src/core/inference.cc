@@ -107,8 +107,9 @@ NaiEngine::NaiEngine(const graph::Graph& full_graph,
       stationary_(stationary),
       gates_(gates),
       ctx_(ctx),
-      norm_adj_(graph::NormalizedAdjacency(full_graph, gamma)),
-      sampler_(norm_adj_) {}
+      owned_norm_adj_(graph::NormalizedAdjacency(full_graph, gamma)),
+      norm_adj_(&owned_norm_adj_),
+      sampler_(owned_norm_adj_) {}
 
 NaiEngine::NaiEngine(graph::Csr norm_adj, const tensor::Matrix& features,
                      ClassifierStack& classifiers,
@@ -119,8 +120,63 @@ NaiEngine::NaiEngine(graph::Csr norm_adj, const tensor::Matrix& features,
       stationary_(stationary),
       gates_(gates),
       ctx_(ctx),
-      norm_adj_(std::move(norm_adj)),
-      sampler_(norm_adj_) {}
+      owned_norm_adj_(std::move(norm_adj)),
+      norm_adj_(&owned_norm_adj_),
+      sampler_(owned_norm_adj_) {}
+
+namespace {
+
+const graph::GraphSnapshot& RequireSnapshot(
+    const std::shared_ptr<const graph::GraphSnapshot>& snapshot) {
+  if (snapshot == nullptr) {
+    throw std::invalid_argument("NaiEngine: null snapshot");
+  }
+  return *snapshot;
+}
+
+}  // namespace
+
+NaiEngine::NaiEngine(std::shared_ptr<const graph::GraphSnapshot> snapshot,
+                     ClassifierStack& classifiers, const GateStack* gates,
+                     bool use_stationary, runtime::ExecContext ctx)
+    : snapshot_((RequireSnapshot(snapshot), std::move(snapshot))),
+      owned_stationary_(
+          use_stationary
+              ? std::make_unique<StationaryState>(StationaryState::FromPooled(
+                    snapshot_->graph, snapshot_->stationary_pooled,
+                    snapshot_->gamma))
+              : nullptr),
+      features_(&snapshot_->features),
+      classifiers_(&classifiers),
+      stationary_(owned_stationary_.get()),
+      gates_(gates),
+      ctx_(ctx),
+      norm_adj_(&snapshot_->norm_adj),
+      sampler_(*norm_adj_) {}
+
+void NaiEngine::SwapSnapshot(
+    std::shared_ptr<const graph::GraphSnapshot> snapshot) {
+  if (snapshot_ == nullptr) {
+    throw std::logic_error(
+        "NaiEngine::SwapSnapshot: engine was built on borrowed graph views, "
+        "not a snapshot handle");
+  }
+  if (snapshot == nullptr) {
+    throw std::invalid_argument("NaiEngine::SwapSnapshot: null snapshot");
+  }
+  const bool use_stationary = owned_stationary_ != nullptr;
+  snapshot_ = std::move(snapshot);
+  owned_stationary_ =
+      use_stationary
+          ? std::make_unique<StationaryState>(StationaryState::FromPooled(
+                snapshot_->graph, snapshot_->stationary_pooled,
+                snapshot_->gamma))
+          : nullptr;
+  stationary_ = owned_stationary_.get();
+  features_ = &snapshot_->features;
+  norm_adj_ = &snapshot_->norm_adj;
+  sampler_ = graph::SupportSampler(*norm_adj_);
+}
 
 InferenceResult NaiEngine::Infer(const std::vector<std::int32_t>& nodes,
                                  const InferenceConfig& config) {
@@ -193,7 +249,7 @@ InferenceResult NaiEngine::Infer(const std::vector<std::int32_t>& nodes,
     pool.ParallelFor(0, shards, runtime::ThreadPool::kMinChunkWork,
                      [&](std::size_t s0, std::size_t s1) {
       for (std::size_t s = s0; s < s1; ++s) {
-        graph::SupportSampler sampler(norm_adj_);
+        graph::SupportSampler sampler(*norm_adj_);
         const std::size_t first = s * batches_per_shard;
         run_batches(first, std::min(num_batches, first + batches_per_shard),
                     sampler, shard_stats[s]);
@@ -271,7 +327,7 @@ void NaiEngine::InferBatch(const std::vector<std::int32_t>& batch,
   // Cumulative touched-edge counts per local prefix, for MAC accounting.
   std::vector<std::int64_t> prefix_nnz(support.nodes.size() + 1, 0);
   for (std::size_t r = 0; r < support.nodes.size(); ++r) {
-    prefix_nnz[r + 1] = prefix_nnz[r] + norm_adj_.RowNnz(support.nodes[r]);
+    prefix_nnz[r + 1] = prefix_nnz[r] + norm_adj_->RowNnz(support.nodes[r]);
   }
   stats.sample_time_ms += MsSince(t0);
 
@@ -325,14 +381,14 @@ void NaiEngine::InferBatch(const std::vector<std::int32_t>& batch,
     // everything within (t_max - l) hops of the active batch nodes.
     auto tf = Clock::now();
     if (use_row_list) {
-      graph::SpMMMappedRows(norm_adj_, support.nodes, g2l, cur,
+      graph::SpMMMappedRows(*norm_adj_, support.nodes, g2l, cur,
                             rows_to_compute, next, ctx_);
       stats.propagation_macs +=
-          RowListNnz(norm_adj_, support.nodes, rows_to_compute) *
+          RowListNnz(*norm_adj_, support.nodes, rows_to_compute) *
           static_cast<std::int64_t>(f);
     } else {
       const std::int64_t limit = support.layer_counts[t_max - l];
-      graph::SpMMMappedPrefix(norm_adj_, support.nodes, g2l, cur, limit,
+      graph::SpMMMappedPrefix(*norm_adj_, support.nodes, g2l, cur, limit,
                               next, ctx_);
       stats.propagation_macs +=
           prefix_nnz[limit] * static_cast<std::int64_t>(f);
@@ -376,7 +432,7 @@ void NaiEngine::InferBatch(const std::vector<std::int32_t>& batch,
     if (config.shrink_active_support && !exited.empty()) {
       // The supporting set for the remaining hops only needs to cover the
       // still-active nodes' (t_max - l - 1)-hop neighborhoods.
-      rows_to_compute = RadiusBfs(norm_adj_, support.nodes, g2l, active,
+      rows_to_compute = RadiusBfs(*norm_adj_, support.nodes, g2l, active,
                                   t_max - l - 1, bfs_visited);
       use_row_list = true;
     }

@@ -2,12 +2,14 @@
 #define NAI_CORE_INFERENCE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/core/classifier_stack.h"
 #include "src/core/nap_distance.h"
 #include "src/core/nap_gate.h"
 #include "src/core/stationary.h"
+#include "src/graph/delta.h"
 #include "src/graph/graph.h"
 #include "src/graph/normalize.h"
 #include "src/graph/sampler.h"
@@ -146,6 +148,31 @@ class NaiEngine {
             ClassifierStack& classifiers, const StationaryState* stationary,
             const GateStack* gates, runtime::ExecContext ctx = {});
 
+  /// Snapshot-backed variant: the engine holds the graph through a shared
+  /// snapshot handle (graph, features, normalized adjacency and pooled
+  /// stationary vector all come from — and are kept alive by — the
+  /// snapshot). `use_stationary` = false skips building the stationary view
+  /// (NapKind::kNone-only serving). Results are bit-identical to the
+  /// graph-based constructor on the snapshot's graph.
+  NaiEngine(std::shared_ptr<const graph::GraphSnapshot> snapshot,
+            ClassifierStack& classifiers, const GateStack* gates,
+            bool use_stationary = true, runtime::ExecContext ctx = {});
+
+  /// Re-points a snapshot-backed engine at a newer snapshot: rebuilds the
+  /// stationary view and sampler against the new graph and releases the old
+  /// handle. Not thread-safe — the caller must ensure no Infer is in
+  /// flight (the sharded engine instead builds fresh per-shard engines and
+  /// swaps them atomically; this entry serves the unsharded API). Throws
+  /// std::logic_error on an engine built from borrowed views and
+  /// std::invalid_argument on a null snapshot.
+  void SwapSnapshot(std::shared_ptr<const graph::GraphSnapshot> snapshot);
+
+  /// The snapshot this engine serves from; nullptr for engines built on
+  /// borrowed graph views (the pre-snapshot constructors).
+  const std::shared_ptr<const graph::GraphSnapshot>& snapshot() const {
+    return snapshot_;
+  }
+
   /// Classifies `nodes` (global ids in the full graph). Thread-compatible
   /// but not thread-safe (shared sampler scratch).
   InferenceResult Infer(const std::vector<std::int32_t>& nodes,
@@ -162,7 +189,7 @@ class NaiEngine {
   /// config pointer.
   InferenceResult InferMixed(const std::vector<ConfiguredQuery>& queries);
 
-  const graph::Csr& norm_adj() const { return norm_adj_; }
+  const graph::Csr& norm_adj() const { return *norm_adj_; }
 
   const runtime::ExecContext& exec_context() const { return ctx_; }
 
@@ -174,12 +201,21 @@ class NaiEngine {
                   std::vector<std::int32_t>& out_depths,
                   InferenceStats& stats);
 
+  /// Set when snapshot-backed: the handle that keeps every borrowed view
+  /// below alive; null for the borrowed-view constructors.
+  std::shared_ptr<const graph::GraphSnapshot> snapshot_;
+  /// The stationary view a snapshot-backed engine derives from the
+  /// snapshot's pooled vector (null otherwise; `stationary_` points here).
+  std::unique_ptr<StationaryState> owned_stationary_;
   const tensor::Matrix* features_;
   ClassifierStack* classifiers_;
   const StationaryState* stationary_;
   const GateStack* gates_;
   runtime::ExecContext ctx_;
-  graph::Csr norm_adj_;
+  /// Owned storage for the borrowed-view constructors; snapshot-backed
+  /// engines leave it empty and point norm_adj_ into the snapshot.
+  graph::Csr owned_norm_adj_;
+  const graph::Csr* norm_adj_;
   graph::SupportSampler sampler_;
 };
 

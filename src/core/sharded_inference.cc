@@ -20,7 +20,92 @@ double MsSince(Clock::time_point start) {
       .count();
 }
 
+/// Hop distance of every shard node from the shard's owned set, by BFS over
+/// the shard subgraph. A shortest path from the owned set to a node at halo
+/// depth d <= halo_hops runs entirely through the halo, so the induced
+/// subgraph preserves the global distances — this is exactly the
+/// steal-eligibility data CanServeFromShard needs.
+std::vector<std::int32_t> HaloDepths(const graph::GraphShard& shard) {
+  std::vector<std::int32_t> depth(shard.nodes.size(), -1);
+  std::vector<std::int32_t> frontier;
+  for (const std::int32_t global : shard.owned) {
+    const std::int32_t local = shard.global_to_local[global];
+    depth[local] = 0;
+    frontier.push_back(local);
+  }
+  std::int32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    std::vector<std::int32_t> next;
+    for (const std::int32_t u : frontier) {
+      for (const std::int32_t* it = shard.graph.neighbors_begin(u);
+           it != shard.graph.neighbors_end(u); ++it) {
+        if (depth[*it] < 0) {
+          depth[*it] = level;
+          next.push_back(*it);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return depth;
+}
+
 }  // namespace
+
+std::shared_ptr<const ShardedNaiEngine::ShardState>
+ShardedNaiEngine::BuildState(
+    std::shared_ptr<const graph::GraphSnapshot> snapshot,
+    graph::ShardedGraph sharded, const tensor::Matrix& features,
+    const graph::Csr& global_norm, const tensor::Matrix* pooled) {
+  auto state = std::make_shared<ShardState>();
+  state->snapshot = std::move(snapshot);
+  state->version = state->snapshot != nullptr ? state->snapshot->version : 0;
+  state->sharded = std::move(sharded);
+  const std::size_t num_shards = state->sharded.num_shards();
+
+  state->halo_depth.reserve(num_shards);
+  state->shard_features.reserve(num_shards);
+  state->shard_stationary.reserve(num_shards);
+  state->engines.reserve(num_shards);
+  for (const graph::GraphShard& shard : state->sharded.shards) {
+    state->halo_depth.push_back(HaloDepths(shard));
+    if (shard.num_owned() == 0) {
+      state->shard_features.emplace_back();
+      state->shard_stationary.push_back(nullptr);
+      continue;
+    }
+    state->shard_features.push_back(features.GatherRows(shard.nodes));
+    // Shard-local stationary view: same pooled vector, degrees from the
+    // shard graph. Owned nodes (the only ones ever queried) keep their full
+    // neighbor list whenever halo_hops >= 1, so their rows are identical to
+    // the full-graph state.
+    state->shard_stationary.push_back(
+        pooled == nullptr
+            ? nullptr
+            : std::make_unique<StationaryState>(StationaryState::FromPooled(
+                  shard.graph, *pooled, gamma_)));
+  }
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (state->sharded.shards[s].num_owned() == 0) {
+      state->engines.push_back(nullptr);
+      continue;
+    }
+    // Pools persist across swaps; a shard that gains its first owned node
+    // (round-robin assignment of an isolated insert) gets one on demand.
+    if (pools_[s] == nullptr) {
+      pools_[s] = std::make_unique<runtime::ThreadPool>(threads_per_shard_);
+    }
+    runtime::ExecContext ctx;
+    ctx.pool = pools_[s].get();
+    state->engines.push_back(std::make_unique<NaiEngine>(
+        graph::InducedSubmatrix(global_norm, state->sharded.shards[s].nodes,
+                                state->sharded.shards[s].global_to_local),
+        state->shard_features[s], *classifiers_,
+        state->shard_stationary[s].get(), gates_, ctx));
+  }
+  return state;
+}
 
 ShardedNaiEngine::ShardedNaiEngine(const graph::Graph& full_graph,
                                    graph::ShardedGraph sharded,
@@ -28,126 +113,196 @@ ShardedNaiEngine::ShardedNaiEngine(const graph::Graph& full_graph,
                                    ClassifierStack& classifiers,
                                    const StationaryState* stationary,
                                    const GateStack* gates, int total_threads)
-    : sharded_(std::move(sharded)), classifiers_(&classifiers) {
-  const std::size_t num_shards = sharded_.num_shards();
-  if (num_shards == 0) {
+    : classifiers_(&classifiers),
+      gates_(gates),
+      gamma_(gamma),
+      use_stationary_(stationary != nullptr),
+      num_shards_(sharded.num_shards()),
+      halo_hops_(sharded.halo_hops) {
+  if (num_shards_ == 0) {
     throw std::invalid_argument("ShardedNaiEngine: no shards");
   }
-  if (static_cast<std::int64_t>(sharded_.owner.size()) !=
+  if (static_cast<std::int64_t>(sharded.owner.size()) !=
       full_graph.num_nodes()) {
     throw std::invalid_argument(
         "ShardedNaiEngine: sharding covers " +
-        std::to_string(sharded_.owner.size()) + " nodes but the graph has " +
+        std::to_string(sharded.owner.size()) + " nodes but the graph has " +
         std::to_string(full_graph.num_nodes()));
   }
 
   // Custom owner vectors may leave shards empty; those can never receive a
   // query, so they get no pool, engine, or thread slice.
   int active_shards = 0;
-  for (const graph::GraphShard& shard : sharded_.shards) {
+  for (const graph::GraphShard& shard : sharded.shards) {
     if (shard.num_owned() > 0) ++active_shards;
   }
   const int total = total_threads > 0
                         ? total_threads
                         : runtime::ThreadPool::Default().num_threads();
   threads_per_shard_ = std::max(1, total / std::max(1, active_shards));
+  pools_.resize(num_shards_);
 
   // Shard adjacencies are cut from the full graph's normalized adjacency so
   // halo-boundary edges keep their global-degree weights.
   const graph::Csr global_norm = graph::NormalizedAdjacency(full_graph, gamma);
+  state_ = BuildState(nullptr, std::move(sharded), features, global_norm,
+                      stationary != nullptr ? &stationary->pooled() : nullptr);
+}
 
-  shard_features_.reserve(num_shards);
-  shard_stationary_.reserve(num_shards);
-  halo_depth_.reserve(num_shards);
-  pools_.reserve(num_shards);
-  engines_.reserve(num_shards);
-  for (const graph::GraphShard& shard : sharded_.shards) {
-    // Hop distance of every shard node from the owned set, by BFS over the
-    // shard subgraph. A shortest path from the owned set to a node at halo
-    // depth d <= halo_hops runs entirely through the halo, so the induced
-    // subgraph preserves the global distances — this is exactly the
-    // steal-eligibility data CanServeFromShard needs.
-    std::vector<std::int32_t> depth(shard.nodes.size(), -1);
-    std::vector<std::int32_t> frontier;
-    for (const std::int32_t global : shard.owned) {
-      const std::int32_t local = shard.global_to_local[global];
-      depth[local] = 0;
-      frontier.push_back(local);
-    }
-    std::int32_t level = 0;
-    while (!frontier.empty()) {
-      ++level;
-      std::vector<std::int32_t> next;
-      for (const std::int32_t u : frontier) {
-        for (const std::int32_t* it = shard.graph.neighbors_begin(u);
-             it != shard.graph.neighbors_end(u); ++it) {
-          if (depth[*it] < 0) {
-            depth[*it] = level;
-            next.push_back(*it);
-          }
-        }
+ShardedNaiEngine::ShardedNaiEngine(
+    std::shared_ptr<const graph::GraphSnapshot> snapshot,
+    graph::ShardedGraph sharded, ClassifierStack& classifiers,
+    const GateStack* gates, bool use_stationary, int total_threads)
+    : classifiers_(&classifiers),
+      gates_(gates),
+      gamma_(snapshot != nullptr ? snapshot->gamma : 0.5f),
+      use_stationary_(use_stationary),
+      num_shards_(sharded.num_shards()),
+      halo_hops_(sharded.halo_hops) {
+  if (snapshot == nullptr) {
+    throw std::invalid_argument("ShardedNaiEngine: null snapshot");
+  }
+  if (num_shards_ == 0) {
+    throw std::invalid_argument("ShardedNaiEngine: no shards");
+  }
+  if (static_cast<std::int64_t>(sharded.owner.size()) !=
+      snapshot->graph.num_nodes()) {
+    throw std::invalid_argument(
+        "ShardedNaiEngine: sharding covers " +
+        std::to_string(sharded.owner.size()) +
+        " nodes but the snapshot graph has " +
+        std::to_string(snapshot->graph.num_nodes()));
+  }
+
+  int active_shards = 0;
+  for (const graph::GraphShard& shard : sharded.shards) {
+    if (shard.num_owned() > 0) ++active_shards;
+  }
+  const int total = total_threads > 0
+                        ? total_threads
+                        : runtime::ThreadPool::Default().num_threads();
+  threads_per_shard_ = std::max(1, total / std::max(1, active_shards));
+  pools_.resize(num_shards_);
+
+  const graph::GraphSnapshot& snap = *snapshot;
+  state_ = BuildState(snapshot, std::move(sharded), snap.features,
+                      snap.norm_adj,
+                      use_stationary_ ? &snap.stationary_pooled : nullptr);
+}
+
+std::shared_ptr<const ShardedNaiEngine::ShardState>
+ShardedNaiEngine::PinState() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+const ShardedNaiEngine::ShardState& ShardedNaiEngine::CurrentState() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return *state_;
+}
+
+void ShardedNaiEngine::SwapSnapshot(
+    std::shared_ptr<const graph::GraphSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    throw std::invalid_argument("ShardedNaiEngine::SwapSnapshot: null snapshot");
+  }
+  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  const std::shared_ptr<const ShardState> old = PinState();
+  if (old->snapshot == nullptr) {
+    throw std::logic_error(
+        "ShardedNaiEngine::SwapSnapshot: engine was built on borrowed graph "
+        "views, not a snapshot handle");
+  }
+  const std::int64_t n_old = static_cast<std::int64_t>(old->sharded.owner.size());
+  const std::int64_t n_new = snapshot->graph.num_nodes();
+  if (n_new < n_old) {
+    throw std::invalid_argument(
+        "ShardedNaiEngine::SwapSnapshot: snapshot has " +
+        std::to_string(n_new) + " nodes, fewer than the " +
+        std::to_string(n_old) + " currently served (graphs only grow)");
+  }
+
+  // Extend the owner assignment: existing owners never move (routing and
+  // cache keys stay stable), new nodes go to the shard owning most of their
+  // already-assigned neighbors — processed in id order, so edges among new
+  // nodes count too. Ties take the lowest shard id; isolated nodes
+  // round-robin by id.
+  std::vector<std::int32_t> owner = old->sharded.owner;
+  owner.resize(n_new);
+  std::vector<std::int32_t> votes(num_shards_, 0);
+  for (std::int64_t v = n_old; v < n_new; ++v) {
+    std::fill(votes.begin(), votes.end(), 0);
+    bool any = false;
+    for (const std::int32_t* it =
+             snapshot->graph.neighbors_begin(static_cast<std::int32_t>(v));
+         it != snapshot->graph.neighbors_end(static_cast<std::int32_t>(v));
+         ++it) {
+      if (*it < v) {
+        ++votes[owner[*it]];
+        any = true;
       }
-      frontier = std::move(next);
     }
-    halo_depth_.push_back(std::move(depth));
+    std::int32_t best = static_cast<std::int32_t>(v % num_shards_);
+    if (any) {
+      best = 0;
+      for (std::size_t s = 1; s < num_shards_; ++s) {
+        if (votes[s] > votes[best]) best = static_cast<std::int32_t>(s);
+      }
+    }
+    owner[v] = best;
+  }
 
-    if (shard.num_owned() == 0) {
-      shard_features_.emplace_back();
-      shard_stationary_.push_back(nullptr);
-      continue;
-    }
-    shard_features_.push_back(features.GatherRows(shard.nodes));
-    // Shard-local stationary view: same pooled vector, degrees from the
-    // shard graph. Owned nodes (the only ones ever queried) keep their full
-    // neighbor list whenever halo_hops >= 1, so their rows are identical to
-    // the full-graph state.
-    shard_stationary_.push_back(
-        stationary == nullptr
-            ? nullptr
-            : std::make_unique<StationaryState>(StationaryState::FromPooled(
-                  shard.graph, stationary->pooled(), stationary->gamma())));
+  graph::ShardedGraph sharded =
+      graph::MakeShards(snapshot->graph, std::move(owner), halo_hops_);
+  if (sharded.num_shards() != num_shards_) {
+    // MakeShards sizes the shard list by max(owner) + 1; a trailing shard
+    // that owned nothing at construction would shrink the list here and
+    // desynchronize every per-shard index. Refuse rather than misroute.
+    throw std::logic_error(
+        "ShardedNaiEngine::SwapSnapshot: trailing empty shards are not "
+        "supported across swaps");
   }
-  for (std::size_t s = 0; s < num_shards; ++s) {
-    if (sharded_.shards[s].num_owned() == 0) {
-      pools_.push_back(nullptr);
-      engines_.push_back(nullptr);
-      continue;
-    }
-    pools_.push_back(
-        std::make_unique<runtime::ThreadPool>(threads_per_shard_));
-    runtime::ExecContext ctx;
-    ctx.pool = pools_.back().get();
-    engines_.push_back(std::make_unique<NaiEngine>(
-        graph::InducedSubmatrix(global_norm, sharded_.shards[s].nodes,
-                                sharded_.shards[s].global_to_local),
-        shard_features_[s], *classifiers_, shard_stationary_[s].get(), gates,
-        ctx));
-  }
+
+  const graph::GraphSnapshot& snap = *snapshot;
+  std::shared_ptr<const ShardState> next = BuildState(
+      snapshot, std::move(sharded), snap.features, snap.norm_adj,
+      use_stationary_ ? &snap.stationary_pooled : nullptr);
+
+  std::lock_guard<std::mutex> state_lock(state_mu_);
+  state_ = std::move(next);
 }
 
 void ShardedNaiEngine::ValidateConfig(const InferenceConfig& config) const {
   // The depth the shard engines will resolve for themselves — validated
   // against the halo via the shared InferenceConfig rule.
   const int t_max = config.effective_t_max(classifiers_->depth());
-  if (t_max > sharded_.halo_hops) {
+  if (t_max > halo_hops_) {
     throw std::invalid_argument(
         "ShardedNaiEngine: T_max " + std::to_string(t_max) +
-        " exceeds the shard halo of " + std::to_string(sharded_.halo_hops) +
+        " exceeds the shard halo of " + std::to_string(halo_hops_) +
         " hops; rebuild the shards with halo_hops >= T_max");
   }
 }
 
 bool ShardedNaiEngine::CanServeFromShard(std::size_t s, std::int32_t v,
                                          const InferenceConfig& config) const {
-  if (v < 0 ||
-      static_cast<std::size_t>(v) >= sharded_.owner.size()) {
+  const std::shared_ptr<const ShardState> state = PinState();
+  return CanServeFromShard(*state, s, v, config);
+}
+
+bool ShardedNaiEngine::CanServeFromShard(const ShardState& state,
+                                         std::size_t s, std::int32_t v,
+                                         const InferenceConfig& config) const {
+  if (v < 0 || static_cast<std::size_t>(v) >= state.sharded.owner.size()) {
     throw std::out_of_range("ShardedNaiEngine: query node " +
                             std::to_string(v) + " outside [0, " +
-                            std::to_string(sharded_.owner.size()) + ")");
+                            std::to_string(state.sharded.owner.size()) + ")");
   }
-  if (s >= sharded_.num_shards() || engines_[s] == nullptr) return false;
-  if (static_cast<std::size_t>(sharded_.owner[v]) == s) return true;
-  const std::int32_t local = sharded_.shards[s].global_to_local[v];
+  if (s >= state.sharded.num_shards() || state.engines[s] == nullptr) {
+    return false;
+  }
+  if (static_cast<std::size_t>(state.sharded.owner[v]) == s) return true;
+  const std::int32_t local = state.sharded.shards[s].global_to_local[v];
   if (local < 0) return false;
   // T-hop BFS membership needs depth(v) + T <= halo_hops; the rows it
   // aggregates (nodes within T-1 of v) then sit strictly inside the halo,
@@ -155,8 +310,8 @@ bool ShardedNaiEngine::CanServeFromShard(std::size_t s, std::int32_t v,
   // ring, whose local degrees (stationary view) undercount the global ones.
   const std::int64_t needed = std::max(
       1, config.effective_t_max(classifiers_->depth()));
-  return static_cast<std::int64_t>(halo_depth_[s][local]) + needed <=
-         static_cast<std::int64_t>(sharded_.halo_hops);
+  return static_cast<std::int64_t>(state.halo_depth[s][local]) + needed <=
+         static_cast<std::int64_t>(state.sharded.halo_hops);
 }
 
 InferenceResult ShardedNaiEngine::Infer(const std::vector<std::int32_t>& nodes,
@@ -165,8 +320,11 @@ InferenceResult ShardedNaiEngine::Infer(const std::vector<std::int32_t>& nodes,
   ValidateConfig(config);
   const int t_max = config.effective_t_max(classifiers_->depth());
 
-  const std::size_t num_shards = sharded_.num_shards();
-  const std::int64_t n = static_cast<std::int64_t>(sharded_.owner.size());
+  // One state for the whole call: every batch of this run sees the graph
+  // version pinned here, even if a swap lands mid-call.
+  const std::shared_ptr<const ShardState> state = PinState();
+  const std::size_t num_shards = state->sharded.num_shards();
+  const std::int64_t n = static_cast<std::int64_t>(state->sharded.owner.size());
 
   // Route every query to its owning shard, remembering its slot in the
   // caller's order. Relative order within a shard is preserved, so each
@@ -180,8 +338,8 @@ InferenceResult ShardedNaiEngine::Infer(const std::vector<std::int32_t>& nodes,
                               std::to_string(v) + " outside [0, " +
                               std::to_string(n) + ")");
     }
-    const std::int32_t s = sharded_.owner[v];
-    shard_queries[s].push_back(sharded_.shards[s].global_to_local[v]);
+    const std::int32_t s = state->sharded.owner[v];
+    shard_queries[s].push_back(state->sharded.shards[s].global_to_local[v]);
     shard_slots[s].push_back(i);
   }
 
@@ -203,9 +361,10 @@ InferenceResult ShardedNaiEngine::Infer(const std::vector<std::int32_t>& nodes,
   tasks.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     if (shard_queries[s].empty()) continue;
-    tasks.push_back([this, s, &config, &shard_queries, &shard_slots, &result,
+    tasks.push_back([s, &state, &config, &shard_queries, &shard_slots, &result,
                      &shard_stats] {
-      InferenceResult local = engines_[s]->Infer(shard_queries[s], config);
+      InferenceResult local =
+          state->engines[s]->Infer(shard_queries[s], config);
       const std::vector<std::size_t>& slots = shard_slots[s];
       for (std::size_t j = 0; j < slots.size(); ++j) {
         result.predictions[slots[j]] = local.predictions[j];
@@ -244,8 +403,9 @@ InferenceResult ShardedNaiEngine::InferMixed(
     }
   }
 
-  const std::size_t num_shards = sharded_.num_shards();
-  const std::int64_t n = static_cast<std::int64_t>(sharded_.owner.size());
+  const std::shared_ptr<const ShardState> state = PinState();
+  const std::size_t num_shards = state->sharded.num_shards();
+  const std::int64_t n = static_cast<std::int64_t>(state->sharded.owner.size());
 
   // Route by owning shard exactly as Infer does, but carry each query's
   // config along (shard-local node ids, caller-order slots).
@@ -258,9 +418,9 @@ InferenceResult ShardedNaiEngine::InferMixed(
                               std::to_string(v) + " outside [0, " +
                               std::to_string(n) + ")");
     }
-    const std::int32_t s = sharded_.owner[v];
+    const std::int32_t s = state->sharded.owner[v];
     shard_queries[s].push_back(
-        {sharded_.shards[s].global_to_local[v], queries[i].config});
+        {state->sharded.shards[s].global_to_local[v], queries[i].config});
     shard_slots[s].push_back(i);
   }
 
@@ -274,9 +434,9 @@ InferenceResult ShardedNaiEngine::InferMixed(
   tasks.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     if (shard_queries[s].empty()) continue;
-    tasks.push_back([this, s, &shard_queries, &shard_slots, &result,
+    tasks.push_back([s, &state, &shard_queries, &shard_slots, &result,
                      &shard_stats] {
-      InferenceResult local = engines_[s]->InferMixed(shard_queries[s]);
+      InferenceResult local = state->engines[s]->InferMixed(shard_queries[s]);
       const std::vector<std::size_t>& slots = shard_slots[s];
       for (std::size_t j = 0; j < slots.size(); ++j) {
         result.predictions[slots[j]] = local.predictions[j];

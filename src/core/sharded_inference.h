@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/core/inference.h"
+#include "src/graph/delta.h"
 #include "src/graph/shard.h"
 #include "src/runtime/thread_pool.h"
 
@@ -41,25 +43,96 @@ namespace nai::core {
 /// Per-shard stats are merged in shard order via InferenceStats::Accumulate;
 /// num_nodes and wall_time_ms are set exactly once by this class (the
 /// per-shard values describe sub-runs and are never summed).
+///
+/// Evolving graphs: everything derived from one graph version — the
+/// sharding, halo depths, per-shard features/stationary views and the shard
+/// engines themselves — lives in one immutable ShardState behind a
+/// shared_ptr. A snapshot-backed engine (snapshot constructor) accepts
+/// SwapSnapshot(new_snapshot): the replacement state is built off the
+/// serving path and published atomically, so readers that pinned the old
+/// state finish their batch on the graph version they started with while
+/// new batches see the new one. Serving never pauses; the old state is
+/// reclaimed when its last pinned reader drops it. Thread pools persist
+/// across swaps (they carry no graph state).
 class ShardedNaiEngine {
  public:
+  /// Everything derived from one graph version. Immutable after
+  /// construction and shared by pin; the engine's own entry points pin it
+  /// once per call, and the serving front-end pins one state per batch so
+  /// a batch's steal check and engine call agree on the version.
+  struct ShardState {
+    /// The snapshot this state was built from; null for engines built on
+    /// borrowed graph views (the compatibility constructor).
+    std::shared_ptr<const graph::GraphSnapshot> snapshot;
+    /// Graph version served by this state (snapshot->version, 0 for
+    /// borrowed-view engines).
+    std::uint64_t version = 0;
+    graph::ShardedGraph sharded;
+    /// halo_depth[s][local] = hop distance of shard s's local node from
+    /// the shard's owned set (0 = owned, halo_hops = outermost ring) — the
+    /// steal-path eligibility data of CanServeFromShard, rebuilt with the
+    /// state because a delta can change shard halos.
+    std::vector<std::vector<std::int32_t>> halo_depth;
+    /// Per-shard gathered feature rows and stationary views; referenced by
+    /// the shard engines, so they live here (declaration order matters).
+    std::vector<tensor::Matrix> shard_features;
+    std::vector<std::unique_ptr<StationaryState>> shard_stationary;
+    std::vector<std::unique_ptr<NaiEngine>> engines;
+  };
+
   /// `full_graph` must be the graph `sharded` was built from; `features`,
   /// `classifiers`, `stationary` and `gates` are full-graph-scoped, exactly
   /// as for NaiEngine (this class gathers per-shard views internally).
   /// `total_threads` is divided evenly across shard pools (minimum one
   /// thread each); <= 0 uses the default pool's size.
   /// Throws std::invalid_argument when `sharded` does not match
-  /// `full_graph` or has no shards.
+  /// `full_graph` or has no shards. Engines built this way serve a frozen
+  /// graph: SwapSnapshot throws std::logic_error on them.
   ShardedNaiEngine(const graph::Graph& full_graph, graph::ShardedGraph sharded,
                    const tensor::Matrix& features, float gamma,
                    ClassifierStack& classifiers,
                    const StationaryState* stationary, const GateStack* gates,
                    int total_threads = 0);
 
+  /// Snapshot-backed variant: the graph, features, normalized adjacency and
+  /// pooled stationary vector all come from — and are kept alive by — the
+  /// snapshot handle, which is what makes SwapSnapshot legal later.
+  /// `sharded` must partition the snapshot's graph (same halo discipline as
+  /// above); `use_stationary` = false skips the stationary views
+  /// (NapKind::kNone-only serving). Results are bit-identical to the
+  /// borrowed-view constructor on the same graph.
+  ShardedNaiEngine(std::shared_ptr<const graph::GraphSnapshot> snapshot,
+                   graph::ShardedGraph sharded, ClassifierStack& classifiers,
+                   const GateStack* gates, bool use_stationary = true,
+                   int total_threads = 0);
+
+  /// Atomically retargets a snapshot-backed engine at `snapshot` (which
+  /// must extend the current graph: node count can only grow, and existing
+  /// owners never move). New nodes are assigned to the shard owning the
+  /// majority of their already-assigned neighbors (ties to the lowest
+  /// shard id; isolated nodes round-robin by id), the halos, per-shard
+  /// views and shard engines are rebuilt off the serving path, and the new
+  /// state is published in one pointer swap. In-flight readers keep the
+  /// state they pinned; there is no pause. Safe to call concurrently with
+  /// Infer/InferMixed; concurrent SwapSnapshot calls serialize. Throws
+  /// std::logic_error for borrowed-view engines, std::invalid_argument on
+  /// a null or shrinking snapshot.
+  void SwapSnapshot(std::shared_ptr<const graph::GraphSnapshot> snapshot);
+
+  /// Pins the current state: the returned handle stays valid (and its
+  /// graph version fixed) for as long as the caller holds it, regardless
+  /// of concurrent swaps. The serving front-end pins one state per batch.
+  std::shared_ptr<const ShardState> PinState() const;
+
+  /// The graph version currently being served (0 until the first swap for
+  /// borrowed-view engines).
+  std::uint64_t version() const { return PinState()->version; }
+
   /// Classifies `nodes` (global ids). Thread-compatible but not
-  /// thread-safe, like NaiEngine::Infer. Throws std::invalid_argument when
-  /// the effective T_max exceeds halo_hops (the shards cannot support a
-  /// deeper BFS) and std::out_of_range for query ids outside the graph.
+  /// thread-safe, like NaiEngine::Infer. Pins one state for the whole
+  /// call. Throws std::invalid_argument when the effective T_max exceeds
+  /// halo_hops (the shards cannot support a deeper BFS) and
+  /// std::out_of_range for query ids outside the graph.
   InferenceResult Infer(const std::vector<std::int32_t>& nodes,
                         const InferenceConfig& config);
 
@@ -75,7 +148,7 @@ class ShardedNaiEngine {
   /// Throws std::invalid_argument otherwise. Infer/InferMixed call this on
   /// every config; the serving front-end calls it once per QoS policy at
   /// construction, because it bypasses the routed entry points and pumps
-  /// shard_engine(s) directly.
+  /// the shard engines directly.
   void ValidateConfig(const InferenceConfig& config) const;
 
   /// True when shard `s` can serve global node `v` under `config` with
@@ -92,38 +165,62 @@ class ShardedNaiEngine {
   /// order, which is what makes the thief's answer bit-identical (see the
   /// class determinism contract). False for shards that own no nodes
   /// (they have no engine) and for nodes outside the shard; throws
-  /// std::out_of_range for nodes outside the graph.
+  /// std::out_of_range for nodes outside the graph. The `state` overload
+  /// evaluates against a pinned state so a steal check and the engine
+  /// call it gates agree on the graph version.
   bool CanServeFromShard(std::size_t s, std::int32_t v,
                          const InferenceConfig& config) const;
+  bool CanServeFromShard(const ShardState& state, std::size_t s,
+                         std::int32_t v, const InferenceConfig& config) const;
 
   /// The classifier bank's depth k — the deepest T_max any config can
   /// resolve to (InferenceConfig::effective_t_max).
   int depth() const { return classifiers_->depth(); }
 
-  std::size_t num_shards() const { return sharded_.num_shards(); }
-  int halo_hops() const { return sharded_.halo_hops; }
+  std::size_t num_shards() const { return num_shards_; }
+  int halo_hops() const { return halo_hops_; }
   int threads_per_shard() const { return threads_per_shard_; }
-  const graph::ShardedGraph& sharded_graph() const { return sharded_; }
+  /// The current state's sharding. The reference stays valid until the
+  /// next SwapSnapshot; callers that must stay consistent across swaps pin
+  /// the state instead.
+  const graph::ShardedGraph& sharded_graph() const {
+    return CurrentState().sharded;
+  }
   /// `s` must own at least one node: shards a custom owner vector left
   /// empty can never be queried and get no engine (or pool, or thread
-  /// slice).
-  NaiEngine& shard_engine(std::size_t s) { return *engines_[s]; }
+  /// slice). Same lifetime caveat as sharded_graph() — pin the state for
+  /// churn-safe access.
+  NaiEngine& shard_engine(std::size_t s) { return *CurrentState().engines[s]; }
 
  private:
-  graph::ShardedGraph sharded_;
+  /// The current state by reference; kept alive by the engine's own handle
+  /// until the next swap (callers needing longer pin it).
+  const ShardState& CurrentState() const;
+  /// Builds a complete state for `sharded` over the given graph artifacts.
+  /// `snapshot` may be null (borrowed-view constructor). Creates any
+  /// missing shard pools as a side effect.
+  std::shared_ptr<const ShardState> BuildState(
+      std::shared_ptr<const graph::GraphSnapshot> snapshot,
+      graph::ShardedGraph sharded, const tensor::Matrix& features,
+      const graph::Csr& global_norm, const tensor::Matrix* pooled);
+
   ClassifierStack* classifiers_;
+  const GateStack* gates_;
+  float gamma_;
+  bool use_stationary_;
+  std::size_t num_shards_;
+  int halo_hops_;
   int threads_per_shard_;
-  /// halo_depth_[s][local] = hop distance of shard s's local node from the
-  /// shard's owned set (0 = owned, halo_hops = outermost halo ring).
-  /// Computed once at construction by BFS over the shard subgraph — the
-  /// steal-path eligibility data of CanServeFromShard.
-  std::vector<std::vector<std::int32_t>> halo_depth_;
-  /// Per-shard gathered feature rows and stationary views; referenced by
-  /// the shard engines, so they live here (declaration order matters).
-  std::vector<tensor::Matrix> shard_features_;
-  std::vector<std::unique_ptr<StationaryState>> shard_stationary_;
+  /// One pool per owning shard, created on first need and persistent
+  /// across swaps: engines of successive states share their shard's pool,
+  /// so a swap never tears down worker threads. Only mutated under
+  /// swap_mu_ (or in the constructor); never shrunk.
   std::vector<std::unique_ptr<runtime::ThreadPool>> pools_;
-  std::vector<std::unique_ptr<NaiEngine>> engines_;
+  /// Serializes SwapSnapshot callers (state builds happen outside
+  /// state_mu_ so readers never wait on a rebuild).
+  std::mutex swap_mu_;
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const ShardState> state_;
 };
 
 }  // namespace nai::core

@@ -3,24 +3,15 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/graph/normalize.h"
+
 namespace nai::core {
 
 StationaryState::StationaryState(const graph::Graph& graph,
                                  const tensor::Matrix& features, float gamma)
-    : graph_(&graph), gamma_(gamma) {
-  const std::int64_t n = graph.num_nodes();
-  assert(static_cast<std::int64_t>(features.rows()) == n);
-  const double denom = static_cast<double>(2 * graph.num_edges() + n);
-  pooled_.Resize(1, features.cols());
-  float* g = pooled_.data();
-  for (std::int64_t j = 0; j < n; ++j) {
-    const float vj = static_cast<float>(
-        std::pow(static_cast<double>(graph.degree(j) + 1), 1.0 - gamma) /
-        denom);
-    const float* row = features.row(j);
-    for (std::size_t f = 0; f < features.cols(); ++f) g[f] += vj * row[f];
-  }
-}
+    : graph_(&graph),
+      pooled_(graph::PooledStationaryVector(graph, features, gamma)),
+      gamma_(gamma) {}
 
 StationaryState StationaryState::FromPooled(const graph::Graph& graph,
                                             tensor::Matrix pooled,

@@ -108,6 +108,61 @@ std::unique_ptr<core::ShardedNaiEngine> MakeShardedEngine(
       pipeline.full_stationary.get(), pipeline.gates.get(), total_threads);
 }
 
+std::unique_ptr<core::ShardedNaiEngine> MakeSnapshotShardedEngine(
+    TrainedPipeline& pipeline, const PreparedDataset& ds, int num_shards,
+    int halo_hops, int total_threads) {
+  const int halo =
+      halo_hops > 0 ? halo_hops : pipeline.model_config.depth;
+  std::shared_ptr<const graph::GraphSnapshot> snapshot = graph::MakeSnapshot(
+      ds.data.graph, ds.data.features, pipeline.model_config.gamma);
+  graph::ShardedGraph sharded =
+      graph::MakeShards(snapshot->graph, num_shards, halo);
+  return std::make_unique<core::ShardedNaiEngine>(
+      std::move(snapshot), std::move(sharded), *pipeline.classifiers,
+      pipeline.gates.get(), /*use_stationary=*/true, total_threads);
+}
+
+std::vector<graph::GraphDelta> MakeChurnDeltas(
+    std::int64_t base_nodes, std::int64_t feature_dim, std::size_t num_deltas,
+    std::size_t nodes_per_delta, std::size_t edges_per_delta,
+    std::size_t feature_updates_per_delta, std::uint64_t seed) {
+  tensor::Rng rng(seed);
+  auto random_row = [&] {
+    std::vector<float> row(static_cast<std::size_t>(feature_dim));
+    for (float& v : row) v = rng.NextFloat() * 2.0f - 1.0f;
+    return row;
+  };
+  std::vector<graph::GraphDelta> deltas;
+  deltas.reserve(num_deltas);
+  std::int64_t n = base_nodes;  // node count the next delta applies against
+  for (std::size_t d = 0; d < num_deltas; ++d) {
+    graph::GraphDelta delta;
+    for (std::size_t i = 0; i < nodes_per_delta; ++i) {
+      const std::int32_t id = delta.AddNode(random_row(), n);
+      // Wire each new node to one pre-existing node so it lands inside a
+      // shard's connected neighborhood (and is servable, not isolated).
+      delta.AddEdge(id, static_cast<std::int32_t>(
+                            rng.NextDouble() * static_cast<double>(n)));
+    }
+    for (std::size_t i = 0; i < edges_per_delta; ++i) {
+      // Among pre-existing nodes; self-loops and duplicates of existing
+      // edges are dropped by the builder, which keeps the generator simple.
+      delta.AddEdge(static_cast<std::int32_t>(rng.NextDouble() *
+                                              static_cast<double>(n)),
+                    static_cast<std::int32_t>(rng.NextDouble() *
+                                              static_cast<double>(n)));
+    }
+    for (std::size_t i = 0; i < feature_updates_per_delta; ++i) {
+      delta.UpdateFeatures(static_cast<std::int32_t>(
+                               rng.NextDouble() * static_cast<double>(n)),
+                           random_row());
+    }
+    n += static_cast<std::int64_t>(delta.node_inserts.size());
+    deltas.push_back(std::move(delta));
+  }
+  return deltas;
+}
+
 std::vector<NaiSetting> MakeDefaultSettings(TrainedPipeline& pipeline,
                                             const PreparedDataset& ds,
                                             core::NapKind nap) {
@@ -233,6 +288,18 @@ ServingRunReport RunServing(serve::ServingEngine& server,
                             : serve::QosClass::kAccuracyFirst;
   }
   if (m == 0) {
+    // No load to interleave with — still honor the update stream so the
+    // engine ends on base + all updates.
+    double update_ms = 0.0;
+    for (const graph::GraphDelta& delta : load.updates) {
+      update_ms += server.ApplyDeltas(delta).get().apply_ms;
+      ++report.updates_applied;
+    }
+    report.mean_update_ms =
+        report.updates_applied > 0
+            ? update_ms / static_cast<double>(report.updates_applied)
+            : 0.0;
+    report.final_epoch = server.engine().version();
     report.stats = server.Stats();
     return report;
   }
@@ -252,6 +319,35 @@ ServingRunReport RunServing(serve::ServingEngine& server,
   }
 
   const Clock::time_point start = Clock::now();
+
+  // Update churn: one dedicated updater thread feeds the delta batches
+  // through ApplyDeltas while the load runs, paced against the wall clock
+  // (each apply waits for its swap before the next is due, so the applied
+  // rate saturates at 1/apply_ms no matter what was asked for). Batches
+  // the load outlives are applied back-to-back at the end — the engine
+  // always finishes on base + all updates.
+  std::atomic<bool> load_done{false};
+  std::int64_t updates_applied = 0;
+  double update_ms_total = 0.0;
+  std::thread updater;
+  if (!load.updates.empty()) {
+    updater = std::thread([&] {
+      const double gap_us =
+          load.updates_per_sec > 0.0 ? 1e6 / load.updates_per_sec : 0.0;
+      for (std::size_t d = 0; d < load.updates.size(); ++d) {
+        if (gap_us > 0.0 && !load_done.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_until(
+              start + std::chrono::microseconds(static_cast<std::int64_t>(
+                          gap_us * static_cast<double>(d + 1))));
+        }
+        const serve::DeltaApplyReport applied =
+            server.ApplyDeltas(load.updates[d]).get();
+        ++updates_applied;
+        update_ms_total += applied.apply_ms;
+      }
+    });
+  }
+
   if (load.arrival_rate_qps > 0.0) {
     // Open loop: one generator thread paces Poisson arrivals against the
     // wall clock (sleep_until, so service time never stretches the
@@ -310,6 +406,17 @@ ServingRunReport RunServing(serve::ServingEngine& server,
   }
   report.duration_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+
+  if (updater.joinable()) {
+    load_done.store(true, std::memory_order_release);
+    updater.join();
+    report.updates_applied = updates_applied;
+    report.mean_update_ms =
+        updates_applied > 0
+            ? update_ms_total / static_cast<double>(updates_applied)
+            : 0.0;
+  }
+  report.final_epoch = server.engine().version();
 
   std::int64_t served = 0;
   for (const std::int32_t p : report.predictions) served += p >= 0 ? 1 : 0;

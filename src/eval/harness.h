@@ -71,6 +71,28 @@ std::unique_ptr<core::ShardedNaiEngine> MakeShardedEngine(
     TrainedPipeline& pipeline, const PreparedDataset& ds, int num_shards,
     int halo_hops = 0, int total_threads = 0);
 
+/// Snapshot-backed counterpart of MakeShardedEngine: wraps the dataset's
+/// full graph in a version-0 GraphSnapshot so the engine (and a
+/// ServingEngine over it) accepts SwapSnapshot / ApplyDeltas. Results are
+/// bit-identical to MakeShardedEngine's on the same graph.
+std::unique_ptr<core::ShardedNaiEngine> MakeSnapshotShardedEngine(
+    TrainedPipeline& pipeline, const PreparedDataset& ds, int num_shards,
+    int halo_hops = 0, int total_threads = 0);
+
+/// Deterministic update-churn generator: `num_deltas` batches against a
+/// base graph of `base_nodes` nodes and `feature_dim`-wide features. Each
+/// batch inserts `nodes_per_delta` new nodes (random features, each wired
+/// to one existing node so it is servable), `edges_per_delta` random edges
+/// among pre-existing nodes, and `feature_updates_per_delta` feature-row
+/// replacements. Batches chain: delta d is valid against the base plus
+/// deltas 0..d-1 — exactly what SnapshotBuilder::Apply and MergeFromScratch
+/// both accept, so a bench can replay the same stream into the live engine
+/// and the from-scratch oracle. Same seed, same stream.
+std::vector<graph::GraphDelta> MakeChurnDeltas(
+    std::int64_t base_nodes, std::int64_t feature_dim, std::size_t num_deltas,
+    std::size_t nodes_per_delta, std::size_t edges_per_delta,
+    std::size_t feature_updates_per_delta, std::uint64_t seed);
+
 /// One named inference configuration (the paper's NAI^1, NAI^2, NAI^3).
 struct NaiSetting {
   std::string name;
@@ -135,6 +157,17 @@ struct ServingLoadConfig {
   /// Number of Zipf draws (only meaningful with zipf_alpha > 0);
   /// 0 = nodes.size().
   std::size_t num_requests = 0;
+
+  /// Update churn: delta batches applied through ServingEngine::ApplyDeltas
+  /// *while the load runs*, on a dedicated updater thread. Paced at
+  /// `updates_per_sec` (<= 0 = back-to-back); each apply waits for its swap
+  /// to complete before the next is submitted, and any batches the load
+  /// outlives are applied after the last response — so the engine always
+  /// ends the run on base + all updates, which is what lets a bench compare
+  /// the final state against a from-scratch merge. Requires a
+  /// snapshot-backed engine when non-empty (see MakeSnapshotShardedEngine).
+  std::vector<graph::GraphDelta> updates;
+  double updates_per_sec = 0.0;
 };
 
 /// What one serving run produced. Vectors are request-aligned:
@@ -151,6 +184,11 @@ struct ServingRunReport {
   std::vector<std::int32_t> predictions;
   std::vector<serve::QosClass> classes;
   std::vector<std::size_t> request_indices;  ///< request t -> index into nodes
+
+  /// Update-churn outcome (zero / empty when the load carried no updates).
+  std::int64_t updates_applied = 0;
+  double mean_update_ms = 0.0;   ///< mean ApplyDeltas build+swap wall time
+  std::uint64_t final_epoch = 0; ///< engine graph version after the run
 };
 
 /// Drives one load-generation pass of `nodes` through the serving engine

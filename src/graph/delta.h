@@ -1,0 +1,145 @@
+#ifndef NAI_GRAPH_DELTA_H_
+#define NAI_GRAPH_DELTA_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/graph/graph.h"
+#include "src/tensor/matrix.h"
+
+namespace nai::graph {
+
+/// One batch of graph mutations — the unit the ingestion path applies
+/// atomically. Three kinds of entries, matching what the paper's streaming
+/// workloads (fraud edges, new accounts, profile refreshes) produce:
+///
+///   * edge inserts between existing or newly inserted nodes;
+///   * node inserts, each carrying its feature row (new nodes take ids
+///     n, n+1, ... in insertion order, where n is the base snapshot size);
+///   * feature updates replacing an existing node's feature row.
+///
+/// A delta is data, not behaviour: SnapshotBuilder::Apply validates and
+/// merges it. Self-loops, duplicate edges and edges already present in the
+/// base graph are dropped silently (the graph is simple); out-of-range ids
+/// and feature-width mismatches throw at Apply time.
+struct GraphDelta {
+  /// Undirected edges; endpoints may reference new nodes (>= base n).
+  std::vector<std::pair<std::int32_t, std::int32_t>> edge_inserts;
+  /// One feature row per inserted node, each of the snapshot's width.
+  std::vector<std::vector<float>> node_inserts;
+  /// (node id, replacement feature row) pairs; later entries win.
+  std::vector<std::pair<std::int32_t, std::vector<float>>> feature_updates;
+
+  void AddEdge(std::int32_t u, std::int32_t v) { edge_inserts.push_back({u, v}); }
+  /// Returns the id the new node will take after Apply.
+  std::int32_t AddNode(std::vector<float> features, std::int64_t base_nodes) {
+    node_inserts.push_back(std::move(features));
+    return static_cast<std::int32_t>(base_nodes + node_inserts.size() - 1);
+  }
+  void UpdateFeatures(std::int32_t node, std::vector<float> features) {
+    feature_updates.push_back({node, std::move(features)});
+  }
+
+  bool empty() const {
+    return edge_inserts.empty() && node_inserts.empty() &&
+           feature_updates.empty();
+  }
+};
+
+/// What one SnapshotBuilder::Apply actually did — the incremental-work
+/// accounting the churn bench reports.
+struct SnapshotBuildStats {
+  std::int64_t new_nodes = 0;
+  std::int64_t new_edges = 0;        ///< kept edge inserts (after dedup)
+  std::int64_t feature_updates = 0;  ///< applied feature-row replacements
+  /// Normalized-adjacency rows rebuilt vs copied verbatim from the base
+  /// snapshot. recomputed + copied == merged node count; copied rows are
+  /// byte-identical to the base, which is the incremental win.
+  std::int64_t norm_rows_recomputed = 0;
+  std::int64_t norm_rows_copied = 0;
+  /// Nodes whose `stale_horizon`-hop in-neighborhood touches the delta —
+  /// exactly the nodes whose Algorithm-1 answer may change, i.e. the
+  /// staleness frontier a cached pre-swap answer can be wrong on.
+  std::int64_t stale_nodes = 0;
+  double build_ms = 0.0;
+};
+
+/// One immutable, epoch-versioned view of the evolving graph: everything
+/// the inference engines derive from the graph at construction time, built
+/// once and shared by shared_ptr. Engines hold a snapshot handle and swap
+/// to a newer one between batches; readers that pinned an older version
+/// keep it alive until their batch completes — serving never pauses.
+///
+/// The derived artifacts (normalized adjacency, pooled stationary vector)
+/// are part of the snapshot precisely so a swap is a pointer exchange, not
+/// a recomputation on the serving path.
+struct GraphSnapshot {
+  /// Monotonic version, +1 per applied delta batch. The serving epoch a
+  /// response is stamped with.
+  std::uint64_t version = 0;
+  Graph graph;
+  tensor::Matrix features;  ///< n x f node features
+  float gamma = 0.5f;       ///< Eq. 1 coefficient the artifacts were built with
+  /// Â = D̃^(γ-1) Ã D̃^(-γ) over `graph` (see NormalizedAdjacency).
+  Csr norm_adj;
+  /// g = v^T X of the rank-1 stationary state (see PooledStationaryVector);
+  /// 1 x f. Per-node stationary rows are degree * pooled products, so this
+  /// is the only global stationary artifact a snapshot must carry.
+  tensor::Matrix stationary_pooled;
+};
+
+/// Builds version-0 snapshot from scratch — the serving bootstrap.
+std::shared_ptr<const GraphSnapshot> MakeSnapshot(Graph graph,
+                                                  tensor::Matrix features,
+                                                  float gamma);
+
+/// Merges delta batches into successive immutable snapshots, incrementally:
+/// adjacency rows untouched by a delta are copied by span, normalized
+/// adjacency rows are rebuilt only where a degree in the row changed (the
+/// row's node or one of its neighbors gained an edge) and copied verbatim
+/// everywhere else, and the pooled stationary vector is re-reduced with the
+/// canonical summation order. The result is bit-identical to a from-scratch
+/// build on the merged graph (MergeFromScratch; tests enforce it), which is
+/// what preserves the engine's end-to-end bit-exactness contract across
+/// swaps.
+///
+/// Not thread-safe: one builder, one ingestion thread. `stale_horizon` is
+/// the hop radius used for SnapshotBuildStats::stale_nodes (pass the
+/// classifier bank depth k — the deepest supporting BFS any query runs).
+class SnapshotBuilder {
+ public:
+  /// Throws std::invalid_argument on a null base.
+  explicit SnapshotBuilder(std::shared_ptr<const GraphSnapshot> base,
+                          int stale_horizon = 0);
+
+  /// Validates and merges `delta` into a new snapshot (version + 1),
+  /// advancing the builder's base so Apply calls chain. Throws
+  /// std::invalid_argument on out-of-range endpoints or feature-width
+  /// mismatches; the base snapshot is untouched on throw.
+  std::shared_ptr<const GraphSnapshot> Apply(const GraphDelta& delta);
+
+  /// Accounting of the most recent Apply.
+  const SnapshotBuildStats& last_stats() const { return stats_; }
+
+  const std::shared_ptr<const GraphSnapshot>& base() const { return base_; }
+
+ private:
+  std::shared_ptr<const GraphSnapshot> base_;
+  int stale_horizon_;
+  SnapshotBuildStats stats_;
+};
+
+/// Reference merge: rebuilds the fully merged snapshot from scratch (edge
+/// list -> Graph::FromEdges -> NormalizedAdjacency -> pooled), with no
+/// incremental shortcuts. O(n + m) per call — this is the bit-exactness
+/// oracle the delta tests and the churn bench compare SnapshotBuilder
+/// against, not a serving path.
+std::shared_ptr<const GraphSnapshot> MergeFromScratch(
+    const GraphSnapshot& base, const std::vector<GraphDelta>& deltas);
+
+}  // namespace nai::graph
+
+#endif  // NAI_GRAPH_DELTA_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <queue>
+#include <stdexcept>
+#include <utility>
 
 namespace nai::graph {
 
@@ -22,6 +24,29 @@ Graph Graph::FromEdges(
   // CsrFromTriplets sums duplicates; clamp values back to 1 so the adjacency
   // stays unweighted even when the input listed an edge twice.
   for (float& v : g.adjacency_.values) v = 1.0f;
+  return g;
+}
+
+Graph Graph::FromCsr(Csr adjacency) {
+  if (adjacency.rows != adjacency.cols) {
+    throw std::invalid_argument("Graph::FromCsr: adjacency must be square");
+  }
+  if (static_cast<std::int64_t>(adjacency.row_ptr.size()) !=
+      adjacency.rows + 1) {
+    throw std::invalid_argument("Graph::FromCsr: malformed row_ptr");
+  }
+#ifndef NDEBUG
+  for (std::int64_t v = 0; v < adjacency.rows; ++v) {
+    for (std::int64_t p = adjacency.row_ptr[v]; p < adjacency.row_ptr[v + 1];
+         ++p) {
+      assert(adjacency.col_idx[p] != v);  // no self-loops
+      assert(p == adjacency.row_ptr[v] ||
+             adjacency.col_idx[p - 1] < adjacency.col_idx[p]);  // sorted rows
+    }
+  }
+#endif
+  Graph g;
+  g.adjacency_ = std::move(adjacency);
   return g;
 }
 

@@ -23,6 +23,14 @@ class Graph {
       std::int64_t num_nodes,
       const std::vector<std::pair<std::int32_t, std::int32_t>>& edges);
 
+  /// Adopts an already-built symmetric adjacency — the zero-copy entry the
+  /// incremental SnapshotBuilder uses after merging a delta batch row by
+  /// row. `adjacency` must be a valid square CSR with sorted, duplicate-free
+  /// rows, no self-loops, and symmetric entries (u in row v iff v in row u);
+  /// throws std::invalid_argument on shape violations (the per-row
+  /// invariants are the caller's contract, checked in debug builds only).
+  static Graph FromCsr(Csr adjacency);
+
   std::int64_t num_nodes() const { return adjacency_.rows; }
   std::int64_t num_edges() const { return adjacency_.nnz() / 2; }
 

@@ -8,17 +8,52 @@
 
 namespace nai::graph {
 
+void NormalizedDegreeScalers(const Csr& adjacency, std::vector<float>& left,
+                             std::vector<float>& right, float gamma) {
+  const std::int64_t n = adjacency.rows;
+  left.resize(n);
+  right.resize(n);
+  for (std::int64_t v = 0; v < n; ++v) {
+    const float dt = static_cast<float>(adjacency.RowNnz(v) + 1);
+    left[v] = std::pow(dt, gamma - 1.0f);
+    right[v] = std::pow(dt, -gamma);
+  }
+}
+
+void WriteNormalizedRow(const Csr& adjacency, std::int64_t v,
+                        const std::vector<float>& left,
+                        const std::vector<float>& right, std::int32_t* col_out,
+                        float* val_out) {
+  std::int64_t q = 0;
+  bool self_written = false;
+  for (std::int64_t p = adjacency.row_ptr[v]; p < adjacency.row_ptr[v + 1];
+       ++p) {
+    const std::int32_t u = adjacency.col_idx[p];
+    if (!self_written && u > v) {
+      col_out[q] = static_cast<std::int32_t>(v);
+      val_out[q] = left[v] * right[v];
+      ++q;
+      self_written = true;
+    }
+    col_out[q] = u;
+    val_out[q] = left[v] * right[u];
+    ++q;
+  }
+  if (!self_written) {
+    col_out[q] = static_cast<std::int32_t>(v);
+    val_out[q] = left[v] * right[v];
+    ++q;
+  }
+  assert(q == adjacency.RowNnz(v) + 1);
+}
+
 Csr NormalizedAdjacency(const Graph& graph, float gamma) {
   assert(gamma >= 0.0f && gamma <= 1.0f);
   const Csr& adj = graph.adjacency();
   const std::int64_t n = graph.num_nodes();
 
-  std::vector<float> left(n), right(n);  // d̃^(γ-1) and d̃^(-γ)
-  for (std::int64_t v = 0; v < n; ++v) {
-    const float dt = static_cast<float>(graph.degree(v) + 1);
-    left[v] = std::pow(dt, gamma - 1.0f);
-    right[v] = std::pow(dt, -gamma);
-  }
+  std::vector<float> left, right;  // d̃^(γ-1) and d̃^(-γ)
+  NormalizedDegreeScalers(adj, left, right, gamma);
 
   Csr out;
   out.rows = n;
@@ -31,28 +66,28 @@ Csr NormalizedAdjacency(const Graph& graph, float gamma) {
   out.col_idx.resize(out.row_ptr.back());
   out.values.resize(out.row_ptr.back());
   for (std::int64_t v = 0; v < n; ++v) {
-    std::int64_t q = out.row_ptr[v];
-    bool self_written = false;
-    for (std::int64_t p = adj.row_ptr[v]; p < adj.row_ptr[v + 1]; ++p) {
-      const std::int32_t u = adj.col_idx[p];
-      if (!self_written && u > v) {
-        out.col_idx[q] = static_cast<std::int32_t>(v);
-        out.values[q] = left[v] * right[v];
-        ++q;
-        self_written = true;
-      }
-      out.col_idx[q] = u;
-      out.values[q] = left[v] * right[u];
-      ++q;
-    }
-    if (!self_written) {
-      out.col_idx[q] = static_cast<std::int32_t>(v);
-      out.values[q] = left[v] * right[v];
-      ++q;
-    }
-    assert(q == out.row_ptr[v + 1]);
+    WriteNormalizedRow(adj, v, left, right, out.col_idx.data() + out.row_ptr[v],
+                       out.values.data() + out.row_ptr[v]);
   }
   return out;
+}
+
+tensor::Matrix PooledStationaryVector(const Graph& graph,
+                                      const tensor::Matrix& features,
+                                      float gamma) {
+  const std::int64_t n = graph.num_nodes();
+  assert(static_cast<std::int64_t>(features.rows()) == n);
+  const double denom = static_cast<double>(2 * graph.num_edges() + n);
+  tensor::Matrix pooled(1, features.cols());
+  float* g = pooled.data();
+  for (std::int64_t j = 0; j < n; ++j) {
+    const float vj = static_cast<float>(
+        std::pow(static_cast<double>(graph.degree(j) + 1), 1.0 - gamma) /
+        denom);
+    const float* row = features.row(j);
+    for (std::size_t f = 0; f < features.cols(); ++f) g[f] += vj * row[f];
+  }
+  return pooled;
 }
 
 std::vector<float> DegreesWithSelfLoops(const Graph& graph) {

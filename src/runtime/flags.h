@@ -116,6 +116,14 @@ inline double ZipfFlag(int& argc, char** argv) {
   return v;
 }
 
+/// Consumes an `--update-rate N` argument: delta batches per second the
+/// update-churn load generator feeds through ServingEngine::ApplyDeltas
+/// (eval::ServingLoadConfig::updates_per_sec). Returns 0 — no pacing /
+/// caller default — when absent or invalid. Purely a parse.
+inline long UpdateRateFlag(int& argc, char** argv) {
+  return ConsumeIntFlag(argc, argv, "--update-rate");
+}
+
 }  // namespace nai::runtime
 
 #endif  // NAI_RUNTIME_FLAGS_H_

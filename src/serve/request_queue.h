@@ -32,6 +32,12 @@ struct Response {
   /// True when completion happened after the request's deadline (always
   /// true for expired-dropped requests).
   bool deadline_missed = false;
+  /// The graph epoch (snapshot version) the answer was computed under: the
+  /// engine state the serving batch pinned, or — for a cache hit — the
+  /// epoch the replayed entry was filled at. Compare against
+  /// ServingStatsSnapshot::epoch to measure staleness under churn; 0 for
+  /// engines that never swap.
+  std::uint64_t epoch = 0;
   double queue_ms = 0.0;    ///< admission -> batch formation
   double latency_ms = 0.0;  ///< admission -> completion
 };

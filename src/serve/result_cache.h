@@ -27,6 +27,10 @@ struct ResultCacheOptions {
 struct CachedResult {
   std::int32_t prediction = -1;
   std::int32_t exit_depth = -1;
+  /// The graph epoch (snapshot version) the entry was computed under —
+  /// replayed into Response::epoch so a hit is attributable to the graph
+  /// version that produced it.
+  std::uint64_t graph_epoch = 0;
 };
 
 /// Point-in-time counters of one shard's cache.

@@ -77,6 +77,8 @@ struct ServingEngine::Counters {
   std::vector<std::int64_t> batch_size_hist;
   std::int64_t num_batches = 0;
   std::int64_t batched_requests = 0;
+  std::int64_t snapshot_swaps = 0;
+  std::int64_t stale_served = 0;
   core::InferenceStats engine_stats;
   std::atomic<std::int64_t> next_id{0};
 
@@ -114,7 +116,12 @@ ServingEngine::ServingEngine(core::ShardedNaiEngine& engine,
     // before any request can be admitted.
     engine_->ValidateConfig(policies_.policies[c].config);
   }
-  const graph::ShardedGraph& sharded = engine_->sharded_graph();
+  // Pin the construction-time state once. A snapshot swap never changes the
+  // shard *count* or moves existing owners, so the per-shard structures
+  // sized here stay correct across every later SwapSnapshot.
+  const std::shared_ptr<const core::ShardedNaiEngine::ShardState> state =
+      engine_->PinState();
+  const graph::ShardedGraph& sharded = state->sharded;
   stats_->batch_size_hist.assign(options_.batcher.max_batch, 0);
   stats_->shed_adaptive_per_shard.assign(sharded.num_shards(), 0);
   stats_->stolen_from.assign(sharded.num_shards(), 0);
@@ -175,14 +182,18 @@ Request ServingEngine::MakeRequest(std::int32_t node, QosClass qos,
 }
 
 std::size_t ServingEngine::ShardFor(std::int32_t node) const {
-  const graph::ShardedGraph& sharded = engine_->sharded_graph();
-  if (node < 0 ||
-      static_cast<std::size_t>(node) >= sharded.owner.size()) {
+  // Pin the current state: after an ApplyDeltas swap, newly inserted nodes
+  // become routable here without any front-end reconfiguration (their owner
+  // was assigned by SwapSnapshot; existing owners never move).
+  const std::shared_ptr<const core::ShardedNaiEngine::ShardState> state =
+      engine_->PinState();
+  const std::vector<std::int32_t>& owner = state->sharded.owner;
+  if (node < 0 || static_cast<std::size_t>(node) >= owner.size()) {
     throw std::out_of_range("ServingEngine: query node " +
                             std::to_string(node) + " outside [0, " +
-                            std::to_string(sharded.owner.size()) + ")");
+                            std::to_string(owner.size()) + ")");
   }
-  return static_cast<std::size_t>(sharded.owner[node]);
+  return static_cast<std::size_t>(owner[node]);
 }
 
 void ServingEngine::Complete(Request& request, Response response) {
@@ -224,6 +235,13 @@ std::optional<Response> ServingEngine::TryServeFromCache(std::size_t shard,
   response.queue_ms = 0.0;  // never queued — that is the point
   response.latency_ms = MsBetween(admitted, done);
   response.deadline_missed = response.latency_ms > BudgetMs(qos, deadline_ms);
+  // A hit replays the epoch the entry was filled at. It can lag the engine
+  // only in the swap-to-bump window of ApplyDeltas (the bump logically
+  // empties the caches); such replays are the cache's share of
+  // stale_served. Version is read before the stats lock (never nest the
+  // engine's state mutex under it).
+  response.epoch = cached->graph_epoch;
+  const std::uint64_t current_version = engine_->version();
   {
     std::lock_guard<std::mutex> lock(stats_->mu);
     ++stats_->submitted;
@@ -233,6 +251,7 @@ std::optional<Response> ServingEngine::TryServeFromCache(std::size_t shard,
       ++stats_->deadline_misses;
       ++stats_->misses[static_cast<std::size_t>(qos)];
     }
+    if (cached->graph_epoch < current_version) ++stats_->stale_served;
   }
   return response;
 }
@@ -345,11 +364,16 @@ bool ServingEngine::SubmitWithCallback(
   return false;
 }
 
-void ServingEngine::ServeBatch(std::size_t engine_shard,
-                               std::vector<Request> batch,
-                               std::int64_t applied_wait_us) {
+void ServingEngine::ServeBatch(
+    const std::shared_ptr<const core::ShardedNaiEngine::ShardState>& state,
+    std::size_t engine_shard, std::vector<Request> batch,
+    std::int64_t applied_wait_us) {
+  // Everything version-dependent — the local-id mapping, the shard engine,
+  // the epoch stamped into responses — comes from the one state the caller
+  // pinned, so a concurrent SwapSnapshot cannot split this batch across
+  // graph versions.
   const std::vector<std::int32_t>& global_to_local =
-      engine_->sharded_graph().shards[engine_shard].global_to_local;
+      state->sharded.shards[engine_shard].global_to_local;
 
   const ServeClock::time_point formed = ServeClock::now();
   std::vector<Request> serve;
@@ -390,26 +414,36 @@ void ServingEngine::ServeBatch(std::size_t engine_shard,
   // Every batch is single-owner (it was drained from one shard's queue —
   // own pump, stolen-local or stolen-fallback), so a stolen batch's fills
   // land in the *owner* shard's cache, where future lookups for these
-  // nodes route. The fill epoch is captured before the engine call: if a
-  // BumpEpoch lands while the batch computes, Insert drops the fills.
-  ResultCache* cache = caches_[ShardFor(serve.front().node)].get();
+  // nodes route (owners never move across swaps, so the pinned state's
+  // owner map is authoritative). The fill epoch is captured before the
+  // engine call: if a BumpEpoch lands while the batch computes, Insert
+  // drops the fills.
+  ResultCache* cache =
+      caches_[static_cast<std::size_t>(
+                  state->sharded.owner[serve.front().node])]
+          .get();
   const std::uint64_t fill_epoch = cache != nullptr ? cache->epoch() : 0;
   core::InferenceResult result;
   {
     std::lock_guard<std::mutex> lock(*engine_mu_[engine_shard]);
-    result = engine_->shard_engine(engine_shard).InferMixed(queries);
+    result = state->engines[engine_shard]->InferMixed(queries);
   }
   const ServeClock::time_point done = ServeClock::now();
   if (cache != nullptr) {
     for (std::size_t i = 0; i < serve.size(); ++i) {
       cache->Insert(serve[i].node, &policies_.For(serve[i].qos).config,
-                    {result.predictions[i], result.exit_depths[i]},
+                    {result.predictions[i], result.exit_depths[i],
+                     state->version},
                     fill_epoch);
     }
   }
   controller_->RecordBatch(engine_shard, serve.size(),
                            result.stats.wall_time_ms, applied_wait_us, done);
 
+  // Staleness accounting: if a swap landed while this batch was in flight,
+  // every answer in it was computed on the pre-swap graph. Version is read
+  // before the stats lock (never nest the engine's state mutex under it).
+  const std::uint64_t current_version = engine_->version();
   {
     std::lock_guard<std::mutex> lock(stats_->mu);
     ++stats_->num_batches;
@@ -418,6 +452,9 @@ void ServingEngine::ServeBatch(std::size_t engine_shard,
     stats_->engine_stats.Accumulate(result.stats);
     stats_->engine_stats.num_nodes += result.stats.num_nodes;
     stats_->engine_stats.wall_time_ms += result.stats.wall_time_ms;
+    if (state->version < current_version) {
+      stats_->stale_served += static_cast<std::int64_t>(serve.size());
+    }
   }
 
   for (std::size_t i = 0; i < serve.size(); ++i) {
@@ -427,6 +464,7 @@ void ServingEngine::ServeBatch(std::size_t engine_shard,
     response.exit_depth = result.exit_depths[i];
     response.qos = request.qos;
     response.served = true;
+    response.epoch = state->version;
     response.deadline_missed = done > request.deadline;
     response.queue_ms = MsBetween(request.admitted, formed);
     response.latency_ms = MsBetween(request.admitted, done);
@@ -461,6 +499,11 @@ bool ServingEngine::TrySteal(std::size_t thief) {
       queues_[victim]->TryPopBatch(options_.batcher.max_batch);
   if (batch.empty()) return false;
 
+  // One pinned state for the whole steal: the halo-eligibility checks and
+  // the engine calls they gate must agree on the graph version (a swap can
+  // change the halo depths the checks read).
+  const std::shared_ptr<const core::ShardedNaiEngine::ShardState> state =
+      engine_->PinState();
   // Split the stolen batch: requests whose supporting sets the thief's
   // halo covers run on the thief's engine (the parallelism win); the rest
   // keep their bits by routing through the owner engine, serialized with
@@ -470,7 +513,7 @@ bool ServingEngine::TrySteal(std::size_t thief) {
   local.reserve(batch.size());
   for (Request& request : batch) {
     const core::InferenceConfig& config = policies_.For(request.qos).config;
-    if (engine_->CanServeFromShard(thief, request.node, config)) {
+    if (engine_->CanServeFromShard(*state, thief, request.node, config)) {
       local.push_back(std::move(request));
     } else {
       fallback.push_back(std::move(request));
@@ -488,8 +531,8 @@ bool ServingEngine::TrySteal(std::size_t thief) {
   }
   // Stolen batches are drained directly (TryPopBatch), never coalesced —
   // no window applied, so the trace records -1.
-  if (!local.empty()) ServeBatch(thief, std::move(local), -1);
-  if (!fallback.empty()) ServeBatch(victim, std::move(fallback), -1);
+  if (!local.empty()) ServeBatch(state, thief, std::move(local), -1);
+  if (!fallback.empty()) ServeBatch(state, victim, std::move(fallback), -1);
   return true;
 }
 
@@ -511,9 +554,13 @@ void ServingEngine::PumpShard(std::size_t shard) {
                  : batcher.NextBatch();
     if (!batch.empty()) {
       idle_backoff = 1;
+      // Pin one engine state per batch — this is the swap point: an
+      // ApplyDeltas that lands mid-batch takes effect at the next pin, so
+      // each shard applies the snapshot atomically between batches.
       // The batcher remembers the window this batch actually opened with;
       // only this pump drives the batcher, so the read cannot race.
-      ServeBatch(shard, std::move(batch), batcher.last_window_us());
+      ServeBatch(engine_->PinState(), shard, std::move(batch),
+                 batcher.last_window_us());
       continue;
     }
     if (queues_[shard]->drained()) return;
@@ -533,11 +580,67 @@ void ServingEngine::BumpEpoch() {
   }
 }
 
+std::future<DeltaApplyReport> ServingEngine::ApplyDeltas(
+    graph::GraphDelta delta) {
+  if (engine_->PinState()->snapshot == nullptr) {
+    throw std::logic_error(
+        "ServingEngine::ApplyDeltas: the wrapped engine is not "
+        "snapshot-backed (built from borrowed graph views); construct it "
+        "from a GraphSnapshot to serve an evolving graph");
+  }
+  auto promise = std::make_shared<std::promise<DeltaApplyReport>>();
+  std::future<DeltaApplyReport> future = promise->get_future();
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  // Joining the previous ingest thread here (not inside the new one) both
+  // bounds us to one live thread and serializes applies: the builder below
+  // always starts from the snapshot the previous apply published.
+  if (ingest_.joinable()) ingest_.join();
+  ingest_ = std::thread([this, promise, delta = std::move(delta)]() mutable {
+    try {
+      const ServeClock::time_point start = ServeClock::now();
+      // Stale horizon = classifier depth: any node whose k-hop supporting
+      // set touches the delta may change its answer, which is what the
+      // builder's stale_nodes counter reports.
+      graph::SnapshotBuilder builder(engine_->PinState()->snapshot,
+                                     engine_->depth());
+      const std::shared_ptr<const graph::GraphSnapshot> next =
+          builder.Apply(delta);
+      engine_->SwapSnapshot(next);
+      // The bump lands *after* the swap. In between, cache hits may replay
+      // pre-swap results (counted in stale_served); after it, no pre-swap
+      // result — resident entry or in-flight fill — survives, so post-bump
+      // hits are bit-exact against the merged graph.
+      BumpEpoch();
+      DeltaApplyReport report;
+      report.version = next->version;
+      report.build = builder.last_stats();
+      report.apply_ms = MsBetween(start, ServeClock::now());
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_->mu);
+        ++stats_->snapshot_swaps;
+      }
+      promise->set_value(report);
+    } catch (...) {
+      // An invalid delta throws out of Apply before any state changed; the
+      // caller sees it through the future, serving continues on the old
+      // snapshot.
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
 void ServingEngine::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(shutdown_mu_);
     if (shut_down_) return;
     shut_down_ = true;
+  }
+  {
+    // Let an in-flight ApplyDeltas finish its swap before the drain: every
+    // admitted request still completes, just possibly on the new version.
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    if (ingest_.joinable()) ingest_.join();
   }
   for (const std::unique_ptr<RequestQueue>& queue : queues_) {
     if (queue != nullptr) queue->Close();
@@ -548,6 +651,9 @@ void ServingEngine::Shutdown() {
 
 ServingStatsSnapshot ServingEngine::Stats() const {
   ServingStatsSnapshot snap;
+  // Read before the stats lock — version() takes the engine's state mutex
+  // and must never nest under stats_->mu.
+  snap.epoch = engine_->version();
   std::array<std::vector<double>, kNumQosClasses> windows;
   std::array<std::vector<double>, kNumQosClasses> hit_windows;
   std::array<std::vector<double>, kNumQosClasses> miss_windows;
@@ -568,6 +674,8 @@ ServingStatsSnapshot ServingEngine::Stats() const {
             : static_cast<double>(stats_->batched_requests) /
                   static_cast<double>(stats_->num_batches);
     snap.engine_stats = stats_->engine_stats;
+    snap.snapshot_swaps = stats_->snapshot_swaps;
+    snap.stale_served = stats_->stale_served;
     snap.shed_adaptive = stats_->shed_adaptive;
     snap.stolen_batches = stats_->stolen_batches;
     snap.stolen_requests = stats_->stolen_requests;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/core/sharded_inference.h"
+#include "src/graph/delta.h"
 #include "src/serve/batcher.h"
 #include "src/serve/qos.h"
 #include "src/serve/request_queue.h"
@@ -111,10 +112,29 @@ struct ServingStatsSnapshot {
   std::vector<SchedulerShardSnapshot> scheduler;
   std::vector<SchedulerTraceEvent> adaptation_trace;
 
+  /// Graph-churn counters. `epoch` is the graph version (snapshot version)
+  /// the engine was serving when the snapshot was taken; `snapshot_swaps`
+  /// counts completed ApplyDeltas swaps; `stale_served` counts completions
+  /// answered under an older graph version than the engine had already
+  /// moved to at completion time (batches that pinned a pre-swap state,
+  /// plus cache hits replayed in the swap-to-bump window) — the staleness
+  /// measure of the update-churn bench. Compare a Response::epoch against
+  /// `epoch` for the per-request view.
+  std::uint64_t epoch = 0;
+  std::int64_t snapshot_swaps = 0;
+  std::int64_t stale_served = 0;
+
   /// The engine counters of every served batch, merged via
   /// InferenceStats::Accumulate (num_nodes = served requests; wall_time_ms
   /// is the summed per-batch engine time, not elapsed time).
   core::InferenceStats engine_stats;
+};
+
+/// What one completed ApplyDeltas resolves to (through its future).
+struct DeltaApplyReport {
+  std::uint64_t version = 0;        ///< snapshot version now serving
+  graph::SnapshotBuildStats build;  ///< incremental-merge accounting
+  double apply_ms = 0.0;            ///< build + swap + epoch bump wall time
 };
 
 /// The streaming serving front-end: admission queues, dynamic batching,
@@ -194,8 +214,21 @@ class ServingEngine {
                           std::function<void(const Response&)> callback,
                           double deadline_ms = 0.0);
 
+  /// Applies one delta batch to the live graph without pausing serving:
+  /// builds the next snapshot incrementally (SnapshotBuilder) on a
+  /// background ingest thread, swaps it into every shard engine
+  /// (ShardedNaiEngine::SwapSnapshot — batches already in flight finish on
+  /// the version they pinned), then bumps the cache epoch so no pre-swap
+  /// result is ever replayed. The returned future resolves once the swap
+  /// and bump are visible; it carries the new version and the builder's
+  /// incremental accounting (or the builder's exception on an invalid
+  /// delta, in which case the serving state is unchanged). Calls
+  /// serialize: a new call first waits out the previous apply. Throws
+  /// std::logic_error when the wrapped engine is not snapshot-backed.
+  std::future<DeltaApplyReport> ApplyDeltas(graph::GraphDelta delta);
+
   /// Closes admission, serves everything already queued, joins the pump
-  /// threads. Idempotent.
+  /// threads (and any in-flight ApplyDeltas ingest thread). Idempotent.
   void Shutdown();
 
   /// Advances every shard cache's epoch, logically emptying them in O(1).
@@ -230,11 +263,16 @@ class ServingEngine {
   void PumpShard(std::size_t shard);
   /// Serves `batch` on `engine_shard`'s engine (owner path: the shard the
   /// requests were queued at; steal path: the thief). Handles
-  /// drop_expired, stats, cache fills and completion. `applied_wait_us` is
-  /// the coalescing window the batch actually formed under (-1 for stolen
-  /// batches), forwarded into the adaptation trace.
-  void ServeBatch(std::size_t engine_shard, std::vector<Request> batch,
-                  std::int64_t applied_wait_us);
+  /// drop_expired, stats, cache fills and completion. `state` is the
+  /// pinned engine state the whole batch runs against — the caller pins it
+  /// once per batch, which is what makes a snapshot swap land atomically
+  /// between batches. `applied_wait_us` is the coalescing window the batch
+  /// actually formed under (-1 for stolen batches), forwarded into the
+  /// adaptation trace.
+  void ServeBatch(
+      const std::shared_ptr<const core::ShardedNaiEngine::ShardState>& state,
+      std::size_t engine_shard, std::vector<Request> batch,
+      std::int64_t applied_wait_us);
   /// One steal attempt by `thief`: drains a coalesced batch from the most
   /// backlogged sibling queue and serves it (thief engine where the halo
   /// covers, owner engine otherwise). True when anything was stolen.
@@ -262,6 +300,13 @@ class ServingEngine {
 
   std::mutex shutdown_mu_;
   bool shut_down_ = false;
+
+  /// The ApplyDeltas ingest thread. At most one is alive: ApplyDeltas joins
+  /// the previous one (under ingest_mu_) before spawning the next, which
+  /// both bounds resources and serializes applies without a long-held lock;
+  /// Shutdown joins whatever is left.
+  std::mutex ingest_mu_;
+  std::thread ingest_;
 
   std::unique_ptr<Counters> stats_;
 };
