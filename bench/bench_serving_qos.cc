@@ -1,13 +1,18 @@
 // Streaming serving with QoS classes: the same sharded NAI deployment
-// serving speed-first (NAI^1 config, tight deadline) and accuracy-first
-// (NAI^3 config, loose deadline) traffic concurrently through the
-// src/serve/ front-end — admission queues, dynamic batching, per-request
-// deadlines.
+// serving speed-first (NAI^1 config, tight deadline), accuracy-first
+// (NAI^3 config, loose deadline) and throughput-first (NAI^1 + INT8
+// classifier, co-batched with an explicit accuracy-delta budget) traffic
+// concurrently through the src/serve/ front-end — admission queues,
+// dynamic batching, per-request deadlines.
 //
 // Five stages:
-//   1. Exactness gate (closed loop, mixed classes): every response must be
-//      bit-identical to a direct routed Infer of the same node under that
-//      class's config — the serving stack may never change a prediction.
+//   1. Exactness gate (closed loop, all three classes mixed): every
+//      response must be bit-identical to a direct routed Infer of the same
+//      node under that class's config — the serving stack may never change
+//      a prediction (per-row INT8 quantization makes even the throughput
+//      class batch-invariant). The throughput class additionally proves
+//      its accuracy-delta budget: predictions may differ from the float
+//      twin of its config on at most accuracy_delta_budget of the nodes.
 //   2. Closed-loop capacity: the saturated throughput at the requested
 //      QoS mix, with per-class latency percentiles.
 //   3. Open-loop sweep: Poisson arrivals at increasing fractions of the
@@ -195,6 +200,30 @@ int main(int argc, char** argv) {
       sharded->Infer(test, policies.For(serve::QosClass::kSpeedFirst).config);
   const core::InferenceResult ref_accuracy = sharded->Infer(
       test, policies.For(serve::QosClass::kAccuracyFirst).config);
+  const serve::QosPolicy& throughput_policy =
+      policies.For(serve::QosClass::kThroughputFirst);
+  const core::InferenceResult ref_throughput =
+      sharded->Infer(test, throughput_policy.config);
+
+  // The throughput class's accuracy-delta budget, measured against the
+  // float twin of its own config (INT8 off, everything else identical).
+  core::InferenceConfig float_twin = throughput_policy.config;
+  float_twin.int8_classifier = false;
+  const core::InferenceResult ref_twin = sharded->Infer(test, float_twin);
+  std::size_t int8_flips = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (ref_throughput.predictions[i] != ref_twin.predictions[i]) ++int8_flips;
+  }
+  const double flip_rate = test.empty()
+                               ? 0.0
+                               : static_cast<double>(int8_flips) /
+                                     static_cast<double>(test.size());
+  const bool budget_ok = flip_rate <= throughput_policy.accuracy_delta_budget;
+  std::printf("int8 accuracy delta: %.4f (%zu of %zu flips, budget %.4f) "
+              "— %s\n",
+              flip_rate, int8_flips, test.size(),
+              throughput_policy.accuracy_delta_budget,
+              budget_ok ? "within budget" : "OVER BUDGET");
 
   serve::ServingOptions options;
   options.queue_capacity = 4096;
@@ -210,7 +239,10 @@ int main(int argc, char** argv) {
     eval::ServingLoadConfig load;
     load.arrival_rate_qps = 0.0;  // closed loop
     load.closed_loop_clients = std::max(4, 2 * threads);
-    load.speed_first_fraction = qos_mix / 100.0;
+    // A fixed 20% throughput-first share; the --qos mix splits the rest
+    // between speed- and accuracy-first as before.
+    load.throughput_fraction = 0.2;
+    load.speed_first_fraction = 0.8 * qos_mix / 100.0;
     const eval::ServingRunReport report =
         eval::RunServing(server, test, load);
     closed_qps = report.achieved_qps;
@@ -221,13 +253,16 @@ int main(int argc, char** argv) {
       const std::int32_t want =
           report.classes[i] == serve::QosClass::kSpeedFirst
               ? ref_speed.predictions[i]
+          : report.classes[i] == serve::QosClass::kThroughputFirst
+              ? ref_throughput.predictions[i]
               : ref_accuracy.predictions[i];
       if (report.predictions[i] != want) ++mismatches;
     }
     exact = mismatches == 0;
 
-    std::printf("\nclosed loop (%d clients, %d%% speed-first): %.0f q/s, "
-                "mean batch %.1f, %s\n",
+    std::printf("\nclosed loop (%d clients, %d%% speed-first of the float "
+                "share, 20%% throughput-first): %.0f q/s, mean batch %.1f, "
+                "%s\n",
                 load.closed_loop_clients, qos_mix, closed_qps,
                 report.stats.mean_batch_size,
                 exact ? "bit-exact vs direct Infer"
@@ -238,6 +273,12 @@ int main(int argc, char** argv) {
             serve::QosClass::kSpeedFirst)],
         report.stats.per_class_misses[static_cast<std::size_t>(
             serve::QosClass::kSpeedFirst)]);
+    PrintClassLine(
+        "throughput-first",
+        report.stats.per_class[static_cast<std::size_t>(
+            serve::QosClass::kThroughputFirst)],
+        report.stats.per_class_misses[static_cast<std::size_t>(
+            serve::QosClass::kThroughputFirst)]);
     PrintClassLine(
         "accuracy-first",
         report.stats.per_class[static_cast<std::size_t>(
@@ -388,6 +429,8 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(serve::QosClass::kSpeedFirst);
     const auto acc_idx =
         static_cast<std::size_t>(serve::QosClass::kAccuracyFirst);
+    const auto tp_idx =
+        static_cast<std::size_t>(serve::QosClass::kThroughputFirst);
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"bench_serving_qos\",\n");
     std::fprintf(f, "  \"scale\": %.4f,\n", scale);
@@ -408,10 +451,20 @@ int main(int argc, char** argv) {
                  closed_stats.per_class[speed_idx].p50_ms,
                  closed_stats.per_class[speed_idx].p95_ms);
     std::fprintf(f,
+                 "    \"throughput_first\": {\"p50_ms\": %.4f, \"p95_ms\": "
+                 "%.4f},\n",
+                 closed_stats.per_class[tp_idx].p50_ms,
+                 closed_stats.per_class[tp_idx].p95_ms);
+    std::fprintf(f,
                  "    \"accuracy_first\": {\"p50_ms\": %.4f, \"p95_ms\": "
                  "%.4f}},\n",
                  closed_stats.per_class[acc_idx].p50_ms,
                  closed_stats.per_class[acc_idx].p95_ms);
+    std::fprintf(f,
+                 "  \"int8\": {\"accuracy_delta\": %.6f, \"budget\": %.4f, "
+                 "\"within_budget\": %s},\n",
+                 flip_rate, throughput_policy.accuracy_delta_budget,
+                 budget_ok ? "true" : "false");
     std::fprintf(f,
                  "  \"skewed\": {\"offered_peak_qps\": %.2f,\n"
                  "    \"scheduler_off\": {\"achieved_qps\": %.2f, "
@@ -448,6 +501,12 @@ int main(int argc, char** argv) {
     std::printf("\nFAIL: serving responses diverged from direct Infer\n");
     return 1;
   }
-  std::printf("\nall serving responses bit-identical to direct Infer\n");
+  if (!budget_ok) {
+    std::printf("\nFAIL: int8 accuracy delta exceeded the throughput "
+                "class's budget\n");
+    return 1;
+  }
+  std::printf("\nall serving responses bit-identical to direct Infer; "
+              "int8 delta within budget\n");
   return 0;
 }

@@ -59,10 +59,15 @@ stage_asan() {
   cmake --build "${BUILD_DIR}" -j "${JOBS}"
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
   # Serial-path pass: the same parallel-sensitive suites with a 1-thread
-  # pool (the sharded engine then runs one worker per shard pool).
-  NAI_THREADS=1 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-    -j "${JOBS}" \
-    -R 'runtime/|tensor/ops|graph/csr|graph/shard|graph/delta|core/inference|core/sharded|serve/|integration/algorithm1'
+  # pool (the sharded engine then runs one worker per shard pool), once per
+  # SIMD dispatch level — NAI_SIMD=scalar pins the reference kernels, the
+  # unset run takes the host's best vector path — so sanitizers sweep both
+  # sides of every kernel dispatch.
+  for simd in scalar ""; do
+    NAI_SIMD="${simd}" NAI_THREADS=1 ctest --test-dir "${BUILD_DIR}" \
+      --output-on-failure -j "${JOBS}" \
+      -R 'runtime/|tensor/ops|tensor/kernel_parity|tensor/simd_dispatch|graph/csr|graph/shard|graph/delta|core/inference|core/sharded|serve/|integration/algorithm1'
+  done
 }
 
 stage_tsan() {
@@ -76,14 +81,16 @@ stage_tsan() {
     -DNAI_BUILD_BENCH=OFF \
     -DNAI_BUILD_EXAMPLES=OFF
   cmake --build "${tsan_dir}" -j "${JOBS}" --target \
-    runtime_thread_pool_test tensor_ops_test graph_csr_test \
+    runtime_thread_pool_test tensor_ops_test tensor_kernel_parity_test \
+    tensor_simd_dispatch_test graph_csr_test \
     core_inference_test core_inference_edge_test \
-    core_inference_parallel_test core_sharded_inference_test \
+    core_inference_parallel_test core_inference_simd_test \
+    core_sharded_inference_test \
     graph_shard_test graph_delta_test serve_request_queue_test \
     serve_batcher_test serve_scheduler_test serve_serving_engine_test \
     serve_result_cache_test serve_snapshot_swap_test
   ctest --test-dir "${tsan_dir}" --output-on-failure -j "${JOBS}" \
-    -R 'runtime/thread_pool|tensor/ops|graph/csr|graph/shard|graph/delta|core/inference|core/sharded|serve/'
+    -R 'runtime/thread_pool|tensor/ops|tensor/kernel_parity|tensor/simd_dispatch|graph/csr|graph/shard|graph/delta|core/inference|core/sharded|serve/'
 }
 
 stage_format() {
@@ -96,17 +103,20 @@ stage_docs() {
 
 stage_bench() {
   # Fixed load/mix smoke: exactness-gated (nonzero exit on any prediction
-  # divergence, including down the steal path) and the source of the
-  # BENCH_serving.json perf trajectory at the repo root. bench_update_churn
-  # runs second: it splices its "update_churn" section into the artifact
-  # bench_serving_qos just wrote fresh.
+  # divergence, including down the steal path, plus the throughput class's
+  # int8 accuracy-delta budget) and the source of the BENCH_serving.json
+  # perf trajectory at the repo root. bench_update_churn and bench_kernels
+  # run after bench_serving_qos: each splices its section ("update_churn",
+  # "kernels") into the artifact it just wrote fresh. bench_kernels also
+  # enforces the scalar-vs-SIMD MatMul speedup gate on vector hosts.
   cmake -B "${BUILD_DIR}-release" -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build "${BUILD_DIR}-release" -j "${JOBS}" \
-    --target bench_serving_qos bench_update_churn
+    --target bench_serving_qos bench_update_churn bench_kernels
   NAI_SCALE="${NAI_BENCH_SCALE:-0.1}" "${BUILD_DIR}-release/bench_serving_qos" \
     --shards 2 --threads 2 --qos 50 --json BENCH_serving.json
   NAI_SCALE="${NAI_BENCH_SCALE:-0.1}" "${BUILD_DIR}-release/bench_update_churn" \
     --shards 2 --threads 2 --json BENCH_serving.json
+  "${BUILD_DIR}-release/bench_kernels" --threads 2 --json BENCH_serving.json
   echo "bench smoke wrote $(pwd)/BENCH_serving.json"
 }
 

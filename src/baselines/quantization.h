@@ -7,52 +7,19 @@
 #include "src/core/classifier_stack.h"
 #include "src/eval/metrics.h"
 #include "src/graph/graph.h"
-#include "src/nn/linear.h"
-#include "src/nn/mlp.h"
+#include "src/nn/quantized.h"
 #include "src/tensor/matrix.h"
 
 namespace nai::baselines {
 
-/// Post-training symmetric per-tensor INT8 quantization of one Linear
-/// layer. Activations are quantized dynamically per batch (absmax), the
-/// INT8 x INT8 products accumulate in INT32, and the output is dequantized
-/// back to float. This mirrors the FP32->INT8 baseline of the paper's
-/// Quantization comparison: only the classifier arithmetic changes, the
-/// propagation stays in float — which is why its acceleration is limited.
-class QuantizedLinear {
- public:
-  explicit QuantizedLinear(const nn::Linear& source);
-
-  tensor::Matrix Forward(const tensor::Matrix& x) const;
-
-  std::int64_t ForwardMacs(std::int64_t rows) const {
-    return rows * static_cast<std::int64_t>(in_dim_) *
-           static_cast<std::int64_t>(out_dim_);
-  }
-
-  std::size_t in_dim() const { return in_dim_; }
-  std::size_t out_dim() const { return out_dim_; }
-  float weight_scale() const { return weight_scale_; }
-
- private:
-  std::size_t in_dim_ = 0;
-  std::size_t out_dim_ = 0;
-  std::vector<std::int8_t> weight_;  // row-major in x out
-  float weight_scale_ = 1.0f;
-  tensor::Matrix bias_;  // kept float
-};
-
-/// INT8 copy of a float MLP (ReLU between layers, no dropout at inference).
-class QuantizedMlp {
- public:
-  explicit QuantizedMlp(const nn::Mlp& source);
-
-  tensor::Matrix Forward(const tensor::Matrix& x) const;
-  std::int64_t ForwardMacs(std::int64_t rows) const;
-
- private:
-  std::vector<QuantizedLinear> layers_;
-};
+/// The INT8 arithmetic itself lives in nn::Quantized* since its promotion
+/// to the serving stack's kThroughputFirst QoS tier; the baseline keeps
+/// these aliases (and the offline end-to-end driver below) so the paper's
+/// FP32->INT8 comparison — only the classifier arithmetic changes, the
+/// propagation stays in float, which is why its acceleration is limited —
+/// reads unchanged.
+using QuantizedLinear = nn::QuantizedLinear;
+using QuantizedMlp = nn::QuantizedMlp;
 
 struct QuantizedInferResult {
   std::vector<std::int32_t> predictions;

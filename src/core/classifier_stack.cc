@@ -49,4 +49,20 @@ std::vector<nn::Parameter*> ClassifierStack::HeadParameters(int l) {
   return params;
 }
 
+QuantizedClassifierStack::QuantizedClassifierStack(ClassifierStack& source)
+    : source_(&source) {
+  mlps_.reserve(source.depth());
+  for (int l = 1; l <= source.depth(); ++l) {
+    mlps_.emplace_back(source.head(l).classifier_mlp());
+  }
+}
+
+tensor::Matrix QuantizedClassifierStack::Logits(int l,
+                                                const GatheredStack& gathered) {
+  assert(l >= 1 && l <= depth());
+  const tensor::Matrix reduced =
+      source_->head(l).Reduce(gathered.ViewsUpTo(l));
+  return mlps_[l - 1].Forward(reduced);
+}
+
 }  // namespace nai::core

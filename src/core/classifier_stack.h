@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/models/scalable_gnn.h"
+#include "src/nn/quantized.h"
 #include "src/tensor/matrix.h"
 #include "src/tensor/random.h"
 
@@ -54,6 +55,39 @@ class ClassifierStack {
  private:
   models::ModelConfig config_;
   std::vector<std::unique_ptr<models::DepthHead>> heads_;
+};
+
+/// The INT8 companion of a ClassifierStack: one nn::QuantizedMlp per depth
+/// head, built post-training from the float weights. Logits() shares the
+/// float heads' family-specific stack reduction (DepthHead::Reduce) and
+/// substitutes the INT8 MLP for the final arithmetic — exactly the paper's
+/// Quantization baseline, promoted to an engine-attachable stack so the
+/// serving tier kThroughputFirst can run it per-config on the hot path
+/// (InferenceConfig::int8_classifier). Borrows `source`, which must
+/// outlive this object; quantization happens once, in the constructor.
+///
+/// Thread-safety matches ClassifierStack::Logits in inference mode:
+/// concurrent Logits calls are safe (shard engines share one stack).
+class QuantizedClassifierStack {
+ public:
+  explicit QuantizedClassifierStack(ClassifierStack& source);
+
+  int depth() const { return source_->depth(); }
+
+  /// INT8 logits of f^(l) on a gathered stack: float Reduce, INT8 MLP.
+  tensor::Matrix Logits(int l, const GatheredStack& gathered);
+
+  /// Same MAC count as the float head (the arithmetic is narrower, not
+  /// smaller) — keeps cost accounting comparable across QoS classes.
+  std::int64_t ForwardMacs(int l, std::int64_t rows) const {
+    return source_->head(l).ForwardMacs(rows);
+  }
+
+  const nn::QuantizedMlp& mlp(int l) const { return mlps_[l - 1]; }
+
+ private:
+  ClassifierStack* source_;
+  std::vector<nn::QuantizedMlp> mlps_;  // mlps_[l-1] serves depth l
 };
 
 }  // namespace nai::core

@@ -184,6 +184,11 @@ InferenceResult NaiEngine::Infer(const std::vector<std::int32_t>& nodes,
   const int k = classifiers_->depth();
   const int t_max = config.effective_t_max(k);
   assert(t_max >= 1);
+  if (config.int8_classifier && quantized_ == nullptr) {
+    throw std::invalid_argument(
+        "NaiEngine::Infer: config requests the int8 classifier but no "
+        "QuantizedClassifierStack is attached");
+  }
   if (config.nap == NapKind::kDistance) {
     assert(stationary_ != nullptr && "NAPd requires a stationary state");
   }
@@ -364,7 +369,9 @@ void NaiEngine::InferBatch(const std::vector<std::int32_t>& batch,
     for (int t = 0; t <= depth; ++t) {
       gathered.mats.push_back(batch_stack[t].GatherRows(locals));
     }
-    const tensor::Matrix logits = classifiers_->Logits(depth, gathered);
+    const tensor::Matrix logits = config.int8_classifier
+                                      ? quantized_->Logits(depth, gathered)
+                                      : classifiers_->Logits(depth, gathered);
     const std::vector<std::int32_t> pred = tensor::ArgmaxRows(logits);
     for (std::size_t i = 0; i < locals.size(); ++i) {
       out_predictions[locals[i]] = pred[i];

@@ -44,6 +44,13 @@ struct InferenceConfig {
   /// n. Results are bit-identical to the sequential run for every value
   /// (see NaiEngine::Infer).
   int inter_batch_parallelism = 1;
+  /// Classify exited nodes with the engine's attached INT8 classifier bank
+  /// (QuantizedClassifierStack) instead of the float heads — the arithmetic
+  /// of the serving tier kThroughputFirst. Propagation and NAP decisions
+  /// stay in float, so exit depths are unchanged; only the classifier MLP
+  /// runs INT8. Engines reject configs with this set when no quantized
+  /// stack is attached (std::invalid_argument).
+  bool int8_classifier = false;
 
   /// The depth the engine actually propagates to for a classifier bank of
   /// depth `k` (t_max = 0 means "use k"; larger values clamp to k). The one
@@ -173,8 +180,21 @@ class NaiEngine {
     return snapshot_;
   }
 
+  /// Attaches (or detaches, with nullptr) the INT8 classifier bank that
+  /// configs with `int8_classifier` resolve to. Borrowed; must outlive the
+  /// engine or the next attach. Not thread-safe — attach before serving,
+  /// like the rest of engine setup.
+  void AttachQuantizedClassifiers(QuantizedClassifierStack* quantized) {
+    quantized_ = quantized;
+  }
+  const QuantizedClassifierStack* quantized_classifiers() const {
+    return quantized_;
+  }
+
   /// Classifies `nodes` (global ids in the full graph). Thread-compatible
-  /// but not thread-safe (shared sampler scratch).
+  /// but not thread-safe (shared sampler scratch). Throws
+  /// std::invalid_argument when `config.int8_classifier` is set with no
+  /// quantized stack attached.
   InferenceResult Infer(const std::vector<std::int32_t>& nodes,
                         const InferenceConfig& config);
 
@@ -209,6 +229,7 @@ class NaiEngine {
   std::unique_ptr<StationaryState> owned_stationary_;
   const tensor::Matrix* features_;
   ClassifierStack* classifiers_;
+  QuantizedClassifierStack* quantized_ = nullptr;
   const StationaryState* stationary_;
   const GateStack* gates_;
   runtime::ExecContext ctx_;

@@ -103,6 +103,10 @@ ShardedNaiEngine::BuildState(
                                 state->sharded.shards[s].global_to_local),
         state->shard_features[s], *classifiers_,
         state->shard_stationary[s].get(), gates_, ctx));
+    // Carry the INT8 classifier bank across swaps: the quantized stack is
+    // full-graph-scoped (it holds no propagated state), so successive
+    // states' engines all share the one attachment.
+    state->engines.back()->AttachQuantizedClassifiers(quantized_);
   }
   return state;
 }
@@ -281,6 +285,24 @@ void ShardedNaiEngine::ValidateConfig(const InferenceConfig& config) const {
         "ShardedNaiEngine: T_max " + std::to_string(t_max) +
         " exceeds the shard halo of " + std::to_string(halo_hops_) +
         " hops; rebuild the shards with halo_hops >= T_max");
+  }
+  if (config.int8_classifier && quantized_ == nullptr) {
+    throw std::invalid_argument(
+        "ShardedNaiEngine: config requests the int8 classifier but no "
+        "QuantizedClassifierStack is attached "
+        "(AttachQuantizedClassifiers)");
+  }
+}
+
+void ShardedNaiEngine::AttachQuantizedClassifiers(
+    QuantizedClassifierStack* quantized) {
+  // Under swap_mu_ so a concurrent SwapSnapshot's BuildState sees either
+  // the old or the new attachment consistently with the state it publishes.
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  quantized_ = quantized;
+  const std::shared_ptr<const ShardState> state = PinState();
+  for (const std::unique_ptr<NaiEngine>& engine : state->engines) {
+    if (engine != nullptr) engine->AttachQuantizedClassifiers(quantized);
   }
 }
 

@@ -143,6 +143,18 @@ class ShardedNaiEngine {
   /// config.
   InferenceResult InferMixed(const std::vector<ConfiguredQuery>& queries);
 
+  /// Attaches (nullptr: detaches) the INT8 classifier bank configs with
+  /// `int8_classifier` resolve to, on every current shard engine and —
+  /// because the attachment is carried through BuildState — every engine a
+  /// later SwapSnapshot builds. The stack is full-graph-scoped and
+  /// borrowed; it must outlive the engine. Call during setup, before
+  /// serving traffic arrives (the per-engine attach is not synchronized
+  /// against in-flight Infer calls on the same shard).
+  void AttachQuantizedClassifiers(QuantizedClassifierStack* quantized);
+  const QuantizedClassifierStack* quantized_classifiers() const {
+    return quantized_;
+  }
+
   /// Checks that this engine's shards can serve `config`: its effective
   /// T_max must not exceed halo_hops (the shard BFS would leave the shard).
   /// Throws std::invalid_argument otherwise. Infer/InferMixed call this on
@@ -205,6 +217,7 @@ class ShardedNaiEngine {
       const graph::Csr& global_norm, const tensor::Matrix* pooled);
 
   ClassifierStack* classifiers_;
+  QuantizedClassifierStack* quantized_ = nullptr;
   const GateStack* gates_;
   float gamma_;
   bool use_stationary_;

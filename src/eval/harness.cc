@@ -88,13 +88,23 @@ TrainedPipeline TrainPipeline(const PreparedDataset& ds,
   return out;
 }
 
+core::QuantizedClassifierStack& TrainedPipeline::QuantizedClassifiers() {
+  if (quantized == nullptr) {
+    quantized =
+        std::make_unique<core::QuantizedClassifierStack>(*classifiers);
+  }
+  return *quantized;
+}
+
 std::unique_ptr<core::NaiEngine> MakeEngine(TrainedPipeline& pipeline,
                                             const PreparedDataset& ds,
                                             const runtime::ExecContext& ctx) {
-  return std::make_unique<core::NaiEngine>(
+  auto engine = std::make_unique<core::NaiEngine>(
       ds.data.graph, ds.data.features, pipeline.model_config.gamma,
       *pipeline.classifiers, pipeline.full_stationary.get(),
       pipeline.gates.get(), ctx);
+  engine->AttachQuantizedClassifiers(&pipeline.QuantizedClassifiers());
+  return engine;
 }
 
 std::unique_ptr<core::ShardedNaiEngine> MakeShardedEngine(
@@ -102,10 +112,12 @@ std::unique_ptr<core::ShardedNaiEngine> MakeShardedEngine(
     int halo_hops, int total_threads) {
   const int halo =
       halo_hops > 0 ? halo_hops : pipeline.model_config.depth;
-  return std::make_unique<core::ShardedNaiEngine>(
+  auto engine = std::make_unique<core::ShardedNaiEngine>(
       ds.data.graph, graph::MakeShards(ds.data.graph, num_shards, halo),
       ds.data.features, pipeline.model_config.gamma, *pipeline.classifiers,
       pipeline.full_stationary.get(), pipeline.gates.get(), total_threads);
+  engine->AttachQuantizedClassifiers(&pipeline.QuantizedClassifiers());
+  return engine;
 }
 
 std::unique_ptr<core::ShardedNaiEngine> MakeSnapshotShardedEngine(
@@ -117,9 +129,11 @@ std::unique_ptr<core::ShardedNaiEngine> MakeSnapshotShardedEngine(
       ds.data.graph, ds.data.features, pipeline.model_config.gamma);
   graph::ShardedGraph sharded =
       graph::MakeShards(snapshot->graph, num_shards, halo);
-  return std::make_unique<core::ShardedNaiEngine>(
+  auto engine = std::make_unique<core::ShardedNaiEngine>(
       std::move(snapshot), std::move(sharded), *pipeline.classifiers,
       pipeline.gates.get(), /*use_stationary=*/true, total_threads);
+  engine->AttachQuantizedClassifiers(&pipeline.QuantizedClassifiers());
+  return engine;
 }
 
 std::vector<graph::GraphDelta> MakeChurnDeltas(
@@ -230,9 +244,11 @@ serve::QosPolicyTable MakeQosPolicyTable(TrainedPipeline& pipeline,
                                          const PreparedDataset& ds,
                                          core::NapKind nap,
                                          double speed_deadline_ms,
-                                         double accuracy_deadline_ms) {
+                                         double accuracy_deadline_ms,
+                                         double throughput_deadline_ms) {
   // Reuse the validation-calibrated trade-off settings: NAI^1 is the
-  // speed-first operating point, NAI^3 the accuracy-first one.
+  // speed-first operating point, NAI^3 the accuracy-first one;
+  // throughput-first is NAI^1 with the INT8 classifier bank.
   const std::vector<NaiSetting> settings =
       MakeDefaultSettings(pipeline, ds, nap);
   serve::QosPolicyTable table;
@@ -242,6 +258,11 @@ serve::QosPolicyTable MakeQosPolicyTable(TrainedPipeline& pipeline,
   serve::QosPolicy& accuracy = table.For(serve::QosClass::kAccuracyFirst);
   accuracy.config = settings.back().config;
   accuracy.default_deadline_ms = accuracy_deadline_ms;
+  serve::QosPolicy& throughput = table.For(serve::QosClass::kThroughputFirst);
+  throughput.config = speed.config;
+  throughput.config.int8_classifier = true;
+  throughput.default_deadline_ms = throughput_deadline_ms;
+  throughput.accuracy_delta_budget = 0.05;
   return table;
 }
 
@@ -283,9 +304,15 @@ ServingRunReport RunServing(serve::ServingEngine& server,
   report.predictions.assign(m, -1);
   report.classes.resize(m);
   for (std::size_t t = 0; t < m; ++t) {
-    report.classes[t] = rng.NextDouble() < load.speed_first_fraction
-                            ? serve::QosClass::kSpeedFirst
-                            : serve::QosClass::kAccuracyFirst;
+    // One uniform draw splits the three classes; with throughput_fraction
+    // at its 0 default the second branch never fires and the class stream
+    // is bit-identical to the historical speed/accuracy-only draw.
+    const double u = rng.NextDouble();
+    report.classes[t] =
+        u < load.speed_first_fraction ? serve::QosClass::kSpeedFirst
+        : u < load.speed_first_fraction + load.throughput_fraction
+            ? serve::QosClass::kThroughputFirst
+            : serve::QosClass::kAccuracyFirst;
   }
   if (m == 0) {
     // No load to interleave with — still honor the update stream so the

@@ -43,9 +43,18 @@ struct TrainedPipeline {
   std::unique_ptr<core::GateStack> gates;
   std::vector<tensor::Matrix> train_stack;  ///< X^(0..k) on the train graph
   core::GatheredStack train_feats;          ///< same, as a GatheredStack
+  /// INT8 twin of the classifier bank, quantized on first use (see
+  /// QuantizedClassifiers) — what engines built by the Make*Engine
+  /// factories serve kThroughputFirst / int8_classifier traffic with.
+  std::unique_ptr<core::QuantizedClassifierStack> quantized;
 
   /// Teacher logits f^(k)(X^(k)) on the training rows (baseline distilling).
   tensor::Matrix TeacherLogits();
+
+  /// The pipeline-owned INT8 classifier bank, quantizing the float bank on
+  /// the first call. Not thread-safe (call during setup); the returned
+  /// reference lives as long as the pipeline.
+  core::QuantizedClassifierStack& QuantizedClassifiers();
 };
 
 /// Trains the full NAI pipeline (propagation, Inception Distillation, gate
@@ -111,12 +120,17 @@ std::vector<NaiSetting> MakeDefaultSettings(TrainedPipeline& pipeline,
 /// Builds the streaming front-end's QoS table the way a user would: from
 /// the pipeline's validation-calibrated settings (MakeDefaultSettings).
 /// The speed-first class gets the NAI^1 config under `speed_deadline_ms`;
-/// accuracy-first gets the NAI^3 config under `accuracy_deadline_ms`.
+/// accuracy-first gets the NAI^3 config under `accuracy_deadline_ms`;
+/// throughput-first gets the NAI^1 config with the INT8 classifier under
+/// `throughput_deadline_ms` and a 5% accuracy-delta budget. Engines the
+/// table is deployed on must carry the pipeline's quantized bank — the
+/// Make*Engine factories attach it.
 serve::QosPolicyTable MakeQosPolicyTable(TrainedPipeline& pipeline,
                                          const PreparedDataset& ds,
                                          core::NapKind nap,
                                          double speed_deadline_ms = 20.0,
-                                         double accuracy_deadline_ms = 200.0);
+                                         double accuracy_deadline_ms = 200.0,
+                                         double throughput_deadline_ms = 500.0);
 
 /// How RunServing offers `nodes` to a ServingEngine.
 struct ServingLoadConfig {
@@ -127,10 +141,19 @@ struct ServingLoadConfig {
   /// (blocking admission, no shedding).
   double arrival_rate_qps = 0.0;
   int closed_loop_clients = 4;
-  /// Probability a request is submitted speed-first (the rest go
-  /// accuracy-first). Classes are drawn per node up front from `seed`, so
-  /// the same seed targets the same mix in either loop mode.
+  /// Probability a request is submitted speed-first; of the remainder,
+  /// `throughput_fraction` goes throughput-first and the rest go
+  /// accuracy-first (one uniform draw per request:
+  /// u < speed -> speed, u < speed + throughput -> throughput, else
+  /// accuracy — so throughput_fraction = 0 reproduces the historical
+  /// two-class stream bit-for-bit). Classes are drawn per node up front
+  /// from `seed`, so the same seed targets the same mix in either loop
+  /// mode.
   double speed_first_fraction = 1.0;
+  /// Probability mass of the throughput-first (INT8) class; requires the
+  /// served table to carry a kThroughputFirst policy the engine can
+  /// validate (an attached quantized bank) when > 0.
+  double throughput_fraction = 0.0;
   std::uint64_t seed = 42;
 
   /// Shard-skewed arrivals: submission order is stable-sorted by owning

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/tensor/simd.h"
+
 namespace nai::graph {
 
 bool Csr::Validate() const {
@@ -68,13 +70,12 @@ std::size_t SpMMGrain(const Csr& csr, std::size_t f) {
 void SpMMRowRange(const Csr& csr, const tensor::Matrix& dense,
                   std::int64_t r0, std::int64_t r1, tensor::Matrix& out) {
   const std::size_t f = dense.cols();
+  const tensor::simd::KernelSet& ks = tensor::simd::ActiveKernels();
   for (std::int64_t r = r0; r < r1; ++r) {
     float* orow = out.row(r);
     std::fill(orow, orow + f, 0.0f);
     for (std::int64_t p = csr.row_ptr[r]; p < csr.row_ptr[r + 1]; ++p) {
-      const float v = csr.values[p];
-      const float* drow = dense.row(csr.col_idx[p]);
-      for (std::size_t j = 0; j < f; ++j) orow[j] += v * drow[j];
+      ks.axpy(csr.values[p], dense.row(csr.col_idx[p]), orow, f);
     }
   }
 }
@@ -112,6 +113,7 @@ void SpMMRows(const Csr& csr, const tensor::Matrix& dense,
               tensor::Matrix& out, const runtime::ExecContext& ctx) {
   assert(static_cast<std::int64_t>(dense.rows()) == csr.cols);
   const std::size_t f = dense.cols();
+  const tensor::simd::KernelSet& ks = tensor::simd::ActiveKernels();
   ctx.ParallelFor(0, rows_to_compute.size(), SpMMGrain(csr, f),
                   [&](std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i) {
@@ -119,9 +121,7 @@ void SpMMRows(const Csr& csr, const tensor::Matrix& dense,
       float* orow = out.row(r);
       std::fill(orow, orow + f, 0.0f);
       for (std::int64_t p = csr.row_ptr[r]; p < csr.row_ptr[r + 1]; ++p) {
-        const float v = csr.values[p];
-        const float* drow = dense.row(csr.col_idx[p]);
-        for (std::size_t j = 0; j < f; ++j) orow[j] += v * drow[j];
+        ks.axpy(csr.values[p], dense.row(csr.col_idx[p]), orow, f);
       }
     }
   });
@@ -132,7 +132,7 @@ namespace {
 void SpMMMappedRow(const Csr& global, const std::vector<std::int32_t>& nodes,
                    const std::vector<std::int32_t>& global_to_local,
                    const tensor::Matrix& dense_local, std::int64_t r,
-                   tensor::Matrix& out) {
+                   const tensor::simd::KernelSet& ks, tensor::Matrix& out) {
   const std::size_t f = dense_local.cols();
   float* orow = out.row(r);
   std::fill(orow, orow + f, 0.0f);
@@ -140,9 +140,7 @@ void SpMMMappedRow(const Csr& global, const std::vector<std::int32_t>& nodes,
   for (std::int64_t p = global.row_ptr[g]; p < global.row_ptr[g + 1]; ++p) {
     const std::int32_t local = global_to_local[global.col_idx[p]];
     assert(local >= 0 && "neighbor outside the supporting set");
-    const float v = global.values[p];
-    const float* drow = dense_local.row(local);
-    for (std::size_t j = 0; j < f; ++j) orow[j] += v * drow[j];
+    ks.axpy(global.values[p], dense_local.row(local), orow, f);
   }
 }
 
@@ -155,11 +153,12 @@ void SpMMMappedPrefix(const Csr& global,
                       tensor::Matrix& out, const runtime::ExecContext& ctx) {
   assert(limit <= static_cast<std::int64_t>(nodes.size()));
   assert(out.rows() == dense_local.rows());
+  const tensor::simd::KernelSet& ks = tensor::simd::ActiveKernels();
   ctx.ParallelFor(0, limit, SpMMGrain(global, dense_local.cols()),
                   [&](std::size_t r0, std::size_t r1) {
     for (std::size_t r = r0; r < r1; ++r) {
       SpMMMappedRow(global, nodes, global_to_local, dense_local,
-                    static_cast<std::int64_t>(r), out);
+                    static_cast<std::int64_t>(r), ks, out);
     }
   });
 }
@@ -170,12 +169,13 @@ void SpMMMappedRows(const Csr& global,
                     const tensor::Matrix& dense_local,
                     const std::vector<std::int32_t>& rows_to_compute,
                     tensor::Matrix& out, const runtime::ExecContext& ctx) {
+  const tensor::simd::KernelSet& ks = tensor::simd::ActiveKernels();
   ctx.ParallelFor(
       0, rows_to_compute.size(), SpMMGrain(global, dense_local.cols()),
       [&](std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) {
           SpMMMappedRow(global, nodes, global_to_local, dense_local,
-                        rows_to_compute[i], out);
+                        rows_to_compute[i], ks, out);
         }
       });
 }

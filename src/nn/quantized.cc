@@ -1,0 +1,101 @@
+#include "src/nn/quantized.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/runtime/thread_pool.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/simd.h"
+
+namespace nai::nn {
+
+namespace {
+
+float AbsMax(const float* data, std::size_t n) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(data[i]));
+  return m;
+}
+
+std::int8_t QuantizeValue(float v, float inv_scale) {
+  const int q = static_cast<int>(std::lround(v * inv_scale));
+  return static_cast<std::int8_t>(std::clamp(q, -127, 127));
+}
+
+}  // namespace
+
+QuantizedLinear::QuantizedLinear(const nn::Linear& source)
+    : in_dim_(source.in_dim()),
+      out_dim_(source.out_dim()),
+      bias_(source.bias().value) {
+  const tensor::Matrix& w = source.weight().value;
+  const float absmax = AbsMax(w.data(), w.size());
+  weight_scale_ = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+  const float inv = 1.0f / weight_scale_;
+  weight_.resize(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    weight_[i] = QuantizeValue(w.data()[i], inv);
+  }
+}
+
+tensor::Matrix QuantizedLinear::Forward(const tensor::Matrix& x) const {
+  assert(x.cols() == in_dim_);
+  const std::size_t rows = x.rows();
+
+  tensor::Matrix out(rows, out_dim_);
+  const tensor::simd::KernelSet& ks = tensor::simd::ActiveKernels();
+  // Grain: one output row is an in_dim x out_dim int8 dot-product sweep.
+  runtime::ParallelFor(0, rows, in_dim_ * out_dim_,
+                       [&](std::size_t r0, std::size_t r1) {
+    std::vector<std::int8_t> xq(in_dim_);
+    std::vector<std::int32_t> acc(out_dim_);
+    for (std::size_t i = r0; i < r1; ++i) {
+      // Dynamic per-row activation quantization (absmax, symmetric). The
+      // scale depends only on this row's activations — never on which
+      // other rows share the batch — so INT8 results are invariant under
+      // re-batching, the serving tier's "batching never changes an
+      // answer" guarantee extended to kThroughputFirst.
+      const float* xrow = x.data() + i * in_dim_;
+      const float act_absmax = AbsMax(xrow, in_dim_);
+      const float act_scale = act_absmax > 0.0f ? act_absmax / 127.0f : 1.0f;
+      const float inv_act = 1.0f / act_scale;
+      for (std::size_t p = 0; p < in_dim_; ++p) {
+        xq[p] = QuantizeValue(xrow[p], inv_act);
+      }
+      const float dequant = act_scale * weight_scale_;
+      std::fill(acc.begin(), acc.end(), 0);
+      ks.gemm_s8(xq.data(), weight_.data(), acc.data(), in_dim_, out_dim_);
+      float* orow = out.row(i);
+      const float* b = bias_.data();
+      for (std::size_t j = 0; j < out_dim_; ++j) {
+        orow[j] = static_cast<float>(acc[j]) * dequant + b[j];
+      }
+    }
+  });
+  return out;
+}
+
+QuantizedMlp::QuantizedMlp(const nn::Mlp& source) {
+  layers_.reserve(source.num_layers());
+  for (std::size_t i = 0; i < source.num_layers(); ++i) {
+    layers_.emplace_back(source.layer(i));
+  }
+}
+
+tensor::Matrix QuantizedMlp::Forward(const tensor::Matrix& x) const {
+  tensor::Matrix h = layers_[0].Forward(x);
+  for (std::size_t l = 1; l < layers_.size(); ++l) {
+    tensor::ReluInPlace(h);
+    h = layers_[l].Forward(h);
+  }
+  return h;
+}
+
+std::int64_t QuantizedMlp::ForwardMacs(std::int64_t rows) const {
+  std::int64_t total = 0;
+  for (const auto& l : layers_) total += l.ForwardMacs(rows);
+  return total;
+}
+
+}  // namespace nai::nn

@@ -1,0 +1,66 @@
+#ifndef NAI_NN_QUANTIZED_H_
+#define NAI_NN_QUANTIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/linear.h"
+#include "src/nn/mlp.h"
+#include "src/tensor/matrix.h"
+
+namespace nai::nn {
+
+/// Post-training symmetric per-tensor INT8 quantization of one Linear
+/// layer. Activations are quantized dynamically per row (absmax of each
+/// row alone, so a row's INT8 result never depends on which other rows
+/// share the batch — re-batching in the serving tier cannot change an
+/// answer), the INT8 x INT8 products accumulate in INT32 through the
+/// dispatched tensor::simd gemm_s8 kernel, and the output is dequantized
+/// back to float. Integer accumulation is exact, so results are
+/// bit-identical at every SIMD level; the declared accuracy tolerance is
+/// only against the float layer this was quantized from.
+///
+/// Promoted from baselines/quantization (the paper's FP32->INT8
+/// comparison) so the serving stack's kThroughputFirst QoS class can run
+/// it on the hot path; the baseline aliases the same types.
+class QuantizedLinear {
+ public:
+  explicit QuantizedLinear(const nn::Linear& source);
+
+  tensor::Matrix Forward(const tensor::Matrix& x) const;
+
+  std::int64_t ForwardMacs(std::int64_t rows) const {
+    return rows * static_cast<std::int64_t>(in_dim_) *
+           static_cast<std::int64_t>(out_dim_);
+  }
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out_dim() const { return out_dim_; }
+  float weight_scale() const { return weight_scale_; }
+
+ private:
+  std::size_t in_dim_ = 0;
+  std::size_t out_dim_ = 0;
+  std::vector<std::int8_t> weight_;  // row-major in x out
+  float weight_scale_ = 1.0f;
+  tensor::Matrix bias_;  // kept float
+};
+
+/// INT8 copy of a float MLP (ReLU between layers, no dropout at inference).
+class QuantizedMlp {
+ public:
+  explicit QuantizedMlp(const nn::Mlp& source);
+
+  tensor::Matrix Forward(const tensor::Matrix& x) const;
+  std::int64_t ForwardMacs(std::int64_t rows) const;
+
+  std::size_t num_layers() const { return layers_.size(); }
+  const QuantizedLinear& layer(std::size_t i) const { return layers_[i]; }
+
+ private:
+  std::vector<QuantizedLinear> layers_;
+};
+
+}  // namespace nai::nn
+
+#endif  // NAI_NN_QUANTIZED_H_

@@ -10,6 +10,8 @@ const char* QosClassName(QosClass qos) {
       return "speed-first";
     case QosClass::kAccuracyFirst:
       return "accuracy-first";
+    case QosClass::kThroughputFirst:
+      return "throughput-first";
   }
   return "unknown";
 }
@@ -36,6 +38,15 @@ QosPolicyTable DefaultQosPolicyTable(int k) {
   accuracy.config.t_min = std::min(2, std::max(1, k));
   accuracy.config.t_max = 0;  // resolve to k
   accuracy.default_deadline_ms = 200.0;
+
+  // Throughput-first: the speed-first propagation shape with the INT8
+  // classifier — cheapest arithmetic per prediction, budgeted to disagree
+  // with its float twin on at most 5% of predictions.
+  QosPolicy& throughput = table.For(QosClass::kThroughputFirst);
+  throughput.config = speed.config;
+  throughput.config.int8_classifier = true;
+  throughput.default_deadline_ms = 500.0;
+  throughput.accuracy_delta_budget = 0.05;
 
   return table;
 }

@@ -11,23 +11,38 @@ namespace nai::serve {
 /// The traffic classes one serving graph handles concurrently. A request's
 /// class resolves — through the deployment's QosPolicyTable — to the
 /// InferenceConfig it is served with, so speed-first traffic takes
-/// aggressive NAP thresholds and a shallow T_max while accuracy-first
-/// traffic runs the full-depth configuration, on the same engine.
+/// aggressive NAP thresholds and a shallow T_max, accuracy-first traffic
+/// runs the full-depth configuration, and throughput-first traffic runs
+/// the INT8 classifier (InferenceConfig::int8_classifier) for maximum
+/// batch rate — all on the same engine. Enum order is the request queue's
+/// priority order (see serve::RequestQueue): speed-first preempts both
+/// other classes, throughput-first drains last (its requests optimize for
+/// batch volume, not latency; the queue's aging bound still prevents
+/// starvation).
 enum class QosClass {
   kSpeedFirst = 0,
   kAccuracyFirst = 1,
+  kThroughputFirst = 2,
 };
 
-inline constexpr std::size_t kNumQosClasses = 2;
+inline constexpr std::size_t kNumQosClasses = 3;
 
 const char* QosClassName(QosClass qos);
 
 /// How one QoS class is served: the inference configuration every request
-/// of the class resolves to, and the latency budget a request gets when it
-/// does not bring its own.
+/// of the class resolves to, the latency budget a request gets when it
+/// does not bring its own, and the class's accuracy contract.
 struct QosPolicy {
   core::InferenceConfig config;
   double default_deadline_ms = 50.0;
+  /// The fraction of this class's predictions allowed to differ from the
+  /// same config served with the float classifier (int8_classifier
+  /// cleared) — the per-class budget the serving exactness gate enforces.
+  /// 0 for float classes (their float twin is themselves, so any nonzero
+  /// disagreement is a dispatch bug); a small calibrated fraction for the
+  /// INT8 throughput tier, where quantization legitimately moves a few
+  /// predictions near decision boundaries.
+  double accuracy_delta_budget = 0.0;
 };
 
 /// The per-deployment class -> policy map. Requests only name a QosClass;
@@ -49,8 +64,11 @@ struct QosPolicyTable {
 /// A structure-only default table for a depth-k classifier bank: speed-first
 /// is NAPd with a permissive relative threshold and T_max = min(2, k) under
 /// a tight deadline; accuracy-first is full-depth NAPd with a strict
-/// threshold and a loose deadline. Deployments with a validation set should
-/// prefer thresholds calibrated from its distance distribution
+/// threshold and a loose deadline; throughput-first is the speed-first
+/// shape with the INT8 classifier, a 5% accuracy-delta budget and the
+/// loosest deadline (serving it requires an engine with an attached
+/// core::QuantizedClassifierStack). Deployments with a validation set
+/// should prefer thresholds calibrated from its distance distribution
 /// (eval::MakeQosPolicyTable).
 QosPolicyTable DefaultQosPolicyTable(int k);
 

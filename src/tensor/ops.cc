@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/tensor/simd.h"
+
 namespace nai::tensor {
 
 Matrix MatMul(const Matrix& a, const Matrix& b,
@@ -12,20 +14,12 @@ Matrix MatMul(const Matrix& a, const Matrix& b,
   assert(a.cols() == b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   Matrix out(m, n);
-  // ikj loop order: the inner loop streams over contiguous rows of `b` and
-  // `out`, which vectorizes well and avoids a transpose. Grain: one output
-  // row costs k*n MACs, so wide products fan out even with few rows.
+  // ikj accumulation dispatched per row range (simd::KernelSet fixes the
+  // per-element summation order, so every level is bit-exact). Grain: one
+  // output row costs k*n MACs, so wide products fan out even with few rows.
+  const simd::KernelSet& ks = simd::ActiveKernels();
   ctx.ParallelFor(0, m, k * n, [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      const float* arow = a.row(i);
-      float* orow = out.row(i);
-      for (std::size_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b.row(p);
-        for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
+    ks.matmul_rows(a.data(), b.data(), out.data(), r0, r1, k, n);
   });
   return out;
 }
@@ -35,17 +29,9 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b,
   assert(a.cols() == b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   Matrix out(m, n);
+  const simd::KernelSet& ks = simd::ActiveKernels();
   ctx.ParallelFor(0, m, k * n, [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      const float* arow = a.row(i);
-      float* orow = out.row(i);
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* brow = b.row(j);
-        float acc = 0.0f;
-        for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        orow[j] = acc;
-      }
-    }
+    ks.matmul_tb_rows(a.data(), b.data(), out.data(), r0, r1, k, n);
   });
   return out;
 }

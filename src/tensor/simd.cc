@@ -1,0 +1,510 @@
+#include "src/tensor/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+// Compile-time availability of each vector path. AVX2 kernels are built as
+// per-function `target("avx2")` specializations, so the translation unit
+// itself stays at the baseline ISA and the binary still runs on CPUs
+// without AVX2 (runtime detection picks the path). This file is compiled
+// with -ffp-contract=off (see CMakeLists.txt): the bit-exactness contract
+// requires separate multiply and add roundings, and on targets where fused
+// multiply-add exists at the baseline ISA (AArch64) the compiler would
+// otherwise be free to contract them.
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define NAI_SIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define NAI_SIMD_HAVE_AVX2 0
+#endif
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define NAI_SIMD_HAVE_NEON 1
+#include <arm_neon.h>
+#else
+#define NAI_SIMD_HAVE_NEON 0
+#endif
+
+namespace nai::tensor::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. These are the exact loops the tensor and graph
+// entry points ran before dispatch existed; NAI_SIMD=scalar therefore
+// reproduces historical outputs byte for byte.
+// ---------------------------------------------------------------------------
+
+void AxpyScalar(float w, const float* src, float* dst, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) dst[j] += w * src[j];
+}
+
+void MatMulRowsScalar(const float* a, const float* b, float* out,
+                      std::size_t r0, std::size_t r1, std::size_t k,
+                      std::size_t n) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTbRowsScalar(const float* a, const float* b, float* out,
+                        std::size_t r0, std::size_t r1, std::size_t k,
+                        std::size_t n) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+}
+
+void GemmS8Scalar(const std::int8_t* x, const std::int8_t* w,
+                  std::int32_t* acc, std::size_t k, std::size_t n) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const std::int32_t xv = x[p];
+    if (xv == 0) continue;
+    const std::int8_t* wr = w + p * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      acc[j] += xv * static_cast<std::int32_t>(wr[j]);
+    }
+  }
+}
+
+/// Column tail of the blocked MatMul paths: identical to the scalar kernel
+/// restricted to columns [j0, n). Kept at the baseline ISA so the vector
+/// kernels' remainder columns round exactly like the reference.
+inline void MatMulRowTail(const float* arow, const float* b, float* orow,
+                          std::size_t k, std::size_t n, std::size_t j0) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const float av = arow[p];
+    if (av == 0.0f) continue;
+    const float* brow = b + p * n;
+    for (std::size_t j = j0; j < n; ++j) orow[j] += av * brow[j];
+  }
+}
+
+constexpr KernelSet kScalarKernels = {AxpyScalar, MatMulRowsScalar,
+                                      MatMulTbRowsScalar, GemmS8Scalar};
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels. Vectorization is over the output-column dimension only, so
+// each output element still accumulates its products over p in ascending
+// order; multiplies and adds are separate intrinsics (target("avx2") does
+// not enable FMA, so the compiler cannot fuse them either). Both together
+// make every float result bit-identical to the scalar reference.
+// ---------------------------------------------------------------------------
+
+#if NAI_SIMD_HAVE_AVX2
+
+__attribute__((target("avx2"))) void AxpyAvx2(float w, const float* src,
+                                              float* dst, std::size_t n) {
+  const __m256 vw = _mm256_set1_ps(w);
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    __m256 d0 = _mm256_loadu_ps(dst + j);
+    __m256 d1 = _mm256_loadu_ps(dst + j + 8);
+    d0 = _mm256_add_ps(d0, _mm256_mul_ps(vw, _mm256_loadu_ps(src + j)));
+    d1 = _mm256_add_ps(d1, _mm256_mul_ps(vw, _mm256_loadu_ps(src + j + 8)));
+    _mm256_storeu_ps(dst + j, d0);
+    _mm256_storeu_ps(dst + j + 8, d1);
+  }
+  for (; j + 8 <= n; j += 8) {
+    __m256 d = _mm256_loadu_ps(dst + j);
+    d = _mm256_add_ps(d, _mm256_mul_ps(vw, _mm256_loadu_ps(src + j)));
+    _mm256_storeu_ps(dst + j, d);
+  }
+  for (; j < n; ++j) dst[j] += w * src[j];
+}
+
+/// Register-blocked MatMul: 4 output rows x 8 columns held in registers
+/// across the whole p sweep (each b row-slice load is reused by all four
+/// rows), with the scalar zero-skip applied per (row, p) exactly as the
+/// reference does.
+__attribute__((target("avx2"))) void MatMulRowsAvx2(const float* a,
+                                                    const float* b, float* out,
+                                                    std::size_t r0,
+                                                    std::size_t r1,
+                                                    std::size_t k,
+                                                    std::size_t n) {
+  std::size_t i = r0;
+  for (; i + 4 <= r1; i += 4) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* o0 = out + i * n;
+    float* o1 = o0 + n;
+    float* o2 = o1 + n;
+    float* o3 = o2 + n;
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 c0 = _mm256_loadu_ps(o0 + j);
+      __m256 c1 = _mm256_loadu_ps(o1 + j);
+      __m256 c2 = _mm256_loadu_ps(o2 + j);
+      __m256 c3 = _mm256_loadu_ps(o3 + j);
+      for (std::size_t p = 0; p < k; ++p) {
+        const __m256 bv = _mm256_loadu_ps(b + p * n + j);
+        const float v0 = a0[p];
+        const float v1 = a1[p];
+        const float v2 = a2[p];
+        const float v3 = a3[p];
+        if (v0 != 0.0f) {
+          c0 = _mm256_add_ps(c0, _mm256_mul_ps(_mm256_set1_ps(v0), bv));
+        }
+        if (v1 != 0.0f) {
+          c1 = _mm256_add_ps(c1, _mm256_mul_ps(_mm256_set1_ps(v1), bv));
+        }
+        if (v2 != 0.0f) {
+          c2 = _mm256_add_ps(c2, _mm256_mul_ps(_mm256_set1_ps(v2), bv));
+        }
+        if (v3 != 0.0f) {
+          c3 = _mm256_add_ps(c3, _mm256_mul_ps(_mm256_set1_ps(v3), bv));
+        }
+      }
+      _mm256_storeu_ps(o0 + j, c0);
+      _mm256_storeu_ps(o1 + j, c1);
+      _mm256_storeu_ps(o2 + j, c2);
+      _mm256_storeu_ps(o3 + j, c3);
+    }
+    if (j < n) {
+      MatMulRowTail(a0, b, o0, k, n, j);
+      MatMulRowTail(a1, b, o1, k, n, j);
+      MatMulRowTail(a2, b, o2, k, n, j);
+      MatMulRowTail(a3, b, o3, k, n, j);
+    }
+  }
+  for (; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 c = _mm256_loadu_ps(orow + j);
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        c = _mm256_add_ps(
+            c, _mm256_mul_ps(_mm256_set1_ps(av), _mm256_loadu_ps(b + p * n + j)));
+      }
+      _mm256_storeu_ps(orow + j, c);
+    }
+    if (j < n) MatMulRowTail(arow, b, orow, k, n, j);
+  }
+}
+
+/// Cache-tiled A * B^T: each 8-column tile of b is packed once into a
+/// k x 8 interleaved scratch (amortized over all rows of the range), then
+/// every output element accumulates broadcast(a[p]) * pack[p] over p
+/// ascending — the same mul-then-add sequence as the scalar dot product.
+__attribute__((target("avx2"))) void MatMulTbRowsAvx2(
+    const float* a, const float* b, float* out, std::size_t r0, std::size_t r1,
+    std::size_t k, std::size_t n) {
+  if (r0 >= r1) return;
+  const std::size_t n8 = n - n % 8;
+  std::vector<float> pack(k * 8);
+  for (std::size_t j0 = 0; j0 < n8; j0 += 8) {
+    for (std::size_t jj = 0; jj < 8; ++jj) {
+      const float* brow = b + (j0 + jj) * k;
+      for (std::size_t p = 0; p < k; ++p) pack[p * 8 + jj] = brow[p];
+    }
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* arow = a + i * k;
+      __m256 acc = _mm256_setzero_ps();
+      for (std::size_t p = 0; p < k; ++p) {
+        acc = _mm256_add_ps(acc,
+                            _mm256_mul_ps(_mm256_set1_ps(arow[p]),
+                                          _mm256_loadu_ps(pack.data() + p * 8)));
+      }
+      _mm256_storeu_ps(out + i * n + j0, acc);
+    }
+  }
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (std::size_t j = n8; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+}
+
+/// int8 x int8 -> int32 row update, 8 accumulators per register. Integer
+/// arithmetic is associative, so this is exact (not just bit-exact-by-
+/// construction like the float paths).
+__attribute__((target("avx2"))) void GemmS8Avx2(const std::int8_t* x,
+                                                const std::int8_t* w,
+                                                std::int32_t* acc,
+                                                std::size_t k, std::size_t n) {
+  const std::size_t n8 = n - n % 8;
+  for (std::size_t j = 0; j < n8; j += 8) {
+    __m256i c = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + j));
+    for (std::size_t p = 0; p < k; ++p) {
+      const std::int32_t xv = x[p];
+      if (xv == 0) continue;
+      const __m128i w8 =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(w + p * n + j));
+      const __m256i wv = _mm256_cvtepi8_epi32(w8);
+      c = _mm256_add_epi32(c, _mm256_mullo_epi32(_mm256_set1_epi32(xv), wv));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + j), c);
+  }
+  if (n8 < n) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const std::int32_t xv = x[p];
+      if (xv == 0) continue;
+      const std::int8_t* wr = w + p * n;
+      for (std::size_t j = n8; j < n; ++j) {
+        acc[j] += xv * static_cast<std::int32_t>(wr[j]);
+      }
+    }
+  }
+}
+
+const KernelSet kAvx2Kernels = {AxpyAvx2, MatMulRowsAvx2, MatMulTbRowsAvx2,
+                                GemmS8Avx2};
+
+#endif  // NAI_SIMD_HAVE_AVX2
+
+// ---------------------------------------------------------------------------
+// NEON kernels (4-wide). Same construction as AVX2: column-dimension
+// vectorization, explicit vmulq + vaddq (never vfma), scalar column tails.
+// ---------------------------------------------------------------------------
+
+#if NAI_SIMD_HAVE_NEON
+
+void AxpyNeon(float w, const float* src, float* dst, std::size_t n) {
+  const float32x4_t vw = vdupq_n_f32(w);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    float32x4_t d0 = vld1q_f32(dst + j);
+    float32x4_t d1 = vld1q_f32(dst + j + 4);
+    d0 = vaddq_f32(d0, vmulq_f32(vw, vld1q_f32(src + j)));
+    d1 = vaddq_f32(d1, vmulq_f32(vw, vld1q_f32(src + j + 4)));
+    vst1q_f32(dst + j, d0);
+    vst1q_f32(dst + j + 4, d1);
+  }
+  for (; j + 4 <= n; j += 4) {
+    float32x4_t d = vld1q_f32(dst + j);
+    d = vaddq_f32(d, vmulq_f32(vw, vld1q_f32(src + j)));
+    vst1q_f32(dst + j, d);
+  }
+  for (; j < n; ++j) dst[j] += w * src[j];
+}
+
+void MatMulRowsNeon(const float* a, const float* b, float* out, std::size_t r0,
+                    std::size_t r1, std::size_t k, std::size_t n) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      float32x4_t c = vld1q_f32(orow + j);
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        c = vaddq_f32(c, vmulq_f32(vdupq_n_f32(av), vld1q_f32(b + p * n + j)));
+      }
+      vst1q_f32(orow + j, c);
+    }
+    if (j < n) MatMulRowTail(arow, b, orow, k, n, j);
+  }
+}
+
+void MatMulTbRowsNeon(const float* a, const float* b, float* out,
+                      std::size_t r0, std::size_t r1, std::size_t k,
+                      std::size_t n) {
+  if (r0 >= r1) return;
+  const std::size_t n4 = n - n % 4;
+  std::vector<float> pack(k * 4);
+  for (std::size_t j0 = 0; j0 < n4; j0 += 4) {
+    for (std::size_t jj = 0; jj < 4; ++jj) {
+      const float* brow = b + (j0 + jj) * k;
+      for (std::size_t p = 0; p < k; ++p) pack[p * 4 + jj] = brow[p];
+    }
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* arow = a + i * k;
+      float32x4_t acc = vdupq_n_f32(0.0f);
+      for (std::size_t p = 0; p < k; ++p) {
+        acc = vaddq_f32(
+            acc, vmulq_f32(vdupq_n_f32(arow[p]), vld1q_f32(pack.data() + p * 4)));
+      }
+      vst1q_f32(out + i * n + j0, acc);
+    }
+  }
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (std::size_t j = n4; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+}
+
+void GemmS8Neon(const std::int8_t* x, const std::int8_t* w, std::int32_t* acc,
+                std::size_t k, std::size_t n) {
+  const std::size_t n8 = n - n % 8;
+  for (std::size_t j = 0; j < n8; j += 8) {
+    int32x4_t c0 = vld1q_s32(acc + j);
+    int32x4_t c1 = vld1q_s32(acc + j + 4);
+    for (std::size_t p = 0; p < k; ++p) {
+      const std::int8_t xv = x[p];
+      if (xv == 0) continue;
+      const int8x8_t w8 = vld1_s8(w + p * n + j);
+      const int16x8_t prod = vmull_s8(vdup_n_s8(xv), w8);
+      c0 = vaddw_s16(c0, vget_low_s16(prod));
+      c1 = vaddw_s16(c1, vget_high_s16(prod));
+    }
+    vst1q_s32(acc + j, c0);
+    vst1q_s32(acc + j + 4, c1);
+  }
+  if (n8 < n) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const std::int32_t xv = x[p];
+      if (xv == 0) continue;
+      const std::int8_t* wr = w + p * n;
+      for (std::size_t j = n8; j < n; ++j) {
+        acc[j] += xv * static_cast<std::int32_t>(wr[j]);
+      }
+    }
+  }
+}
+
+const KernelSet kNeonKernels = {AxpyNeon, MatMulRowsNeon, MatMulTbRowsNeon,
+                                GemmS8Neon};
+
+#endif  // NAI_SIMD_HAVE_NEON
+
+/// The process-wide active level: -1 until first resolution. A benign
+/// double-resolution race is fine (both writers store the same value);
+/// SetActiveLevelForTesting overwrites it from the test's thread before
+/// the kernels under test run.
+std::atomic<int> g_active{-1};
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::optional<Level> ParseLevel(std::string_view token) {
+  if (token == "scalar") return Level::kScalar;
+  if (token == "avx2") return Level::kAvx2;
+  if (token == "neon") return Level::kNeon;
+  return std::nullopt;
+}
+
+bool LevelCompiled(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kAvx2:
+      return NAI_SIMD_HAVE_AVX2 != 0;
+    case Level::kNeon:
+      return NAI_SIMD_HAVE_NEON != 0;
+  }
+  return false;
+}
+
+bool LevelSupported(Level level) {
+  if (!LevelCompiled(level)) return false;
+#if NAI_SIMD_HAVE_AVX2
+  if (level == Level::kAvx2) return __builtin_cpu_supports("avx2") != 0;
+#endif
+  // Scalar always runs; a binary compiled with NEON enabled implies the
+  // target executes it (NEON is baseline on AArch64).
+  return true;
+}
+
+Level BestSupportedLevel() {
+  if (LevelSupported(Level::kAvx2)) return Level::kAvx2;
+  if (LevelSupported(Level::kNeon)) return Level::kNeon;
+  return Level::kScalar;
+}
+
+std::vector<Level> SupportedLevels() {
+  std::vector<Level> out;
+  for (const Level level : {Level::kScalar, Level::kAvx2, Level::kNeon}) {
+    if (LevelSupported(level)) out.push_back(level);
+  }
+  return out;
+}
+
+Level ResolveLevel(const char* value) {
+  if (value != nullptr) {
+    const std::optional<Level> parsed = ParseLevel(value);
+    if (parsed.has_value() && LevelSupported(*parsed)) return *parsed;
+  }
+  return BestSupportedLevel();
+}
+
+Level ActiveLevel() {
+  int v = g_active.load(std::memory_order_acquire);
+  if (v < 0) {
+    v = static_cast<int>(ResolveLevel(std::getenv("NAI_SIMD")));
+    g_active.store(v, std::memory_order_release);
+  }
+  return static_cast<Level>(v);
+}
+
+void SetActiveLevelForTesting(Level level) {
+  if (!LevelSupported(level)) {
+    throw std::invalid_argument(
+        std::string("simd::SetActiveLevelForTesting: level not supported on "
+                    "this host: ") +
+        LevelName(level));
+  }
+  g_active.store(static_cast<int>(level), std::memory_order_release);
+}
+
+const KernelSet& Kernels(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return kScalarKernels;
+    case Level::kAvx2:
+#if NAI_SIMD_HAVE_AVX2
+      return kAvx2Kernels;
+#else
+      break;
+#endif
+    case Level::kNeon:
+#if NAI_SIMD_HAVE_NEON
+      return kNeonKernels;
+#else
+      break;
+#endif
+  }
+  throw std::invalid_argument(
+      std::string("simd::Kernels: level not compiled into this binary: ") +
+      LevelName(level));
+}
+
+const KernelSet& ActiveKernels() { return Kernels(ActiveLevel()); }
+
+}  // namespace nai::tensor::simd

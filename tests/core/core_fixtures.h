@@ -23,6 +23,9 @@ struct SmallWorld {
   std::vector<tensor::Matrix> stack;
   std::unique_ptr<core::StationaryState> stationary;
   std::unique_ptr<core::ClassifierStack> classifiers;
+  /// INT8 twin of the bank, quantized after training — what engines under
+  /// test serve int8_classifier / kThroughputFirst configs with.
+  std::unique_ptr<core::QuantizedClassifierStack> quantized;
   std::vector<std::int32_t> all_nodes;
   core::GatheredStack all_feats;
 };
@@ -69,6 +72,8 @@ inline SmallWorld MakeSmallWorld(int depth = 3,
   dcfg.enable_multi = false;
   core::InceptionDistillation distiller(*w.classifiers, dcfg);
   distiller.TrainAll(w.all_feats, w.data.labels, w.all_nodes);
+  w.quantized =
+      std::make_unique<core::QuantizedClassifierStack>(*w.classifiers);
   return w;
 }
 

@@ -207,6 +207,63 @@ TEST(ResultCacheServingTest, WarmHitsReplayColdBitsExactly) {
   EXPECT_EQ(fills, n);
 }
 
+TEST(ResultCacheServingTest, ThroughputClassKeysSeparatelyAndWarmsUp) {
+  // The INT8 throughput class shares the speed class's traversal shape but
+  // is a distinct QosPolicy object, so config-pointer keying must keep the
+  // two populations apart: warming a node in float must not let the INT8
+  // class cross-hit (or vice versa), while a repeat within the class hits
+  // and replays the cold INT8 bits exactly.
+  SmallWorld& w = World();
+  QosPolicyTable policies = MakePolicies();
+  QosPolicy& throughput = policies.For(QosClass::kThroughputFirst);
+  throughput.config = policies.For(QosClass::kSpeedFirst).config;
+  throughput.config.int8_classifier = true;
+  throughput.default_deadline_ms = 1000.0;
+  throughput.accuracy_delta_budget = 0.05;
+
+  core::ShardedNaiEngine engine = MakeSharded(2);
+  engine.AttachQuantizedClassifiers(World().quantized.get());
+  const core::InferenceResult ref_int8 =
+      engine.Infer(w.all_nodes, throughput.config);
+
+  ServingEngine server(engine, policies);
+  const std::int64_t n = static_cast<std::int64_t>(w.all_nodes.size());
+  // Wave 1: warm every node in the float speed class.
+  {
+    std::vector<std::future<Response>> futures;
+    for (const std::int32_t node : w.all_nodes) {
+      futures.push_back(server.Submit(node, QosClass::kSpeedFirst));
+    }
+    for (auto& f : futures) EXPECT_TRUE(f.get().served);
+  }
+  EXPECT_EQ(server.Stats().cache_hits, 0);
+
+  // Waves 2+3: the same nodes as throughput-first. Wave 2 must miss every
+  // lookup (no float->int8 cross-hit); wave 3 is fully warm within the
+  // class and replays wave 2's bits.
+  for (int wave = 0; wave < 2; ++wave) {
+    std::vector<std::future<Response>> futures;
+    for (const std::int32_t node : w.all_nodes) {
+      futures.push_back(server.Submit(node, QosClass::kThroughputFirst));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const Response r = futures[i].get();
+      EXPECT_TRUE(r.served);
+      EXPECT_EQ(r.prediction, ref_int8.predictions[i])
+          << "wave " << wave << " node " << i;
+      EXPECT_EQ(r.exit_depth, ref_int8.exit_depths[i])
+          << "wave " << wave << " node " << i;
+    }
+  }
+  const ServingStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.cache_hits, n);  // wave 3 only
+  EXPECT_EQ(stats.completed, 3 * n);
+  const std::size_t tp = static_cast<std::size_t>(QosClass::kThroughputFirst);
+  EXPECT_EQ(stats.per_class[tp].count, 2 * n);
+  EXPECT_EQ(stats.per_class_hit[tp].count, n);
+  EXPECT_EQ(stats.per_class_miss[tp].count, n);
+}
+
 TEST(ResultCacheServingTest, EpochBumpForcesRecomputeAndRefill) {
   SmallWorld& w = World();
   const QosPolicyTable policies = MakePolicies();

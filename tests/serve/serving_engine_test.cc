@@ -31,12 +31,15 @@ SmallWorld& World() {
   return w;
 }
 
-core::ShardedNaiEngine MakeSharded(int num_shards, int halo_hops = kDepth) {
+std::unique_ptr<core::ShardedNaiEngine> MakeSharded(int num_shards,
+                                                    int halo_hops = kDepth) {
   SmallWorld& w = World();
-  return core::ShardedNaiEngine(
+  auto engine = std::make_unique<core::ShardedNaiEngine>(
       w.data.graph, graph::MakeShards(w.data.graph, num_shards, halo_hops),
       w.data.features, w.config.gamma, *w.classifiers, w.stationary.get(),
       nullptr);
+  engine->AttachQuantizedClassifiers(w.quantized.get());
+  return engine;
 }
 
 /// Speed-first: NAPd with a shallow cap; accuracy-first: fixed full depth
@@ -60,8 +63,8 @@ QosPolicyTable MakePolicies(double speed_deadline_ms = 1000.0,
 TEST(ServingEngineTest, PoliciesValidatedAgainstHaloAtConstruction) {
   // halo_hops = 1 cannot support the accuracy class's full-depth BFS; the
   // front-end must refuse at construction, not on the first deep request.
-  core::ShardedNaiEngine engine = MakeSharded(2, /*halo_hops=*/1);
-  EXPECT_THROW(ServingEngine(engine, MakePolicies()), std::invalid_argument);
+  const std::unique_ptr<core::ShardedNaiEngine> engine = MakeSharded(2, /*halo_hops=*/1);
+  EXPECT_THROW(ServingEngine(*engine, MakePolicies()), std::invalid_argument);
 }
 
 TEST(ServingEngineTest, SingleClassBitExactVsDirectInfer) {
@@ -69,11 +72,11 @@ TEST(ServingEngineTest, SingleClassBitExactVsDirectInfer) {
   const QosPolicyTable policies = MakePolicies();
   for (const QosClass qos :
        {QosClass::kSpeedFirst, QosClass::kAccuracyFirst}) {
-    core::ShardedNaiEngine engine = MakeSharded(2);
+    const std::unique_ptr<core::ShardedNaiEngine> engine = MakeSharded(2);
     const core::InferenceResult ref =
-        engine.Infer(w.all_nodes, policies.For(qos).config);
+        engine->Infer(w.all_nodes, policies.For(qos).config);
 
-    ServingEngine server(engine, policies);
+    ServingEngine server(*engine, policies);
     std::vector<std::future<Response>> futures;
     futures.reserve(w.all_nodes.size());
     for (const std::int32_t node : w.all_nodes) {
@@ -92,13 +95,13 @@ TEST(ServingEngineTest, SingleClassBitExactVsDirectInfer) {
 TEST(ServingEngineTest, MixedClassesServedConcurrentlyAndBitExact) {
   SmallWorld& w = World();
   const QosPolicyTable policies = MakePolicies();
-  core::ShardedNaiEngine engine = MakeSharded(2);
+  const std::unique_ptr<core::ShardedNaiEngine> engine = MakeSharded(2);
   const core::InferenceResult ref_speed =
-      engine.Infer(w.all_nodes, policies.For(QosClass::kSpeedFirst).config);
-  const core::InferenceResult ref_accuracy = engine.Infer(
+      engine->Infer(w.all_nodes, policies.For(QosClass::kSpeedFirst).config);
+  const core::InferenceResult ref_accuracy = engine->Infer(
       w.all_nodes, policies.For(QosClass::kAccuracyFirst).config);
 
-  ServingEngine server(engine, policies);
+  ServingEngine server(*engine, policies);
   std::vector<std::future<Response>> futures;
   std::vector<QosClass> classes;
   for (std::size_t i = 0; i < w.all_nodes.size(); ++i) {
@@ -132,8 +135,8 @@ TEST(ServingEngineTest, DeadlineMissesAccountedPerClass) {
   // request must complete (drop_expired is off) but be flagged missed.
   const QosPolicyTable policies =
       MakePolicies(/*speed_deadline_ms=*/1e-6, /*accuracy_deadline_ms=*/1e9);
-  core::ShardedNaiEngine engine = MakeSharded(2);
-  ServingEngine server(engine, policies);
+  const std::unique_ptr<core::ShardedNaiEngine> engine = MakeSharded(2);
+  ServingEngine server(*engine, policies);
 
   constexpr std::size_t kSpeed = 20;
   constexpr std::size_t kAccuracy = 10;
@@ -169,10 +172,10 @@ TEST(ServingEngineTest, DropExpiredShedsInsteadOfServing) {
   SmallWorld& w = World();
   const QosPolicyTable policies =
       MakePolicies(/*speed_deadline_ms=*/1e-6, /*accuracy_deadline_ms=*/1e9);
-  core::ShardedNaiEngine engine = MakeSharded(2);
+  const std::unique_ptr<core::ShardedNaiEngine> engine = MakeSharded(2);
   ServingOptions options;
   options.drop_expired = true;
-  ServingEngine server(engine, policies, options);
+  ServingEngine server(*engine, policies, options);
 
   constexpr std::size_t kCount = 25;
   std::vector<std::future<Response>> futures;
@@ -194,11 +197,11 @@ TEST(ServingEngineTest, DropExpiredShedsInsteadOfServing) {
 TEST(ServingEngineTest, GracefulShutdownServesEverythingInFlight) {
   SmallWorld& w = World();
   const QosPolicyTable policies = MakePolicies();
-  core::ShardedNaiEngine engine = MakeSharded(2);
+  const std::unique_ptr<core::ShardedNaiEngine> engine = MakeSharded(2);
   const core::InferenceResult ref =
-      engine.Infer(w.all_nodes, policies.For(QosClass::kSpeedFirst).config);
+      engine->Infer(w.all_nodes, policies.For(QosClass::kSpeedFirst).config);
 
-  auto server = std::make_unique<ServingEngine>(engine, policies);
+  auto server = std::make_unique<ServingEngine>(*engine, policies);
   constexpr std::size_t kCount = 100;
   std::vector<std::future<Response>> futures;
   for (std::size_t i = 0; i < kCount; ++i) {
@@ -219,8 +222,8 @@ TEST(ServingEngineTest, GracefulShutdownServesEverythingInFlight) {
 
 TEST(ServingEngineTest, SubmissionAfterShutdownIsRejected) {
   SmallWorld& w = World();
-  core::ShardedNaiEngine engine = MakeSharded(2);
-  ServingEngine server(engine, MakePolicies());
+  const std::unique_ptr<core::ShardedNaiEngine> engine = MakeSharded(2);
+  ServingEngine server(*engine, MakePolicies());
   server.Shutdown();
 
   std::future<Response> fut =
@@ -243,10 +246,10 @@ TEST(ServingEngineTest, SubmissionAfterShutdownIsRejected) {
 TEST(ServingEngineTest, CallbackCompletionMatchesDirectInfer) {
   SmallWorld& w = World();
   const QosPolicyTable policies = MakePolicies();
-  core::ShardedNaiEngine engine = MakeSharded(2);
+  const std::unique_ptr<core::ShardedNaiEngine> engine = MakeSharded(2);
   const core::InferenceResult ref =
-      engine.Infer(w.all_nodes, policies.For(QosClass::kSpeedFirst).config);
-  ServingEngine server(engine, policies);
+      engine->Infer(w.all_nodes, policies.For(QosClass::kSpeedFirst).config);
+  ServingEngine server(*engine, policies);
 
   constexpr std::size_t kCount = 32;
   std::vector<std::promise<Response>> done(kCount);
@@ -265,8 +268,8 @@ TEST(ServingEngineTest, CallbackCompletionMatchesDirectInfer) {
 }
 
 TEST(ServingEngineTest, OutOfRangeNodeThrowsAtAdmission) {
-  core::ShardedNaiEngine engine = MakeSharded(2);
-  ServingEngine server(engine, MakePolicies());
+  const std::unique_ptr<core::ShardedNaiEngine> engine = MakeSharded(2);
+  ServingEngine server(*engine, MakePolicies());
   EXPECT_THROW(server.Submit(-1, QosClass::kSpeedFirst), std::out_of_range);
   EXPECT_THROW(
       server.Submit(static_cast<std::int32_t>(World().all_nodes.size()),
@@ -276,8 +279,8 @@ TEST(ServingEngineTest, OutOfRangeNodeThrowsAtAdmission) {
 
 TEST(ServingEngineTest, StatsSnapshotInternallyConsistent) {
   SmallWorld& w = World();
-  core::ShardedNaiEngine engine = MakeSharded(2);
-  ServingEngine server(engine, MakePolicies());
+  const std::unique_ptr<core::ShardedNaiEngine> engine = MakeSharded(2);
+  ServingEngine server(*engine, MakePolicies());
   std::vector<std::future<Response>> futures;
   for (std::size_t i = 0; i < w.all_nodes.size(); ++i) {
     futures.push_back(server.Submit(
@@ -314,42 +317,51 @@ TEST(ServingEngineTest, StatsSnapshotInternallyConsistent) {
 TEST(ServingEngineTest, DegenerateOptionsThrowFromConstructor) {
   // A bad queue capacity or batcher config must throw on the caller's
   // thread, never abort a pump thread mid-spawn.
-  core::ShardedNaiEngine engine = MakeSharded(2);
+  const std::unique_ptr<core::ShardedNaiEngine> engine = MakeSharded(2);
   ServingOptions zero_queue;
   zero_queue.queue_capacity = 0;
-  EXPECT_THROW(ServingEngine(engine, MakePolicies(), zero_queue),
+  EXPECT_THROW(ServingEngine(*engine, MakePolicies(), zero_queue),
                std::invalid_argument);
   ServingOptions zero_batch;
   zero_batch.batcher.max_batch = 0;
-  EXPECT_THROW(ServingEngine(engine, MakePolicies(), zero_batch),
+  EXPECT_THROW(ServingEngine(*engine, MakePolicies(), zero_batch),
                std::invalid_argument);
   ServingOptions negative_wait;
   negative_wait.batcher.max_wait_us = -1;
-  EXPECT_THROW(ServingEngine(engine, MakePolicies(), negative_wait),
+  EXPECT_THROW(ServingEngine(*engine, MakePolicies(), negative_wait),
                std::invalid_argument);
 }
 
 TEST(ServingEngineTest, DefaultQosPolicyTableShapesAndServes) {
   // The structure-only fallback table: speed-first caps the depth at
   // min(2, k) with the permissive threshold, accuracy-first runs the full
-  // bank under a stricter one, and the result serves bit-exactly.
+  // bank under a stricter one, throughput-first is the speed shape with the
+  // INT8 classifier and a nonzero accuracy budget, and the result serves
+  // bit-exactly.
   const QosPolicyTable k1 = DefaultQosPolicyTable(1);
   EXPECT_EQ(k1.For(QosClass::kSpeedFirst).config.t_max, 1);
   EXPECT_EQ(k1.For(QosClass::kAccuracyFirst).config.t_min, 1);
 
   SmallWorld& w = World();
-  core::ShardedNaiEngine engine = MakeSharded(2);
-  const QosPolicyTable table = DefaultQosPolicyTable(engine.depth());
+  const std::unique_ptr<core::ShardedNaiEngine> engine = MakeSharded(2);
+  const QosPolicyTable table = DefaultQosPolicyTable(engine->depth());
   EXPECT_EQ(table.For(QosClass::kSpeedFirst).config.t_max, 2);
   EXPECT_EQ(table.For(QosClass::kAccuracyFirst).config.t_max, 0);  // = k
   EXPECT_LT(table.For(QosClass::kAccuracyFirst).config.threshold,
             table.For(QosClass::kSpeedFirst).config.threshold);
   EXPECT_LT(table.For(QosClass::kSpeedFirst).default_deadline_ms,
             table.For(QosClass::kAccuracyFirst).default_deadline_ms);
+  const QosPolicy& throughput = table.For(QosClass::kThroughputFirst);
+  EXPECT_TRUE(throughput.config.int8_classifier);
+  EXPECT_EQ(throughput.config.t_max,
+            table.For(QosClass::kSpeedFirst).config.t_max);
+  EXPECT_GT(throughput.accuracy_delta_budget, 0.0);
+  EXPECT_EQ(table.For(QosClass::kSpeedFirst).accuracy_delta_budget, 0.0);
+  EXPECT_EQ(table.For(QosClass::kAccuracyFirst).accuracy_delta_budget, 0.0);
 
   const core::InferenceResult ref =
-      engine.Infer(w.all_nodes, table.For(QosClass::kSpeedFirst).config);
-  ServingEngine server(engine, table);
+      engine->Infer(w.all_nodes, table.For(QosClass::kSpeedFirst).config);
+  ServingEngine server(*engine, table);
   std::vector<std::future<Response>> futures;
   for (const std::int32_t node : w.all_nodes) {
     futures.push_back(server.Submit(node, QosClass::kSpeedFirst));
@@ -359,15 +371,114 @@ TEST(ServingEngineTest, DefaultQosPolicyTableShapesAndServes) {
   }
 }
 
+TEST(ServingEngineTest, Int8PolicyRejectedWithoutQuantizedStack) {
+  // A table carrying the INT8 throughput class must be refused at
+  // front-end construction when the engine has no quantized bank attached
+  // — not discovered on the first throughput-first request.
+  SmallWorld& w = World();
+  core::ShardedNaiEngine bare(
+      w.data.graph, graph::MakeShards(w.data.graph, 2, kDepth),
+      w.data.features, w.config.gamma, *w.classifiers, w.stationary.get(),
+      nullptr);
+  EXPECT_THROW(ServingEngine(bare, DefaultQosPolicyTable(kDepth)),
+               std::invalid_argument);
+  // Float-only tables keep working on the same bare engine.
+  ServingEngine server(bare, MakePolicies());
+  EXPECT_TRUE(server.Submit(w.all_nodes[0], QosClass::kSpeedFirst)
+                  .get()
+                  .served);
+}
+
+TEST(ServingEngineTest, ThroughputFirstCoBatchedBitExactAcrossClasses) {
+  // All three classes interleaved through one front-end: every answer must
+  // equal the direct InferMixed-style reference of its class's config, and
+  // the per-class stats must account each stream separately.
+  SmallWorld& w = World();
+  QosPolicyTable policies = MakePolicies();
+  QosPolicy& throughput = policies.For(QosClass::kThroughputFirst);
+  throughput.config = policies.For(QosClass::kSpeedFirst).config;
+  throughput.config.int8_classifier = true;
+  throughput.default_deadline_ms = 1000.0;
+  throughput.accuracy_delta_budget = 0.05;
+
+  const std::unique_ptr<core::ShardedNaiEngine> engine = MakeSharded(2);
+  const core::InferenceResult ref_speed =
+      engine->Infer(w.all_nodes, policies.For(QosClass::kSpeedFirst).config);
+  const core::InferenceResult ref_accuracy = engine->Infer(
+      w.all_nodes, policies.For(QosClass::kAccuracyFirst).config);
+  const core::InferenceResult ref_throughput =
+      engine->Infer(w.all_nodes, throughput.config);
+
+  ServingEngine server(*engine, policies);
+  const QosClass cycle[] = {QosClass::kSpeedFirst, QosClass::kThroughputFirst,
+                            QosClass::kAccuracyFirst};
+  std::vector<std::future<Response>> futures;
+  for (std::size_t i = 0; i < w.all_nodes.size(); ++i) {
+    futures.push_back(server.Submit(w.all_nodes[i], cycle[i % 3]));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Response r = futures[i].get();
+    const core::InferenceResult& ref = i % 3 == 0   ? ref_speed
+                                       : i % 3 == 1 ? ref_throughput
+                                                    : ref_accuracy;
+    EXPECT_TRUE(r.served);
+    EXPECT_EQ(r.qos, cycle[i % 3]);
+    EXPECT_EQ(r.prediction, ref.predictions[i]) << "node " << i;
+    EXPECT_EQ(r.exit_depth, ref.exit_depths[i]) << "node " << i;
+  }
+  const ServingStatsSnapshot stats = server.Stats();
+  const std::size_t n = w.all_nodes.size();
+  EXPECT_EQ(stats.per_class[static_cast<std::size_t>(
+                QosClass::kThroughputFirst)]
+                .count,
+            static_cast<std::int64_t>(n / 3 + (n % 3 >= 2 ? 1 : 0)));
+  EXPECT_EQ(stats.completed, static_cast<std::int64_t>(n));
+}
+
+TEST(ServingEngineTest, ThroughputFirstStaysWithinAccuracyDeltaBudget) {
+  // The serving exactness gate's per-class contract: the INT8 class may
+  // disagree with its float twin (same config, int8_classifier cleared) on
+  // at most accuracy_delta_budget of predictions; float classes on none.
+  SmallWorld& w = World();
+  QosPolicyTable policies = MakePolicies();
+  QosPolicy& throughput = policies.For(QosClass::kThroughputFirst);
+  throughput.config = policies.For(QosClass::kSpeedFirst).config;
+  throughput.config.int8_classifier = true;
+  throughput.default_deadline_ms = 1000.0;
+  throughput.accuracy_delta_budget = 0.05;
+
+  const std::unique_ptr<core::ShardedNaiEngine> engine = MakeSharded(2);
+  core::InferenceConfig float_twin = throughput.config;
+  float_twin.int8_classifier = false;
+  const core::InferenceResult twin = engine->Infer(w.all_nodes, float_twin);
+
+  ServingEngine server(*engine, policies);
+  std::vector<std::future<Response>> futures;
+  for (const std::int32_t node : w.all_nodes) {
+    futures.push_back(server.Submit(node, QosClass::kThroughputFirst));
+  }
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Response r = futures[i].get();
+    EXPECT_TRUE(r.served);
+    if (r.prediction != twin.predictions[i]) ++flipped;
+  }
+  EXPECT_LE(static_cast<double>(flipped),
+            throughput.accuracy_delta_budget *
+                static_cast<double>(w.all_nodes.size()))
+      << flipped << " of " << w.all_nodes.size()
+      << " predictions differ from the float twin";
+}
+
 TEST(ServingEngineTest, SingleShardEngineIsServableToo) {
   // The front-end must not require real partitioning: one shard = one
   // queue + one pump over the whole graph.
   SmallWorld& w = World();
   const QosPolicyTable policies = MakePolicies();
-  core::ShardedNaiEngine engine = MakeSharded(1);
-  const core::InferenceResult ref = engine.Infer(
+  const std::unique_ptr<core::ShardedNaiEngine> engine = MakeSharded(1);
+  const core::InferenceResult ref = engine->Infer(
       w.all_nodes, policies.For(QosClass::kAccuracyFirst).config);
-  ServingEngine server(engine, policies);
+  ServingEngine server(*engine, policies);
   std::vector<std::future<Response>> futures;
   for (const std::int32_t node : w.all_nodes) {
     futures.push_back(server.Submit(node, QosClass::kAccuracyFirst));

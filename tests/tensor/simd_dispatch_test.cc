@@ -1,0 +1,116 @@
+// Property tests for the NAI_SIMD dispatch surface: strict token parsing
+// (whole-token, case-sensitive — the NAI_SCALE / NAI_THREADS discipline),
+// resolution semantics (unset/invalid/unsupported always fall back to the
+// best supported level, never an error), the supported-level enumeration
+// the parity suite sweeps, and the test-only level pin.
+
+#include "src/tensor/simd.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace nai::tensor::simd {
+namespace {
+
+TEST(SimdDispatchTest, ParseLevelAcceptsExactTokensOnly) {
+  EXPECT_EQ(ParseLevel("scalar"), Level::kScalar);
+  EXPECT_EQ(ParseLevel("avx2"), Level::kAvx2);
+  EXPECT_EQ(ParseLevel("neon"), Level::kNeon);
+
+  // Whole-token, case-sensitive rejection: anything that is not exactly a
+  // level name parses to nullopt. Trailing garbage, case variants and
+  // whitespace must not silently select a level.
+  const char* rejected[] = {"",       " ",       "SCALAR", "Scalar",
+                            "AVX2",   "Avx2",    "NEON",   " avx2",
+                            "avx2 ",  "avx2\n",  "avx",    "avx512",
+                            "sse",    "best",    "auto",   "scalar,avx2",
+                            "0",      "1",       "scalarx"};
+  for (const char* token : rejected) {
+    EXPECT_FALSE(ParseLevel(token).has_value())
+        << "token '" << token << "' must be rejected";
+  }
+}
+
+TEST(SimdDispatchTest, LevelNameRoundTripsThroughParse) {
+  for (const Level level : {Level::kScalar, Level::kAvx2, Level::kNeon}) {
+    EXPECT_EQ(ParseLevel(LevelName(level)), level);
+  }
+}
+
+TEST(SimdDispatchTest, ResolveLevelFallsBackNeverThrows) {
+  // Unset -> auto-detection.
+  EXPECT_EQ(ResolveLevel(nullptr), BestSupportedLevel());
+  // Invalid tokens -> auto-detection (serving must come up on any host; a
+  // typo in NAI_SIMD must not take the deployment down).
+  EXPECT_EQ(ResolveLevel(""), BestSupportedLevel());
+  EXPECT_EQ(ResolveLevel("fastest"), BestSupportedLevel());
+  EXPECT_EQ(ResolveLevel("AVX2"), BestSupportedLevel());
+  // Valid and supported -> honored.
+  EXPECT_EQ(ResolveLevel("scalar"), Level::kScalar);
+  EXPECT_EQ(ResolveLevel(LevelName(BestSupportedLevel())),
+            BestSupportedLevel());
+  // Valid but unsupported on this host -> auto-detection, not an error.
+  for (const Level level : {Level::kAvx2, Level::kNeon}) {
+    if (!LevelSupported(level)) {
+      EXPECT_EQ(ResolveLevel(LevelName(level)), BestSupportedLevel());
+    }
+  }
+}
+
+TEST(SimdDispatchTest, SupportedLevelsStartScalarAndContainBest) {
+  const std::vector<Level> levels = SupportedLevels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), Level::kScalar);
+  bool has_best = false;
+  for (const Level level : levels) {
+    EXPECT_TRUE(LevelSupported(level));
+    EXPECT_TRUE(LevelCompiled(level));
+    if (level == BestSupportedLevel()) has_best = true;
+  }
+  EXPECT_TRUE(has_best);
+  // Exactly one binary's worth of vector ISAs: a build carries scalar plus
+  // at most one of AVX2/NEON, so the sweep has one or two entries.
+  EXPECT_LE(levels.size(), 2u);
+}
+
+TEST(SimdDispatchTest, ScalarAlwaysCompiledAndSupported) {
+  EXPECT_TRUE(LevelCompiled(Level::kScalar));
+  EXPECT_TRUE(LevelSupported(Level::kScalar));
+  // The two vector ISAs are mutually exclusive per target.
+  EXPECT_FALSE(LevelCompiled(Level::kAvx2) && LevelCompiled(Level::kNeon));
+}
+
+TEST(SimdDispatchTest, KernelsThrowForUncompiledLevels) {
+  for (const Level level : {Level::kAvx2, Level::kNeon}) {
+    if (!LevelCompiled(level)) {
+      EXPECT_THROW(Kernels(level), std::invalid_argument);
+    }
+    if (!LevelSupported(level)) {
+      EXPECT_THROW(SetActiveLevelForTesting(level), std::invalid_argument);
+    }
+  }
+  // Kernel tables of compiled levels are fully populated.
+  for (const Level level : SupportedLevels()) {
+    const KernelSet& ks = Kernels(level);
+    EXPECT_NE(ks.axpy, nullptr);
+    EXPECT_NE(ks.matmul_rows, nullptr);
+    EXPECT_NE(ks.matmul_tb_rows, nullptr);
+    EXPECT_NE(ks.gemm_s8, nullptr);
+  }
+}
+
+TEST(SimdDispatchTest, SetActiveLevelForTestingRetargetsActiveKernels) {
+  const Level best = BestSupportedLevel();
+  for (const Level level : SupportedLevels()) {
+    SetActiveLevelForTesting(level);
+    EXPECT_EQ(ActiveLevel(), level);
+    EXPECT_EQ(&ActiveKernels(), &Kernels(level));
+  }
+  SetActiveLevelForTesting(best);
+  EXPECT_EQ(ActiveLevel(), best);
+}
+
+}  // namespace
+}  // namespace nai::tensor::simd
