@@ -181,15 +181,15 @@ int main(int argc, char** argv) {
   const auto base_snapshot = graph::MakeSnapshot(
       ds.data.graph, ds.data.features, pipeline.model_config.gamma);
   const auto merged = graph::MergeFromScratch(*base_snapshot, deltas);
-  core::StationaryState merged_stationary(merged->graph, merged->features,
+  core::StationaryState merged_stationary(merged->graph(), merged->features(),
                                           pipeline.model_config.gamma);
-  core::NaiEngine reference(merged->graph, merged->features,
+  core::NaiEngine reference(merged->graph(), merged->features(),
                             pipeline.model_config.gamma, *pipeline.classifiers,
                             &merged_stationary, pipeline.gates.get());
 
   // Verify list: every test node plus every node the churn inserted.
   std::vector<std::int32_t> verify_nodes = test;
-  for (std::int64_t v = base_nodes; v < merged->graph.num_nodes(); ++v) {
+  for (std::int64_t v = base_nodes; v < merged->num_nodes(); ++v) {
     verify_nodes.push_back(static_cast<std::int32_t>(v));
   }
   const core::InferenceResult ref_speed = reference.Infer(

@@ -11,10 +11,15 @@ namespace nai::bench {
 
 /// Shared CLI entry for every bench target: consumes the `--threads N`
 /// flag (default-pool size; NAI_THREADS is the env-side equivalent) and
-/// prints the pool size so logged runs are self-describing.
+/// the `--store B` flag (snapshot storage backend, exported as NAI_STORE
+/// for the harness factories), and prints them so logged runs are
+/// self-describing. The store line is announced only off the default so
+/// mem-backend logs stay byte-identical to previous releases.
 inline int ApplyThreadsFlag(int& argc, char** argv) {
   const int threads = runtime::ApplyThreadsFlag(argc, argv);
   std::printf("threads: %d\n", threads);
+  const char* store = runtime::ApplyStoreFlag(argc, argv);
+  if (std::string(store) != "mem") std::printf("store: %s\n", store);
   return threads;
 }
 

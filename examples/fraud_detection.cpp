@@ -55,6 +55,7 @@ LatencyStats Stream(core::NaiEngine& engine, const eval::PreparedDataset& ds,
 int main(int argc, char** argv) {
   using namespace nai;
   runtime::ApplyThreadsFlag(argc, argv);  // shared --threads flag (or NAI_THREADS)
+  runtime::ApplyStoreFlag(argc, argv);    // --store mem|mmap (or NAI_STORE)
   // The "account graph": heavy-tailed degrees like a payments network.
   // Suspicious-account class = one of the generator's planted classes.
   const eval::PreparedDataset ds = eval::Prepare(eval::ProductsSim(0.3));

@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace nai;
   runtime::ApplyThreadsFlag(argc, argv);  // shared --threads flag (or NAI_THREADS)
+  runtime::ApplyStoreFlag(argc, argv);    // --store mem|mmap (or NAI_STORE)
 
   const eval::PreparedDataset ds = eval::Prepare(eval::ArxivSim(0.4));
   eval::PipelineConfig config;

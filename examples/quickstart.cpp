@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace nai;
   runtime::ApplyThreadsFlag(argc, argv);  // shared --threads flag (or NAI_THREADS)
+  runtime::ApplyStoreFlag(argc, argv);    // --store mem|mmap (or NAI_STORE)
 
   // 1-2. A small dataset with the inductive split already prepared.
   //      (Real deployments construct graph::Graph from their own edges and

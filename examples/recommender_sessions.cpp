@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace nai;
   runtime::ApplyThreadsFlag(argc, argv);  // shared --threads flag (or NAI_THREADS)
+  runtime::ApplyStoreFlag(argc, argv);    // --store mem|mmap (or NAI_STORE)
 
   const eval::PreparedDataset ds = eval::Prepare(eval::FlickrSim(0.5));
   std::printf("interaction graph: %lld nodes, %lld edges; %zu live "

@@ -66,7 +66,7 @@ stage_asan() {
   for simd in scalar ""; do
     NAI_SIMD="${simd}" NAI_THREADS=1 ctest --test-dir "${BUILD_DIR}" \
       --output-on-failure -j "${JOBS}" \
-      -R 'runtime/|tensor/ops|tensor/kernel_parity|tensor/simd_dispatch|graph/csr|graph/shard|graph/delta|core/inference|core/sharded|serve/|integration/algorithm1'
+      -R 'runtime/|tensor/ops|tensor/kernel_parity|tensor/simd_dispatch|graph/csr|graph/shard|graph/delta|core/inference|core/sharded|serve/|storage/|integration/algorithm1'
   done
 }
 
@@ -88,9 +88,10 @@ stage_tsan() {
     core_sharded_inference_test \
     graph_shard_test graph_delta_test serve_request_queue_test \
     serve_batcher_test serve_scheduler_test serve_serving_engine_test \
-    serve_result_cache_test serve_snapshot_swap_test
+    serve_result_cache_test serve_snapshot_swap_test \
+    storage_store_test storage_mmap_engine_test
   ctest --test-dir "${tsan_dir}" --output-on-failure -j "${JOBS}" \
-    -R 'runtime/thread_pool|tensor/ops|tensor/kernel_parity|tensor/simd_dispatch|graph/csr|graph/shard|graph/delta|core/inference|core/sharded|serve/'
+    -R 'runtime/thread_pool|tensor/ops|tensor/kernel_parity|tensor/simd_dispatch|graph/csr|graph/shard|graph/delta|core/inference|core/sharded|serve/|storage/'
 }
 
 stage_format() {
@@ -111,13 +112,20 @@ stage_bench() {
   # enforces the scalar-vs-SIMD MatMul speedup gate on vector hosts.
   cmake -B "${BUILD_DIR}-release" -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build "${BUILD_DIR}-release" -j "${JOBS}" \
-    --target bench_serving_qos bench_update_churn bench_kernels
+    --target bench_serving_qos bench_update_churn bench_kernels \
+    bench_outofcore
   NAI_SCALE="${NAI_BENCH_SCALE:-0.1}" "${BUILD_DIR}-release/bench_serving_qos" \
     --shards 2 --threads 2 --qos 50 --json BENCH_serving.json
   NAI_SCALE="${NAI_BENCH_SCALE:-0.1}" "${BUILD_DIR}-release/bench_update_churn" \
     --shards 2 --threads 2 --json BENCH_serving.json
   "${BUILD_DIR}-release/bench_kernels" --threads 2 --json BENCH_serving.json
   echo "bench smoke wrote $(pwd)/BENCH_serving.json"
+  # Out-of-core smoke: the mem-vs-mmap exactness gate at full strength plus
+  # a capped scaled sweep (NAI_SCALE shrinks the graph sizes; --requests
+  # bounds the Zipf load) writing the BENCH_outofcore.json artifact.
+  NAI_SCALE="${NAI_BENCH_SCALE:-0.02}" "${BUILD_DIR}-release/bench_outofcore" \
+    --threads 2 --requests 4000 --json BENCH_outofcore.json
+  echo "out-of-core smoke wrote $(pwd)/BENCH_outofcore.json"
 }
 
 run_stage() {

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
-#include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "src/runtime/error.h"
+#include "src/storage/feature_adapters.h"
 #include "src/tensor/ops.h"
 
 namespace nai::core {
@@ -25,7 +26,7 @@ double MsSince(Clock::time_point start) {
 /// caller-provided scratch sized |support|, all false on entry and restored
 /// to all false on exit.
 std::vector<std::int32_t> RadiusBfs(
-    const graph::Csr& global, const std::vector<std::int32_t>& nodes,
+    graph::CsrView global, const std::vector<std::int32_t>& nodes,
     const std::vector<std::int32_t>& global_to_local,
     const std::vector<std::int32_t>& seeds, int radius,
     std::vector<char>& visited) {
@@ -59,12 +60,35 @@ std::vector<std::int32_t> RadiusBfs(
 }
 
 /// Sum of global-row nnz over a list of local rows.
-std::int64_t RowListNnz(const graph::Csr& global,
+std::int64_t RowListNnz(graph::CsrView global,
                         const std::vector<std::int32_t>& nodes,
                         const std::vector<std::int32_t>& local_rows) {
   std::int64_t nnz = 0;
   for (const std::int32_t r : local_rows) nnz += global.RowNnz(nodes[r]);
   return nnz;
+}
+
+const graph::GraphSnapshot& RequireSnapshot(
+    const std::shared_ptr<const graph::GraphSnapshot>& snapshot) {
+  if (snapshot == nullptr) {
+    throw ValidationError("NaiEngine: null snapshot");
+  }
+  return *snapshot;
+}
+
+/// Stationary view over the snapshot's pooled vector, whatever backend the
+/// snapshot's stores have.
+std::unique_ptr<StationaryState> BuildStationary(
+    const graph::GraphSnapshot& snapshot) {
+  const tensor::Matrix* pooled = snapshot.feature_store->stationary_pooled();
+  if (pooled == nullptr) {
+    throw ValidationError(
+        "NaiEngine: snapshot's feature store carries no pooled stationary "
+        "vector; pass EngineOptions{.use_stationary = false} for "
+        "NapKind::kNone-only serving");
+  }
+  return std::make_unique<StationaryState>(
+      StationaryState::FromPooled(snapshot.adj(), *pooled, snapshot.gamma));
 }
 
 }  // namespace
@@ -97,85 +121,97 @@ void InferenceStats::Accumulate(const InferenceStats& other) {
   }
 }
 
+NaiEngine NaiEngine::FromSnapshot(
+    std::shared_ptr<const graph::GraphSnapshot> snapshot,
+    ClassifierStack& classifiers, EngineOptions options) {
+  NaiEngine engine(std::move(snapshot), classifiers, options.gates,
+                   options.use_stationary, options.ctx);
+  engine.AttachQuantizedClassifiers(options.quantized);
+  return engine;
+}
+
 NaiEngine::NaiEngine(const graph::Graph& full_graph,
                      const tensor::Matrix& features, float gamma,
                      ClassifierStack& classifiers,
                      const StationaryState* stationary, const GateStack* gates,
                      runtime::ExecContext ctx)
-    : features_(&features),
+    : owned_features_(
+          std::make_unique<storage::BorrowedFeatureStore>(&features)),
+      features_(owned_features_.get()),
       classifiers_(&classifiers),
       stationary_(stationary),
       gates_(gates),
       ctx_(ctx),
       owned_norm_adj_(graph::NormalizedAdjacency(full_graph, gamma)),
-      norm_adj_(&owned_norm_adj_),
-      sampler_(owned_norm_adj_) {}
+      norm_adj_(owned_norm_adj_.view()),
+      sampler_(norm_adj_) {}
 
 NaiEngine::NaiEngine(graph::Csr norm_adj, const tensor::Matrix& features,
                      ClassifierStack& classifiers,
                      const StationaryState* stationary, const GateStack* gates,
                      runtime::ExecContext ctx)
-    : features_(&features),
+    : owned_features_(
+          std::make_unique<storage::BorrowedFeatureStore>(&features)),
+      features_(owned_features_.get()),
       classifiers_(&classifiers),
       stationary_(stationary),
       gates_(gates),
       ctx_(ctx),
       owned_norm_adj_(std::move(norm_adj)),
-      norm_adj_(&owned_norm_adj_),
-      sampler_(owned_norm_adj_) {}
+      norm_adj_(owned_norm_adj_.view()),
+      sampler_(norm_adj_) {}
 
-namespace {
-
-const graph::GraphSnapshot& RequireSnapshot(
-    const std::shared_ptr<const graph::GraphSnapshot>& snapshot) {
-  if (snapshot == nullptr) {
-    throw std::invalid_argument("NaiEngine: null snapshot");
+NaiEngine::NaiEngine(graph::Csr norm_adj,
+                     std::shared_ptr<const storage::FeatureStore> features,
+                     ClassifierStack& classifiers,
+                     const StationaryState* stationary, const GateStack* gates,
+                     runtime::ExecContext ctx)
+    : shared_features_(std::move(features)),
+      features_(shared_features_.get()),
+      classifiers_(&classifiers),
+      stationary_(stationary),
+      gates_(gates),
+      ctx_(ctx),
+      owned_norm_adj_(std::move(norm_adj)),
+      norm_adj_(owned_norm_adj_.view()),
+      sampler_(norm_adj_) {
+  if (features_ == nullptr) {
+    throw ValidationError("NaiEngine: null feature store");
   }
-  return *snapshot;
 }
-
-}  // namespace
 
 NaiEngine::NaiEngine(std::shared_ptr<const graph::GraphSnapshot> snapshot,
                      ClassifierStack& classifiers, const GateStack* gates,
                      bool use_stationary, runtime::ExecContext ctx)
     : snapshot_((RequireSnapshot(snapshot), std::move(snapshot))),
-      owned_stationary_(
-          use_stationary
-              ? std::make_unique<StationaryState>(StationaryState::FromPooled(
-                    snapshot_->graph, snapshot_->stationary_pooled,
-                    snapshot_->gamma))
-              : nullptr),
-      features_(&snapshot_->features),
+      owned_stationary_(use_stationary ? BuildStationary(*snapshot_)
+                                       : nullptr),
+      features_(snapshot_->feature_store.get()),
       classifiers_(&classifiers),
       stationary_(owned_stationary_.get()),
       gates_(gates),
       ctx_(ctx),
-      norm_adj_(&snapshot_->norm_adj),
-      sampler_(*norm_adj_) {}
+      norm_adj_(snapshot_->norm_adj()),
+      sampler_(norm_adj_) {}
 
 void NaiEngine::SwapSnapshot(
     std::shared_ptr<const graph::GraphSnapshot> snapshot) {
   if (snapshot_ == nullptr) {
-    throw std::logic_error(
+    throw ValidationError(
         "NaiEngine::SwapSnapshot: engine was built on borrowed graph views, "
         "not a snapshot handle");
   }
   if (snapshot == nullptr) {
-    throw std::invalid_argument("NaiEngine::SwapSnapshot: null snapshot");
+    throw ValidationError("NaiEngine::SwapSnapshot: null snapshot");
   }
   const bool use_stationary = owned_stationary_ != nullptr;
   snapshot_ = std::move(snapshot);
   owned_stationary_ =
-      use_stationary
-          ? std::make_unique<StationaryState>(StationaryState::FromPooled(
-                snapshot_->graph, snapshot_->stationary_pooled,
-                snapshot_->gamma))
-          : nullptr;
+      use_stationary ? BuildStationary(*snapshot_) : nullptr;
   stationary_ = owned_stationary_.get();
-  features_ = &snapshot_->features;
-  norm_adj_ = &snapshot_->norm_adj;
-  sampler_ = graph::SupportSampler(*norm_adj_);
+  features_ = snapshot_->feature_store.get();
+  norm_adj_ = snapshot_->norm_adj();
+  sampler_ = graph::SupportSampler(norm_adj_);
 }
 
 InferenceResult NaiEngine::Infer(const std::vector<std::int32_t>& nodes,
@@ -185,7 +221,7 @@ InferenceResult NaiEngine::Infer(const std::vector<std::int32_t>& nodes,
   const int t_max = config.effective_t_max(k);
   assert(t_max >= 1);
   if (config.int8_classifier && quantized_ == nullptr) {
-    throw std::invalid_argument(
+    throw ValidationError(
         "NaiEngine::Infer: config requests the int8 classifier but no "
         "QuantizedClassifierStack is attached");
   }
@@ -254,7 +290,7 @@ InferenceResult NaiEngine::Infer(const std::vector<std::int32_t>& nodes,
     pool.ParallelFor(0, shards, runtime::ThreadPool::kMinChunkWork,
                      [&](std::size_t s0, std::size_t s1) {
       for (std::size_t s = s0; s < s1; ++s) {
-        graph::SupportSampler sampler(*norm_adj_);
+        graph::SupportSampler sampler(norm_adj_);
         const std::size_t first = s * batches_per_shard;
         run_batches(first, std::min(num_batches, first + batches_per_shard),
                     sampler, shard_stats[s]);
@@ -278,8 +314,8 @@ InferenceResult NaiEngine::InferMixed(
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const ConfiguredQuery& q = queries[i];
     if (q.config == nullptr) {
-      throw std::invalid_argument("NaiEngine::InferMixed: query " +
-                                  std::to_string(i) + " has no config");
+      throw ValidationError("NaiEngine::InferMixed: query " +
+                            std::to_string(i) + " has no config");
     }
     std::size_t g = 0;
     while (g < group_configs.size() && group_configs[g] != q.config) ++g;
@@ -317,7 +353,7 @@ void NaiEngine::InferBatch(const std::vector<std::int32_t>& batch,
                            std::vector<std::int32_t>& out_predictions,
                            std::vector<std::int32_t>& out_depths,
                            InferenceStats& stats) {
-  const std::size_t f = features_->cols();
+  const std::size_t f = features_->dim();
   const std::size_t B = batch.size();
   const int t_min = std::clamp(config.t_min, 1, t_max);
   const bool use_nap = config.nap != NapKind::kNone;
@@ -332,7 +368,7 @@ void NaiEngine::InferBatch(const std::vector<std::int32_t>& batch,
   // Cumulative touched-edge counts per local prefix, for MAC accounting.
   std::vector<std::int64_t> prefix_nnz(support.nodes.size() + 1, 0);
   for (std::size_t r = 0; r < support.nodes.size(); ++r) {
-    prefix_nnz[r + 1] = prefix_nnz[r] + norm_adj_->RowNnz(support.nodes[r]);
+    prefix_nnz[r + 1] = prefix_nnz[r] + norm_adj_.RowNnz(support.nodes[r]);
   }
   stats.sample_time_ms += MsSince(t0);
 
@@ -388,14 +424,14 @@ void NaiEngine::InferBatch(const std::vector<std::int32_t>& batch,
     // everything within (t_max - l) hops of the active batch nodes.
     auto tf = Clock::now();
     if (use_row_list) {
-      graph::SpMMMappedRows(*norm_adj_, support.nodes, g2l, cur,
+      graph::SpMMMappedRows(norm_adj_, support.nodes, g2l, cur,
                             rows_to_compute, next, ctx_);
       stats.propagation_macs +=
-          RowListNnz(*norm_adj_, support.nodes, rows_to_compute) *
+          RowListNnz(norm_adj_, support.nodes, rows_to_compute) *
           static_cast<std::int64_t>(f);
     } else {
       const std::int64_t limit = support.layer_counts[t_max - l];
-      graph::SpMMMappedPrefix(*norm_adj_, support.nodes, g2l, cur, limit,
+      graph::SpMMMappedPrefix(norm_adj_, support.nodes, g2l, cur, limit,
                               next, ctx_);
       stats.propagation_macs +=
           prefix_nnz[limit] * static_cast<std::int64_t>(f);
@@ -439,7 +475,7 @@ void NaiEngine::InferBatch(const std::vector<std::int32_t>& batch,
     if (config.shrink_active_support && !exited.empty()) {
       // The supporting set for the remaining hops only needs to cover the
       // still-active nodes' (t_max - l - 1)-hop neighborhoods.
-      rows_to_compute = RadiusBfs(*norm_adj_, support.nodes, g2l, active,
+      rows_to_compute = RadiusBfs(norm_adj_, support.nodes, g2l, active,
                                   t_max - l - 1, bfs_visited);
       use_row_list = true;
     }

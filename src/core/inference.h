@@ -14,6 +14,7 @@
 #include "src/graph/normalize.h"
 #include "src/graph/sampler.h"
 #include "src/runtime/exec_context.h"
+#include "src/storage/store.h"
 #include "src/tensor/matrix.h"
 
 namespace nai::core {
@@ -49,7 +50,7 @@ struct InferenceConfig {
   /// of the serving tier kThroughputFirst. Propagation and NAP decisions
   /// stay in float, so exit depths are unchanged; only the classifier MLP
   /// runs INT8. Engines reject configs with this set when no quantized
-  /// stack is attached (std::invalid_argument).
+  /// stack is attached (nai::ValidationError).
   bool int8_classifier = false;
 
   /// The depth the engine actually propagates to for a classifier bank of
@@ -119,16 +120,36 @@ struct InferenceResult {
   InferenceStats stats;
 };
 
+/// Everything optional about engine construction, gathered so the one
+/// blessed entry point (NaiEngine::FromSnapshot) stays a two-argument call
+/// in the common case. Defaults serve NAPd/NAPnone float inference on the
+/// calling thread's default pool.
+struct EngineOptions {
+  /// Trained NAPg gates; required only for NapKind::kGate configs. Borrowed.
+  const GateStack* gates = nullptr;
+  /// Build the stationary view from the snapshot's pooled vector. Disable
+  /// only for NapKind::kNone-only serving (skips an O(n)-free rank-1 setup).
+  bool use_stationary = true;
+  /// INT8 classifier bank for `int8_classifier` configs. Borrowed.
+  QuantizedClassifierStack* quantized = nullptr;
+  runtime::ExecContext ctx = {};
+};
+
 /// The NAI online-propagation inference engine (Algorithm 1).
 ///
-/// Owns nothing: the full inference-time graph (training nodes + unseen
-/// nodes), its features, the trained classifier bank, the stationary state
-/// and (optionally) the trained gates are all borrowed and must outlive the
-/// engine. Batches are processed independently: supporting nodes are
-/// sampled to T_max hops, features are propagated hop by hop over the
-/// induced subgraph, and after every hop in [T_min, T_max) the NAP module
-/// retires nodes whose features are smooth enough, which shrinks the
-/// remaining propagation frontier.
+/// The blessed way to build one is `NaiEngine::FromSnapshot`: the engine
+/// holds the graph through a shared GraphSnapshot handle and reads
+/// adjacency and features through the storage interfaces
+/// (storage::GraphStore / storage::FeatureStore), so serving is identical —
+/// bit-exact — whether the snapshot is backed by in-memory pooled vectors
+/// or a memory-mapped file. The classifier bank, gates and quantized stack
+/// are borrowed and must outlive the engine.
+///
+/// Batches are processed independently: supporting nodes are sampled to
+/// T_max hops, features are propagated hop by hop over the induced
+/// subgraph, and after every hop in [T_min, T_max) the NAP module retires
+/// nodes whose features are smooth enough, which shrinks the remaining
+/// propagation frontier.
 ///
 /// Threading: kernels run on the pool of the engine's ExecContext, and
 /// `InferenceConfig::inter_batch_parallelism` additionally executes the
@@ -138,29 +159,48 @@ struct InferenceResult {
 /// order-independent for every thread count).
 class NaiEngine {
  public:
+  /// The consolidated construction entry point: serve the graph held by
+  /// `snapshot` (any storage backend) with the given classifier bank.
+  /// Everything else — gates, stationary view, INT8 bank, exec context —
+  /// rides in `options`. Throws nai::ValidationError on a null snapshot or
+  /// when `use_stationary` is set but the snapshot's store carries no
+  /// pooled stationary vector.
+  static NaiEngine FromSnapshot(
+      std::shared_ptr<const graph::GraphSnapshot> snapshot,
+      ClassifierStack& classifiers, EngineOptions options = {});
+
+  /// Deprecated: prefer FromSnapshot (wrap the graph with
+  /// graph::MakeSnapshot). Borrows the graph and features; computes the
+  /// normalized adjacency at construction.
   NaiEngine(const graph::Graph& full_graph, const tensor::Matrix& features,
             float gamma, ClassifierStack& classifiers,
             const StationaryState* stationary, const GateStack* gates,
             runtime::ExecContext ctx = {});
 
-  /// Variant that takes the normalized adjacency directly instead of
-  /// computing it from a graph. This is how ShardedNaiEngine builds its
-  /// per-shard engines: the shard's adjacency is a submatrix of the *full
-  /// graph's* normalized adjacency, so edge weights reflect global degrees
-  /// (re-normalizing the induced subgraph would distort halo-boundary
-  /// weights and break bit-exactness with the unsharded engine).
-  /// `features` rows and `stationary` node ids are in the adjacency's id
-  /// space.
+  /// Deprecated: prefer FromSnapshot. Takes the normalized adjacency
+  /// directly instead of computing it from a graph. This is how
+  /// ShardedNaiEngine builds its per-shard engines: the shard's adjacency
+  /// is a submatrix of the *full graph's* normalized adjacency, so edge
+  /// weights reflect global degrees (re-normalizing the induced subgraph
+  /// would distort halo-boundary weights and break bit-exactness with the
+  /// unsharded engine). `features` rows and `stationary` node ids are in
+  /// the adjacency's id space.
   NaiEngine(graph::Csr norm_adj, const tensor::Matrix& features,
             ClassifierStack& classifiers, const StationaryState* stationary,
             const GateStack* gates, runtime::ExecContext ctx = {});
 
-  /// Snapshot-backed variant: the engine holds the graph through a shared
-  /// snapshot handle (graph, features, normalized adjacency and pooled
-  /// stationary vector all come from — and are kept alive by — the
-  /// snapshot). `use_stationary` = false skips building the stationary view
-  /// (NapKind::kNone-only serving). Results are bit-identical to the
-  /// graph-based constructor on the snapshot's graph.
+  /// Store-fed variant of the adjacency constructor: feature rows come
+  /// through a FeatureStore the engine shares ownership of. This is the
+  /// sharded engine's per-shard path — a storage::SlicedFeatureStore over
+  /// the snapshot's (possibly memory-mapped) feature store, so shards never
+  /// gather private feature copies.
+  NaiEngine(graph::Csr norm_adj,
+            std::shared_ptr<const storage::FeatureStore> features,
+            ClassifierStack& classifiers, const StationaryState* stationary,
+            const GateStack* gates, runtime::ExecContext ctx = {});
+
+  /// Deprecated: prefer FromSnapshot (this is its implementation; the
+  /// positional flags predate EngineOptions).
   NaiEngine(std::shared_ptr<const graph::GraphSnapshot> snapshot,
             ClassifierStack& classifiers, const GateStack* gates,
             bool use_stationary = true, runtime::ExecContext ctx = {});
@@ -170,8 +210,8 @@ class NaiEngine {
   /// handle. Not thread-safe — the caller must ensure no Infer is in
   /// flight (the sharded engine instead builds fresh per-shard engines and
   /// swaps them atomically; this entry serves the unsharded API). Throws
-  /// std::logic_error on an engine built from borrowed views and
-  /// std::invalid_argument on a null snapshot.
+  /// nai::ValidationError on an engine built from borrowed views or on a
+  /// null snapshot.
   void SwapSnapshot(std::shared_ptr<const graph::GraphSnapshot> snapshot);
 
   /// The snapshot this engine serves from; nullptr for engines built on
@@ -193,7 +233,7 @@ class NaiEngine {
 
   /// Classifies `nodes` (global ids in the full graph). Thread-compatible
   /// but not thread-safe (shared sampler scratch). Throws
-  /// std::invalid_argument when `config.int8_classifier` is set with no
+  /// nai::ValidationError when `config.int8_classifier` is set with no
   /// quantized stack attached.
   InferenceResult Infer(const std::vector<std::int32_t>& nodes,
                         const InferenceConfig& config);
@@ -205,11 +245,13 @@ class NaiEngine {
   /// bit-identical to a direct Infer call on that group's node list.
   /// Results are scattered back into caller order; stats are the groups'
   /// merged via InferenceStats::Accumulate (num_nodes / wall_time_ms set
-  /// once for the whole call). Throws std::invalid_argument on a null
+  /// once for the whole call). Throws nai::ValidationError on a null
   /// config pointer.
   InferenceResult InferMixed(const std::vector<ConfiguredQuery>& queries);
 
-  const graph::Csr& norm_adj() const { return *norm_adj_; }
+  /// View of the normalized adjacency the engine propagates over (points
+  /// into the snapshot's store or the engine's owned copy).
+  graph::CsrView norm_adj() const { return norm_adj_; }
 
   const runtime::ExecContext& exec_context() const { return ctx_; }
 
@@ -227,16 +269,22 @@ class NaiEngine {
   /// The stationary view a snapshot-backed engine derives from the
   /// snapshot's pooled vector (null otherwise; `stationary_` points here).
   std::unique_ptr<StationaryState> owned_stationary_;
-  const tensor::Matrix* features_;
+  /// Feature access always goes through a FeatureStore. Exactly one of:
+  /// the snapshot's store (kept alive by snapshot_), a shared store
+  /// (shared_features_), or an owned adapter over a borrowed matrix
+  /// (owned_features_, for the deprecated matrix constructors).
+  std::shared_ptr<const storage::FeatureStore> shared_features_;
+  std::unique_ptr<const storage::FeatureStore> owned_features_;
+  const storage::FeatureStore* features_;
   ClassifierStack* classifiers_;
   QuantizedClassifierStack* quantized_ = nullptr;
   const StationaryState* stationary_;
   const GateStack* gates_;
   runtime::ExecContext ctx_;
   /// Owned storage for the borrowed-view constructors; snapshot-backed
-  /// engines leave it empty and point norm_adj_ into the snapshot.
+  /// engines leave it empty and point norm_adj_ into the snapshot's store.
   graph::Csr owned_norm_adj_;
-  const graph::Csr* norm_adj_;
+  graph::CsrView norm_adj_;
   graph::SupportSampler sampler_;
 };
 

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "src/graph/normalize.h"
+#include "src/runtime/error.h"
+#include "src/storage/feature_adapters.h"
 
 namespace nai::core {
 
@@ -26,6 +28,11 @@ double MsSince(Clock::time_point start) {
 /// subgraph preserves the global distances — this is exactly the
 /// steal-eligibility data CanServeFromShard needs.
 std::vector<std::int32_t> HaloDepths(const graph::GraphShard& shard) {
+  if (shard.num_halo() == 0) {
+    // Every node is owned (depth 0). IdentityShards shards take this path —
+    // they carry no materialized subgraph to BFS over.
+    return std::vector<std::int32_t>(shard.nodes.size(), 0);
+  }
   std::vector<std::int32_t> depth(shard.nodes.size(), -1);
   std::vector<std::int32_t> frontier;
   for (const std::int32_t global : shard.owned) {
@@ -51,17 +58,27 @@ std::vector<std::int32_t> HaloDepths(const graph::GraphShard& shard) {
   return depth;
 }
 
+/// An IdentityShards shard: owns everything, no halo, no materialized
+/// subgraph. Its engine is built straight on the snapshot instead of an
+/// induced submatrix — the out-of-core fast path.
+bool IsIdentityShard(const graph::GraphShard& shard) {
+  return shard.num_owned() > 0 && shard.num_halo() == 0 &&
+         shard.graph.num_nodes() == 0;
+}
+
 }  // namespace
 
 std::shared_ptr<const ShardedNaiEngine::ShardState>
 ShardedNaiEngine::BuildState(
     std::shared_ptr<const graph::GraphSnapshot> snapshot,
-    graph::ShardedGraph sharded, const tensor::Matrix& features,
-    const graph::Csr& global_norm, const tensor::Matrix* pooled) {
+    graph::ShardedGraph sharded,
+    std::shared_ptr<const storage::FeatureStore> features,
+    graph::CsrView global_norm, const tensor::Matrix* pooled) {
   auto state = std::make_shared<ShardState>();
   state->snapshot = std::move(snapshot);
   state->version = state->snapshot != nullptr ? state->snapshot->version : 0;
   state->sharded = std::move(sharded);
+  state->base_features = std::move(features);
   const std::size_t num_shards = state->sharded.num_shards();
 
   state->halo_depth.reserve(num_shards);
@@ -70,12 +87,16 @@ ShardedNaiEngine::BuildState(
   state->engines.reserve(num_shards);
   for (const graph::GraphShard& shard : state->sharded.shards) {
     state->halo_depth.push_back(HaloDepths(shard));
-    if (shard.num_owned() == 0) {
-      state->shard_features.emplace_back();
+    if (shard.num_owned() == 0 || IsIdentityShard(shard)) {
+      // Empty shards get no views; identity shards serve straight from the
+      // snapshot's stores and need no per-shard slice or stationary view.
+      state->shard_features.push_back(nullptr);
       state->shard_stationary.push_back(nullptr);
       continue;
     }
-    state->shard_features.push_back(features.GatherRows(shard.nodes));
+    state->shard_features.push_back(
+        std::make_shared<storage::SlicedFeatureStore>(state->base_features,
+                                                      shard.nodes));
     // Shard-local stationary view: same pooled vector, degrees from the
     // shard graph. Owned nodes (the only ones ever queried) keep their full
     // neighbor list whenever halo_hops >= 1, so their rows are identical to
@@ -87,7 +108,8 @@ ShardedNaiEngine::BuildState(
                   shard.graph, *pooled, gamma_)));
   }
   for (std::size_t s = 0; s < num_shards; ++s) {
-    if (state->sharded.shards[s].num_owned() == 0) {
+    const graph::GraphShard& shard = state->sharded.shards[s];
+    if (shard.num_owned() == 0) {
       state->engines.push_back(nullptr);
       continue;
     }
@@ -98,11 +120,19 @@ ShardedNaiEngine::BuildState(
     }
     runtime::ExecContext ctx;
     ctx.pool = pools_[s].get();
-    state->engines.push_back(std::make_unique<NaiEngine>(
-        graph::InducedSubmatrix(global_norm, state->sharded.shards[s].nodes,
-                                state->sharded.shards[s].global_to_local),
-        state->shard_features[s], *classifiers_,
-        state->shard_stationary[s].get(), gates_, ctx));
+    if (IsIdentityShard(shard)) {
+      // Global and local ids coincide, so the snapshot-backed engine serves
+      // the shard's routed queries directly, reading adjacency and features
+      // through the snapshot's (possibly memory-mapped) stores.
+      state->engines.push_back(std::make_unique<NaiEngine>(
+          state->snapshot, *classifiers_, gates_, pooled != nullptr, ctx));
+    } else {
+      state->engines.push_back(std::make_unique<NaiEngine>(
+          graph::InducedSubmatrix(global_norm, shard.nodes,
+                                  shard.global_to_local),
+          state->shard_features[s], *classifiers_,
+          state->shard_stationary[s].get(), gates_, ctx));
+    }
     // Carry the INT8 classifier bank across swaps: the quantized stack is
     // full-graph-scoped (it holds no propagated state), so successive
     // states' engines all share the one attachment.
@@ -124,11 +154,11 @@ ShardedNaiEngine::ShardedNaiEngine(const graph::Graph& full_graph,
       num_shards_(sharded.num_shards()),
       halo_hops_(sharded.halo_hops) {
   if (num_shards_ == 0) {
-    throw std::invalid_argument("ShardedNaiEngine: no shards");
+    throw ValidationError("ShardedNaiEngine: no shards");
   }
   if (static_cast<std::int64_t>(sharded.owner.size()) !=
       full_graph.num_nodes()) {
-    throw std::invalid_argument(
+    throw ValidationError(
         "ShardedNaiEngine: sharding covers " +
         std::to_string(sharded.owner.size()) + " nodes but the graph has " +
         std::to_string(full_graph.num_nodes()));
@@ -149,8 +179,11 @@ ShardedNaiEngine::ShardedNaiEngine(const graph::Graph& full_graph,
   // Shard adjacencies are cut from the full graph's normalized adjacency so
   // halo-boundary edges keep their global-degree weights.
   const graph::Csr global_norm = graph::NormalizedAdjacency(full_graph, gamma);
-  state_ = BuildState(nullptr, std::move(sharded), features, global_norm,
-                      stationary != nullptr ? &stationary->pooled() : nullptr);
+  state_ = BuildState(
+      nullptr, std::move(sharded),
+      std::make_shared<storage::BorrowedFeatureStore>(&features),
+      global_norm.view(),
+      stationary != nullptr ? &stationary->pooled() : nullptr);
 }
 
 ShardedNaiEngine::ShardedNaiEngine(
@@ -164,18 +197,18 @@ ShardedNaiEngine::ShardedNaiEngine(
       num_shards_(sharded.num_shards()),
       halo_hops_(sharded.halo_hops) {
   if (snapshot == nullptr) {
-    throw std::invalid_argument("ShardedNaiEngine: null snapshot");
+    throw ValidationError("ShardedNaiEngine: null snapshot");
   }
   if (num_shards_ == 0) {
-    throw std::invalid_argument("ShardedNaiEngine: no shards");
+    throw ValidationError("ShardedNaiEngine: no shards");
   }
   if (static_cast<std::int64_t>(sharded.owner.size()) !=
-      snapshot->graph.num_nodes()) {
-    throw std::invalid_argument(
+      snapshot->num_nodes()) {
+    throw ValidationError(
         "ShardedNaiEngine: sharding covers " +
         std::to_string(sharded.owner.size()) +
         " nodes but the snapshot graph has " +
-        std::to_string(snapshot->graph.num_nodes()));
+        std::to_string(snapshot->num_nodes()));
   }
 
   int active_shards = 0;
@@ -189,9 +222,9 @@ ShardedNaiEngine::ShardedNaiEngine(
   pools_.resize(num_shards_);
 
   const graph::GraphSnapshot& snap = *snapshot;
-  state_ = BuildState(snapshot, std::move(sharded), snap.features,
-                      snap.norm_adj,
-                      use_stationary_ ? &snap.stationary_pooled : nullptr);
+  state_ = BuildState(
+      snapshot, std::move(sharded), snap.feature_store, snap.norm_adj(),
+      use_stationary_ ? snap.feature_store->stationary_pooled() : nullptr);
 }
 
 std::shared_ptr<const ShardedNaiEngine::ShardState>
@@ -208,69 +241,73 @@ const ShardedNaiEngine::ShardState& ShardedNaiEngine::CurrentState() const {
 void ShardedNaiEngine::SwapSnapshot(
     std::shared_ptr<const graph::GraphSnapshot> snapshot) {
   if (snapshot == nullptr) {
-    throw std::invalid_argument("ShardedNaiEngine::SwapSnapshot: null snapshot");
+    throw ValidationError("ShardedNaiEngine::SwapSnapshot: null snapshot");
   }
   std::lock_guard<std::mutex> swap_lock(swap_mu_);
   const std::shared_ptr<const ShardState> old = PinState();
   if (old->snapshot == nullptr) {
-    throw std::logic_error(
+    throw ValidationError(
         "ShardedNaiEngine::SwapSnapshot: engine was built on borrowed graph "
         "views, not a snapshot handle");
   }
   const std::int64_t n_old = static_cast<std::int64_t>(old->sharded.owner.size());
-  const std::int64_t n_new = snapshot->graph.num_nodes();
+  const std::int64_t n_new = snapshot->num_nodes();
   if (n_new < n_old) {
-    throw std::invalid_argument(
+    throw ValidationError(
         "ShardedNaiEngine::SwapSnapshot: snapshot has " +
         std::to_string(n_new) + " nodes, fewer than the " +
         std::to_string(n_old) + " currently served (graphs only grow)");
   }
 
-  // Extend the owner assignment: existing owners never move (routing and
-  // cache keys stay stable), new nodes go to the shard owning most of their
-  // already-assigned neighbors — processed in id order, so edges among new
-  // nodes count too. Ties take the lowest shard id; isolated nodes
-  // round-robin by id.
-  std::vector<std::int32_t> owner = old->sharded.owner;
-  owner.resize(n_new);
-  std::vector<std::int32_t> votes(num_shards_, 0);
-  for (std::int64_t v = n_old; v < n_new; ++v) {
-    std::fill(votes.begin(), votes.end(), 0);
-    bool any = false;
-    for (const std::int32_t* it =
-             snapshot->graph.neighbors_begin(static_cast<std::int32_t>(v));
-         it != snapshot->graph.neighbors_end(static_cast<std::int32_t>(v));
-         ++it) {
-      if (*it < v) {
-        ++votes[owner[*it]];
-        any = true;
+  graph::ShardedGraph sharded;
+  if (num_shards_ == 1 && IsIdentityShard(old->sharded.shards[0])) {
+    // Identity partitions stay identity: no owner votes to take and no
+    // subgraph to materialize, whatever the graph grew to.
+    sharded = graph::IdentityShards(n_new, halo_hops_);
+  } else {
+    // Extend the owner assignment: existing owners never move (routing and
+    // cache keys stay stable), new nodes go to the shard owning most of
+    // their already-assigned neighbors — processed in id order, so edges
+    // among new nodes count too. Ties take the lowest shard id; isolated
+    // nodes round-robin by id.
+    std::vector<std::int32_t> owner = old->sharded.owner;
+    owner.resize(n_new);
+    const graph::CsrView adj = snapshot->adj();
+    std::vector<std::int32_t> votes(num_shards_, 0);
+    for (std::int64_t v = n_old; v < n_new; ++v) {
+      std::fill(votes.begin(), votes.end(), 0);
+      bool any = false;
+      for (std::int64_t p = adj.row_ptr[v]; p < adj.row_ptr[v + 1]; ++p) {
+        const std::int32_t u = adj.col_idx[p];
+        if (u < v) {
+          ++votes[owner[u]];
+          any = true;
+        }
       }
-    }
-    std::int32_t best = static_cast<std::int32_t>(v % num_shards_);
-    if (any) {
-      best = 0;
-      for (std::size_t s = 1; s < num_shards_; ++s) {
-        if (votes[s] > votes[best]) best = static_cast<std::int32_t>(s);
+      std::int32_t best = static_cast<std::int32_t>(v % num_shards_);
+      if (any) {
+        best = 0;
+        for (std::size_t s = 1; s < num_shards_; ++s) {
+          if (votes[s] > votes[best]) best = static_cast<std::int32_t>(s);
+        }
       }
+      owner[v] = best;
     }
-    owner[v] = best;
+    sharded = graph::MakeShards(adj, std::move(owner), halo_hops_);
   }
-
-  graph::ShardedGraph sharded =
-      graph::MakeShards(snapshot->graph, std::move(owner), halo_hops_);
   if (sharded.num_shards() != num_shards_) {
     // MakeShards sizes the shard list by max(owner) + 1; a trailing shard
     // that owned nothing at construction would shrink the list here and
     // desynchronize every per-shard index. Refuse rather than misroute.
-    throw std::logic_error(
+    throw ValidationError(
         "ShardedNaiEngine::SwapSnapshot: trailing empty shards are not "
         "supported across swaps");
   }
 
   const graph::GraphSnapshot& snap = *snapshot;
   std::shared_ptr<const ShardState> next = BuildState(
-      snapshot, std::move(sharded), snap.features, snap.norm_adj,
-      use_stationary_ ? &snap.stationary_pooled : nullptr);
+      snapshot, std::move(sharded), snap.feature_store, snap.norm_adj(),
+      use_stationary_ ? snap.feature_store->stationary_pooled() : nullptr);
 
   std::lock_guard<std::mutex> state_lock(state_mu_);
   state_ = std::move(next);
@@ -281,13 +318,13 @@ void ShardedNaiEngine::ValidateConfig(const InferenceConfig& config) const {
   // against the halo via the shared InferenceConfig rule.
   const int t_max = config.effective_t_max(classifiers_->depth());
   if (t_max > halo_hops_) {
-    throw std::invalid_argument(
+    throw ValidationError(
         "ShardedNaiEngine: T_max " + std::to_string(t_max) +
         " exceeds the shard halo of " + std::to_string(halo_hops_) +
         " hops; rebuild the shards with halo_hops >= T_max");
   }
   if (config.int8_classifier && quantized_ == nullptr) {
-    throw std::invalid_argument(
+    throw ValidationError(
         "ShardedNaiEngine: config requests the int8 classifier but no "
         "QuantizedClassifierStack is attached "
         "(AttachQuantizedClassifiers)");
@@ -416,8 +453,8 @@ InferenceResult ShardedNaiEngine::InferMixed(
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const InferenceConfig* c = queries[i].config;
     if (c == nullptr) {
-      throw std::invalid_argument("ShardedNaiEngine::InferMixed: query " +
-                                  std::to_string(i) + " has no config");
+      throw ValidationError("ShardedNaiEngine::InferMixed: query " +
+                            std::to_string(i) + " has no config");
     }
     if (std::find(seen.begin(), seen.end(), c) == seen.end()) {
       ValidateConfig(*c);

@@ -10,6 +10,7 @@
 #include "src/graph/delta.h"
 #include "src/graph/shard.h"
 #include "src/runtime/thread_pool.h"
+#include "src/storage/store.h"
 
 namespace nai::core {
 
@@ -29,6 +30,14 @@ namespace nai::core {
 ///     shard-local degrees of owned nodes (equal to global degrees when
 ///     halo_hops >= 1).
 ///
+/// Shard feature access goes through storage::SlicedFeatureStore over the
+/// state's base feature store, so shards never gather private feature
+/// copies — over an mmap-backed snapshot the whole sharded engine's feature
+/// working set is pages of the one shared file. The degenerate
+/// graph::IdentityShards partition short-circuits further: its single shard
+/// engine is built straight on the snapshot (no induced submatrix at all),
+/// which is the out-of-core serving configuration.
+///
 /// Determinism contract (bit-exact, any shard count, any thread count):
 /// predictions, exit depths, the exit histogram and the nap/stationary/
 /// classification MAC counters all equal the unsharded engine's on the same
@@ -45,7 +54,7 @@ namespace nai::core {
 /// per-shard values describe sub-runs and are never summed).
 ///
 /// Evolving graphs: everything derived from one graph version — the
-/// sharding, halo depths, per-shard features/stationary views and the shard
+/// sharding, halo depths, per-shard feature/stationary views and the shard
 /// engines themselves — lives in one immutable ShardState behind a
 /// shared_ptr. A snapshot-backed engine (snapshot constructor) accepts
 /// SwapSnapshot(new_snapshot): the replacement state is built off the
@@ -73,21 +82,25 @@ class ShardedNaiEngine {
     /// steal-path eligibility data of CanServeFromShard, rebuilt with the
     /// state because a delta can change shard halos.
     std::vector<std::vector<std::int32_t>> halo_depth;
-    /// Per-shard gathered feature rows and stationary views; referenced by
-    /// the shard engines, so they live here (declaration order matters).
-    std::vector<tensor::Matrix> shard_features;
+    /// Full-graph feature store the shard slices read through: the
+    /// snapshot's store, or an adapter over the borrowed matrix.
+    std::shared_ptr<const storage::FeatureStore> base_features;
+    /// Per-shard row-remapped views of base_features and per-shard
+    /// stationary views; referenced by the shard engines, so they live
+    /// here (declaration order matters).
+    std::vector<std::shared_ptr<const storage::FeatureStore>> shard_features;
     std::vector<std::unique_ptr<StationaryState>> shard_stationary;
     std::vector<std::unique_ptr<NaiEngine>> engines;
   };
 
   /// `full_graph` must be the graph `sharded` was built from; `features`,
   /// `classifiers`, `stationary` and `gates` are full-graph-scoped, exactly
-  /// as for NaiEngine (this class gathers per-shard views internally).
+  /// as for NaiEngine (this class derives per-shard views internally).
   /// `total_threads` is divided evenly across shard pools (minimum one
   /// thread each); <= 0 uses the default pool's size.
-  /// Throws std::invalid_argument when `sharded` does not match
+  /// Throws nai::ValidationError when `sharded` does not match
   /// `full_graph` or has no shards. Engines built this way serve a frozen
-  /// graph: SwapSnapshot throws std::logic_error on them.
+  /// graph: SwapSnapshot throws on them.
   ShardedNaiEngine(const graph::Graph& full_graph, graph::ShardedGraph sharded,
                    const tensor::Matrix& features, float gamma,
                    ClassifierStack& classifiers,
@@ -96,11 +109,11 @@ class ShardedNaiEngine {
 
   /// Snapshot-backed variant: the graph, features, normalized adjacency and
   /// pooled stationary vector all come from — and are kept alive by — the
-  /// snapshot handle, which is what makes SwapSnapshot legal later.
-  /// `sharded` must partition the snapshot's graph (same halo discipline as
-  /// above); `use_stationary` = false skips the stationary views
-  /// (NapKind::kNone-only serving). Results are bit-identical to the
-  /// borrowed-view constructor on the same graph.
+  /// snapshot handle (any storage backend), which is what makes
+  /// SwapSnapshot legal later. `sharded` must partition the snapshot's
+  /// graph (same halo discipline as above); `use_stationary` = false skips
+  /// the stationary views (NapKind::kNone-only serving). Results are
+  /// bit-identical to the borrowed-view constructor on the same graph.
   ShardedNaiEngine(std::shared_ptr<const graph::GraphSnapshot> snapshot,
                    graph::ShardedGraph sharded, ClassifierStack& classifiers,
                    const GateStack* gates, bool use_stationary = true,
@@ -115,8 +128,8 @@ class ShardedNaiEngine {
   /// state is published in one pointer swap. In-flight readers keep the
   /// state they pinned; there is no pause. Safe to call concurrently with
   /// Infer/InferMixed; concurrent SwapSnapshot calls serialize. Throws
-  /// std::logic_error for borrowed-view engines, std::invalid_argument on
-  /// a null or shrinking snapshot.
+  /// nai::ValidationError for borrowed-view engines and on a null or
+  /// shrinking snapshot.
   void SwapSnapshot(std::shared_ptr<const graph::GraphSnapshot> snapshot);
 
   /// Pins the current state: the returned handle stays valid (and its
@@ -130,7 +143,7 @@ class ShardedNaiEngine {
 
   /// Classifies `nodes` (global ids). Thread-compatible but not
   /// thread-safe, like NaiEngine::Infer. Pins one state for the whole
-  /// call. Throws std::invalid_argument when the effective T_max exceeds
+  /// call. Throws nai::ValidationError when the effective T_max exceeds
   /// halo_hops (the shards cannot support a deeper BFS) and
   /// std::out_of_range for query ids outside the graph.
   InferenceResult Infer(const std::vector<std::int32_t>& nodes,
@@ -157,7 +170,7 @@ class ShardedNaiEngine {
 
   /// Checks that this engine's shards can serve `config`: its effective
   /// T_max must not exceed halo_hops (the shard BFS would leave the shard).
-  /// Throws std::invalid_argument otherwise. Infer/InferMixed call this on
+  /// Throws nai::ValidationError otherwise. Infer/InferMixed call this on
   /// every config; the serving front-end calls it once per QoS policy at
   /// construction, because it bypasses the routed entry points and pumps
   /// the shard engines directly.
@@ -213,8 +226,9 @@ class ShardedNaiEngine {
   /// missing shard pools as a side effect.
   std::shared_ptr<const ShardState> BuildState(
       std::shared_ptr<const graph::GraphSnapshot> snapshot,
-      graph::ShardedGraph sharded, const tensor::Matrix& features,
-      const graph::Csr& global_norm, const tensor::Matrix* pooled);
+      graph::ShardedGraph sharded,
+      std::shared_ptr<const storage::FeatureStore> features,
+      graph::CsrView global_norm, const tensor::Matrix* pooled);
 
   ClassifierStack* classifiers_;
   QuantizedClassifierStack* quantized_ = nullptr;

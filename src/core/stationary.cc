@@ -9,14 +9,20 @@ namespace nai::core {
 
 StationaryState::StationaryState(const graph::Graph& graph,
                                  const tensor::Matrix& features, float gamma)
-    : graph_(&graph),
-      pooled_(graph::PooledStationaryVector(graph, features, gamma)),
-      gamma_(gamma) {}
+    : StationaryState(graph.adjacency().view(),
+                      graph::PooledStationaryVector(graph, features, gamma),
+                      gamma) {}
 
 StationaryState StationaryState::FromPooled(const graph::Graph& graph,
                                             tensor::Matrix pooled,
                                             float gamma) {
-  return StationaryState(&graph, std::move(pooled), gamma);
+  return StationaryState(graph.adjacency().view(), std::move(pooled), gamma);
+}
+
+StationaryState StationaryState::FromPooled(graph::CsrView adj,
+                                            tensor::Matrix pooled,
+                                            float gamma) {
+  return StationaryState(adj, std::move(pooled), gamma);
 }
 
 tensor::Matrix StationaryState::RowsForDegrees(
@@ -35,7 +41,7 @@ tensor::Matrix StationaryState::RowsForNodes(
     const std::vector<std::int32_t>& nodes) const {
   std::vector<float> degrees(nodes.size());
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    degrees[i] = static_cast<float>(graph_->degree(nodes[i]) + 1);
+    degrees[i] = static_cast<float>(adj_.RowNnz(nodes[i]) + 1);
   }
   return RowsForDegrees(degrees);
 }

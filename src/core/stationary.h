@@ -32,6 +32,11 @@ class StationaryState {
   static StationaryState FromPooled(const graph::Graph& graph,
                                     tensor::Matrix pooled, float gamma);
 
+  /// View-based variant: `adj` is the raw symmetric adjacency (any storage
+  /// backend); only its row extents are read, for degrees.
+  static StationaryState FromPooled(graph::CsrView adj, tensor::Matrix pooled,
+                                    float gamma);
+
   /// X^(∞) rows for nodes with the given degrees-with-self-loop (d_i + 1).
   /// Works for unseen nodes too: only their degree is needed.
   tensor::Matrix RowsForDegrees(const std::vector<float>& degrees_with_loops) const;
@@ -45,11 +50,10 @@ class StationaryState {
   float gamma() const { return gamma_; }
 
  private:
-  StationaryState(const graph::Graph* graph, tensor::Matrix pooled,
-                  float gamma)
-      : graph_(graph), pooled_(std::move(pooled)), gamma_(gamma) {}
+  StationaryState(graph::CsrView adj, tensor::Matrix pooled, float gamma)
+      : adj_(adj), pooled_(std::move(pooled)), gamma_(gamma) {}
 
-  const graph::Graph* graph_;
+  graph::CsrView adj_;     // raw adjacency; degrees = RowNnz
   tensor::Matrix pooled_;  // 1 x f
   float gamma_;
 };

@@ -1,5 +1,7 @@
 #include "src/eval/harness.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cassert>
@@ -16,6 +18,9 @@
 #include "src/baselines/tinygnn.h"
 #include "src/graph/normalize.h"
 #include "src/graph/shard.h"
+#include "src/runtime/error.h"
+#include "src/storage/mmap_store.h"
+#include "src/storage/store.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/random.h"
 
@@ -96,15 +101,41 @@ core::QuantizedClassifierStack& TrainedPipeline::QuantizedClassifiers() {
   return *quantized;
 }
 
+std::shared_ptr<const graph::GraphSnapshot> MakeStoreSnapshot(
+    TrainedPipeline& pipeline, const PreparedDataset& ds) {
+  std::shared_ptr<const graph::GraphSnapshot> snapshot = graph::MakeSnapshot(
+      ds.data.graph, ds.data.features, pipeline.model_config.gamma);
+  if (storage::DefaultBackend() != storage::StoreBackend::kMmap) {
+    return snapshot;
+  }
+  // Spill the snapshot to the on-disk layout, reopen it mapped, and unlink
+  // the path: the pages survive only as the mapping, so the run serves out
+  // of core without leaving files behind even on a crash.
+  char path[] = "/tmp/nai_store_XXXXXX";
+  const int fd = ::mkstemp(path);
+  if (fd < 0) throw IoError("MakeStoreSnapshot: mkstemp failed for " +
+                            std::string(path));
+  ::close(fd);
+  try {
+    storage::SaveStore(*snapshot->graph_store, *snapshot->feature_store, path);
+    auto store = std::make_shared<storage::MmapStore>(path);
+    ::unlink(path);
+    return graph::MakeSnapshotFromStore(store, store, snapshot->version);
+  } catch (...) {
+    ::unlink(path);
+    throw;
+  }
+}
+
 std::unique_ptr<core::NaiEngine> MakeEngine(TrainedPipeline& pipeline,
                                             const PreparedDataset& ds,
                                             const runtime::ExecContext& ctx) {
-  auto engine = std::make_unique<core::NaiEngine>(
-      ds.data.graph, ds.data.features, pipeline.model_config.gamma,
-      *pipeline.classifiers, pipeline.full_stationary.get(),
-      pipeline.gates.get(), ctx);
-  engine->AttachQuantizedClassifiers(&pipeline.QuantizedClassifiers());
-  return engine;
+  core::EngineOptions options;
+  options.gates = pipeline.gates.get();
+  options.quantized = &pipeline.QuantizedClassifiers();
+  options.ctx = ctx;
+  return std::make_unique<core::NaiEngine>(core::NaiEngine::FromSnapshot(
+      MakeStoreSnapshot(pipeline, ds), *pipeline.classifiers, options));
 }
 
 std::unique_ptr<core::ShardedNaiEngine> MakeShardedEngine(
@@ -125,10 +156,11 @@ std::unique_ptr<core::ShardedNaiEngine> MakeSnapshotShardedEngine(
     int halo_hops, int total_threads) {
   const int halo =
       halo_hops > 0 ? halo_hops : pipeline.model_config.depth;
-  std::shared_ptr<const graph::GraphSnapshot> snapshot = graph::MakeSnapshot(
-      ds.data.graph, ds.data.features, pipeline.model_config.gamma);
+  std::shared_ptr<const graph::GraphSnapshot> snapshot =
+      MakeStoreSnapshot(pipeline, ds);
   graph::ShardedGraph sharded =
-      graph::MakeShards(snapshot->graph, num_shards, halo);
+      num_shards == 1 ? graph::IdentityShards(snapshot->num_nodes(), halo)
+                      : graph::MakeShards(snapshot->adj(), num_shards, halo);
   auto engine = std::make_unique<core::ShardedNaiEngine>(
       std::move(snapshot), std::move(sharded), *pipeline.classifiers,
       pipeline.gates.get(), /*use_stationary=*/true, total_threads);

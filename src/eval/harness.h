@@ -62,10 +62,23 @@ struct TrainedPipeline {
 TrainedPipeline TrainPipeline(const PreparedDataset& ds,
                               const PipelineConfig& config);
 
+/// Builds the version-0 snapshot the engine factories serve from, honoring
+/// the NAI_STORE / --store backend selector (storage::DefaultBackend): mem
+/// keeps the pooled in-memory store; mmap writes the snapshot to an
+/// anonymous temp file in the storage::MmapStore layout, reopens it
+/// mapped, and unlinks the path — the pages live only as the mapping, so
+/// the whole process reads adjacency, weights and features out of core.
+/// Engines built from the two backends are bit-identical (FeatureStore
+/// rows are copied bit-for-bit).
+std::shared_ptr<const graph::GraphSnapshot> MakeStoreSnapshot(
+    TrainedPipeline& pipeline, const PreparedDataset& ds);
+
 /// Builds the inference engine over the full graph (training + unseen
-/// nodes) for a trained pipeline. `ctx` selects the thread pool the
-/// engine's kernels and inter-batch parallelism run on (default pool —
-/// NAI_THREADS / --threads — when omitted).
+/// nodes) for a trained pipeline, via NaiEngine::FromSnapshot on a
+/// MakeStoreSnapshot snapshot (so NAI_STORE / --store picks the storage
+/// backend). `ctx` selects the thread pool the engine's kernels and
+/// inter-batch parallelism run on (default pool — NAI_THREADS / --threads
+/// — when omitted).
 std::unique_ptr<core::NaiEngine> MakeEngine(
     TrainedPipeline& pipeline, const PreparedDataset& ds,
     const runtime::ExecContext& ctx = {});

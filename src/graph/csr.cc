@@ -67,6 +67,12 @@ std::size_t SpMMGrain(const Csr& csr, std::size_t f) {
   return static_cast<std::size_t>(avg) * std::max<std::size_t>(1, f);
 }
 
+std::size_t SpMMGrain(CsrView csr, std::size_t f) {
+  const std::int64_t avg =
+      csr.rows > 0 ? csr.nnz() / csr.rows + 1 : 1;
+  return static_cast<std::size_t>(avg) * std::max<std::size_t>(1, f);
+}
+
 void SpMMRowRange(const Csr& csr, const tensor::Matrix& dense,
                   std::int64_t r0, std::int64_t r1, tensor::Matrix& out) {
   const std::size_t f = dense.cols();
@@ -129,7 +135,7 @@ void SpMMRows(const Csr& csr, const tensor::Matrix& dense,
 
 namespace {
 
-void SpMMMappedRow(const Csr& global, const std::vector<std::int32_t>& nodes,
+void SpMMMappedRow(CsrView global, const std::vector<std::int32_t>& nodes,
                    const std::vector<std::int32_t>& global_to_local,
                    const tensor::Matrix& dense_local, std::int64_t r,
                    const tensor::simd::KernelSet& ks, tensor::Matrix& out) {
@@ -146,13 +152,13 @@ void SpMMMappedRow(const Csr& global, const std::vector<std::int32_t>& nodes,
 
 }  // namespace
 
-void SpMMMappedPrefix(const Csr& global,
-                      const std::vector<std::int32_t>& nodes,
+void SpMMMappedPrefix(CsrView global, const std::vector<std::int32_t>& nodes,
                       const std::vector<std::int32_t>& global_to_local,
                       const tensor::Matrix& dense_local, std::int64_t limit,
                       tensor::Matrix& out, const runtime::ExecContext& ctx) {
   assert(limit <= static_cast<std::int64_t>(nodes.size()));
   assert(out.rows() == dense_local.rows());
+  assert(global.values != nullptr && "mapped SpMM needs a weighted matrix");
   const tensor::simd::KernelSet& ks = tensor::simd::ActiveKernels();
   ctx.ParallelFor(0, limit, SpMMGrain(global, dense_local.cols()),
                   [&](std::size_t r0, std::size_t r1) {
@@ -163,12 +169,12 @@ void SpMMMappedPrefix(const Csr& global,
   });
 }
 
-void SpMMMappedRows(const Csr& global,
-                    const std::vector<std::int32_t>& nodes,
+void SpMMMappedRows(CsrView global, const std::vector<std::int32_t>& nodes,
                     const std::vector<std::int32_t>& global_to_local,
                     const tensor::Matrix& dense_local,
                     const std::vector<std::int32_t>& rows_to_compute,
                     tensor::Matrix& out, const runtime::ExecContext& ctx) {
+  assert(global.values != nullptr && "mapped SpMM needs a weighted matrix");
   const tensor::simd::KernelSet& ks = tensor::simd::ActiveKernels();
   ctx.ParallelFor(
       0, rows_to_compute.size(), SpMMGrain(global, dense_local.cols()),
@@ -204,7 +210,7 @@ Csr Transpose(const Csr& csr) {
   return out;
 }
 
-Csr InducedSubmatrix(const Csr& csr, const std::vector<std::int32_t>& ids,
+Csr InducedSubmatrix(CsrView csr, const std::vector<std::int32_t>& ids,
                      const std::vector<std::int32_t>& global_to_local) {
   Csr out;
   out.rows = static_cast<std::int64_t>(ids.size());
@@ -231,7 +237,7 @@ Csr InducedSubmatrix(const Csr& csr, const std::vector<std::int32_t>& ids,
       const std::int32_t local = global_to_local[csr.col_idx[p]];
       if (local >= 0) {
         out.col_idx[q] = local;
-        out.values[q] = csr.values[p];
+        out.values[q] = csr.values == nullptr ? 1.0f : csr.values[p];
         ++q;
       }
     }

@@ -9,6 +9,29 @@
 
 namespace nai::graph {
 
+/// Non-owning view of a CSR matrix — the access type every consumer of
+/// graph storage reads through, so the same inference kernels run over
+/// pooled in-memory vectors (Csr) and memory-mapped file sections
+/// (storage::MmapStore) without copies or virtual dispatch in the inner
+/// loops. `values` may be nullptr for unweighted matrices (raw adjacency,
+/// where every stored entry is implicitly 1.0).
+struct CsrView {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  const std::int64_t* row_ptr = nullptr;  ///< rows + 1 entries
+  const std::int32_t* col_idx = nullptr;  ///< nnz() entries
+  const float* values = nullptr;          ///< nnz() entries, or nullptr
+
+  std::int64_t nnz() const { return rows == 0 ? 0 : row_ptr[rows]; }
+
+  /// Number of stored entries in row `r`.
+  std::int64_t RowNnz(std::int64_t r) const {
+    return row_ptr[r + 1] - row_ptr[r];
+  }
+
+  bool empty() const { return rows == 0; }
+};
+
 /// Compressed sparse row matrix with float values. Row pointers are 64-bit
 /// so graphs with >2^31 edges are representable; column indices are 32-bit
 /// node ids (the paper's largest graph has 2.4M nodes).
@@ -30,6 +53,13 @@ struct Csr {
   /// Number of stored entries in row `r`.
   std::int64_t RowNnz(std::int64_t r) const {
     return row_ptr[r + 1] - row_ptr[r];
+  }
+
+  /// Non-owning view over this matrix's buffers. Stays valid across moves
+  /// of the Csr (vector storage is heap-stable) but not across mutation.
+  CsrView view() const {
+    return CsrView{rows, cols, row_ptr.data(), col_idx.data(),
+                   values.empty() ? nullptr : values.data()};
   }
 
   /// Returns true iff all structural invariants hold.
@@ -78,21 +108,38 @@ void SpMMRows(const Csr& csr, const tensor::Matrix& dense,
 /// Every neighbor of a computed row must be present in the mapping
 /// (global_to_local[u] >= 0) — the BFS prefix property guarantees this for
 /// rows within depth-1 hops of the batch.
-void SpMMMappedPrefix(const Csr& global,
-                      const std::vector<std::int32_t>& nodes,
+void SpMMMappedPrefix(CsrView global, const std::vector<std::int32_t>& nodes,
                       const std::vector<std::int32_t>& global_to_local,
                       const tensor::Matrix& dense_local, std::int64_t limit,
                       tensor::Matrix& out,
                       const runtime::ExecContext& ctx = {});
+inline void SpMMMappedPrefix(const Csr& global,
+                             const std::vector<std::int32_t>& nodes,
+                             const std::vector<std::int32_t>& global_to_local,
+                             const tensor::Matrix& dense_local,
+                             std::int64_t limit, tensor::Matrix& out,
+                             const runtime::ExecContext& ctx = {}) {
+  SpMMMappedPrefix(global.view(), nodes, global_to_local, dense_local, limit,
+                   out, ctx);
+}
 
 /// Row-list variant of SpMMMappedPrefix: recomputes only the listed local
 /// rows.
-void SpMMMappedRows(const Csr& global,
-                    const std::vector<std::int32_t>& nodes,
+void SpMMMappedRows(CsrView global, const std::vector<std::int32_t>& nodes,
                     const std::vector<std::int32_t>& global_to_local,
                     const tensor::Matrix& dense_local,
                     const std::vector<std::int32_t>& rows_to_compute,
                     tensor::Matrix& out, const runtime::ExecContext& ctx = {});
+inline void SpMMMappedRows(const Csr& global,
+                           const std::vector<std::int32_t>& nodes,
+                           const std::vector<std::int32_t>& global_to_local,
+                           const tensor::Matrix& dense_local,
+                           const std::vector<std::int32_t>& rows_to_compute,
+                           tensor::Matrix& out,
+                           const runtime::ExecContext& ctx = {}) {
+  SpMMMappedRows(global.view(), nodes, global_to_local, dense_local,
+                 rows_to_compute, out, ctx);
+}
 
 /// Transpose. O(nnz).
 Csr Transpose(const Csr& csr);
@@ -100,9 +147,15 @@ Csr Transpose(const Csr& csr);
 /// Extracts the induced submatrix csr[ids, ids] with local indices matching
 /// the order of `ids`. `global_to_local` must map every global id in `ids`
 /// to its position and everything else to -1 (caller-provided scratch to
-/// avoid rebuilding a hash map per batch).
-Csr InducedSubmatrix(const Csr& csr, const std::vector<std::int32_t>& ids,
+/// avoid rebuilding a hash map per batch). A view with null `values` is
+/// treated as all-1.0 (unweighted adjacency).
+Csr InducedSubmatrix(CsrView csr, const std::vector<std::int32_t>& ids,
                      const std::vector<std::int32_t>& global_to_local);
+inline Csr InducedSubmatrix(const Csr& csr,
+                            const std::vector<std::int32_t>& ids,
+                            const std::vector<std::int32_t>& global_to_local) {
+  return InducedSubmatrix(csr.view(), ids, global_to_local);
+}
 
 /// Dense copy (tests only; quadratic memory).
 tensor::Matrix ToDense(const Csr& csr);

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
-#include <stdexcept>
 #include <string>
 
 #include "src/graph/normalize.h"
+#include "src/runtime/error.h"
 
 namespace nai::graph {
 
@@ -19,28 +19,52 @@ double MsSince(Clock::time_point start) {
       .count();
 }
 
+/// True iff {u, v} is an edge of the adjacency view (sorted rows).
+bool ViewHasEdge(CsrView adj, std::int32_t u, std::int32_t v) {
+  const std::int32_t* begin = adj.col_idx + adj.row_ptr[u];
+  const std::int32_t* end = adj.col_idx + adj.row_ptr[u + 1];
+  return std::binary_search(begin, end, v);
+}
+
+std::shared_ptr<const GraphSnapshot> WrapMemStore(
+    std::uint64_t version, float gamma,
+    std::shared_ptr<const storage::MemStore> store) {
+  auto snap = std::make_shared<GraphSnapshot>();
+  snap->version = version;
+  snap->gamma = gamma;
+  snap->graph_store = store;
+  snap->feature_store = std::move(store);
+  return snap;
+}
+
 std::shared_ptr<const GraphSnapshot> FinishSnapshot(std::uint64_t version,
                                                     Graph graph,
                                                     tensor::Matrix features,
                                                     float gamma) {
-  auto snap = std::make_shared<GraphSnapshot>();
-  snap->version = version;
-  snap->graph = std::move(graph);
-  snap->features = std::move(features);
-  snap->gamma = gamma;
-  snap->norm_adj = NormalizedAdjacency(snap->graph, gamma);
-  snap->stationary_pooled =
-      PooledStationaryVector(snap->graph, snap->features, gamma);
-  return snap;
+  return WrapMemStore(version, gamma,
+                      std::make_shared<storage::MemStore>(
+                          std::move(graph), std::move(features), gamma));
 }
 
 }  // namespace
+
+const storage::MemStore& GraphSnapshot::RequireMem() const {
+  const storage::MemStore* store = mem();
+  if (store == nullptr) {
+    throw ValidationError(
+        "GraphSnapshot: concrete container access requires the mem backend; "
+        "this snapshot is backed by '" +
+        std::string(storage::BackendName(backend())) +
+        "' — read through adj()/norm_adj()/feature_store instead");
+  }
+  return *store;
+}
 
 std::shared_ptr<const GraphSnapshot> MakeSnapshot(Graph graph,
                                                   tensor::Matrix features,
                                                   float gamma) {
   if (static_cast<std::int64_t>(features.rows()) != graph.num_nodes()) {
-    throw std::invalid_argument(
+    throw ValidationError(
         "MakeSnapshot: features have " + std::to_string(features.rows()) +
         " rows but the graph has " + std::to_string(graph.num_nodes()) +
         " nodes");
@@ -48,11 +72,32 @@ std::shared_ptr<const GraphSnapshot> MakeSnapshot(Graph graph,
   return FinishSnapshot(0, std::move(graph), std::move(features), gamma);
 }
 
+std::shared_ptr<const GraphSnapshot> MakeSnapshotFromStore(
+    std::shared_ptr<const storage::GraphStore> graph_store,
+    std::shared_ptr<const storage::FeatureStore> feature_store,
+    std::uint64_t version) {
+  if (graph_store == nullptr || feature_store == nullptr) {
+    throw ValidationError("MakeSnapshotFromStore: null store");
+  }
+  if (feature_store->num_rows() != graph_store->num_nodes()) {
+    throw ValidationError("MakeSnapshotFromStore: feature store has " +
+                          std::to_string(feature_store->num_rows()) +
+                          " rows but the graph store has " +
+                          std::to_string(graph_store->num_nodes()) + " nodes");
+  }
+  auto snap = std::make_shared<GraphSnapshot>();
+  snap->version = version;
+  snap->gamma = graph_store->gamma();
+  snap->graph_store = std::move(graph_store);
+  snap->feature_store = std::move(feature_store);
+  return snap;
+}
+
 SnapshotBuilder::SnapshotBuilder(std::shared_ptr<const GraphSnapshot> base,
                                  int stale_horizon)
     : base_(std::move(base)), stale_horizon_(std::max(0, stale_horizon)) {
   if (base_ == nullptr) {
-    throw std::invalid_argument("SnapshotBuilder: null base snapshot");
+    throw ValidationError("SnapshotBuilder: null base snapshot");
   }
 }
 
@@ -60,22 +105,25 @@ std::shared_ptr<const GraphSnapshot> SnapshotBuilder::Apply(
     const GraphDelta& delta) {
   const auto start = Clock::now();
   const GraphSnapshot& base = *base_;
-  const std::int64_t n_old = base.graph.num_nodes();
-  const std::size_t f = base.features.cols();
+  const CsrView old_adj = base.adj();
+  const CsrView old_norm = base.norm_adj();
+  const storage::FeatureStore& old_features = *base.feature_store;
+  const std::int64_t n_old = base.num_nodes();
+  const std::size_t f = base.feature_dim();
   const std::int64_t n_new =
       n_old + static_cast<std::int64_t>(delta.node_inserts.size());
 
   // ---- Validation (nothing is mutated until everything passed). ----
   for (const std::vector<float>& row : delta.node_inserts) {
     if (row.size() != f) {
-      throw std::invalid_argument(
+      throw ValidationError(
           "SnapshotBuilder: node insert has " + std::to_string(row.size()) +
           " features, snapshot width is " + std::to_string(f));
     }
   }
   for (const auto& [u, v] : delta.edge_inserts) {
     if (u < 0 || v < 0 || u >= n_new || v >= n_new) {
-      throw std::invalid_argument(
+      throw ValidationError(
           "SnapshotBuilder: edge (" + std::to_string(u) + ", " +
           std::to_string(v) + ") outside the merged id range [0, " +
           std::to_string(n_new) + ")");
@@ -83,12 +131,12 @@ std::shared_ptr<const GraphSnapshot> SnapshotBuilder::Apply(
   }
   for (const auto& [node, row] : delta.feature_updates) {
     if (node < 0 || node >= n_new) {
-      throw std::invalid_argument(
+      throw ValidationError(
           "SnapshotBuilder: feature update for node " + std::to_string(node) +
           " outside the merged id range [0, " + std::to_string(n_new) + ")");
     }
     if (row.size() != f) {
-      throw std::invalid_argument(
+      throw ValidationError(
           "SnapshotBuilder: feature update for node " + std::to_string(node) +
           " has " + std::to_string(row.size()) + " features, snapshot width is " +
           std::to_string(f));
@@ -109,7 +157,7 @@ std::shared_ptr<const GraphSnapshot> SnapshotBuilder::Apply(
   kept.erase(std::remove_if(kept.begin(), kept.end(),
                             [&](const auto& e) {
                               return e.first < n_old && e.second < n_old &&
-                                     base.graph.HasEdge(e.first, e.second);
+                                     ViewHasEdge(old_adj, e.first, e.second);
                             }),
              kept.end());
 
@@ -124,7 +172,6 @@ std::shared_ptr<const GraphSnapshot> SnapshotBuilder::Apply(
 
   // ---- Merged adjacency: untouched rows copied by span, touched rows
   // merge-sorted with their additions, new-node rows are their additions. ----
-  const Csr& old_adj = base.graph.adjacency();
   Csr adj;
   adj.rows = n_new;
   adj.cols = n_new;
@@ -139,8 +186,8 @@ std::shared_ptr<const GraphSnapshot> SnapshotBuilder::Apply(
   for (std::int64_t v = 0; v < n_new; ++v) {
     std::int32_t* out = adj.col_idx.data() + adj.row_ptr[v];
     if (v < n_old) {
-      const std::int32_t* old_begin = old_adj.col_idx.data() + old_adj.row_ptr[v];
-      const std::int32_t* old_end = old_adj.col_idx.data() + old_adj.row_ptr[v + 1];
+      const std::int32_t* old_begin = old_adj.col_idx + old_adj.row_ptr[v];
+      const std::int32_t* old_end = old_adj.col_idx + old_adj.row_ptr[v + 1];
       if (adds[v].empty()) {
         std::copy(old_begin, old_end, out);
       } else {
@@ -154,9 +201,8 @@ std::shared_ptr<const GraphSnapshot> SnapshotBuilder::Apply(
 
   // ---- Merged features: base block, inserted rows, then updates. ----
   tensor::Matrix features(n_new, f);
-  if (n_old > 0 && f > 0) {
-    std::memcpy(features.data(), base.features.data(),
-                static_cast<std::size_t>(n_old) * f * sizeof(float));
+  for (std::int64_t v = 0; v < n_old; ++v) {
+    if (f > 0) features.SetRow(static_cast<std::size_t>(v), old_features.row(v));
   }
   for (std::size_t i = 0; i < delta.node_inserts.size(); ++i) {
     features.SetRow(static_cast<std::size_t>(n_old) + i,
@@ -204,10 +250,10 @@ std::shared_ptr<const GraphSnapshot> SnapshotBuilder::Apply(
     } else {
       const std::int64_t len = norm.row_ptr[v + 1] - norm.row_ptr[v];
       std::memcpy(norm.col_idx.data() + norm.row_ptr[v],
-                  base.norm_adj.col_idx.data() + base.norm_adj.row_ptr[v],
+                  old_norm.col_idx + old_norm.row_ptr[v],
                   static_cast<std::size_t>(len) * sizeof(std::int32_t));
       std::memcpy(norm.values.data() + norm.row_ptr[v],
-                  base.norm_adj.values.data() + base.norm_adj.row_ptr[v],
+                  old_norm.values + old_norm.row_ptr[v],
                   static_cast<std::size_t>(len) * sizeof(float));
     }
   }
@@ -248,13 +294,11 @@ std::shared_ptr<const GraphSnapshot> SnapshotBuilder::Apply(
   // node order — bit-identical to a cold build, and still only O(n f). ----
   tensor::Matrix pooled = PooledStationaryVector(merged, features, base.gamma);
 
-  auto snap = std::make_shared<GraphSnapshot>();
-  snap->version = base.version + 1;
-  snap->graph = std::move(merged);
-  snap->features = std::move(features);
-  snap->gamma = base.gamma;
-  snap->norm_adj = std::move(norm);
-  snap->stationary_pooled = std::move(pooled);
+  auto snap = WrapMemStore(
+      base.version + 1, base.gamma,
+      std::make_shared<storage::MemStore>(std::move(merged),
+                                          std::move(features), base.gamma,
+                                          std::move(norm), std::move(pooled)));
 
   stats_ = SnapshotBuildStats{};
   stats_.new_nodes = static_cast<std::int64_t>(delta.node_inserts.size());
@@ -272,23 +316,25 @@ std::shared_ptr<const GraphSnapshot> SnapshotBuilder::Apply(
 
 std::shared_ptr<const GraphSnapshot> MergeFromScratch(
     const GraphSnapshot& base, const std::vector<GraphDelta>& deltas) {
-  std::int64_t n = base.graph.num_nodes();
-  const std::size_t f = base.features.cols();
+  std::int64_t n = base.num_nodes();
+  const std::size_t f = base.feature_dim();
+  const CsrView base_adj = base.adj();
+  const storage::FeatureStore& base_features = *base.feature_store;
 
   // Full edge list: base edges (u < v once each) plus every delta insert.
   std::vector<std::pair<std::int32_t, std::int32_t>> edges;
-  edges.reserve(static_cast<std::size_t>(base.graph.num_edges()));
+  edges.reserve(static_cast<std::size_t>(base.num_edges()));
   for (std::int32_t u = 0; u < n; ++u) {
-    for (const std::int32_t* it = base.graph.neighbors_begin(u);
-         it != base.graph.neighbors_end(u); ++it) {
-      if (*it > u) edges.push_back({u, *it});
+    for (std::int64_t p = base_adj.row_ptr[u]; p < base_adj.row_ptr[u + 1];
+         ++p) {
+      if (base_adj.col_idx[p] > u) edges.push_back({u, base_adj.col_idx[p]});
     }
   }
 
   std::vector<std::vector<float>> rows;
   rows.reserve(static_cast<std::size_t>(n));
   for (std::int64_t v = 0; v < n; ++v) {
-    rows.emplace_back(base.features.row(v), base.features.row(v) + f);
+    rows.emplace_back(base_features.row(v), base_features.row(v) + f);
   }
   for (const GraphDelta& delta : deltas) {
     for (const std::vector<float>& row : delta.node_inserts) {

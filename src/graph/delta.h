@@ -8,6 +8,8 @@
 
 #include "src/graph/csr.h"
 #include "src/graph/graph.h"
+#include "src/storage/mem_store.h"
+#include "src/storage/store.h"
 #include "src/tensor/matrix.h"
 
 namespace nai::graph {
@@ -73,6 +75,12 @@ struct SnapshotBuildStats {
 /// to a newer one between batches; readers that pinned an older version
 /// keep it alive until their batch completes — serving never pauses.
 ///
+/// Since the storage refactor, a snapshot holds *stores*, not concrete
+/// containers: a GraphStore (raw + normalized adjacency) and a FeatureStore
+/// (feature rows + pooled stationary vector), which either in-memory pooled
+/// vectors (storage::MemStore) or a memory-mapped file
+/// (storage::MmapStore) implement. All serving-path consumers read through
+/// CsrView / FeatureStore, so results are bit-identical across backends.
 /// The derived artifacts (normalized adjacency, pooled stationary vector)
 /// are part of the snapshot precisely so a swap is a pointer exchange, not
 /// a recomputation on the serving path.
@@ -80,21 +88,51 @@ struct GraphSnapshot {
   /// Monotonic version, +1 per applied delta batch. The serving epoch a
   /// response is stamped with.
   std::uint64_t version = 0;
-  Graph graph;
-  tensor::Matrix features;  ///< n x f node features
-  float gamma = 0.5f;       ///< Eq. 1 coefficient the artifacts were built with
-  /// Â = D̃^(γ-1) Ã D̃^(-γ) over `graph` (see NormalizedAdjacency).
-  Csr norm_adj;
-  /// g = v^T X of the rank-1 stationary state (see PooledStationaryVector);
-  /// 1 x f. Per-node stationary rows are degree * pooled products, so this
-  /// is the only global stationary artifact a snapshot must carry.
-  tensor::Matrix stationary_pooled;
+  float gamma = 0.5f;  ///< Eq. 1 coefficient the artifacts were built with
+  std::shared_ptr<const storage::GraphStore> graph_store;
+  std::shared_ptr<const storage::FeatureStore> feature_store;
+
+  std::int64_t num_nodes() const { return graph_store->num_nodes(); }
+  std::int64_t num_edges() const { return graph_store->num_edges(); }
+  std::size_t feature_dim() const { return feature_store->dim(); }
+  /// Raw symmetric adjacency (values null — unweighted).
+  CsrView adj() const { return graph_store->adj(); }
+  /// Normalized adjacency Â (weighted).
+  CsrView norm_adj() const { return graph_store->norm_adj(); }
+  storage::StoreBackend backend() const { return graph_store->backend(); }
+
+  /// The concrete in-memory store, or nullptr for other backends. The
+  /// incremental SnapshotBuilder and a few tests need the pooled
+  /// containers; serving code must stay on the view accessors above.
+  const storage::MemStore* mem() const {
+    return dynamic_cast<const storage::MemStore*>(graph_store.get());
+  }
+  /// Concrete containers of a mem-backed snapshot. Throw
+  /// nai::ValidationError when the snapshot is backed by another store.
+  const Graph& graph() const { return RequireMem().graph(); }
+  const tensor::Matrix& features() const { return RequireMem().features(); }
+  const Csr& norm_csr() const { return RequireMem().norm_csr(); }
+  const tensor::Matrix& stationary_pooled() const {
+    return RequireMem().stationary();
+  }
+
+ private:
+  const storage::MemStore& RequireMem() const;
 };
 
-/// Builds version-0 snapshot from scratch — the serving bootstrap.
+/// Builds version-0 snapshot from scratch — the serving bootstrap
+/// (mem-backed).
 std::shared_ptr<const GraphSnapshot> MakeSnapshot(Graph graph,
                                                   tensor::Matrix features,
                                                   float gamma);
+
+/// Wraps existing stores (e.g. an opened storage::MmapStore, passed as both
+/// arguments) into a snapshot. Throws nai::ValidationError when the stores
+/// disagree on node count or either is null.
+std::shared_ptr<const GraphSnapshot> MakeSnapshotFromStore(
+    std::shared_ptr<const storage::GraphStore> graph_store,
+    std::shared_ptr<const storage::FeatureStore> feature_store,
+    std::uint64_t version = 0);
 
 /// Merges delta batches into successive immutable snapshots, incrementally:
 /// adjacency rows untouched by a delta are copied by span, normalized
@@ -106,18 +144,23 @@ std::shared_ptr<const GraphSnapshot> MakeSnapshot(Graph graph,
 /// what preserves the engine's end-to-end bit-exactness contract across
 /// swaps.
 ///
+/// The base snapshot is read through its store views, so a builder can
+/// ingest deltas against any backend — including an mmap store — and
+/// always emits a mem-backed merged snapshot (the mutable frontier lives
+/// in RAM; the mapped file stays immutable).
+///
 /// Not thread-safe: one builder, one ingestion thread. `stale_horizon` is
 /// the hop radius used for SnapshotBuildStats::stale_nodes (pass the
 /// classifier bank depth k — the deepest supporting BFS any query runs).
 class SnapshotBuilder {
  public:
-  /// Throws std::invalid_argument on a null base.
+  /// Throws nai::ValidationError on a null base.
   explicit SnapshotBuilder(std::shared_ptr<const GraphSnapshot> base,
                           int stale_horizon = 0);
 
   /// Validates and merges `delta` into a new snapshot (version + 1),
   /// advancing the builder's base so Apply calls chain. Throws
-  /// std::invalid_argument on out-of-range endpoints or feature-width
+  /// nai::ValidationError on out-of-range endpoints or feature-width
   /// mismatches; the base snapshot is untouched on throw.
   std::shared_ptr<const GraphSnapshot> Apply(const GraphDelta& delta);
 

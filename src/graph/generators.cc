@@ -5,6 +5,9 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "src/graph/normalize.h"
+#include "src/runtime/error.h"
+#include "src/storage/mmap_store.h"
 #include "src/tensor/random.h"
 
 namespace nai::graph {
@@ -16,6 +19,64 @@ std::int32_t SampleFromCdf(const std::vector<double>& cdf, double u) {
   const auto it = std::upper_bound(cdf.begin(), cdf.end(), u * cdf.back());
   return static_cast<std::int32_t>(std::min<std::ptrdiff_t>(
       std::distance(cdf.begin(), it), static_cast<std::ptrdiff_t>(cdf.size()) - 1));
+}
+
+/// Counter-free splitmix64: one independent, reproducible stream per
+/// (seed, node) pair, so the degree pass and the fill pass of the scaled
+/// generator regenerate identical chord sets without storing them.
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t Next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  double NextDouble() {  // uniform in [0, 1)
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+};
+
+std::uint64_t NodeStream(std::uint64_t seed, std::int64_t node,
+                         std::uint64_t salt) {
+  SplitMix64 mix{seed ^ (static_cast<std::uint64_t>(node) * 0xd6e8feb86659fd93ULL) ^
+                 salt};
+  return mix.Next();
+}
+
+/// The forward chords of node u: c_u distinct offsets in [2, n/2), where
+/// c_u follows a truncated Pareto with exponent `alpha`. Deterministic in
+/// (config.seed, u) — both generator passes call this with the same inputs.
+void ChordsFor(const ScaledGraphConfig& config, std::int64_t u,
+               std::vector<std::int64_t>& offsets) {
+  offsets.clear();
+  const std::int64_t n = config.num_nodes;
+  const std::int64_t max_offset = n / 2;  // exclusive; offsets start at 2
+  const std::int64_t range = max_offset - 2;
+  if (range <= 0) return;
+  SplitMix64 rng{NodeStream(config.seed, u, 0x5ca1ab1eULL)};
+  const double alpha = static_cast<double>(config.power_law_exponent);
+  const double x = rng.NextDouble();
+  // Inverse CDF of the Pareto tail P(c >= k) ~ k^-(alpha-1), truncated.
+  double draw = static_cast<double>(config.min_chords) *
+                std::pow(1.0 - x, -1.0 / (alpha - 1.0));
+  const double cap = static_cast<double>(
+      std::min<std::int64_t>(config.max_chords, range));
+  std::int64_t count = static_cast<std::int64_t>(std::min(draw, cap));
+  offsets.reserve(static_cast<std::size_t>(count));
+  // Distinct offsets by bounded rejection; the stream is deterministic, so
+  // both passes retry identically.
+  std::int64_t attempts = 0;
+  const std::int64_t max_attempts = count * 16 + 16;
+  while (static_cast<std::int64_t>(offsets.size()) < count &&
+         attempts++ < max_attempts) {
+    const std::int64_t offset =
+        2 + static_cast<std::int64_t>(rng.NextDouble() *
+                                      static_cast<double>(range));
+    if (std::find(offsets.begin(), offsets.end(), offset) == offsets.end()) {
+      offsets.push_back(offset);
+    }
+  }
 }
 
 }  // namespace
@@ -129,6 +190,115 @@ SyntheticDataset GenerateDataset(const GeneratorConfig& config) {
     }
   }
   return out;
+}
+
+std::int64_t GenerateScaled(const ScaledGraphConfig& config,
+                            const std::string& path) {
+  const std::int64_t n = config.num_nodes;
+  if (n < 8) {
+    throw ValidationError("GenerateScaled: num_nodes must be >= 8");
+  }
+  if (config.feature_dim <= 0) {
+    throw ValidationError("GenerateScaled: feature_dim must be positive");
+  }
+  if (!(config.gamma >= 0.0f && config.gamma <= 1.0f)) {
+    throw ValidationError("GenerateScaled: gamma must be in [0, 1]");
+  }
+  if (!(config.power_law_exponent > 1.0f)) {
+    throw ValidationError("GenerateScaled: power_law_exponent must be > 1");
+  }
+  if (config.min_chords < 0 || config.max_chords < config.min_chords) {
+    throw ValidationError(
+        "GenerateScaled: need 0 <= min_chords <= max_chords");
+  }
+
+  // Pass 1 — degrees only (the single O(n) array that decides the layout).
+  // Every node has its two ring neighbors; chords add one endpoint each.
+  std::vector<std::int64_t> degree(n, 2);
+  std::vector<std::int64_t> offsets;
+  for (std::int64_t u = 0; u < n; ++u) {
+    ChordsFor(config, u, offsets);
+    degree[u] += static_cast<std::int64_t>(offsets.size());
+    for (const std::int64_t o : offsets) ++degree[(u + o) % n];
+  }
+  std::int64_t adj_nnz = 0;
+  for (const std::int64_t d : degree) adj_nnz += d;
+
+  storage::MmapStoreWriter writer(path, n, adj_nnz, config.feature_dim,
+                                  config.gamma);
+
+  // Row pointers (adjacency and normalized, which gains one self-loop per
+  // row) as prefix sums over the degree array.
+  std::int64_t* adj_row_ptr = writer.adj_row_ptr();
+  std::int64_t* norm_row_ptr = writer.norm_row_ptr();
+  adj_row_ptr[0] = 0;
+  norm_row_ptr[0] = 0;
+  for (std::int64_t v = 0; v < n; ++v) {
+    adj_row_ptr[v + 1] = adj_row_ptr[v] + degree[v];
+    norm_row_ptr[v + 1] = norm_row_ptr[v] + degree[v] + 1;
+  }
+
+  // Pass 2 — scatter columns through per-row cursors, regenerating the
+  // identical chord streams, then sort each row in place in the map.
+  std::int32_t* adj_col_idx = writer.adj_col_idx();
+  {
+    std::vector<std::int64_t> cursor(adj_row_ptr, adj_row_ptr + n);
+    for (std::int64_t u = 0; u < n; ++u) {
+      adj_col_idx[cursor[u]++] = static_cast<std::int32_t>((u + 1) % n);
+      adj_col_idx[cursor[u]++] = static_cast<std::int32_t>((u + n - 1) % n);
+      ChordsFor(config, u, offsets);
+      for (const std::int64_t o : offsets) {
+        const std::int64_t v = (u + o) % n;
+        adj_col_idx[cursor[u]++] = static_cast<std::int32_t>(v);
+        adj_col_idx[cursor[v]++] = static_cast<std::int32_t>(u);
+      }
+    }
+  }
+  for (std::int64_t v = 0; v < n; ++v) {
+    std::sort(adj_col_idx + adj_row_ptr[v], adj_col_idx + adj_row_ptr[v + 1]);
+  }
+
+  // Normalized adjacency: the exact row writer the in-memory build uses,
+  // over a view straight into the file pages.
+  CsrView adj_view;
+  adj_view.rows = n;
+  adj_view.cols = n;
+  adj_view.row_ptr = adj_row_ptr;
+  adj_view.col_idx = adj_col_idx;
+  adj_view.values = nullptr;
+  std::vector<float> left, right;
+  NormalizedDegreeScalers(adj_view, left, right, config.gamma);
+  std::int32_t* norm_col_idx = writer.norm_col_idx();
+  float* norm_values = writer.norm_values();
+  for (std::int64_t v = 0; v < n; ++v) {
+    WriteNormalizedRow(adj_view, v, left, right,
+                       norm_col_idx + norm_row_ptr[v],
+                       norm_values + norm_row_ptr[v]);
+  }
+
+  // Features (uniform [-1, 1), one hash stream per node) written straight
+  // into the file, with the pooled stationary vector accumulated in the
+  // same ascending-node order as PooledStationaryVector — bit-identical to
+  // what a from-RAM build would store.
+  const std::int64_t dim = config.feature_dim;
+  float* features = writer.features();
+  float* stationary = writer.stationary();
+  std::fill(stationary, stationary + dim, 0.0f);
+  const double denom = static_cast<double>(adj_nnz + n);  // 2m + n
+  for (std::int64_t j = 0; j < n; ++j) {
+    SplitMix64 rng{NodeStream(config.seed, j, 0xfea70125ULL)};
+    float* row = features + j * dim;
+    for (std::int64_t f = 0; f < dim; ++f) {
+      row[f] = static_cast<float>(rng.NextDouble()) * 2.0f - 1.0f;
+    }
+    const float vj = static_cast<float>(
+        std::pow(static_cast<double>(degree[j] + 1), 1.0 - config.gamma) /
+        denom);
+    for (std::int64_t f = 0; f < dim; ++f) stationary[f] += vj * row[f];
+  }
+
+  writer.Finalize();
+  return adj_nnz / 2;
 }
 
 Graph PathGraph(std::int64_t n) {

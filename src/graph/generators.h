@@ -2,6 +2,7 @@
 #define NAI_GRAPH_GENERATORS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/graph/graph.h"
@@ -53,6 +54,39 @@ struct GeneratorConfig {
 
 /// Generates a dataset according to `config`. Deterministic given the seed.
 SyntheticDataset GenerateDataset(const GeneratorConfig& config);
+
+/// Configuration of the out-of-core scaled generator (GenerateScaled).
+///
+/// The graph is a ring (node i — i+1 mod n, so every node is servable and
+/// the graph is connected) plus deterministic forward chords: node u draws
+/// a truncated-Pareto chord count c_u ~ w^-alpha (the degree heterogeneity
+/// that makes node-adaptive depth matter at scale) and c_u distinct offsets
+/// in [2, n/2), each adding the undirected edge {u, (u+offset) mod n}.
+/// Offsets below n/2 can never collide across nodes (the reverse offset
+/// n-o would exceed n/2), so edges are unique by construction and two
+/// passes over the same per-node hash streams reproduce the exact edge
+/// set — which is what lets the generator stream CSR arrays straight into
+/// the on-disk layout without ever materializing the graph in RAM.
+struct ScaledGraphConfig {
+  std::int64_t num_nodes = 1'000'000;  ///< >= 8
+  std::int32_t feature_dim = 32;
+  float gamma = 0.5f;                ///< Eq. 1 normalization exponent
+  float power_law_exponent = 2.2f;   ///< chord-count tail, alpha > 1
+  std::int32_t min_chords = 1;
+  std::int32_t max_chords = 256;     ///< truncation (also capped by n/2 - 2)
+  std::uint64_t seed = 42;
+};
+
+/// Streams a ScaledGraphConfig graph — adjacency, normalized adjacency,
+/// uniform [-1, 1) features and the pooled stationary vector — directly
+/// into the storage::MmapStore on-disk layout at `path`. Only O(n) scalar
+/// arrays (degrees, cursors, degree scalers) live in RAM; every O(m) and
+/// O(n·dim) array is written in place in the mapped file, so multi-million-
+/// node stores build in a few hundred MB of heap. Returns the undirected
+/// edge count m. Deterministic given the seed; throws nai::ValidationError
+/// on invalid configs and nai::IoError on file errors.
+std::int64_t GenerateScaled(const ScaledGraphConfig& config,
+                            const std::string& path);
 
 /// Deterministic toy graphs for tests.
 Graph PathGraph(std::int64_t n);

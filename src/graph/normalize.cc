@@ -8,7 +8,7 @@
 
 namespace nai::graph {
 
-void NormalizedDegreeScalers(const Csr& adjacency, std::vector<float>& left,
+void NormalizedDegreeScalers(CsrView adjacency, std::vector<float>& left,
                              std::vector<float>& right, float gamma) {
   const std::int64_t n = adjacency.rows;
   left.resize(n);
@@ -20,7 +20,7 @@ void NormalizedDegreeScalers(const Csr& adjacency, std::vector<float>& left,
   }
 }
 
-void WriteNormalizedRow(const Csr& adjacency, std::int64_t v,
+void WriteNormalizedRow(CsrView adjacency, std::int64_t v,
                         const std::vector<float>& left,
                         const std::vector<float>& right, std::int32_t* col_out,
                         float* val_out) {

@@ -22,8 +22,13 @@ Csr NormalizedAdjacency(const Graph& graph, float gamma);
 /// full-matrix build and the incremental per-row rebuild of the snapshot
 /// layer — identical inputs produce bit-identical entries, which is what
 /// lets SnapshotBuilder copy untouched rows verbatim.
-void NormalizedDegreeScalers(const Csr& adjacency, std::vector<float>& left,
+void NormalizedDegreeScalers(CsrView adjacency, std::vector<float>& left,
                              std::vector<float>& right, float gamma);
+inline void NormalizedDegreeScalers(const Csr& adjacency,
+                                    std::vector<float>& left,
+                                    std::vector<float>& right, float gamma) {
+  NormalizedDegreeScalers(adjacency.view(), left, right, gamma);
+}
 
 /// Writes the normalized row of node `v` — its sorted neighbors plus the
 /// self-loop entry inserted in sorted position — into col_out/val_out
@@ -32,10 +37,16 @@ void NormalizedDegreeScalers(const Csr& adjacency, std::vector<float>& left,
 /// This is the single row writer behind NormalizedAdjacency; the
 /// incremental SnapshotBuilder calls it for exactly the rows a delta
 /// dirtied.
-void WriteNormalizedRow(const Csr& adjacency, std::int64_t v,
+void WriteNormalizedRow(CsrView adjacency, std::int64_t v,
                         const std::vector<float>& left,
                         const std::vector<float>& right, std::int32_t* col_out,
                         float* val_out);
+inline void WriteNormalizedRow(const Csr& adjacency, std::int64_t v,
+                               const std::vector<float>& left,
+                               const std::vector<float>& right,
+                               std::int32_t* col_out, float* val_out) {
+  WriteNormalizedRow(adjacency.view(), v, left, right, col_out, val_out);
+}
 
 /// The pooled stationary vector g = v^T X of the rank-1 stationary state
 /// (Eqs. 6-7): g = Σ_j (d_j+1)^(1-γ) / (2m+n) · X_j, returned as 1 x f.

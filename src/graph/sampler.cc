@@ -1,15 +1,21 @@
 #include "src/graph/sampler.h"
 
 #include <cassert>
+#include <string>
+
+#include "src/runtime/error.h"
 
 namespace nai::graph {
 
-SupportSampler::SupportSampler(const Csr& norm_adj)
-    : adj_(&norm_adj), global_to_local_(norm_adj.rows, -1) {}
+SupportSampler::SupportSampler(CsrView norm_adj)
+    : adj_(norm_adj), global_to_local_(norm_adj.rows, -1) {}
 
 BatchSupport SupportSampler::Collect(const std::vector<std::int32_t>& batch,
                                      int depth) {
-  assert(depth >= 0);
+  if (depth < 0) {
+    throw ValidationError("SupportSampler: depth must be >= 0, got " +
+                          std::to_string(depth));
+  }
   // Lazily reset the mapping of the previous mapped batch.
   for (const std::int32_t v : mapped_nodes_) global_to_local_[v] = -1;
   mapped_nodes_.clear();
@@ -19,8 +25,20 @@ BatchSupport SupportSampler::Collect(const std::vector<std::int32_t>& batch,
   out.layer_counts.reserve(depth + 1);
 
   for (const std::int32_t v : batch) {
-    assert(v >= 0 && v < adj_->rows);
-    assert(global_to_local_[v] == -1 && "duplicate node in batch");
+    if (v < 0 || v >= adj_.rows) {
+      // Roll back the partial mapping before throwing so the sampler stays
+      // usable after a rejected batch.
+      for (const std::int32_t u : out.nodes) global_to_local_[u] = -1;
+      throw ValidationError("SupportSampler: batch node " + std::to_string(v) +
+                            " out of range [0, " + std::to_string(adj_.rows) +
+                            ")");
+    }
+    // Duplicates are legal (a Zipf-skewed serving batch can carry the same
+    // node twice): each occurrence gets its own support row, so batch
+    // element i always lands on row i, and the mapping points at the last
+    // occurrence. Duplicate rows propagate identical values (same global
+    // row, same neighbor accumulation order), so results stay bit-exact no
+    // matter which occurrence neighbors resolve to.
     global_to_local_[v] = static_cast<std::int32_t>(out.nodes.size());
     out.nodes.push_back(v);
   }
@@ -31,8 +49,8 @@ BatchSupport SupportSampler::Collect(const std::vector<std::int32_t>& batch,
     const std::size_t frontier_end = out.nodes.size();
     for (std::size_t i = frontier_begin; i < frontier_end; ++i) {
       const std::int32_t v = out.nodes[i];
-      for (std::int64_t p = adj_->row_ptr[v]; p < adj_->row_ptr[v + 1]; ++p) {
-        const std::int32_t u = adj_->col_idx[p];
+      for (std::int64_t p = adj_.row_ptr[v]; p < adj_.row_ptr[v + 1]; ++p) {
+        const std::int32_t u = adj_.col_idx[p];
         if (global_to_local_[u] == -1) {
           global_to_local_[u] = static_cast<std::int32_t>(out.nodes.size());
           out.nodes.push_back(u);
@@ -48,7 +66,7 @@ BatchSupport SupportSampler::Collect(const std::vector<std::int32_t>& batch,
 BatchSupport SupportSampler::Sample(const std::vector<std::int32_t>& batch,
                                     int depth) {
   BatchSupport out = Collect(batch, depth);
-  out.sub_adj = InducedSubmatrix(*adj_, out.nodes, global_to_local_);
+  out.sub_adj = InducedSubmatrix(adj_, out.nodes, global_to_local_);
   // Eagerly reset: the mapping is not exposed on this path.
   for (const std::int32_t v : out.nodes) global_to_local_[v] = -1;
   return out;

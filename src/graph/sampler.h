@@ -34,14 +34,20 @@ struct BatchSupport {
 
 /// Extracts k-hop supporting-node sets for inference batches against a fixed
 /// (already normalized) adjacency. Reusable scratch buffers make repeated
-/// batch sampling allocation-light.
+/// batch sampling allocation-light. Reads the adjacency through a CsrView,
+/// so the same BFS runs over in-memory and memory-mapped storage.
 class SupportSampler {
  public:
-  /// `norm_adj` must outlive the sampler.
-  explicit SupportSampler(const Csr& norm_adj);
+  /// The buffers behind `norm_adj` must outlive the sampler.
+  explicit SupportSampler(CsrView norm_adj);
+  explicit SupportSampler(const Csr& norm_adj)
+      : SupportSampler(norm_adj.view()) {}
 
-  /// BFS out to `depth` hops from `batch` (global ids, must be unique) and
-  /// builds the induced submatrix. depth >= 0.
+  /// BFS out to `depth` hops from `batch` (global ids; duplicates are legal
+  /// — each occurrence gets its own support row, so batch element i is
+  /// always support row i) and builds the induced submatrix. depth >= 0.
+  /// Throws nai::ValidationError on out-of-range batch ids or negative
+  /// depth (release-mode safe).
   BatchSupport Sample(const std::vector<std::int32_t>& batch, int depth);
 
   /// Like Sample but skips the induced-submatrix materialization (the
@@ -60,7 +66,7 @@ class SupportSampler {
  private:
   BatchSupport Collect(const std::vector<std::int32_t>& batch, int depth);
 
-  const Csr* adj_;
+  CsrView adj_;
   std::vector<std::int32_t> global_to_local_;  // -1 when not in current batch
   std::vector<std::int32_t> mapped_nodes_;     // to reset lazily
 };

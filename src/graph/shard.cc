@@ -1,8 +1,10 @@
 #include "src/graph/shard.h"
 
 #include <algorithm>
-#include <stdexcept>
+#include <numeric>
 #include <string>
+
+#include "src/runtime/error.h"
 
 namespace nai::graph {
 
@@ -11,7 +13,7 @@ namespace {
 /// Builds one shard from its owned set: halo BFS over the full adjacency,
 /// sorted node list, id maps, induced subgraph. `visited` is caller scratch
 /// sized num_nodes, all zero on entry and restored to all zero on exit.
-GraphShard BuildShard(const Graph& graph, std::vector<std::int32_t> owned,
+GraphShard BuildShard(CsrView adj, std::vector<std::int32_t> owned,
                       int halo_hops, std::vector<char>& visited) {
   GraphShard shard;
   shard.owned = std::move(owned);
@@ -23,11 +25,11 @@ GraphShard BuildShard(const Graph& graph, std::vector<std::int32_t> owned,
     const std::size_t frontier_end = reached.size();
     for (std::size_t i = frontier_begin; i < frontier_end; ++i) {
       const std::int32_t v = reached[i];
-      for (const auto* it = graph.neighbors_begin(v);
-           it != graph.neighbors_end(v); ++it) {
-        if (!visited[*it]) {
-          visited[*it] = 1;
-          reached.push_back(*it);
+      for (std::int64_t p = adj.row_ptr[v]; p < adj.row_ptr[v + 1]; ++p) {
+        const std::int32_t u = adj.col_idx[p];
+        if (!visited[u]) {
+          visited[u] = 1;
+          reached.push_back(u);
         }
       }
     }
@@ -37,52 +39,52 @@ GraphShard BuildShard(const Graph& graph, std::vector<std::int32_t> owned,
 
   std::sort(reached.begin(), reached.end());
   shard.nodes = std::move(reached);
-  shard.global_to_local.assign(graph.num_nodes(), -1);
+  shard.global_to_local.assign(adj.rows, -1);
   for (std::size_t i = 0; i < shard.nodes.size(); ++i) {
     shard.global_to_local[shard.nodes[i]] = static_cast<std::int32_t>(i);
   }
-  shard.graph = graph.InducedSubgraph(shard.nodes);
+  shard.graph =
+      Graph::FromCsr(InducedSubmatrix(adj, shard.nodes, shard.global_to_local));
   return shard;
 }
 
-ShardedGraph BuildSharded(const Graph& graph,
-                          std::vector<std::int32_t> owner,
+ShardedGraph BuildSharded(CsrView adj, std::vector<std::int32_t> owner,
                           std::int32_t num_shards, int halo_hops) {
   ShardedGraph sharded;
   sharded.halo_hops = halo_hops;
   sharded.owner = std::move(owner);
 
   std::vector<std::vector<std::int32_t>> owned(num_shards);
-  for (std::int64_t v = 0; v < graph.num_nodes(); ++v) {
+  for (std::int64_t v = 0; v < adj.rows; ++v) {
     owned[sharded.owner[v]].push_back(static_cast<std::int32_t>(v));
   }
 
-  std::vector<char> visited(graph.num_nodes(), 0);
+  std::vector<char> visited(adj.rows, 0);
   sharded.shards.reserve(num_shards);
   for (std::int32_t s = 0; s < num_shards; ++s) {
     sharded.shards.push_back(
-        BuildShard(graph, std::move(owned[s]), halo_hops, visited));
+        BuildShard(adj, std::move(owned[s]), halo_hops, visited));
   }
   return sharded;
 }
 
 void ValidateHalo(int halo_hops) {
   if (halo_hops < 0) {
-    throw std::invalid_argument("MakeShards: halo_hops must be >= 0, got " +
-                                std::to_string(halo_hops));
+    throw ValidationError("MakeShards: halo_hops must be >= 0, got " +
+                          std::to_string(halo_hops));
   }
 }
 
 }  // namespace
 
-ShardedGraph MakeShards(const Graph& graph, int num_shards, int halo_hops) {
+ShardedGraph MakeShards(CsrView adj, int num_shards, int halo_hops) {
   ValidateHalo(halo_hops);
-  const std::int64_t n = graph.num_nodes();
+  const std::int64_t n = adj.rows;
   if (n == 0) {
-    throw std::invalid_argument("MakeShards: graph has no nodes");
+    throw ValidationError("MakeShards: graph has no nodes");
   }
   if (num_shards < 1 || static_cast<std::int64_t>(num_shards) > n) {
-    throw std::invalid_argument(
+    throw ValidationError(
         "MakeShards: num_shards must be in [1, num_nodes], got " +
         std::to_string(num_shards) + " for " + std::to_string(n) + " nodes");
   }
@@ -100,29 +102,50 @@ ShardedGraph MakeShards(const Graph& graph, int num_shards, int halo_hops) {
       owner[v++] = s;
     }
   }
-  return BuildSharded(graph, std::move(owner), num_shards, halo_hops);
+  return BuildSharded(adj, std::move(owner), num_shards, halo_hops);
 }
 
-ShardedGraph MakeShards(const Graph& graph, std::vector<std::int32_t> owner,
+ShardedGraph MakeShards(CsrView adj, std::vector<std::int32_t> owner,
                         int halo_hops) {
   ValidateHalo(halo_hops);
-  const std::int64_t n = graph.num_nodes();
+  const std::int64_t n = adj.rows;
   if (n == 0) {
-    throw std::invalid_argument("MakeShards: graph has no nodes");
+    throw ValidationError("MakeShards: graph has no nodes");
   }
   if (static_cast<std::int64_t>(owner.size()) != n) {
-    throw std::invalid_argument(
-        "MakeShards: owner vector size " + std::to_string(owner.size()) +
-        " does not match node count " + std::to_string(n));
+    throw ValidationError("MakeShards: owner vector size " +
+                          std::to_string(owner.size()) +
+                          " does not match node count " + std::to_string(n));
   }
   std::int32_t max_owner = 0;
   for (const std::int32_t s : owner) {
     if (s < 0) {
-      throw std::invalid_argument("MakeShards: negative shard id in owner");
+      throw ValidationError("MakeShards: negative shard id in owner");
     }
     max_owner = std::max(max_owner, s);
   }
-  return BuildSharded(graph, std::move(owner), max_owner + 1, halo_hops);
+  return BuildSharded(adj, std::move(owner), max_owner + 1, halo_hops);
+}
+
+ShardedGraph IdentityShards(std::int64_t num_nodes, int halo_hops) {
+  ValidateHalo(halo_hops);
+  if (num_nodes < 1) {
+    throw ValidationError("IdentityShards: num_nodes must be >= 1, got " +
+                          std::to_string(num_nodes));
+  }
+  ShardedGraph sharded;
+  sharded.halo_hops = halo_hops;
+  sharded.owner.assign(num_nodes, 0);
+  GraphShard shard;
+  shard.owned.resize(num_nodes);
+  std::iota(shard.owned.begin(), shard.owned.end(), 0);
+  shard.nodes = shard.owned;
+  shard.global_to_local = shard.owned;  // identity mapping
+  // shard.graph intentionally left empty: the single shard is the whole
+  // graph, and consumers (ShardedNaiEngine's snapshot fast path) read the
+  // global adjacency instead of a copy.
+  sharded.shards.push_back(std::move(shard));
+  return sharded;
 }
 
 }  // namespace nai::graph

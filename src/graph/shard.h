@@ -32,7 +32,9 @@ struct GraphShard {
   /// Subgraph induced on `nodes` (local node i is nodes[i] globally).
   /// Note: halo-boundary nodes lose their out-of-shard edges here, so their
   /// *local* degree undercounts the global one; owned nodes keep all
-  /// neighbors whenever halo_hops >= 1.
+  /// neighbors whenever halo_hops >= 1. Shards built by IdentityShards
+  /// leave this empty (the shard IS the full graph — consumers use the
+  /// global adjacency instead of a materialized copy).
   Graph graph;
 
   std::int64_t num_owned() const {
@@ -57,21 +59,40 @@ struct ShardedGraph {
   std::size_t num_shards() const { return shards.size(); }
 };
 
-/// Partitions `graph` into `num_shards` balanced contiguous ranges of node
-/// ids (sizes differ by at most one) and builds each shard's halo_hops-hop
-/// halo by BFS over the full adjacency.
+/// Partitions the graph behind `adj` (raw symmetric adjacency, any storage
+/// backend; values ignored) into `num_shards` balanced contiguous ranges of
+/// node ids (sizes differ by at most one) and builds each shard's
+/// halo_hops-hop halo by BFS over the full adjacency.
 ///
-/// Throws std::invalid_argument when num_shards < 1, num_shards exceeds the
+/// Throws nai::ValidationError when num_shards < 1, num_shards exceeds the
 /// node count, halo_hops < 0, or the graph is empty.
-ShardedGraph MakeShards(const Graph& graph, int num_shards, int halo_hops);
+ShardedGraph MakeShards(CsrView adj, int num_shards, int halo_hops);
+inline ShardedGraph MakeShards(const Graph& graph, int num_shards,
+                               int halo_hops) {
+  return MakeShards(graph.adjacency().view(), num_shards, halo_hops);
+}
 
 /// Same, but with an explicit owner assignment (e.g. by connected component
 /// or a min-cut partitioner): owner[v] in [0, num_shards) with
 /// num_shards = max(owner) + 1. Empty shards are permitted. Throws
-/// std::invalid_argument when owner's size mismatches the graph or an
-/// entry is negative.
-ShardedGraph MakeShards(const Graph& graph, std::vector<std::int32_t> owner,
+/// nai::ValidationError when owner's size mismatches the graph or an entry
+/// is negative.
+ShardedGraph MakeShards(CsrView adj, std::vector<std::int32_t> owner,
                         int halo_hops);
+inline ShardedGraph MakeShards(const Graph& graph,
+                               std::vector<std::int32_t> owner,
+                               int halo_hops) {
+  return MakeShards(graph.adjacency().view(), std::move(owner), halo_hops);
+}
+
+/// The degenerate single-shard partition: one shard owning every node, no
+/// halo, and — unlike MakeShards with num_shards = 1 — no materialized
+/// shard subgraph or adjacency copy. This is the out-of-core serving
+/// configuration: the shard engine reads the global (possibly memory-
+/// mapped) adjacency directly, so a multi-GB store is never duplicated
+/// into per-shard pooled vectors. Throws nai::ValidationError when
+/// num_nodes < 1 or halo_hops < 0.
+ShardedGraph IdentityShards(std::int64_t num_nodes, int halo_hops);
 
 }  // namespace nai::graph
 

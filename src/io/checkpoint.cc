@@ -1,5 +1,7 @@
 #include "src/io/checkpoint.h"
 
+#include "src/runtime/error.h"
+
 #include <fstream>
 #include <stdexcept>
 
@@ -19,12 +21,12 @@ void ReadParamsInto(std::istream& is,
                     const std::vector<nn::Parameter*>& params) {
   const std::uint64_t count = ReadU64(is);
   if (count != params.size()) {
-    throw std::runtime_error("checkpoint: parameter count mismatch");
+    throw IoError("checkpoint: parameter count mismatch");
   }
   for (nn::Parameter* p : params) {
     tensor::Matrix m = ReadMatrix(is);
     if (!m.SameShape(p->value)) {
-      throw std::runtime_error("checkpoint: tensor shape mismatch: stored " +
+      throw IoError("checkpoint: tensor shape mismatch: stored " +
                                m.ShapeString() + " vs model " +
                                p->value.ShapeString());
     }
@@ -46,7 +48,7 @@ void LoadClassifierStack(std::istream& is, core::ClassifierStack& stack) {
   ReadHeader(is, "classifier_stack");
   const std::int32_t depth = ReadI32(is);
   if (depth != stack.depth()) {
-    throw std::runtime_error("checkpoint: classifier depth mismatch");
+    throw IoError("checkpoint: classifier depth mismatch");
   }
   for (int l = 1; l <= stack.depth(); ++l) {
     ReadParamsInto(is, stack.HeadParameters(l));
@@ -66,14 +68,14 @@ void LoadGateStack(std::istream& is, core::GateStack& gates) {
   ReadHeader(is, "gate_stack");
   const std::int32_t depth = ReadI32(is);
   if (depth != gates.max_depth()) {
-    throw std::runtime_error("checkpoint: gate depth mismatch");
+    throw IoError("checkpoint: gate depth mismatch");
   }
   for (int l = 1; l < gates.max_depth(); ++l) {
     tensor::Matrix w = ReadMatrix(is);
     tensor::Matrix b = ReadMatrix(is);
     if (!w.SameShape(gates.gate_weight(l).value) ||
         !b.SameShape(gates.gate_bias(l).value)) {
-      throw std::runtime_error("checkpoint: gate shape mismatch");
+      throw IoError("checkpoint: gate shape mismatch");
     }
     gates.gate_weight(l).value = std::move(w);
     gates.gate_bias(l).value = std::move(b);
@@ -98,14 +100,14 @@ core::StationaryState LoadStationaryState(std::istream& is,
 void SaveClassifierStackFile(const std::string& path,
                              core::ClassifierStack& stack) {
   std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  if (!os) throw IoError("cannot open for write: " + path);
   SaveClassifierStack(os, stack);
 }
 
 void LoadClassifierStackFile(const std::string& path,
                              core::ClassifierStack& stack) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  if (!is) throw IoError("cannot open for read: " + path);
   LoadClassifierStack(is, stack);
 }
 

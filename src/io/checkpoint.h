@@ -15,7 +15,7 @@ namespace nai::io {
 /// Checkpointing for trained NAI deployments: the classifier bank, the
 /// gate stack, and the stationary pooled vector. The loading side
 /// constructs the objects with the same configuration (depth, dims) first;
-/// loads verify every tensor shape and throw std::runtime_error on any
+/// loads verify every tensor shape and throw nai::IoError on any
 /// mismatch, so a checkpoint from a different architecture cannot be
 /// silently half-applied.
 

@@ -1,5 +1,7 @@
 #include "src/io/graph_io.h"
 
+#include "src/runtime/error.h"
+
 #include <algorithm>
 #include <fstream>
 #include <sstream>
@@ -10,7 +12,7 @@ namespace nai::io {
 namespace {
 
 [[noreturn]] void ParseError(const std::string& what, std::int64_t line) {
-  throw std::runtime_error("parse error at line " + std::to_string(line) +
+  throw IoError("parse error at line " + std::to_string(line) +
                            ": " + what);
 }
 
@@ -24,7 +26,7 @@ bool IsSkippable(const std::string& line) {
 
 std::ifstream OpenOrThrow(const std::string& path) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open: " + path);
+  if (!is) throw IoError("cannot open: " + path);
   return is;
 }
 

@@ -20,7 +20,7 @@ namespace nai::io {
 ///  * features: one node per line, f whitespace-separated floats.
 ///  * labels: one integer per line.
 ///
-/// All loaders throw std::runtime_error with a line number on parse errors.
+/// All loaders throw nai::IoError with a line number on parse errors.
 
 graph::Graph ReadEdgeList(std::istream& is, std::int64_t num_nodes = -1);
 graph::Graph ReadEdgeListFile(const std::string& path,

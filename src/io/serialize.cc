@@ -1,5 +1,7 @@
 #include "src/io/serialize.h"
 
+#include "src/runtime/error.h"
+
 #include <stdexcept>
 
 namespace nai::io {
@@ -8,13 +10,13 @@ namespace {
 
 void WriteBytes(std::ostream& os, const void* data, std::size_t n) {
   os.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
-  if (!os) throw std::runtime_error("nai::io: write failed");
+  if (!os) throw IoError("nai::io: write failed");
 }
 
 void ReadBytes(std::istream& is, void* data, std::size_t n) {
   is.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
   if (static_cast<std::size_t>(is.gcount()) != n) {
-    throw std::runtime_error("nai::io: short read / truncated stream");
+    throw IoError("nai::io: short read / truncated stream");
   }
 }
 
@@ -30,11 +32,11 @@ void ReadHeader(std::istream& is, const std::string& expected_tag) {
   std::uint32_t magic = 0;
   ReadBytes(is, &magic, sizeof(magic));
   if (magic != kMagic) {
-    throw std::runtime_error("nai::io: bad magic (not a NAI artifact)");
+    throw IoError("nai::io: bad magic (not a NAI artifact)");
   }
   const std::string tag = ReadString(is);
   if (tag != expected_tag) {
-    throw std::runtime_error("nai::io: artifact kind mismatch: expected '" +
+    throw IoError("nai::io: artifact kind mismatch: expected '" +
                              expected_tag + "', found '" + tag + "'");
   }
 }
@@ -75,7 +77,7 @@ void WriteString(std::ostream& os, const std::string& s) {
 std::string ReadString(std::istream& is) {
   const std::uint64_t n = ReadU64(is);
   if (n > (1ull << 20)) {
-    throw std::runtime_error("nai::io: implausible string length");
+    throw IoError("nai::io: implausible string length");
   }
   std::string s(n, '\0');
   if (n > 0) ReadBytes(is, s.data(), n);
@@ -92,7 +94,7 @@ tensor::Matrix ReadMatrix(std::istream& is) {
   const std::uint64_t rows = ReadU64(is);
   const std::uint64_t cols = ReadU64(is);
   if (rows > (1ull << 32) || cols > (1ull << 24)) {
-    throw std::runtime_error("nai::io: implausible matrix shape");
+    throw IoError("nai::io: implausible matrix shape");
   }
   tensor::Matrix m(rows, cols);
   if (m.size() > 0) ReadBytes(is, m.data(), m.size() * sizeof(float));
@@ -109,7 +111,7 @@ void WriteI32Vector(std::ostream& os, const std::vector<std::int32_t>& v) {
 std::vector<std::int32_t> ReadI32Vector(std::istream& is) {
   const std::uint64_t n = ReadU64(is);
   if (n > (1ull << 32)) {
-    throw std::runtime_error("nai::io: implausible vector length");
+    throw IoError("nai::io: implausible vector length");
   }
   std::vector<std::int32_t> v(n);
   if (n > 0) ReadBytes(is, v.data(), n * sizeof(std::int32_t));

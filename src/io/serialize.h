@@ -22,7 +22,8 @@ namespace nai::io {
 
 inline constexpr std::uint32_t kMagic = 0x4e414931;  // "NAI1"
 
-/// Throws std::runtime_error on short reads / bad magic throughout.
+/// Throws nai::IoError (an std::runtime_error) on short reads / bad magic
+/// throughout.
 void WriteHeader(std::ostream& os, const std::string& tag);
 void ReadHeader(std::istream& is, const std::string& expected_tag);
 

@@ -1,0 +1,30 @@
+#ifndef NAI_RUNTIME_ERROR_H_
+#define NAI_RUNTIME_ERROR_H_
+
+#include <stdexcept>
+
+namespace nai {
+
+/// The library's two-exception taxonomy. Both derive from the standard
+/// types previously thrown ad hoc across graph/, io/ and core/, so callers
+/// (and tests) catching std::invalid_argument / std::runtime_error keep
+/// working; new code should catch these instead.
+///
+/// ValidationError: the caller handed us bad data — out-of-range ids,
+/// mismatched shapes, malformed configurations. Always checked, including
+/// in release (NDEBUG) builds: input validation must never compile away.
+class ValidationError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// IoError: the outside world failed us — short reads, bad magic, version
+/// or checksum mismatches, unmappable files.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace nai
+
+#endif  // NAI_RUNTIME_ERROR_H_

@@ -124,6 +124,23 @@ inline long UpdateRateFlag(int& argc, char** argv) {
   return ConsumeIntFlag(argc, argv, "--update-rate");
 }
 
+/// Consumes a `--store mem|mmap` argument and, when present, exports it as
+/// NAI_STORE so every storage::DefaultBackend() call in the process — the
+/// harness engine factories included — resolves to the requested backend.
+/// The flag wins over a pre-existing NAI_STORE value. Returns the value the
+/// environment ended up with ("mem" when neither flag nor variable is set).
+/// Validation happens at the first DefaultBackend() call, which throws
+/// nai::ValidationError on an unknown name.
+inline const char* ApplyStoreFlag(int& argc, char** argv) {
+  const char* value = ConsumeStringFlag(argc, argv, "--store");
+  if (value != nullptr) {
+    ::setenv("NAI_STORE", value, /*overwrite=*/1);
+    return value;
+  }
+  const char* env = std::getenv("NAI_STORE");
+  return env != nullptr && env[0] != '\0' ? env : "mem";
+}
+
 }  // namespace nai::runtime
 
 #endif  // NAI_RUNTIME_FLAGS_H_

@@ -8,6 +8,8 @@
 #include <string>
 #include <utility>
 
+#include "src/storage/store.h"
+
 namespace nai::serve {
 
 namespace {
@@ -654,6 +656,23 @@ ServingStatsSnapshot ServingEngine::Stats() const {
   // Read before the stats lock — version() takes the engine's state mutex
   // and must never nest under stats_->mu.
   snap.epoch = engine_->version();
+  {
+    // Storage residency of the snapshot being served (same lock discipline:
+    // PinState takes the engine's state mutex). The graph and feature
+    // stores are usually one object reporting disjoint byte ranges, so the
+    // two residency calls sum without double counting.
+    const auto state = engine_->PinState();
+    if (state->snapshot != nullptr) {
+      const graph::GraphSnapshot& served = *state->snapshot;
+      snap.store_backend = storage::BackendName(served.backend());
+      storage::ResidencyInfo residency =
+          served.graph_store->AdjacencyResidency();
+      residency += served.feature_store->FeatureResidency();
+      snap.store_mapped_bytes = residency.mapped_bytes;
+      snap.store_resident_bytes = residency.resident_bytes;
+      snap.store_residency_exact = residency.exact;
+    }
+  }
   std::array<std::vector<double>, kNumQosClasses> windows;
   std::array<std::vector<double>, kNumQosClasses> hit_windows;
   std::array<std::vector<double>, kNumQosClasses> miss_windows;

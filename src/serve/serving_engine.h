@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -123,6 +124,17 @@ struct ServingStatsSnapshot {
   std::uint64_t epoch = 0;
   std::int64_t snapshot_swaps = 0;
   std::int64_t stale_served = 0;
+
+  /// Storage-backend view of the snapshot being served (empty string for
+  /// engines built on borrowed graph views). Mapped/resident bytes sum the
+  /// snapshot stores' adjacency and feature sections; for the mmap backend
+  /// resident_bytes is the mincore(2)-measured working set of the mapped
+  /// store file (`store_residency_exact` = true), for the mem backend it
+  /// equals mapped_bytes (everything is heap-resident, exact = false).
+  std::string store_backend;
+  std::int64_t store_mapped_bytes = 0;
+  std::int64_t store_resident_bytes = 0;
+  bool store_residency_exact = false;
 
   /// The engine counters of every served batch, merged via
   /// InferenceStats::Accumulate (num_nodes = served requests; wall_time_ms

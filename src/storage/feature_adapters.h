@@ -1,0 +1,84 @@
+#ifndef NAI_STORAGE_FEATURE_ADAPTERS_H_
+#define NAI_STORAGE_FEATURE_ADAPTERS_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/storage/store.h"
+#include "src/tensor/matrix.h"
+
+namespace nai::storage {
+
+/// Non-owning FeatureStore over a caller-owned dense matrix (and optional
+/// pooled stationary vector). Bridges the legacy borrowed-matrix engine
+/// constructors onto the store interface; the matrix must outlive the
+/// adapter.
+class BorrowedFeatureStore : public FeatureStore {
+ public:
+  explicit BorrowedFeatureStore(const tensor::Matrix* features,
+                                const tensor::Matrix* pooled = nullptr)
+      : features_(features), pooled_(pooled) {}
+
+  std::int64_t num_rows() const override {
+    return static_cast<std::int64_t>(features_->rows());
+  }
+  std::size_t dim() const override { return features_->cols(); }
+  const float* row(std::int64_t v) const override { return features_->row(v); }
+  tensor::Matrix GatherRows(
+      const std::vector<std::int32_t>& ids) const override {
+    return features_->GatherRows(ids);
+  }
+  const tensor::Matrix* stationary_pooled() const override { return pooled_; }
+  StoreBackend backend() const override { return StoreBackend::kMem; }
+  ResidencyInfo FeatureResidency() const override {
+    ResidencyInfo info;
+    info.mapped_bytes = static_cast<std::int64_t>(
+        (features_->size() + (pooled_ != nullptr ? pooled_->size() : 0)) *
+        sizeof(float));
+    info.resident_bytes = info.mapped_bytes;
+    return info;
+  }
+
+ private:
+  const tensor::Matrix* features_;
+  const tensor::Matrix* pooled_;
+};
+
+/// Row-remapping FeatureStore: local row r reads base row nodes[r]. This is
+/// how a shard serves its local feature rows without gathering a per-shard
+/// copy — over an mmap base the shard's working set stays pages of the one
+/// shared file, which is the point of the out-of-core path.
+class SlicedFeatureStore : public FeatureStore {
+ public:
+  SlicedFeatureStore(std::shared_ptr<const FeatureStore> base,
+                     std::vector<std::int32_t> nodes)
+      : base_(std::move(base)), nodes_(std::move(nodes)) {}
+
+  std::int64_t num_rows() const override {
+    return static_cast<std::int64_t>(nodes_.size());
+  }
+  std::size_t dim() const override { return base_->dim(); }
+  const float* row(std::int64_t v) const override {
+    return base_->row(nodes_[static_cast<std::size_t>(v)]);
+  }
+  const tensor::Matrix* stationary_pooled() const override {
+    return base_->stationary_pooled();
+  }
+  StoreBackend backend() const override { return base_->backend(); }
+  ResidencyInfo FeatureResidency() const override {
+    // The slice shares the base's pages; per-slice accounting would double
+    // count, so report zero mapped bytes and let the snapshot-level store
+    // report the file once.
+    return ResidencyInfo{};
+  }
+
+ private:
+  std::shared_ptr<const FeatureStore> base_;
+  std::vector<std::int32_t> nodes_;
+};
+
+}  // namespace nai::storage
+
+#endif  // NAI_STORAGE_FEATURE_ADAPTERS_H_

@@ -1,0 +1,48 @@
+#include "src/storage/mem_store.h"
+
+#include "src/graph/normalize.h"
+
+namespace nai::storage {
+
+MemStore::MemStore(graph::Graph graph, tensor::Matrix features, float gamma)
+    : graph_(std::move(graph)),
+      features_(std::move(features)),
+      gamma_(gamma),
+      norm_adj_(graph::NormalizedAdjacency(graph_, gamma)),
+      stationary_pooled_(
+          graph::PooledStationaryVector(graph_, features_, gamma)) {}
+
+MemStore::MemStore(graph::Graph graph, tensor::Matrix features, float gamma,
+                   graph::Csr norm_adj, tensor::Matrix stationary_pooled)
+    : graph_(std::move(graph)),
+      features_(std::move(features)),
+      gamma_(gamma),
+      norm_adj_(std::move(norm_adj)),
+      stationary_pooled_(std::move(stationary_pooled)) {}
+
+namespace {
+std::int64_t CsrBytes(const graph::Csr& c) {
+  return static_cast<std::int64_t>(c.row_ptr.size() * sizeof(std::int64_t) +
+                                   c.col_idx.size() * sizeof(std::int32_t) +
+                                   c.values.size() * sizeof(float));
+}
+}  // namespace
+
+ResidencyInfo MemStore::AdjacencyResidency() const {
+  ResidencyInfo info;
+  info.mapped_bytes = CsrBytes(graph_.adjacency()) + CsrBytes(norm_adj_);
+  info.resident_bytes = info.mapped_bytes;  // heap memory is always resident
+  info.exact = false;
+  return info;
+}
+
+ResidencyInfo MemStore::FeatureResidency() const {
+  ResidencyInfo info;
+  info.mapped_bytes = static_cast<std::int64_t>(
+      (features_.size() + stationary_pooled_.size()) * sizeof(float));
+  info.resident_bytes = info.mapped_bytes;
+  info.exact = false;
+  return info;
+}
+
+}  // namespace nai::storage

@@ -1,0 +1,78 @@
+#ifndef NAI_STORAGE_MEM_STORE_H_
+#define NAI_STORAGE_MEM_STORE_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/graph/graph.h"
+#include "src/storage/store.h"
+#include "src/tensor/matrix.h"
+
+namespace nai::storage {
+
+/// The historical pooled-vector representation behind the store interface:
+/// one object implements both GraphStore and FeatureStore over owned
+/// in-memory containers. The incremental snapshot layer (SnapshotBuilder)
+/// mutates copies of these concrete containers, so MemStore also exposes
+/// them directly — the mmap backend has no equivalent accessors and deltas
+/// against it are applied by first lifting to memory.
+class MemStore : public GraphStore, public FeatureStore {
+ public:
+  /// Build path: derives the normalized adjacency and pooled stationary
+  /// vector from the graph + features (the version-0 bootstrap).
+  MemStore(graph::Graph graph, tensor::Matrix features, float gamma);
+
+  /// Adopt path: all artifacts precomputed (the incremental-merge path,
+  /// where SnapshotBuilder rebuilt only dirty rows).
+  MemStore(graph::Graph graph, tensor::Matrix features, float gamma,
+           graph::Csr norm_adj, tensor::Matrix stationary_pooled);
+
+  // GraphStore:
+  std::int64_t num_nodes() const override { return graph_.num_nodes(); }
+  std::int64_t num_edges() const override { return graph_.num_edges(); }
+  float gamma() const override { return gamma_; }
+  graph::CsrView adj() const override {
+    // The adjacency contract is unweighted (the mmap layout stores no
+    // adjacency values); null the all-ones weights so both backends hand
+    // out identical views.
+    graph::CsrView v = graph_.adjacency().view();
+    v.values = nullptr;
+    return v;
+  }
+  graph::CsrView norm_adj() const override { return norm_adj_.view(); }
+
+  // FeatureStore:
+  std::int64_t num_rows() const override {
+    return static_cast<std::int64_t>(features_.rows());
+  }
+  std::size_t dim() const override { return features_.cols(); }
+  const float* row(std::int64_t v) const override { return features_.row(v); }
+  tensor::Matrix GatherRows(
+      const std::vector<std::int32_t>& ids) const override {
+    return features_.GatherRows(ids);
+  }
+  const tensor::Matrix* stationary_pooled() const override {
+    return &stationary_pooled_;
+  }
+
+  StoreBackend backend() const override { return StoreBackend::kMem; }
+  ResidencyInfo AdjacencyResidency() const override;
+  ResidencyInfo FeatureResidency() const override;
+
+  /// Concrete containers (mem backend only; see class comment).
+  const graph::Graph& graph() const { return graph_; }
+  const tensor::Matrix& features() const { return features_; }
+  const graph::Csr& norm_csr() const { return norm_adj_; }
+  const tensor::Matrix& stationary() const { return stationary_pooled_; }
+
+ private:
+  graph::Graph graph_;
+  tensor::Matrix features_;
+  float gamma_;
+  graph::Csr norm_adj_;
+  tensor::Matrix stationary_pooled_;  // 1 x dim
+};
+
+}  // namespace nai::storage
+
+#endif  // NAI_STORAGE_MEM_STORE_H_

@@ -1,0 +1,39 @@
+#include "src/storage/store.h"
+
+#include <cstdlib>
+
+#include "src/runtime/error.h"
+
+namespace nai::storage {
+
+StoreBackend ParseBackend(const std::string& name) {
+  if (name == "mem") return StoreBackend::kMem;
+  if (name == "mmap") return StoreBackend::kMmap;
+  throw ValidationError("unknown store backend '" + name +
+                        "' (expected mem|mmap)");
+}
+
+StoreBackend DefaultBackend() {
+  const char* env = std::getenv("NAI_STORE");
+  if (env == nullptr || *env == '\0') return StoreBackend::kMem;
+  return ParseBackend(env);
+}
+
+const char* BackendName(StoreBackend backend) {
+  switch (backend) {
+    case StoreBackend::kMem:
+      return "mem";
+    case StoreBackend::kMmap:
+      return "mmap";
+  }
+  return "unknown";
+}
+
+tensor::Matrix FeatureStore::GatherRows(
+    const std::vector<std::int32_t>& ids) const {
+  tensor::Matrix out(ids.size(), dim());
+  for (std::size_t i = 0; i < ids.size(); ++i) out.SetRow(i, row(ids[i]));
+  return out;
+}
+
+}  // namespace nai::storage

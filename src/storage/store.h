@@ -1,0 +1,104 @@
+#ifndef NAI_STORAGE_STORE_H_
+#define NAI_STORAGE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/tensor/matrix.h"
+
+namespace nai::storage {
+
+/// Which physical representation backs a store.
+enum class StoreBackend {
+  kMem,   ///< pooled in-memory vectors (the historical representation)
+  kMmap,  ///< sections of a memory-mapped file (out-of-core)
+};
+
+/// "mem" / "mmap". Throws nai::ValidationError on anything else.
+StoreBackend ParseBackend(const std::string& name);
+
+/// Reads NAI_STORE from the environment; unset/empty means kMem.
+StoreBackend DefaultBackend();
+
+/// Lower-case name for logs, stats and JSON ("mem" / "mmap").
+const char* BackendName(StoreBackend backend);
+
+/// Working-set accounting for one store. For memory-mapped stores
+/// `resident_bytes` is measured with mincore(2) and `exact` is true; for
+/// in-memory stores the data is unconditionally resident, so
+/// resident == mapped and `exact` is false (nothing was measured).
+struct ResidencyInfo {
+  std::int64_t mapped_bytes = 0;
+  std::int64_t resident_bytes = 0;
+  bool exact = false;
+
+  ResidencyInfo& operator+=(const ResidencyInfo& o) {
+    mapped_bytes += o.mapped_bytes;
+    resident_bytes += o.resident_bytes;
+    exact = exact || o.exact;
+    return *this;
+  }
+};
+
+/// Paging advice forwarded to madvise(2) by mapped backends; a no-op for
+/// in-memory backends.
+enum class AccessHint { kNormal, kRandom, kSequential, kWillNeed, kDontNeed };
+
+/// Read-only access to one immutable graph version: the raw symmetric
+/// adjacency and its normalized (self-loop, Eq. 1) counterpart, exposed as
+/// CsrView so the BFS sampler and SpMM kernels run identical code over any
+/// backend — no virtual dispatch inside inner loops, one virtual call per
+/// view acquisition. Views stay valid for the lifetime of the store.
+class GraphStore {
+ public:
+  virtual ~GraphStore() = default;
+
+  virtual std::int64_t num_nodes() const = 0;
+  /// Undirected edge count m (the raw adjacency stores 2m entries).
+  virtual std::int64_t num_edges() const = 0;
+  /// Normalization exponent γ the normalized adjacency was built with.
+  virtual float gamma() const = 0;
+
+  /// Raw symmetric adjacency; `values` is nullptr (unweighted).
+  virtual graph::CsrView adj() const = 0;
+  /// Normalized weighted adjacency Â = D̃^(γ-1) Ã D̃^(-γ).
+  virtual graph::CsrView norm_adj() const = 0;
+
+  virtual StoreBackend backend() const = 0;
+  /// Accounts the adjacency + normalized sections only (feature bytes are
+  /// reported by FeatureResidency, so the two sum without double counting
+  /// even when one object backs both interfaces).
+  virtual ResidencyInfo AdjacencyResidency() const = 0;
+  virtual void Advise(AccessHint /*hint*/) const {}
+};
+
+/// Read-only access to node features and the pooled stationary vector of
+/// the same graph version.
+class FeatureStore {
+ public:
+  virtual ~FeatureStore() = default;
+
+  virtual std::int64_t num_rows() const = 0;
+  virtual std::size_t dim() const = 0;
+  /// Feature row of node v; `dim()` floats, valid for the store lifetime.
+  virtual const float* row(std::int64_t v) const = 0;
+
+  /// Dense copy of the listed rows in order. The default implementation
+  /// copies row by row — bit-identical to tensor::Matrix::GatherRows.
+  virtual tensor::Matrix GatherRows(const std::vector<std::int32_t>& ids) const;
+
+  /// Pooled stationary vector g = v^T X (1 x dim), or nullptr when the
+  /// store was built without one.
+  virtual const tensor::Matrix* stationary_pooled() const { return nullptr; }
+
+  virtual StoreBackend backend() const = 0;
+  /// Accounts the feature + stationary sections only.
+  virtual ResidencyInfo FeatureResidency() const = 0;
+  virtual void Advise(AccessHint /*hint*/) const {}
+};
+
+}  // namespace nai::storage
+
+#endif  // NAI_STORAGE_STORE_H_

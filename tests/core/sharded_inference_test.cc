@@ -468,8 +468,8 @@ std::shared_ptr<const graph::GraphSnapshot> SnapshotOf(SmallWorld& w) {
 }
 
 graph::GraphDelta SmallDelta(const graph::GraphSnapshot& base) {
-  const std::size_t f = base.features.cols();
-  const std::int64_t n = base.graph.num_nodes();
+  const std::size_t f = base.features().cols();
+  const std::int64_t n = base.graph().num_nodes();
   graph::GraphDelta delta;
   const std::int32_t a = delta.AddNode(std::vector<float>(f, 0.4f), n);
   const std::int32_t b = delta.AddNode(std::vector<float>(f, -0.7f), n);
@@ -493,7 +493,7 @@ TEST(ShardedInferenceTest, SnapshotConstructorMatchesBorrowedView) {
 
   auto snapshot = SnapshotOf(w);
   ShardedNaiEngine snapped(snapshot,
-                           graph::MakeShards(snapshot->graph, 2, kDepth),
+                           graph::MakeShards(snapshot->adj(), 2, kDepth),
                            *w.classifiers, nullptr);
   EXPECT_EQ(snapped.version(), 0u);
   ExpectSameResult(snapped.Infer(w.all_nodes, cfg), want, "snapshot ctor");
@@ -511,13 +511,13 @@ TEST(ShardedInferenceTest, SwapSnapshotMatchesFromScratchMergedEngine) {
   cfg.threshold = 0.3f;
 
   const auto merged = graph::MergeFromScratch(*base, {delta});
-  StationaryState merged_stationary(merged->graph, merged->features,
+  StationaryState merged_stationary(merged->graph(), merged->features(),
                                     w.config.gamma);
-  std::vector<std::int32_t> all_merged(merged->graph.num_nodes());
+  std::vector<std::int32_t> all_merged(merged->num_nodes());
   std::iota(all_merged.begin(), all_merged.end(), 0);
 
   for (const int shards : {1, 2, 4}) {
-    ShardedNaiEngine live(base, graph::MakeShards(base->graph, shards, kDepth),
+    ShardedNaiEngine live(base, graph::MakeShards(base->adj(), shards, kDepth),
                           *w.classifiers, nullptr);
     graph::SnapshotBuilder builder(base);
     live.SwapSnapshot(builder.Apply(delta));
@@ -528,10 +528,10 @@ TEST(ShardedInferenceTest, SwapSnapshotMatchesFromScratchMergedEngine) {
     // but propagation MACs depend on the batch decomposition, so FULL stats
     // equality needs identical routing.
     ShardedNaiEngine reference(
-        merged->graph,
-        graph::MakeShards(merged->graph, live.PinState()->sharded.owner,
+        merged->graph(),
+        graph::MakeShards(merged->adj(), live.PinState()->sharded.owner,
                           kDepth),
-        merged->features, w.config.gamma, *w.classifiers, &merged_stationary,
+        merged->features(), w.config.gamma, *w.classifiers, &merged_stationary,
         nullptr);
     ExpectSameResult(live.Infer(all_merged, cfg),
                      reference.Infer(all_merged, cfg),
@@ -542,7 +542,7 @@ TEST(ShardedInferenceTest, SwapSnapshotMatchesFromScratchMergedEngine) {
 TEST(ShardedInferenceTest, SwapKeepsPinnedStateUsableAndOwnersStable) {
   auto w = MakeSmallWorld(kDepth);
   auto base = SnapshotOf(w);
-  ShardedNaiEngine live(base, graph::MakeShards(base->graph, 2, kDepth),
+  ShardedNaiEngine live(base, graph::MakeShards(base->adj(), 2, kDepth),
                         *w.classifiers, nullptr);
   InferenceConfig cfg;
   cfg.t_max = 2;
@@ -585,7 +585,7 @@ TEST(ShardedInferenceTest, SwapValidationThrows) {
   auto base = SnapshotOf(w);
   EXPECT_THROW(borrowed.SwapSnapshot(base), std::logic_error);
 
-  ShardedNaiEngine live(base, graph::MakeShards(base->graph, 2, kDepth),
+  ShardedNaiEngine live(base, graph::MakeShards(base->adj(), 2, kDepth),
                         *w.classifiers, nullptr);
   EXPECT_THROW(live.SwapSnapshot(nullptr), std::invalid_argument);
   // A shrinking snapshot (fewer nodes than currently served) is rejected.
@@ -603,9 +603,9 @@ TEST(ShardedInferenceTest, SwapValidationThrows) {
 TEST(ShardedInferenceTest, NewNodesRoutableAfterSwap) {
   auto w = MakeSmallWorld(kDepth);
   auto base = SnapshotOf(w);
-  ShardedNaiEngine live(base, graph::MakeShards(base->graph, 2, kDepth),
+  ShardedNaiEngine live(base, graph::MakeShards(base->adj(), 2, kDepth),
                         *w.classifiers, nullptr);
-  const std::int64_t n = base->graph.num_nodes();
+  const std::int64_t n = base->num_nodes();
   graph::SnapshotBuilder builder(base);
   const auto merged = graph::MergeFromScratch(*base, {SmallDelta(*base)});
   live.SwapSnapshot(builder.Apply(SmallDelta(*base)));
@@ -615,9 +615,9 @@ TEST(ShardedInferenceTest, NewNodesRoutableAfterSwap) {
   const std::vector<std::int32_t> fresh = {static_cast<std::int32_t>(n),
                                            static_cast<std::int32_t>(n + 1)};
   const InferenceResult got = live.Infer(fresh, cfg);
-  StationaryState merged_stationary(merged->graph, merged->features,
+  StationaryState merged_stationary(merged->graph(), merged->features(),
                                     w.config.gamma);
-  NaiEngine reference(merged->graph, merged->features, w.config.gamma,
+  NaiEngine reference(merged->graph(), merged->features(), w.config.gamma,
                       *w.classifiers, &merged_stationary, nullptr);
   const InferenceResult want = reference.Infer(fresh, cfg);
   EXPECT_EQ(got.predictions, want.predictions);

@@ -41,10 +41,10 @@ void ExpectMatrixEq(const tensor::Matrix& a, const tensor::Matrix& b) {
 void ExpectSnapshotEq(const GraphSnapshot& a, const GraphSnapshot& b) {
   EXPECT_EQ(a.version, b.version);
   EXPECT_EQ(a.gamma, b.gamma);
-  ExpectCsrEq(a.graph.adjacency(), b.graph.adjacency());
-  ExpectMatrixEq(a.features, b.features);
-  ExpectCsrEq(a.norm_adj, b.norm_adj);
-  ExpectMatrixEq(a.stationary_pooled, b.stationary_pooled);
+  ExpectCsrEq(a.graph().adjacency(), b.graph().adjacency());
+  ExpectMatrixEq(a.features(), b.features());
+  ExpectCsrEq(a.norm_csr(), b.norm_csr());
+  ExpectMatrixEq(a.stationary_pooled(), b.stationary_pooled());
 }
 
 std::shared_ptr<const GraphSnapshot> MakeBase(std::int64_t num_nodes = 120,
@@ -67,15 +67,15 @@ TEST(GraphDeltaTest, EmptyDeltaIsIdentityExceptVersion) {
   SnapshotBuilder builder(base);
   auto next = builder.Apply(GraphDelta{});
   EXPECT_EQ(next->version, base->version + 1);
-  ExpectCsrEq(next->graph.adjacency(), base->graph.adjacency());
-  ExpectMatrixEq(next->features, base->features);
-  ExpectCsrEq(next->norm_adj, base->norm_adj);
-  ExpectMatrixEq(next->stationary_pooled, base->stationary_pooled);
+  ExpectCsrEq(next->graph().adjacency(), base->graph().adjacency());
+  ExpectMatrixEq(next->features(), base->features());
+  ExpectCsrEq(next->norm_csr(), base->norm_csr());
+  ExpectMatrixEq(next->stationary_pooled(), base->stationary_pooled());
   const SnapshotBuildStats& stats = builder.last_stats();
   EXPECT_EQ(stats.new_nodes, 0);
   EXPECT_EQ(stats.new_edges, 0);
   EXPECT_EQ(stats.norm_rows_recomputed, 0);
-  EXPECT_EQ(stats.norm_rows_copied, base->graph.num_nodes());
+  EXPECT_EQ(stats.norm_rows_copied, base->graph().num_nodes());
 }
 
 TEST(GraphDeltaTest, EdgeInsertMatchesFromScratch) {
@@ -91,8 +91,8 @@ TEST(GraphDeltaTest, EdgeInsertMatchesFromScratch) {
 
 TEST(GraphDeltaTest, NodeInsertAndFeatureUpdateMatchFromScratch) {
   auto base = MakeBase();
-  const std::size_t f = base->features.cols();
-  const std::int64_t n = base->graph.num_nodes();
+  const std::size_t f = base->features().cols();
+  const std::int64_t n = base->graph().num_nodes();
   GraphDelta delta;
   const std::int32_t a = delta.AddNode(Row(f, 0.25f), n);
   const std::int32_t b = delta.AddNode(Row(f, -1.5f), n);
@@ -106,17 +106,17 @@ TEST(GraphDeltaTest, NodeInsertAndFeatureUpdateMatchFromScratch) {
   auto incremental = builder.Apply(delta);
   auto scratch = MergeFromScratch(*base, {delta});
   ExpectSnapshotEq(*incremental, *scratch);
-  EXPECT_EQ(incremental->graph.num_nodes(), n + 2);
-  EXPECT_EQ(incremental->features.data()[static_cast<std::size_t>(b) * f],
+  EXPECT_EQ(incremental->graph().num_nodes(), n + 2);
+  EXPECT_EQ(incremental->features().data()[static_cast<std::size_t>(b) * f],
             9.0f);
-  EXPECT_TRUE(incremental->graph.HasEdge(a, b));
+  EXPECT_TRUE(incremental->graph().HasEdge(a, b));
 }
 
 TEST(GraphDeltaTest, ChainedAppliesMatchOneFromScratchMerge) {
   auto base = MakeBase(150, 21);
-  const std::size_t f = base->features.cols();
+  const std::size_t f = base->features().cols();
   std::vector<GraphDelta> deltas;
-  std::int64_t n = base->graph.num_nodes();
+  std::int64_t n = base->graph().num_nodes();
   for (int d = 0; d < 4; ++d) {
     GraphDelta delta;
     const std::int32_t fresh = delta.AddNode(Row(f, 0.1f * (d + 1)), n);
@@ -138,8 +138,8 @@ TEST(GraphDeltaTest, DropsSelfLoopsDuplicatesAndExistingEdges) {
   auto base = MakeBase();
   // Find one existing edge to re-insert.
   std::int32_t u = 0;
-  while (base->graph.degree(u) == 0) ++u;
-  const std::int32_t v = *base->graph.neighbors_begin(u);
+  while (base->graph().degree(u) == 0) ++u;
+  const std::int32_t v = *base->graph().neighbors_begin(u);
   GraphDelta delta;
   delta.AddEdge(8, 8);    // self-loop: dropped
   delta.AddEdge(u, v);    // already present: dropped
@@ -149,14 +149,14 @@ TEST(GraphDeltaTest, DropsSelfLoopsDuplicatesAndExistingEdges) {
   SnapshotBuilder builder(base);
   auto next = builder.Apply(delta);
   EXPECT_EQ(builder.last_stats().new_edges, 1);
-  EXPECT_EQ(next->graph.num_edges(), base->graph.num_edges() + 1);
+  EXPECT_EQ(next->graph().num_edges(), base->graph().num_edges() + 1);
   ExpectSnapshotEq(*next, *MergeFromScratch(*base, {delta}));
 }
 
 TEST(GraphDeltaTest, ValidationThrowsAndLeavesBaseUntouched) {
   auto base = MakeBase();
-  const std::size_t f = base->features.cols();
-  const std::int32_t n = static_cast<std::int32_t>(base->graph.num_nodes());
+  const std::size_t f = base->features().cols();
+  const std::int32_t n = static_cast<std::int32_t>(base->graph().num_nodes());
   SnapshotBuilder builder(base);
 
   GraphDelta bad_edge;
@@ -180,7 +180,7 @@ TEST(GraphDeltaTest, ValidationThrowsAndLeavesBaseUntouched) {
   EXPECT_EQ(builder.base().get(), base.get());
   auto next = builder.Apply(GraphDelta{});
   EXPECT_EQ(next->version, base->version + 1);
-  ExpectCsrEq(next->norm_adj, base->norm_adj);
+  ExpectCsrEq(next->norm_csr(), base->norm_csr());
 }
 
 TEST(GraphDeltaTest, RecomputesExactlyDirtyRowsOnPathGraph) {
@@ -201,7 +201,7 @@ TEST(GraphDeltaTest, RecomputesExactlyDirtyRowsOnPathGraph) {
   EXPECT_EQ(stats.norm_rows_recomputed, 6);
   EXPECT_EQ(stats.norm_rows_copied, 14);
   EXPECT_EQ(stats.norm_rows_recomputed + stats.norm_rows_copied,
-            next->graph.num_nodes());
+            next->graph().num_nodes());
   ExpectSnapshotEq(*next, *MergeFromScratch(*base, {delta}));
 }
 
@@ -226,9 +226,9 @@ TEST(GraphDeltaTest, NullBaseThrows) {
 TEST(GraphDeltaTest, MakeSnapshotBuildsVersionZeroArtifacts) {
   auto base = MakeBase();
   EXPECT_EQ(base->version, 0u);
-  EXPECT_EQ(base->norm_adj.rows, base->graph.num_nodes());
-  EXPECT_EQ(base->stationary_pooled.rows(), 1u);
-  EXPECT_EQ(base->stationary_pooled.cols(), base->features.cols());
+  EXPECT_EQ(base->norm_csr().rows, base->graph().num_nodes());
+  EXPECT_EQ(base->stationary_pooled().rows(), 1u);
+  EXPECT_EQ(base->stationary_pooled().cols(), base->features().cols());
 }
 
 }  // namespace

@@ -55,8 +55,8 @@ QosPolicyTable MakePolicies() {
 }
 
 graph::GraphDelta ChurnDelta(const graph::GraphSnapshot& base) {
-  const std::size_t f = base.features.cols();
-  const std::int64_t n = base.graph.num_nodes();
+  const std::size_t f = base.features().cols();
+  const std::int64_t n = base.graph().num_nodes();
   graph::GraphDelta delta;
   const std::int32_t a = delta.AddNode(std::vector<float>(f, 0.6f), n);
   const std::int32_t b = delta.AddNode(std::vector<float>(f, -0.2f), n);
@@ -78,11 +78,11 @@ TEST(SnapshotSwapTest, ApplyDeltasBitExactAcrossShardsQosAndCache) {
   const QosPolicyTable policies = MakePolicies();
 
   const auto merged = graph::MergeFromScratch(*base, {delta});
-  core::StationaryState merged_stationary(merged->graph, merged->features,
+  core::StationaryState merged_stationary(merged->graph(), merged->features(),
                                           w.config.gamma);
-  core::NaiEngine reference(merged->graph, merged->features, w.config.gamma,
+  core::NaiEngine reference(merged->graph(), merged->features(), w.config.gamma,
                             *w.classifiers, &merged_stationary, nullptr);
-  std::vector<std::int32_t> all_merged(merged->graph.num_nodes());
+  std::vector<std::int32_t> all_merged(merged->num_nodes());
   for (std::size_t i = 0; i < all_merged.size(); ++i) {
     all_merged[i] = static_cast<std::int32_t>(i);
   }
@@ -90,7 +90,7 @@ TEST(SnapshotSwapTest, ApplyDeltasBitExactAcrossShardsQosAndCache) {
   for (const int shards : {1, 2, 4}) {
     for (const bool cache_on : {false, true}) {
       core::ShardedNaiEngine engine(
-          base, graph::MakeShards(base->graph, shards, kDepth),
+          base, graph::MakeShards(base->adj(), shards, kDepth),
           *w.classifiers, nullptr);
       ServingOptions options;
       options.cache.enabled = cache_on;
@@ -151,11 +151,11 @@ TEST(SnapshotSwapTest, InvalidDeltaSurfacesThroughFutureAndKeepsServing) {
   SmallWorld& w = World();
   auto base = BaseSnapshot();
   core::ShardedNaiEngine engine(base,
-                                graph::MakeShards(base->graph, 2, kDepth),
+                                graph::MakeShards(base->adj(), 2, kDepth),
                                 *w.classifiers, nullptr);
   ServingEngine server(engine, MakePolicies());
   graph::GraphDelta bad;
-  bad.AddEdge(0, static_cast<std::int32_t>(base->graph.num_nodes()));
+  bad.AddEdge(0, static_cast<std::int32_t>(base->num_nodes()));
   EXPECT_THROW(server.ApplyDeltas(bad).get(), std::invalid_argument);
   // Serving state unchanged: still epoch 0, still answering.
   EXPECT_EQ(server.Stats().epoch, 0u);
@@ -168,7 +168,7 @@ TEST(SnapshotSwapTest, EpochStampedInResponsesAndStats) {
   SmallWorld& w = World();
   auto base = BaseSnapshot();
   core::ShardedNaiEngine engine(base,
-                                graph::MakeShards(base->graph, 2, kDepth),
+                                graph::MakeShards(base->adj(), 2, kDepth),
                                 *w.classifiers, nullptr);
   ServingEngine server(engine, MakePolicies());
 
@@ -198,7 +198,7 @@ TEST(SnapshotSwapTest, HaloDepthsRecomputedAfterSwapChangesHalos) {
                                   World().config.gamma);
   std::vector<std::int32_t> owner = {0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
   core::ShardedNaiEngine engine(
-      base, graph::MakeShards(base->graph, owner, /*halo=*/2),
+      base, graph::MakeShards(base->adj(), owner, /*halo=*/2),
       *World().classifiers, nullptr, /*use_stationary=*/false);
 
   core::InferenceConfig cfg;
@@ -231,7 +231,7 @@ TEST(SnapshotSwapTest, ConcurrentQueriesAcrossSwapsStaySafe) {
   SmallWorld& w = World();
   auto base = BaseSnapshot();
   core::ShardedNaiEngine engine(base,
-                                graph::MakeShards(base->graph, 2, kDepth),
+                                graph::MakeShards(base->adj(), 2, kDepth),
                                 *w.classifiers, nullptr);
   ServingOptions options;
   options.scheduler.stealing = true;

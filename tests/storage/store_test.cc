@@ -1,0 +1,330 @@
+// Tests of the storage layer: the mmap on-disk layout must round-trip a
+// mem store bit-for-bit, reject wrong-magic / truncated / corrupt files,
+// account its working set, and the scaled streaming generator must emit
+// exactly what an in-RAM build of the same graph would have stored.
+
+#include "src/storage/mmap_store.h"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/graph/generators.h"
+#include "src/graph/normalize.h"
+#include "src/runtime/error.h"
+#include "src/storage/mem_store.h"
+
+namespace nai::storage {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return "/tmp/nai_store_test_" + std::string(tag) + "_" +
+         std::to_string(static_cast<long>(::getpid()));
+}
+
+/// Removes the file when the test scope ends, pass or fail.
+struct PathGuard {
+  std::string path;
+  ~PathGuard() { ::unlink(path.c_str()); }
+};
+
+std::shared_ptr<MemStore> MakeMemStore(std::int64_t n = 200,
+                                       std::uint64_t seed = 3) {
+  graph::GeneratorConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_edges = n * 4;
+  cfg.feature_dim = 12;
+  cfg.seed = seed;
+  graph::SyntheticDataset ds = graph::GenerateDataset(cfg);
+  return std::make_shared<MemStore>(std::move(ds.graph),
+                                    std::move(ds.features), 0.5f);
+}
+
+void ExpectViewEq(graph::CsrView a, graph::CsrView b) {
+  ASSERT_EQ(a.rows, b.rows);
+  ASSERT_EQ(a.cols, b.cols);
+  for (std::int64_t v = 0; v <= a.rows; ++v) {
+    ASSERT_EQ(a.row_ptr[v], b.row_ptr[v]) << "row_ptr " << v;
+  }
+  const std::int64_t nnz = a.row_ptr[a.rows];
+  for (std::int64_t p = 0; p < nnz; ++p) {
+    ASSERT_EQ(a.col_idx[p], b.col_idx[p]) << "col " << p;
+  }
+  ASSERT_EQ(a.values == nullptr, b.values == nullptr);
+  if (a.values != nullptr) {
+    for (std::int64_t p = 0; p < nnz; ++p) {
+      ASSERT_EQ(a.values[p], b.values[p]) << "value " << p;
+    }
+  }
+}
+
+TEST(MmapStoreTest, RoundTripIsBitExact) {
+  auto mem = MakeMemStore();
+  PathGuard file{TempPath("roundtrip")};
+  SaveStore(*mem, *mem, file.path);
+  MmapStore mapped(file.path);  // verify_data on: full checksum must hold
+
+  EXPECT_EQ(mapped.num_nodes(), mem->num_nodes());
+  EXPECT_EQ(mapped.num_edges(), mem->num_edges());
+  EXPECT_EQ(mapped.gamma(), mem->gamma());
+  EXPECT_EQ(mapped.dim(), mem->dim());
+  EXPECT_EQ(mapped.backend(), StoreBackend::kMmap);
+  ExpectViewEq(mapped.adj(), mem->adj());
+  ExpectViewEq(mapped.norm_adj(), mem->norm_adj());
+  for (std::int64_t v = 0; v < mem->num_nodes(); ++v) {
+    const float* a = mapped.row(v);
+    const float* b = mem->row(v);
+    for (std::size_t f = 0; f < mem->dim(); ++f) {
+      ASSERT_EQ(a[f], b[f]) << "feature (" << v << ", " << f << ")";
+    }
+  }
+  ASSERT_NE(mapped.stationary_pooled(), nullptr);
+  const tensor::Matrix& gs = *mapped.stationary_pooled();
+  const tensor::Matrix& ms = *mem->stationary_pooled();
+  ASSERT_EQ(gs.cols(), ms.cols());
+  for (std::size_t f = 0; f < ms.cols(); ++f) {
+    ASSERT_EQ(gs.data()[f], ms.data()[f]) << "stationary " << f;
+  }
+}
+
+TEST(MmapStoreTest, RejectsMissingWrongMagicAndTruncated) {
+  EXPECT_THROW(MmapStore("/tmp/nai_store_test_does_not_exist"), IoError);
+
+  auto mem = MakeMemStore(64);
+  PathGuard file{TempPath("reject")};
+  SaveStore(*mem, *mem, file.path);
+
+  // Wrong magic: flip the first byte.
+  {
+    std::FILE* f = std::fopen(file.path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    char c;
+    ASSERT_EQ(std::fread(&c, 1, 1, f), 1u);
+    c ^= 0x40;
+    std::fseek(f, 0, SEEK_SET);
+    ASSERT_EQ(std::fwrite(&c, 1, 1, f), 1u);
+    std::fclose(f);
+    EXPECT_THROW(MmapStore(file.path), IoError);
+    // Restore.
+    f = std::fopen(file.path.c_str(), "r+b");
+    c ^= 0x40;
+    ASSERT_EQ(std::fwrite(&c, 1, 1, f), 1u);
+    std::fclose(f);
+  }
+  MmapStore(file.path);  // restored file opens again
+
+  // Truncated: copy all but the last 64 bytes.
+  {
+    std::FILE* in = std::fopen(file.path.c_str(), "rb");
+    ASSERT_NE(in, nullptr);
+    std::fseek(in, 0, SEEK_END);
+    const long size = std::ftell(in);
+    std::fseek(in, 0, SEEK_SET);
+    std::vector<char> bytes(static_cast<std::size_t>(size));
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), in), bytes.size());
+    std::fclose(in);
+    PathGuard trunc{TempPath("truncated")};
+    std::FILE* out = std::fopen(trunc.path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size() - 64, out);
+    std::fclose(out);
+    EXPECT_THROW(MmapStore(trunc.path), IoError);
+  }
+}
+
+TEST(MmapStoreTest, DataCorruptionCaughtByChecksumOnly) {
+  auto mem = MakeMemStore(64);
+  PathGuard file{TempPath("corrupt")};
+  SaveStore(*mem, *mem, file.path);
+
+  // Flip one bit in the feature section (well past the header).
+  {
+    std::FILE* f = std::fopen(file.path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, size - 128, SEEK_SET);
+    char c;
+    ASSERT_EQ(std::fread(&c, 1, 1, f), 1u);
+    c ^= 0x01;
+    std::fseek(f, size - 128, SEEK_SET);
+    ASSERT_EQ(std::fwrite(&c, 1, 1, f), 1u);
+    std::fclose(f);
+  }
+  EXPECT_THROW(MmapStore(file.path), IoError);  // verify_data default on
+  MmapStore::Options lazy;
+  lazy.verify_data = false;
+  MmapStore(file.path, lazy);  // header is intact, so a lazy open succeeds
+}
+
+TEST(MmapStoreTest, ResidencyPartitionsTheFileWithoutDoubleCounting) {
+  auto mem = MakeMemStore();
+  PathGuard file{TempPath("residency")};
+  SaveStore(*mem, *mem, file.path);
+  MmapStore::Options lazy;
+  lazy.verify_data = false;
+  MmapStore mapped(file.path, lazy);
+
+  const ResidencyInfo adj = mapped.AdjacencyResidency();
+  const ResidencyInfo feat = mapped.FeatureResidency();
+  EXPECT_TRUE(adj.exact);
+  EXPECT_TRUE(feat.exact);
+  EXPECT_GT(adj.mapped_bytes, 0);
+  EXPECT_GT(feat.mapped_bytes, 0);
+  EXPECT_LE(adj.resident_bytes, adj.mapped_bytes);
+  EXPECT_LE(feat.resident_bytes, feat.mapped_bytes);
+
+  // The two sections partition the data region: together they cover the
+  // whole file except the (page-rounded) header, with no overlap.
+  ResidencyInfo total = adj;
+  total += feat;
+  const MmapLayout layout =
+      MmapLayout::Make(mapped.num_nodes(), 2 * mapped.num_edges(),
+                       static_cast<std::int64_t>(mapped.dim()));
+  EXPECT_LE(total.mapped_bytes, layout.file_size);
+  EXPECT_GE(total.mapped_bytes, layout.file_size - layout.adj_row_ptr_off);
+
+  // In-memory stores: everything is resident by definition, nothing was
+  // measured.
+  const ResidencyInfo mem_adj = mem->AdjacencyResidency();
+  const ResidencyInfo mem_feat = mem->FeatureResidency();
+  EXPECT_FALSE(mem_adj.exact);
+  EXPECT_FALSE(mem_feat.exact);
+  EXPECT_EQ(mem_adj.resident_bytes, mem_adj.mapped_bytes);
+  EXPECT_EQ(mem_feat.resident_bytes, mem_feat.mapped_bytes);
+  EXPECT_GT(mem_adj.mapped_bytes, 0);
+  EXPECT_GT(mem_feat.mapped_bytes, 0);
+}
+
+TEST(StoreBackendTest, ParseAndDefaultHonorNaiStore) {
+  EXPECT_EQ(ParseBackend("mem"), StoreBackend::kMem);
+  EXPECT_EQ(ParseBackend("mmap"), StoreBackend::kMmap);
+  EXPECT_THROW(ParseBackend("bogus"), ValidationError);
+
+  const char* saved = std::getenv("NAI_STORE");
+  const std::string restore = saved != nullptr ? saved : "";
+  ::setenv("NAI_STORE", "mmap", 1);
+  EXPECT_EQ(DefaultBackend(), StoreBackend::kMmap);
+  ::setenv("NAI_STORE", "mem", 1);
+  EXPECT_EQ(DefaultBackend(), StoreBackend::kMem);
+  ::unsetenv("NAI_STORE");
+  EXPECT_EQ(DefaultBackend(), StoreBackend::kMem);
+  if (saved != nullptr) ::setenv("NAI_STORE", restore.c_str(), 1);
+}
+
+TEST(GenerateScaledTest, StreamedStoreMatchesFromRamRebuild) {
+  graph::ScaledGraphConfig cfg;
+  cfg.num_nodes = 500;
+  cfg.feature_dim = 8;
+  cfg.max_chords = 16;
+  cfg.seed = 11;
+  PathGuard file{TempPath("scaled")};
+  const std::int64_t m = graph::GenerateScaled(cfg, file.path);
+  MmapStore mapped(file.path);  // checksum verified
+  EXPECT_EQ(mapped.num_nodes(), cfg.num_nodes);
+  EXPECT_EQ(mapped.num_edges(), m);
+  EXPECT_GE(m, cfg.num_nodes);  // the ring alone is n edges
+
+  // Rebuild the same graph in RAM from the streamed adjacency and compare
+  // every derived artifact bit-for-bit.
+  const graph::CsrView adj = mapped.adj();
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  for (std::int64_t u = 0; u < adj.rows; ++u) {
+    for (std::int64_t p = adj.row_ptr[u]; p < adj.row_ptr[u + 1]; ++p) {
+      if (adj.col_idx[p] > u) {
+        edges.emplace_back(static_cast<std::int32_t>(u), adj.col_idx[p]);
+      }
+    }
+  }
+  const graph::Graph rebuilt =
+      graph::Graph::FromEdges(cfg.num_nodes, edges);
+  EXPECT_EQ(rebuilt.num_edges(), m);
+  // The store contract hands out the adjacency unweighted; null the raw
+  // graph's all-ones weights to compare structure bit-for-bit.
+  graph::CsrView rebuilt_adj = rebuilt.adjacency().view();
+  rebuilt_adj.values = nullptr;
+  ExpectViewEq(mapped.adj(), rebuilt_adj);
+  const graph::Csr norm = graph::NormalizedAdjacency(rebuilt, cfg.gamma);
+  ExpectViewEq(mapped.norm_adj(), norm.view());
+
+  tensor::Matrix features(cfg.num_nodes, cfg.feature_dim);
+  for (std::int64_t v = 0; v < cfg.num_nodes; ++v) {
+    std::memcpy(features.row(v), mapped.row(v),
+                sizeof(float) * mapped.dim());
+  }
+  const tensor::Matrix pooled =
+      graph::PooledStationaryVector(rebuilt, features, cfg.gamma);
+  ASSERT_NE(mapped.stationary_pooled(), nullptr);
+  for (std::size_t f = 0; f < pooled.cols(); ++f) {
+    ASSERT_EQ(mapped.stationary_pooled()->data()[f], pooled.data()[f])
+        << "stationary " << f;
+  }
+}
+
+TEST(GenerateScaledTest, RejectsInvalidConfigs) {
+  graph::ScaledGraphConfig cfg;
+  cfg.num_nodes = 4;
+  EXPECT_THROW(graph::GenerateScaled(cfg, "/tmp/never_written"),
+               ValidationError);
+  cfg.num_nodes = 100;
+  cfg.feature_dim = 0;
+  EXPECT_THROW(graph::GenerateScaled(cfg, "/tmp/never_written"),
+               ValidationError);
+  cfg.feature_dim = 4;
+  cfg.power_law_exponent = 1.0f;
+  EXPECT_THROW(graph::GenerateScaled(cfg, "/tmp/never_written"),
+               ValidationError);
+}
+
+TEST(MmapStoreTest, ConcurrentReadersShareOneMapping) {
+  auto mem = MakeMemStore(300);
+  PathGuard file{TempPath("concurrent")};
+  SaveStore(*mem, *mem, file.path);
+  const MmapStore mapped(file.path);
+
+  // Readers touch rows, gathers, views and residency concurrently — the
+  // TSan stage runs this suite to prove the store is read-share safe.
+  std::vector<std::thread> readers;
+  std::vector<double> sums(4, 0.0);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      double acc = 0.0;
+      std::vector<std::int32_t> ids;
+      for (std::int32_t v = t; v < mapped.num_nodes(); v += 4) {
+        acc += mapped.row(v)[0];
+        ids.push_back(v);
+      }
+      const tensor::Matrix gathered = mapped.GatherRows(ids);
+      acc += gathered.data()[0];
+      const graph::CsrView norm = mapped.norm_adj();
+      acc += norm.values[norm.row_ptr[t + 1] - 1];
+      const ResidencyInfo r = mapped.AdjacencyResidency();
+      acc += static_cast<double>(r.resident_bytes > 0);
+      sums[static_cast<std::size_t>(t)] = acc;
+    });
+  }
+  for (std::thread& th : readers) th.join();
+  for (int t = 0; t < 4; ++t) {
+    std::vector<std::int32_t> ids;
+    double acc = 0.0;
+    for (std::int32_t v = t; v < mapped.num_nodes(); v += 4) {
+      acc += mapped.row(v)[0];
+      ids.push_back(v);
+    }
+    acc += mapped.GatherRows(ids).data()[0];
+    const graph::CsrView norm = mapped.norm_adj();
+    acc += norm.values[norm.row_ptr[t + 1] - 1];
+    acc += 1.0;
+    EXPECT_EQ(sums[static_cast<std::size_t>(t)], acc) << "reader " << t;
+  }
+}
+
+}  // namespace
+}  // namespace nai::storage
